@@ -1,0 +1,69 @@
+// Ablation: loader search cost vs (directories × dependencies).
+//
+// §IV: "As the number of dependencies for a shared object grows, so does
+// the length of the list that must be searched" — worst case dirs×deps
+// filesystem operations. This sweep shows metadata ops growing with both
+// axes, and collapsing to deps+1 after shrinkwrapping.
+
+#include "bench_util.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/workload/emacs.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+std::uint64_t measure_ops(std::size_t deps, std::size_t dirs, bool wrapped) {
+  vfs::FileSystem fs;
+  workload::EmacsConfig config;
+  config.num_deps = deps;
+  config.num_dirs = dirs;
+  const auto app = workload::generate_emacs_like(fs, config);
+  loader::Loader loader(fs);
+  if (wrapped) {
+    if (!shrinkwrap::shrinkwrap(fs, loader, app.exe_path).ok()) return 0;
+  }
+  return loader.load(app.exe_path).stats.metadata_calls();
+}
+
+void print_report() {
+  using depchaos::bench::heading;
+  heading("Ablation — metadata ops vs (search dirs x dependencies)");
+  std::printf("  %6s %6s %12s %12s %9s\n", "deps", "dirs", "normal ops",
+              "wrapped ops", "ratio");
+  for (const std::size_t deps : {25ul, 50ul, 100ul, 200ul}) {
+    for (const std::size_t dirs : {8ul, 36ul, 128ul}) {
+      const auto normal = measure_ops(deps, dirs, false);
+      const auto wrapped = measure_ops(deps, dirs, true);
+      std::printf("  %6zu %6zu %12llu %12llu %8.1fx\n", deps, dirs,
+                  static_cast<unsigned long long>(normal),
+                  static_cast<unsigned long long>(wrapped),
+                  static_cast<double>(normal) / static_cast<double>(wrapped));
+    }
+  }
+}
+
+void BM_SearchCost(benchmark::State& state) {
+  vfs::FileSystem fs;
+  workload::EmacsConfig config;
+  config.num_deps = static_cast<std::size_t>(state.range(0));
+  config.num_dirs = static_cast<std::size_t>(state.range(1));
+  const auto app = workload::generate_emacs_like(fs, config);
+  loader::Loader loader(fs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loader.load(app.exe_path).success);
+  }
+}
+BENCHMARK(BM_SearchCost)
+    ->Args({50, 8})
+    ->Args({50, 128})
+    ->Args({200, 36})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,152 @@
+// Ablation: the three workarounds of §III-D and §IV, compared on the same
+// store-model application:
+//   Dependency Views  — one symlink-farm RPATH (fast, costs inodes,
+//                       single-version restriction)
+//   Needy Executables — closure on the link line (fast, breaks on dup
+//                       strong symbols)
+//   Shrinkwrap        — absolute DT_NEEDED (fast, env-independent)
+
+#include "bench_util.hpp"
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/ldcache.hpp"
+#include "depchaos/shrinkwrap/needy.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/shrinkwrap/views.hpp"
+#include "depchaos/workload/pynamic.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+struct World {
+  vfs::FileSystem fs;
+  workload::PynamicApp app;
+  loader::Loader loader;
+
+  explicit World(std::size_t modules = 150, bool app_cache = false)
+      : loader(fs, make_search_config(app_cache)) {
+    workload::PynamicConfig config;
+    config.num_modules = modules;
+    config.exe_extra_bytes = 0;
+    app = workload::generate_pynamic(fs, config);
+  }
+
+  static loader::SearchConfig make_search_config(bool app_cache) {
+    loader::SearchConfig config;
+    config.use_app_cache = app_cache;
+    return config;
+  }
+};
+
+struct Row {
+  std::string name;
+  std::uint64_t ops = 0;
+  std::uint64_t failed = 0;
+  std::size_t inode_cost = 0;
+  bool env_immune = false;
+};
+
+Row measure(const std::string& name, World& world) {
+  Row result;
+  result.name = name;
+  const auto report = world.loader.load(world.app.exe_path);
+  result.ops = report.stats.metadata_calls();
+  result.failed = report.stats.failed_probes;
+  // Environment immunity: plant an impostor first in LD_LIBRARY_PATH.
+  elf::install_object(world.fs, "/evil/libpynamic_module_0.so",
+                      elf::make_library("libpynamic_module_0.so"));
+  world.loader.invalidate();
+  const auto hostile = world.loader.load(
+      world.app.exe_path,
+      loader::Environment::with_library_path({"/evil"}));
+  const auto* module0 = hostile.find_loaded("libpynamic_module_0.so");
+  result.env_immune =
+      module0 != nullptr && !module0->path.starts_with("/evil");
+  return result;
+}
+
+void print_report() {
+  using depchaos::bench::heading;
+  heading("Ablation — workaround strategies on a 150-module store app");
+
+  std::vector<Row> rows;
+  {
+    World world;
+    rows.push_back(measure("as-built (rpath list)", world));
+  }
+  {
+    World world;
+    const std::size_t inodes_before = world.fs.inode_count();
+    const auto view = shrinkwrap::make_dependency_view(
+        world.fs, world.loader, world.app.exe_path, "/views/pynamic");
+    auto row = measure("dependency view", world);
+    row.inode_cost = world.fs.inode_count() - inodes_before;
+    row.name += view.ok ? "" : " (CONFLICTS)";
+    rows.push_back(row);
+  }
+  {
+    World world;
+    const auto needy =
+        shrinkwrap::make_needy(world.fs, world.loader, world.app.exe_path);
+    auto row = measure(needy.ok ? "needy executable" : "needy (LINK FAIL)",
+                       world);
+    rows.push_back(row);
+  }
+  {
+    World world;
+    (void)shrinkwrap::shrinkwrap(world.fs, world.loader, world.app.exe_path);
+    rows.push_back(measure("shrinkwrapped", world));
+  }
+  {
+    World world(150, /*app_cache=*/true);
+    (void)shrinkwrap::make_loader_cache(world.fs, world.loader,
+                                        world.app.exe_path);
+    rows.push_back(measure("app loader cache (Guix)", world));
+  }
+
+  std::printf("  %-26s %10s %10s %8s %10s\n", "strategy", "meta ops",
+              "failed", "inodes", "env-immune");
+  for (const auto& row : rows) {
+    std::printf("  %-26s %10llu %10llu %8zu %10s\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.ops),
+                static_cast<unsigned long long>(row.failed), row.inode_cost,
+                row.env_immune ? "yes" : "no");
+  }
+}
+
+void BM_StrategyLoad(benchmark::State& state) {
+  World world(100);
+  switch (state.range(0)) {
+    case 1:
+      (void)shrinkwrap::make_dependency_view(world.fs, world.loader,
+                                             world.app.exe_path, "/v");
+      break;
+    case 2:
+      (void)shrinkwrap::make_needy(world.fs, world.loader,
+                                   world.app.exe_path);
+      break;
+    case 3:
+      (void)shrinkwrap::shrinkwrap(world.fs, world.loader,
+                                   world.app.exe_path);
+      break;
+    default:
+      break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.loader.load(world.app.exe_path).success);
+  }
+}
+BENCHMARK(BM_StrategyLoad)
+    ->Arg(0)  // as built
+    ->Arg(1)  // view
+    ->Arg(2)  // needy
+    ->Arg(3)  // shrinkwrap
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,142 @@
+// Ablation: the cost of a security update under each distribution model
+// (§II trade-offs; §III-B's CVE-cost debate).
+//
+// The same logical stack — a popular library (libcurl-like) used by many
+// applications — delivered three ways. A CVE lands in the library:
+//   FHS:    overwrite ONE file; every app picks it up on next load.
+//   Bundle: every bundle vendors its own copy; all must be re-shipped.
+//   Store:  the pessimistic hash cascades; the dependents' closure is
+//           rebuilt into new prefixes (old generation stays for rollback).
+
+#include "bench_util.hpp"
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/pkg/bundle.hpp"
+#include "depchaos/pkg/fhs.hpp"
+#include "depchaos/pkg/store.hpp"
+
+namespace {
+
+using namespace depchaos;
+constexpr std::size_t kApps = 40;
+constexpr std::uint64_t kLibSize = 2u << 20;   // 2 MiB library
+constexpr std::uint64_t kAppSize = 1u << 20;   // 1 MiB per app
+
+elf::Object curl_like(std::uint64_t size) {
+  elf::Object lib = elf::make_library("libcurl.so.4");
+  lib.extra_size = size;
+  return lib;
+}
+
+void print_report() {
+  using depchaos::bench::fmt;
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+  heading("Ablation — bytes rewritten by a libcurl CVE fix, per model");
+
+  // FHS: one file.
+  {
+    vfs::FileSystem fs;
+    pkg::fhs::Installer installer(fs);
+    pkg::fhs::Package lib;
+    lib.name = "libcurl";
+    lib.version = "7.79";
+    lib.files.push_back({"usr/lib/libcurl.so.4", "", curl_like(kLibSize)});
+    installer.install(lib);
+    const std::uint64_t before = fs.disk_usage("/usr/lib");
+    pkg::fhs::Package fixed = lib;
+    fixed.version = "7.79-cve";
+    installer.install(fixed);  // overwrites in place
+    row("FHS", fmt(static_cast<double>(kLibSize) / (1 << 20), 1) +
+                   " MiB (one shared file; apps untouched); dir size " +
+                   fmt(static_cast<double>(fs.disk_usage("/usr/lib")) /
+                           (1 << 20), 1) + " MiB (was " +
+                   fmt(static_cast<double>(before) / (1 << 20), 1) + ")");
+  }
+
+  // Bundles: every app re-shipped.
+  {
+    vfs::FileSystem fs;
+    std::uint64_t rewritten = 0;
+    for (std::size_t i = 0; i < kApps; ++i) {
+      pkg::bundle::BundleSpec spec;
+      spec.name = "app" + std::to_string(i);
+      elf::Object exe = elf::make_executable({"libcurl.so.4"});
+      exe.extra_size = kAppSize;
+      spec.exe = exe;
+      spec.libs = {{"libcurl.so.4", curl_like(kLibSize)}};
+      const auto bundle = pkg::bundle::create_bundle(fs, spec);
+      rewritten += fs.disk_usage(bundle.root);  // whole bundle re-shipped
+    }
+    row("Bundled (" + std::to_string(kApps) + " apps)",
+        fmt(static_cast<double>(rewritten) / (1 << 20), 1) +
+            " MiB (every vendored copy + its bundle)");
+  }
+
+  // Store: the rebuild cascade.
+  {
+    vfs::FileSystem fs;
+    pkg::store::Store store(fs);
+    pkg::store::PackageSpec curl;
+    curl.name = "libcurl";
+    curl.version = "7.79";
+    curl.files.push_back(
+        pkg::store::StoreFile{"lib/libcurl.so.4", curl_like(kLibSize), ""});
+    const auto curl_prefix = store.add(curl).prefix;
+    for (std::size_t i = 0; i < kApps; ++i) {
+      pkg::store::PackageSpec app;
+      app.name = "app" + std::to_string(i);
+      app.version = "1";
+      app.deps = {curl_prefix};
+      elf::Object exe = elf::make_executable({"libcurl.so.4"});
+      exe.extra_size = kAppSize;
+      app.files.push_back(pkg::store::StoreFile{"bin/app", exe, ""});
+      store.add(app);
+    }
+    const auto affected = store.dependents_closure(curl_prefix);
+    row("Store (" + std::to_string(kApps) + " dependents)",
+        fmt(static_cast<double>(store.rebuild_bytes(curl_prefix)) / (1 << 20),
+            1) +
+            " MiB rebuilt into new prefixes (" +
+            std::to_string(affected.size()) +
+            " packages re-hashed; old generation kept for rollback)");
+  }
+  std::printf(
+      "\n  FHS pays the least per CVE and can say the least about what is\n"
+      "  actually running; bundles pay the most (one copy per app); the\n"
+      "  store pays the cascade but is the only model with atomic rollback\n"
+      "  (§II trade-offs).\n");
+}
+
+void BM_DependentsClosure(benchmark::State& state) {
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs);
+  pkg::store::PackageSpec base;
+  base.name = "base";
+  base.version = "1";
+  base.files.push_back(
+      pkg::store::StoreFile{"lib/libbase.so", elf::make_library("libbase.so"), ""});
+  const auto base_prefix = store.add(base).prefix;
+  std::string prev = base_prefix;
+  for (int i = 0; i < state.range(0); ++i) {
+    pkg::store::PackageSpec pkg;
+    pkg.name = "pkg" + std::to_string(i);
+    pkg.version = "1";
+    pkg.deps = {prev};
+    pkg.files.push_back(pkg::store::StoreFile{
+        "lib/lib" + pkg.name + ".so", elf::make_library("lib" + pkg.name + ".so"),
+        ""});
+    prev = store.add(pkg).prefix;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.dependents_closure(base_prefix).size());
+  }
+}
+BENCHMARK(BM_DependentsClosure)->Arg(50)->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

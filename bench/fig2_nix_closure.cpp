@@ -1,0 +1,65 @@
+// Fig 2: "A graph, or snarl, of the build and runtime package dependencies
+// needed by Ruby in Nix" — 453 dependencies dominated by bootstrap stages,
+// sources, and patches; dense enough to be illegible.
+
+#include "bench_util.hpp"
+#include "depchaos/workload/nixruby.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+void print_figure() {
+  using depchaos::bench::fmt;
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+
+  const auto closure = workload::generate_ruby_closure({});
+  const auto stats = closure.drvs.stats(closure.root);
+
+  heading("Fig 2 — Ruby-in-Nix derivation closure (paper: 453 dependencies)");
+  row("closure size (derivations)", std::to_string(stats.nodes));
+  row("dependency edges", std::to_string(stats.edges));
+  row("source/patch derivations", std::to_string(stats.sources));
+  row("bootstrap-stage derivations", std::to_string(stats.bootstrap));
+  row("max dependency depth", std::to_string(stats.max_depth));
+  row("edge density", bench::fmt(stats.density, 4));
+
+  const auto graph = closure.drvs.closure_graph(closure.root);
+  const auto dot = graph.to_dot("ruby_nix_closure");
+  row("DOT rendering size (bytes)", std::to_string(dot.size()));
+  std::printf("  (pipe the to_dot() output through graphviz to draw the "
+              "snarl)\n");
+}
+
+void BM_BuildRubyClosure(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto closure = workload::generate_ruby_closure({});
+    benchmark::DoNotOptimize(closure.drvs.size());
+  }
+}
+BENCHMARK(BM_BuildRubyClosure)->Unit(benchmark::kMillisecond);
+
+void BM_ClosureTraversal(benchmark::State& state) {
+  const auto closure = workload::generate_ruby_closure({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(closure.drvs.closure(closure.root).size());
+  }
+}
+BENCHMARK(BM_ClosureTraversal)->Unit(benchmark::kMicrosecond);
+
+void BM_DotExport(benchmark::State& state) {
+  const auto closure = workload::generate_ruby_closure({});
+  const auto graph = closure.drvs.closure_graph(closure.root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.to_dot("g").size());
+  }
+}
+BENCHMARK(BM_DotExport)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

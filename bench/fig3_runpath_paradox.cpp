@@ -1,0 +1,71 @@
+// Fig 3: "A paradoxical setup for RUNPATH where the desired libraries are
+// dirA/liba.so and dirB/libb.so" — no ordering of a single directory-level
+// search path can load both intended files; absolute needed entries
+// (Shrinkwrap) resolve it trivially.
+
+#include "bench_util.hpp"
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+void print_figure() {
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_runpath_paradox(fs);
+  loader::Loader loader(fs);
+
+  heading("Fig 3 — RUNPATH paradox (want dirA/liba.so AND dirB/libb.so)");
+  const std::vector<std::pair<std::string, std::vector<std::string>>> orders =
+      {
+          {"[dirA, dirB]", {scenario.dir_a, scenario.dir_b}},
+          {"[dirB, dirA]", {scenario.dir_b, scenario.dir_a}},
+          {"[dirA]", {scenario.dir_a}},
+          {"[dirB]", {scenario.dir_b}},
+      };
+  for (const auto& [label, dirs] : orders) {
+    workload::set_paradox_search_order(fs, scenario, dirs);
+    loader.invalidate();
+    const auto report = loader.load(scenario.exe_path);
+    const auto* a = report.find_loaded("liba.so");
+    const auto* b = report.find_loaded("libb.so");
+    row("search order " + label,
+        std::string("liba<-") + (a ? a->path : "MISSING") + "  libb<-" +
+            (b ? b->path : "MISSING") +
+            (workload::paradox_satisfied(report, scenario) ? "  OK"
+                                                           : "  WRONG"));
+  }
+
+  // Shrinkwrap-style absolute entries.
+  elf::Patcher patcher(fs);
+  patcher.set_needed(scenario.exe_path,
+                     {scenario.good_a_path, scenario.good_b_path});
+  patcher.set_runpath(scenario.exe_path, {});
+  loader.invalidate();
+  const auto wrapped = loader.load(scenario.exe_path);
+  row("absolute DT_NEEDED (shrinkwrapped)",
+      workload::paradox_satisfied(wrapped, scenario) ? "OK — paradox resolved"
+                                                     : "WRONG");
+}
+
+void BM_ParadoxLoad(benchmark::State& state) {
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_runpath_paradox(fs);
+  loader::Loader loader(fs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loader.load(scenario.exe_path).success);
+  }
+}
+BENCHMARK(BM_ParadoxLoad)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

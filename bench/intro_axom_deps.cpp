@@ -1,0 +1,92 @@
+// Introduction claim: "Today the Axom library ... can require more than
+// 200 total dependencies." We concretize axom against the HPC recipe
+// corpus (core recipes + synthetic TPL layer, all parsed from package.py
+// text) and count the closure; then install it into a store and measure
+// the as-built vs shrinkwrapped startup cost of an Axom-scale application.
+
+#include "bench_util.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/pkg/store.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/spack/install.hpp"
+#include "depchaos/workload/spackrepo.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+void print_report() {
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+
+  const auto repo = workload::build_hpc_repo();
+  spack::ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "openmpi";
+  const spack::Concretizer concretizer(repo, options);
+  const auto dag = concretizer.concretize("axom");
+
+  heading("Intro claim — Axom's total dependency count (paper: 200+)");
+  row("recipes in repository", std::to_string(repo.size()));
+  row("axom concrete closure size", std::to_string(dag.size()));
+  row("axom dag_hash", dag.dag_hash("axom"));
+
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs, "/spack/store");
+  const auto installed = spack::install_dag(store, dag);
+  loader::Loader loader(fs);
+  const auto normal = loader.load(installed.exe_path);
+  row("as-built startup metadata syscalls",
+      std::to_string(normal.stats.metadata_calls()));
+  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, installed.exe_path);
+  const auto wrapped = loader.load(installed.exe_path);
+  row("shrinkwrapped startup metadata syscalls",
+      std::to_string(wrapped.stats.metadata_calls()));
+  row("frozen needed entries", std::to_string(wrap.new_needed.size()));
+}
+
+void BM_ParseCorpus(benchmark::State& state) {
+  workload::SyntheticRepoConfig config;
+  config.num_packages = static_cast<std::size_t>(state.range(0));
+  const auto sources = workload::synthetic_recipes(config);
+  for (auto _ : state) {
+    spack::Repo repo;
+    for (const auto& source : sources) {
+      benchmark::DoNotOptimize(repo.add_package_py(source));
+    }
+  }
+}
+BENCHMARK(BM_ParseCorpus)->Arg(100)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConcretizeAxom(benchmark::State& state) {
+  const auto repo = workload::build_hpc_repo();
+  spack::ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "openmpi";
+  const spack::Concretizer concretizer(repo, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize("axom").size());
+  }
+}
+BENCHMARK(BM_ConcretizeAxom)->Unit(benchmark::kMillisecond);
+
+void BM_InstallAxomDag(benchmark::State& state) {
+  const auto repo = workload::build_hpc_repo();
+  spack::ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "openmpi";
+  const spack::Concretizer concretizer(repo, options);
+  const auto dag = concretizer.concretize("axom");
+  for (auto _ : state) {
+    vfs::FileSystem fs;
+    pkg::store::Store store(fs, "/spack/store");
+    benchmark::DoNotOptimize(
+        spack::install_dag(store, dag).prefixes.size());
+  }
+}
+BENCHMARK(BM_InstallAxomDag)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

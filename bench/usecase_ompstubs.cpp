@@ -1,0 +1,62 @@
+// §V-B.2: libomp vs libompstubs — drop-in replacements defining the same
+// strong symbols. Load order decides behaviour; the Needy Executables
+// workaround dies on the link line; Shrinkwrap encodes the user's order
+// without touching the link.
+
+#include "bench_util.hpp"
+#include "depchaos/loader/symbols.hpp"
+#include "depchaos/shrinkwrap/needy.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+void print_report() {
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+
+  heading("Use case §V-B.2 — libomp / libompstubs");
+  for (const bool stubs_first : {false, true}) {
+    vfs::FileSystem fs;
+    const auto scenario = workload::make_ompstubs_scenario(fs, stubs_first);
+    loader::Loader loader(fs);
+    const auto bind = loader::bind_symbols(loader.load(scenario.exe_path));
+    const auto* provider = bind.provider_of(scenario.probe_symbol);
+    row(std::string("link order ") +
+            (stubs_first ? "[stubs, omp]" : "[omp, stubs]") + " binds to",
+        provider ? *provider : "(unbound)");
+  }
+
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_ompstubs_scenario(fs, false);
+  loader::Loader loader(fs);
+  const auto needy = shrinkwrap::make_needy(fs, loader, scenario.exe_path);
+  row("Needy Executables (link line)",
+      needy.ok ? "linked (unexpected)"
+               : "FAILS: duplicate strong symbol '" +
+                     needy.link.duplicate_strong.front() + "' (paper's flaw)");
+  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  row("Shrinkwrap", wrap.ok() ? "succeeds, user order preserved" : "failed");
+  const auto bind = loader::bind_symbols(loader.load(scenario.exe_path));
+  row("wrapped binary binds to", *bind.provider_of(scenario.probe_symbol));
+}
+
+void BM_OmpBindSymbols(benchmark::State& state) {
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_ompstubs_scenario(fs, false);
+  loader::Loader loader(fs);
+  const auto report = loader.load(scenario.exe_path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loader::bind_symbols(report).bindings.size());
+  }
+}
+BENCHMARK(BM_OmpBindSymbols)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

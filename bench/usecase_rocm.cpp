@@ -1,0 +1,87 @@
+// §V-B.1: the ROCm three-factor failure. RPATH on the executable +
+// LD_LIBRARY_PATH from a different ROCm module + RUNPATH inside the ROCm
+// libraries => wrong-version internals loaded ("segfault"); Shrinkwrap
+// freezes the 4.5 resolution and the wrong module becomes harmless.
+
+#include "bench_util.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/libtree.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+void print_report() {
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_rocm_scenario(fs);
+  loader::Loader loader(fs);
+
+  heading("Use case §V-B.1 — ROCm version mixing");
+  {
+    const auto clean = loader.load(scenario.exe_path, scenario.clean_env);
+    row("clean env, unwrapped",
+        workload::rocm_versions_mixed(clean, scenario) ? "MIXED (bug)"
+                                                       : "consistent 4.5");
+  }
+  {
+    const auto broken =
+        loader.load(scenario.exe_path, scenario.wrong_module_env);
+    row("rocm/4.3 module loaded, unwrapped",
+        workload::rocm_versions_mixed(broken, scenario)
+            ? "MIXED 4.5+4.3 -> segfault (paper's failure)"
+            : "consistent (unexpected)");
+    for (const auto& obj : broken.load_order) {
+      if (!obj.path.empty() && obj.depth > 0) {
+        row("  loaded", obj.path + "  [" +
+                            std::string(loader::how_found_name(obj.how)) + "]");
+      }
+    }
+  }
+  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  row("shrinkwrap", wrap.ok() ? "applied" : "FAILED");
+  {
+    const auto fixed =
+        loader.load(scenario.exe_path, scenario.wrong_module_env);
+    row("rocm/4.3 module loaded, wrapped",
+        workload::rocm_versions_mixed(fixed, scenario)
+            ? "still mixed (unexpected)"
+            : "consistent 4.5 — fixed");
+  }
+}
+
+void BM_RocmLoadUnwrapped(benchmark::State& state) {
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_rocm_scenario(fs);
+  loader::Loader loader(fs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        loader.load(scenario.exe_path, scenario.wrong_module_env).success);
+  }
+}
+BENCHMARK(BM_RocmLoadUnwrapped)->Unit(benchmark::kMicrosecond);
+
+void BM_RocmLoadWrapped(benchmark::State& state) {
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_rocm_scenario(fs);
+  loader::Loader loader(fs);
+  if (!shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path).ok()) {
+    state.SkipWithError("wrap failed");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        loader.load(scenario.exe_path, scenario.wrong_module_env).success);
+  }
+}
+BENCHMARK(BM_RocmLoadWrapped)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  return depchaos::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,43 @@
+// Listing 1 reproduction: the samba dbwrap_tool trace.
+//
+// A library four levels down (libsamba-modules-samba4) was built without a
+// RUNPATH. Its dependency libsamba-debug-samba4 is NOT findable by its own
+// search — the program only works because an earlier subtree already loaded
+// the file and the loader's soname cache supplies it. libtree's pure-search
+// annotations expose the landmine.
+//
+//   $ ./examples/libtree_demo
+
+#include <cstdio>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/libtree.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+using namespace depchaos;
+
+int main() {
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_samba_scenario(fs);
+
+  loader::SearchConfig config;
+  config.classify_cache_hits = true;  // annotate with pure-search outcomes
+  loader::Loader loader(fs, config);
+
+  const auto report = loader.load(scenario.exe_path);
+  std::printf("$ libtree %s\n%s\n", scenario.exe_path.c_str(),
+              shrinkwrap::render_tree(report).c_str());
+
+  std::printf("the program %s — but note the 'not found (satisfied by "
+              "earlier load)' line:\nif the earlier subtree stops linking "
+              "that library, this binary breaks at a distance.\n\n",
+              report.success ? "loads successfully" : "FAILS to load");
+
+  // Shrinkwrap removes the landmine: every path is frozen on the top level.
+  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  std::printf("after shrinkwrap (%zu absolute needed entries):\n%s",
+              wrap.new_needed.size(),
+              shrinkwrap::libtree(fs, loader, scenario.exe_path).c_str());
+  return report.success && wrap.ok() ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// §V-B.1 walkthrough: the ROCm module mix-up, and the shrinkwrap rescue.
+//
+// Three innocuous decisions — RPATH on the app, RUNPATH inside the vendor
+// libraries, LD_LIBRARY_PATH set by an environment module — combine so that
+// loading the app with the WRONG module version mixes 4.5 and 4.3 internals
+// and segfaults. Shrinkwrap freezes the build-time resolution.
+//
+//   $ ./examples/rocm_rescue
+
+#include <cstdio>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/loader/symbols.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+using namespace depchaos;
+
+namespace {
+
+void show_load(const char* label, const loader::LoadReport& report,
+               const workload::RocmScenario& scenario) {
+  std::printf("%s\n", label);
+  for (const auto& obj : report.load_order) {
+    if (obj.depth == 0) continue;
+    std::printf("  %-28s <- %-40s [%s]\n", obj.name.c_str(), obj.path.c_str(),
+                std::string(loader::how_found_name(obj.how)).c_str());
+  }
+  std::printf("  => %s\n\n", workload::rocm_versions_mixed(report, scenario)
+                                 ? "MIXED VERSIONS (segfault in production)"
+                                 : "consistent");
+}
+
+}  // namespace
+
+int main() {
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_rocm_scenario(fs);
+  loader::Loader loader(fs);
+
+  show_load("# module load rocm/4.5; ./gpu_sim     (clean environment)",
+            loader.load(scenario.exe_path, scenario.clean_env), scenario);
+
+  show_load("# module load rocm/4.3; ./gpu_sim     (stale module loaded)",
+            loader.load(scenario.exe_path, scenario.wrong_module_env),
+            scenario);
+
+  std::printf("# shrinkwrap gpu_sim\n");
+  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  for (const auto& entry : wrap.new_needed) {
+    std::printf("  frozen: %s\n", entry.c_str());
+  }
+  std::printf("\n");
+
+  const auto fixed = loader.load(scenario.exe_path, scenario.wrong_module_env);
+  show_load("# module load rocm/4.3; ./gpu_sim     (wrapped binary)", fixed,
+            scenario);
+  return workload::rocm_versions_mixed(fixed, scenario) ? 1 : 0;
+}

@@ -1,0 +1,91 @@
+// End-to-end Spack-style workflow: reparse package.py recipes, concretize an
+// abstract spec into a hashed DAG, install it into a store, and shrinkwrap
+// the resulting application — the §II-D store model meeting §IV's tool.
+//
+//   $ ./examples/spack_workflow
+
+#include <cstdio>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/pkg/store.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/spack/concretizer.hpp"
+#include "depchaos/spack/install.hpp"
+
+using namespace depchaos;
+
+int main() {
+  // 1. A small package repository, written in (a subset of) Spack's Python
+  //    DSL and reparsed by the C++ reader.
+  spack::Repo repo;
+  repo.add_package_py(R"PY(
+class Zlib(Package):
+    homepage = "https://zlib.net"
+    version("1.2.12")
+    version("1.2.11")
+)PY");
+  repo.add_package_py(R"PY(
+class Hdf5(Package):
+    version("1.12.1")
+    version("1.10.8")
+    variant("mpi", default=True, description="Enable MPI")
+    depends_on("zlib")
+    depends_on("mpi", when="+mpi")
+)PY");
+  repo.add_package_py(R"PY(
+class Openmpi(Package):
+    version("4.1.1")
+    provides("mpi")
+)PY");
+  repo.add_package_py(R"PY(
+class Lifesim(Package):
+    """A toy simulation code with the usual HPC tangle."""
+    version("2.0")
+    version("1.9")
+    variant("mpi", default=True, description="parallel build")
+    depends_on("hdf5@1.10:+mpi", when="+mpi")
+    depends_on("hdf5@1.10:~mpi", when="~mpi")
+)PY");
+
+  // 2. Concretize a command-line spec.
+  spack::ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "openmpi";
+  const spack::Concretizer concretizer(repo, options);
+  const auto dag = concretizer.concretize("lifesim@2.0 ^zlib@1.2.12");
+
+  std::printf("concretized DAG (%zu packages):\n", dag.size());
+  for (const auto& name : dag.install_order()) {
+    const auto& node = dag.at(name);
+    std::printf("  %s/%s  deps=[", node.render().c_str(),
+                dag.dag_hash(name).substr(0, 8).c_str());
+    for (std::size_t i = 0; i < node.deps.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", node.deps[i].c_str());
+    }
+    std::printf("]\n");
+  }
+
+  // 3. Install into a store: hashed prefixes, RPATH-wired binaries.
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs, "/opt/spack/store");
+  const auto result = spack::install_dag(store, dag);
+  std::printf("\ninstalled prefixes:\n");
+  for (const auto& [name, prefix] : result.prefixes) {
+    std::printf("  %s -> %s\n", name.c_str(), prefix.c_str());
+  }
+
+  // 4. Load, then shrinkwrap the generated executable.
+  loader::Loader loader(fs);
+  const auto before = loader.load(result.exe_path);
+  std::printf("\nas-built load: %s, %llu metadata syscalls\n",
+              before.success ? "ok" : "FAILED",
+              static_cast<unsigned long long>(before.stats.metadata_calls()));
+
+  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, result.exe_path);
+  const auto after = loader.load(result.exe_path);
+  std::printf("shrinkwrapped load: %s, %llu metadata syscalls (%zu absolute "
+              "needed entries)\n",
+              after.success ? "ok" : "FAILED",
+              static_cast<unsigned long long>(after.stats.metadata_calls()),
+              wrap.new_needed.size());
+  return (before.success && after.success && wrap.ok()) ? 0 : 1;
+}

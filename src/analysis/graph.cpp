@@ -1,0 +1,100 @@
+#include "depchaos/analysis/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace depchaos::analysis {
+
+Digraph::NodeId Digraph::add_node(std::string label) {
+  if (const auto it = index_.find(label); it != index_.end()) {
+    return it->second;
+  }
+  const NodeId id = labels_.size();
+  index_.emplace(label, id);
+  labels_.push_back(std::move(label));
+  adj_.emplace_back();
+  in_degree_.push_back(0);
+  return id;
+}
+
+void Digraph::add_edge(NodeId u, NodeId v) {
+  auto& out = adj_[u];
+  if (std::find(out.begin(), out.end(), v) != out.end()) return;
+  out.push_back(v);
+  ++in_degree_[v];
+  ++edge_count_;
+}
+
+void Digraph::add_edge(std::string_view u_label, std::string_view v_label) {
+  const NodeId u = add_node(std::string(u_label));
+  const NodeId v = add_node(std::string(v_label));
+  add_edge(u, v);
+}
+
+std::optional<Digraph::NodeId> Digraph::find(std::string_view label) const {
+  const auto it = index_.find(std::string(label));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Digraph::NodeId> Digraph::reachable_from(NodeId root) const {
+  std::vector<bool> seen(labels_.size(), false);
+  std::vector<NodeId> out;
+  std::deque<NodeId> queue{root};
+  seen[root] = true;
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    out.push_back(node);
+    for (const NodeId next : adj_[node]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Digraph::NodeId>> Digraph::topo_order() const {
+  std::vector<std::size_t> remaining(in_degree_);
+  std::deque<NodeId> ready;
+  for (NodeId id = 0; id < labels_.size(); ++id) {
+    if (remaining[id] == 0) ready.push_back(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(labels_.size());
+  while (!ready.empty()) {
+    const NodeId node = ready.front();
+    ready.pop_front();
+    order.push_back(node);
+    for (const NodeId next : adj_[node]) {
+      if (--remaining[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != labels_.size()) return std::nullopt;
+  return order;
+}
+
+double Digraph::density() const {
+  const std::size_t n = node_count();
+  if (n < 2) return 0;
+  return static_cast<double>(edge_count_) / (static_cast<double>(n) * (n - 1));
+}
+
+std::string Digraph::to_dot(std::string_view graph_name) const {
+  std::string out = "digraph \"" + std::string(graph_name) + "\" {\n";
+  for (NodeId id = 0; id < labels_.size(); ++id) {
+    out += "  n" + std::to_string(id) + " [label=\"" + labels_[id] + "\"];\n";
+  }
+  for (NodeId id = 0; id < labels_.size(); ++id) {
+    for (const NodeId next : adj_[id]) {
+      out += "  n" + std::to_string(id) + " -> n" + std::to_string(next) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace depchaos::analysis

@@ -1,0 +1,46 @@
+// Sample-set summaries used by the figure reproductions: Fig 4 is a
+// frequency histogram of shared-object reuse; Fig 1 is categorical counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depchaos::analysis {
+
+/// A set of non-negative integer samples (e.g. "number of binaries using
+/// shared object i") with the summaries the paper quotes.
+class Histogram {
+ public:
+  void add(std::uint64_t value) { samples_.push_back(value); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  std::uint64_t max() const;
+  double mean() const;
+
+  /// Value at quantile q in [0,1] (nearest-rank on the sorted samples).
+  std::uint64_t quantile(double q) const;
+
+  /// Fraction of samples strictly greater than `threshold` — Fig 4's
+  /// "only 4% of shared object files are used by more than 5% of binaries".
+  double fraction_above(std::uint64_t threshold) const;
+
+  /// Sorted descending — the shape plotted in Fig 4.
+  std::vector<std::uint64_t> sorted_desc() const;
+
+  /// Bucketed counts: result[i] = number of samples equal to i (capped).
+  std::vector<std::uint64_t> frequency_table(std::uint64_t cap) const;
+
+  /// Render an ASCII bar chart (for bench output), widest bar = `width`.
+  std::string ascii_chart(std::size_t buckets, std::size_t width = 60) const;
+
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+ private:
+  std::vector<std::uint64_t> samples_;
+};
+
+}  // namespace depchaos::analysis

@@ -1,0 +1,75 @@
+#include "depchaos/elf/abi.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "depchaos/elf/patcher.hpp"
+
+namespace depchaos::elf {
+
+namespace {
+std::set<std::string> exported_set(const Object& object) {
+  std::set<std::string> out;
+  for (const auto& sym : object.symbols) {
+    if (sym.defined && sym.binding != SymbolBinding::Local) {
+      out.insert(sym.display());
+    }
+  }
+  return out;
+}
+}  // namespace
+
+AbiDiff abi_diff(const Object& old_object, const Object& new_object) {
+  AbiDiff diff;
+  const auto old_exports = exported_set(old_object);
+  const auto new_exports = exported_set(new_object);
+  std::set_difference(old_exports.begin(), old_exports.end(),
+                      new_exports.begin(), new_exports.end(),
+                      std::back_inserter(diff.removed));
+  std::set_difference(new_exports.begin(), new_exports.end(),
+                      old_exports.begin(), old_exports.end(),
+                      std::back_inserter(diff.added));
+  diff.soname_changed = old_object.dyn.soname != new_object.dyn.soname;
+  return diff;
+}
+
+AbiDiff abi_diff(const vfs::FileSystem& fs, const std::string& old_path,
+                 const std::string& new_path) {
+  return abi_diff(read_object(fs, old_path), read_object(fs, new_path));
+}
+
+std::vector<std::string> unsatisfied_references(
+    const Object& object, const std::vector<const Object*>& providers) {
+  // A versioned reference binds to the same name@version, or to an
+  // unversioned definition (glibc's fallback for unversioned libraries).
+  std::set<std::string> versioned_exports;
+  std::set<std::string> unversioned_exports;
+  for (const Object* provider : providers) {
+    for (const auto& sym : provider->symbols) {
+      if (!sym.defined || sym.binding == SymbolBinding::Local) continue;
+      if (sym.version.empty()) {
+        unversioned_exports.insert(sym.name);
+      } else {
+        versioned_exports.insert(sym.display());
+      }
+    }
+  }
+  std::vector<std::string> missing;
+  for (const auto& sym : object.symbols) {
+    if (sym.defined || sym.binding == SymbolBinding::Weak) continue;
+    const bool ok =
+        sym.version.empty()
+            ? (unversioned_exports.contains(sym.name) ||
+               std::any_of(versioned_exports.begin(), versioned_exports.end(),
+                           [&](const std::string& entry) {
+                             return entry.compare(0, sym.name.size() + 1,
+                                                  sym.name + "@") == 0;
+                           }))
+            : (versioned_exports.contains(sym.display()) ||
+               unversioned_exports.contains(sym.name));
+    if (!ok) missing.push_back(sym.display());
+  }
+  return missing;
+}
+
+}  // namespace depchaos::elf

@@ -1,0 +1,44 @@
+// ABI compatibility analysis (§III-A's administrator dilemma).
+//
+// "If a library is locked to point to a library at /opt/rocm-4.3.0 and that
+// version is found to be buggy but binary compatible with 4.3.1 ..." — the
+// decision that swap is SAFE is an ABI question: does the replacement
+// export every (versioned) symbol the old one did? This module makes the
+// check executable, the way Fedora's ABI-diff workflow (§II-A, ref [12])
+// does for distribution updates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depchaos/elf/object.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::elf {
+
+struct AbiDiff {
+  /// Exported symbols of the old object missing from the new one — each is
+  /// a potential runtime breakage for existing binaries.
+  std::vector<std::string> removed;
+  /// New exports (always safe for existing binaries).
+  std::vector<std::string> added;
+  /// Soname changed — by convention an intentional ABI break.
+  bool soname_changed = false;
+
+  bool compatible() const { return removed.empty() && !soname_changed; }
+};
+
+/// Diff the exported (defined, non-local) symbol sets, version-qualified.
+AbiDiff abi_diff(const Object& old_object, const Object& new_object);
+
+/// Convenience: diff two on-disk objects.
+AbiDiff abi_diff(const vfs::FileSystem& fs, const std::string& old_path,
+                 const std::string& new_path);
+
+/// Would `object`'s (versioned) undefined references all bind against the
+/// exports of `providers`? Returns the unsatisfied references — the check
+/// an administrator runs before swapping a dependency under a binary.
+std::vector<std::string> unsatisfied_references(
+    const Object& object, const std::vector<const Object*>& providers);
+
+}  // namespace depchaos::elf

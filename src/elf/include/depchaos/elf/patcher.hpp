@@ -1,0 +1,51 @@
+// patchelf-equivalent: read/modify/write SELF images inside a VFS.
+//
+// The store-model package managers (§II-D) use exactly these operations as
+// post-build actions ("modify binaries using patchelf or similar tools"),
+// and Shrinkwrap's rewrite step is built on top of them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depchaos/elf/object.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::elf {
+
+class Patcher {
+ public:
+  explicit Patcher(vfs::FileSystem& fs) : fs_(fs) {}
+
+  /// Parse the SELF image at `path`. Throws FsError / ElfError.
+  Object read(std::string_view path) const;
+
+  /// Serialize `object` over the file at `path`.
+  void write(std::string_view path, const Object& object);
+
+  // patchelf-style verbs. Each reads, edits, writes.
+  void set_rpath(std::string_view path, std::vector<std::string> dirs);
+  void set_runpath(std::string_view path, std::vector<std::string> dirs);
+  void clear_search_paths(std::string_view path);
+  void set_soname(std::string_view path, std::string soname);
+  void set_needed(std::string_view path, std::vector<std::string> needed);
+  void add_needed(std::string_view path, std::string entry);
+  void remove_needed(std::string_view path, std::string_view entry);
+  /// Replace one needed entry in place, preserving order (patchelf
+  /// --replace-needed).
+  void replace_needed(std::string_view path, std::string_view old_entry,
+                      std::string new_entry);
+
+ private:
+  vfs::FileSystem& fs_;
+};
+
+/// Write `object` (serialized) to `path`, creating parents.
+void install_object(vfs::FileSystem& fs, std::string_view path,
+                    const Object& object);
+
+/// Parse the object stored at `path` without syscall accounting.
+Object read_object(const vfs::FileSystem& fs, std::string_view path);
+
+}  // namespace depchaos::elf

@@ -1,0 +1,86 @@
+#include "depchaos/elf/patcher.hpp"
+
+#include <algorithm>
+
+namespace depchaos::elf {
+
+Object read_object(const vfs::FileSystem& fs, std::string_view path) {
+  const vfs::FileData* data = fs.peek(path);
+  if (data == nullptr) {
+    throw FsError("no such file: " + std::string(path));
+  }
+  return parse(data->bytes);
+}
+
+void install_object(vfs::FileSystem& fs, std::string_view path,
+                    const Object& object) {
+  vfs::FileData data;
+  data.bytes = serialize(object);
+  data.declared_size = data.bytes.size() + object.extra_size;
+  fs.write_file(path, std::move(data));
+}
+
+Object Patcher::read(std::string_view path) const {
+  return read_object(fs_, path);
+}
+
+void Patcher::write(std::string_view path, const Object& object) {
+  install_object(fs_, path, object);
+}
+
+void Patcher::set_rpath(std::string_view path, std::vector<std::string> dirs) {
+  Object object = read(path);
+  object.dyn.rpath = std::move(dirs);
+  write(path, object);
+}
+
+void Patcher::set_runpath(std::string_view path,
+                          std::vector<std::string> dirs) {
+  Object object = read(path);
+  object.dyn.runpath = std::move(dirs);
+  write(path, object);
+}
+
+void Patcher::clear_search_paths(std::string_view path) {
+  Object object = read(path);
+  object.dyn.rpath.clear();
+  object.dyn.runpath.clear();
+  write(path, object);
+}
+
+void Patcher::set_soname(std::string_view path, std::string soname) {
+  Object object = read(path);
+  object.dyn.soname = std::move(soname);
+  write(path, object);
+}
+
+void Patcher::set_needed(std::string_view path,
+                         std::vector<std::string> needed) {
+  Object object = read(path);
+  object.dyn.needed = std::move(needed);
+  write(path, object);
+}
+
+void Patcher::add_needed(std::string_view path, std::string entry) {
+  Object object = read(path);
+  object.dyn.needed.push_back(std::move(entry));
+  write(path, object);
+}
+
+void Patcher::remove_needed(std::string_view path, std::string_view entry) {
+  Object object = read(path);
+  auto& needed = object.dyn.needed;
+  needed.erase(std::remove(needed.begin(), needed.end(), entry), needed.end());
+  write(path, object);
+}
+
+void Patcher::replace_needed(std::string_view path, std::string_view old_entry,
+                             std::string new_entry) {
+  Object object = read(path);
+  for (auto& entry : object.dyn.needed) {
+    if (entry == old_entry) entry = new_entry;
+  }
+  write(path, object);
+}
+
+}  // namespace depchaos::elf

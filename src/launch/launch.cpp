@@ -1,0 +1,58 @@
+#include "depchaos/launch/launch.hpp"
+
+#include <cmath>
+
+namespace depchaos::launch {
+
+LaunchResult simulate_launch(vfs::FileSystem& fs, loader::Loader& loader,
+                             const std::string& exe_path,
+                             const loader::Environment& env, int nprocs,
+                             const ClusterConfig& config) {
+  LaunchResult result;
+  result.nprocs = nprocs;
+
+  // Cold start: drop whatever the latency model cached client-side.
+  fs.clear_caches();
+  const loader::LoadReport report = loader.load(exe_path, env);
+  result.load_succeeded = report.success;
+  result.meta_ops_per_rank = report.stats.metadata_calls();
+
+  std::uint64_t bytes = 0;
+  for (const auto& obj : report.load_order) {
+    if (const auto* data = fs.peek(obj.path)) bytes += data->size();
+  }
+  result.bytes_per_rank = bytes;
+
+  const double p = static_cast<double>(nprocs);
+  result.data_time_s = (static_cast<double>(bytes) /
+                        config.stage_bandwidth_bytes_s) *
+                       std::pow(p, config.data_exponent);
+  if (config.spindle_broadcast) {
+    // One resolver rank + a log2(P) relay down the broadcast tree.
+    result.meta_time_s = static_cast<double>(result.meta_ops_per_rank) *
+                         config.meta_op_cost_s *
+                         (1.0 + std::log2(std::max(1.0, p)) * 0.1);
+  } else {
+    result.meta_time_s = static_cast<double>(result.meta_ops_per_rank) *
+                         config.meta_op_cost_s *
+                         std::pow(p, config.meta_exponent);
+  }
+  result.total_time_s = config.init_s + result.data_time_s + result.meta_time_s;
+  return result;
+}
+
+std::vector<LaunchResult> scaling_sweep(vfs::FileSystem& fs,
+                                        loader::Loader& loader,
+                                        const std::string& exe_path,
+                                        const loader::Environment& env,
+                                        const std::vector<int>& rank_counts,
+                                        const ClusterConfig& config) {
+  std::vector<LaunchResult> out;
+  out.reserve(rank_counts.size());
+  for (const int ranks : rank_counts) {
+    out.push_back(simulate_launch(fs, loader, exe_path, env, ranks, config));
+  }
+  return out;
+}
+
+}  // namespace depchaos::launch

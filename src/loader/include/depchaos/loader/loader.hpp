@@ -1,0 +1,228 @@
+// Dynamic loader simulator.
+//
+// Reproduces the search and deduplication semantics the paper analyzes
+// (§III), in two dialects:
+//
+//  Glibc:
+//   * For a needed name without '/', search in order: DT_RPATH of the
+//     requesting object and then of its ancestors up to the executable
+//     (an object's RPATH is ignored entirely if that object has a
+//     DT_RUNPATH — Table I "propagates"), LD_LIBRARY_PATH, DT_RUNPATH of
+//     the requesting object only, the ld.so.cache (built from ld.so.conf
+//     directories), and finally the default paths.
+//   * Loaded objects are deduplicated by requested name, by DT_SONAME, and
+//     by canonical path (dev/inode) — the behaviour Shrinkwrap exploits
+//     (Fig 5): an object loaded by absolute path satisfies later bare-soname
+//     requests from its cached DT_SONAME.
+//   * Candidates with a mismatched machine are silently skipped (§IV).
+//   * glibc-hwcaps subdirectories are probed before each plain directory.
+//  Musl:
+//   * RPATH and RUNPATH are melded: both propagate to dependencies but are
+//     searched *after* LD_LIBRARY_PATH (§IV).
+//   * Deduplication is by exact needed string and by inode only — never by
+//     soname, which is what breaks Shrinkwrap'd binaries on musl (§IV).
+//
+// Loading is breadth-first from the executable's DT_NEEDED list, matching
+// ld.so; each object is charged the open(2) probes its search emits against
+// the VFS, which is where Table II's syscall counts come from.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "depchaos/elf/object.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::loader {
+
+enum class Dialect : std::uint8_t { Glibc, Musl };
+
+/// Process environment relevant to the loader.
+struct Environment {
+  std::vector<std::string> ld_library_path;
+  std::vector<std::string> ld_preload;
+
+  static Environment with_library_path(std::vector<std::string> dirs) {
+    Environment env;
+    env.ld_library_path = std::move(dirs);
+    return env;
+  }
+};
+
+/// System-level loader configuration (a distribution's ld.so.conf).
+struct SearchConfig {
+  /// Directories listed in ld.so.conf(.d), indexed into ld.so.cache.
+  std::vector<std::string> ld_so_conf;
+  /// Built-in trusted directories.
+  std::vector<std::string> default_paths = {"/lib64", "/usr/lib64", "/lib",
+                                            "/usr/lib"};
+  /// glibc-hwcaps style subdirectories probed inside each search dir,
+  /// best first (e.g. {"glibc-hwcaps/x86-64-v3", "glibc-hwcaps/x86-64-v2"}).
+  std::vector<std::string> hwcaps;
+  /// Model ld.so.cache: lookups in ld_so_conf/default dirs cost no probes.
+  /// When false every directory is probed with open() like any other.
+  bool use_ld_cache = true;
+  /// For dedup (cache) hits, additionally classify how the requester's OWN
+  /// search would have fared — uncounted — so libtree can render Listing 1:
+  /// a library satisfied only because an earlier subtree loaded it shows up
+  /// as "not found" in a pure search analysis.
+  bool classify_cache_hits = false;
+  /// Guix-style per-application loader cache (Courtès, "Taming the stat
+  /// storm with a loader cache", referenced in §V-A): when enabled and
+  /// "<exe>.ldcache" exists, its name->path map is consulted BEFORE any
+  /// directory search. Reading the cache costs one open; each hit costs one
+  /// direct open of the target — comparable to Shrinkwrap's savings without
+  /// rewriting the binary, but tied to a side file the environment must
+  /// preserve.
+  bool use_app_cache = false;
+  std::string app_cache_suffix = ".ldcache";
+  /// LD_DEBUG=libs-style probe trace: record every candidate path the
+  /// search touches, with its outcome, into LoadReport::probe_log.
+  bool record_probes = false;
+};
+
+/// How a dependency was ultimately located (libtree's annotations).
+enum class HowFound : std::uint8_t {
+  Root,           // the executable itself
+  AbsolutePath,   // DT_NEEDED contained '/'
+  Cache,          // already loaded (dedup hit)
+  Preload,        // LD_PRELOAD
+  AppCache,       // per-application loader cache file (§V-A reference)
+  Rpath,          // requester's DT_RPATH
+  RpathAncestor,  // an ancestor's DT_RPATH (propagation, Table I)
+  LdLibraryPath,  // LD_LIBRARY_PATH
+  Runpath,        // requester's DT_RUNPATH
+  LdSoConf,       // ld.so.cache hit from ld.so.conf dirs
+  DefaultPath,    // trusted default dirs
+  NotFound,
+};
+
+std::string_view how_found_name(HowFound how);
+
+struct LoadedObject {
+  std::string name;          // requested needed string
+  std::string path;          // where it was found ("" when NotFound)
+  std::string real_path;     // canonical path (symlinks resolved)
+  std::string requested_by;  // path of the requesting object ("" for root)
+  HowFound how = HowFound::NotFound;
+  int depth = 0;  // BFS depth; 0 = executable
+  /// Index into LoadReport::load_order of the object whose needed list
+  /// caused this load (-1 for the executable). Drives RPATH ancestor
+  /// propagation.
+  std::int64_t parent_index = -1;
+  /// Only meaningful when how == Cache and SearchConfig::classify_cache_hits
+  /// is set: how the requester's own search would have resolved this name
+  /// (NotFound means "works only because something else loaded it first").
+  /// Cache = unclassified (the option was off).
+  HowFound cache_search_how = HowFound::Cache;
+  std::shared_ptr<const elf::Object> object;  // null when NotFound
+};
+
+struct LoadReport {
+  bool success = false;
+  /// Objects in load (BFS) order; index 0 is the executable. Dedup hits are
+  /// NOT repeated here; `requests` below records every edge.
+  std::vector<LoadedObject> load_order;
+  /// Every needed-edge request, including cache hits and misses, in the
+  /// order the loader processed them (libtree renders this).
+  std::vector<LoadedObject> requests;
+  /// Unresolved needed entries.
+  std::vector<LoadedObject> missing;
+  /// Syscall traffic attributable to this load (delta on the VFS counters).
+  vfs::SyscallStats stats;
+  /// When SearchConfig::record_probes is set: one line per candidate probe,
+  /// `LD_DEBUG=libs` style ("trying /path ... ENOENT").
+  std::vector<std::string> probe_log;
+
+  const LoadedObject* find_loaded(std::string_view path_or_soname) const;
+};
+
+class Loader {
+ public:
+  explicit Loader(vfs::FileSystem& fs, SearchConfig config = {},
+                  Dialect dialect = Dialect::Glibc);
+
+  /// Simulate process startup: load `exe_path` and its full closure.
+  LoadReport load(const std::string& exe_path, const Environment& env = {});
+
+  /// Simulate dlopen(name) issued from code in `caller_path`, continuing an
+  /// existing load. glibc semantics: the caller's RPATH chain and RUNPATH
+  /// apply, the executable's RUNPATH does not (§III-A, the Qt plugin trap).
+  LoadedObject dlopen(LoadReport& report, const std::string& caller_path,
+                      const std::string& name, const Environment& env = {});
+
+  const SearchConfig& config() const { return config_; }
+  Dialect dialect() const { return dialect_; }
+
+ private:
+  struct Resolution {
+    std::string path;
+    HowFound how = HowFound::NotFound;
+  };
+
+  // Pending BFS work item: `needed` entry requested by load_order[req_index].
+  struct WorkItem {
+    std::string name;
+    std::size_t requester_index;
+  };
+
+  // Per-load mutable state.
+  struct Session {
+    LoadReport report;
+    // Dedup indices into report.load_order.
+    std::unordered_map<std::string, std::size_t> by_name;      // request str
+    std::unordered_map<std::string, std::size_t> by_soname;    // DT_SONAME
+    std::unordered_map<std::string, std::size_t> by_realpath;  // inode proxy
+    // Parsed per-application loader cache ("" when absent/disabled).
+    std::unordered_map<std::string, std::string> app_cache;
+    const Environment* env = nullptr;
+  };
+
+  std::shared_ptr<const elf::Object> fetch_object(const std::string& path,
+                                                  bool count_read);
+  std::optional<std::size_t> dedup_lookup(Session& session,
+                                          const std::string& name) const;
+  Resolution search(Session& session, const std::string& name,
+                    std::size_t requester_index);
+  bool try_candidate(const std::string& dir, const std::string& name,
+                     elf::Machine machine, std::string& out_path);
+  bool probe_file(const std::string& path, elf::Machine machine);
+  void ensure_ld_cache();
+  std::size_t register_object(Session& session, LoadedObject loaded);
+  void process_request(Session& session, const WorkItem& item,
+                       std::deque<WorkItem>& queue);
+  void enqueue_needed_deque(Session& session, std::size_t index,
+                            std::deque<WorkItem>& queue);
+  std::vector<std::string> effective_rpath_chain(const Session& session,
+                                                 std::size_t requester_index,
+                                                 bool& first_is_own) const;
+
+  static std::string expand_origin(std::string_view entry,
+                                   std::string_view object_path);
+
+  vfs::FileSystem& fs_;
+  SearchConfig config_;
+  Dialect dialect_;
+  // Parsed-object cache keyed by canonical path (never invalidated: loads
+  // are read-only with respect to binaries; Patcher edits go through the
+  // VFS, so tests that patch then reload construct a fresh Loader or call
+  // invalidate()).
+  std::unordered_map<std::string, std::shared_ptr<const elf::Object>> cache_;
+  // ld.so.cache: name -> (path, from ld_so_conf or default).
+  std::unordered_map<std::string, Resolution> ld_cache_;
+  bool ld_cache_built_ = false;
+  // Active probe log during a load() (null when record_probes is off).
+  std::vector<std::string>* probe_log_ = nullptr;
+
+ public:
+  /// Drop parsed-object and ld.so caches (after patching binaries).
+  void invalidate();
+};
+
+}  // namespace depchaos::loader

@@ -1,0 +1,56 @@
+// Static linking (§III-B "Questioning Dynamic Linking").
+//
+// Fold an executable's dynamic closure into one self-contained image:
+// startup needs exactly one open (no search, no loader at all), but
+//  * duplicate strong symbols across the closure break the link,
+//  * LD_PRELOAD interposition (PMPI tools, gperf) stops working — there are
+//    no undefined references left to interpose on,
+//  * memory/disk dedup across DIFFERENT binaries sharing the same libraries
+//    is lost — quantified by `estimate_system_cost` over a Fig 4-shaped
+//    installed system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depchaos/elf/object.hpp"
+#include "depchaos/loader/symbols.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::loader {
+
+struct StaticLinkResult {
+  bool ok = false;
+  LinkResult check;        // why the link failed, if it did
+  elf::Object merged;      // the static image (valid when ok)
+  std::uint64_t image_size = 0;  // bytes of the merged image
+};
+
+/// Link `exe_path` and its libraries into one static image. Does not modify
+/// the filesystem; callers install the merged object where they want it.
+StaticLinkResult static_link(const vfs::FileSystem& fs,
+                             const std::string& exe_path,
+                             const std::vector<std::string>& closure_paths);
+
+/// Disk/memory cost of a whole system of binaries under both regimes.
+/// `binary_lib_sizes[b]` holds the sizes of the libraries binary b links;
+/// `binary_sizes[b]` the binary's own size. Dynamic: every distinct library
+/// is resident once (shared pages); static: every binary carries copies.
+struct SystemCost {
+  std::uint64_t dynamic_bytes = 0;
+  std::uint64_t static_bytes = 0;
+  double blowup() const {
+    return dynamic_bytes == 0
+               ? 0
+               : static_cast<double>(static_bytes) /
+                     static_cast<double>(dynamic_bytes);
+  }
+};
+
+SystemCost estimate_system_cost(
+    const std::vector<std::uint64_t>& binary_sizes,
+    const std::vector<std::vector<std::size_t>>& binary_deps,
+    const std::vector<std::uint64_t>& lib_sizes);
+
+}  // namespace depchaos::loader

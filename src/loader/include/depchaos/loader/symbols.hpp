@@ -1,0 +1,64 @@
+// Symbol binding and link-time checks.
+//
+// Two behaviours from the paper live here:
+//  * Runtime binding: the global symbol search walks objects in load order,
+//    first definition wins. This is what makes LD_PRELOAD interposition
+//    (PMPI tools, gperf) work (§III-B) and what decides the
+//    libomp/libompstubs race (§V-B.2): "whichever loads first wins".
+//  * Link-time check: the Needy Executables workaround (§III-D2) puts the
+//    whole transitive closure on the link line, which *fails* when two
+//    libraries define the same strong symbol — the exact reason Shrinkwrap
+//    (which never touches the link line) is needed.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "depchaos/loader/loader.hpp"
+
+namespace depchaos::loader {
+
+/// Result of binding one symbol.
+struct BoundSymbol {
+  std::string symbol;
+  std::string provider_path;  // object whose definition won
+  bool weak = false;          // the winning definition was weak
+};
+
+/// A symbol defined by more than one loaded object; the earlier object wins.
+struct ShadowedSymbol {
+  std::string symbol;
+  std::string winner_path;
+  std::vector<std::string> shadowed_paths;
+};
+
+struct BindReport {
+  std::unordered_map<std::string, std::string> provider;  // symbol -> path
+  std::vector<BoundSymbol> bindings;
+  std::vector<std::string> unresolved;       // undefined with no provider
+  std::vector<ShadowedSymbol> interpositions;
+
+  const std::string* provider_of(const std::string& symbol) const {
+    const auto it = provider.find(symbol);
+    return it == provider.end() ? nullptr : &it->second;
+  }
+};
+
+/// Bind every undefined reference in the loaded set by scanning objects in
+/// load order (executable, preloads, then BFS order).
+BindReport bind_symbols(const LoadReport& report);
+
+struct LinkResult {
+  bool ok = true;
+  std::vector<std::string> duplicate_strong;  // symbols defined twice strong
+  std::vector<std::string> undefined;         // unsatisfied strong refs
+};
+
+/// Simulate putting `lib_paths` on a static link line for `exe_path`:
+/// duplicate strong definitions across distinct objects are an error, as is
+/// any undefined reference with no definition anywhere on the line.
+LinkResult link_check(const vfs::FileSystem& fs, const std::string& exe_path,
+                      const std::vector<std::string>& lib_paths);
+
+}  // namespace depchaos::loader

@@ -1,0 +1,588 @@
+#include "depchaos/loader/loader.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "depchaos/support/strings.hpp"
+
+namespace depchaos::loader {
+
+namespace {
+
+vfs::SyscallStats stats_delta(const vfs::SyscallStats& before,
+                              const vfs::SyscallStats& after) {
+  vfs::SyscallStats delta;
+  delta.stat_calls = after.stat_calls - before.stat_calls;
+  delta.open_calls = after.open_calls - before.open_calls;
+  delta.read_calls = after.read_calls - before.read_calls;
+  delta.readlink_calls = after.readlink_calls - before.readlink_calls;
+  delta.failed_probes = after.failed_probes - before.failed_probes;
+  delta.sim_time_s = after.sim_time_s - before.sim_time_s;
+  return delta;
+}
+
+}  // namespace
+
+std::string_view how_found_name(HowFound how) {
+  switch (how) {
+    case HowFound::Root:
+      return "root";
+    case HowFound::AbsolutePath:
+      return "absolute path";
+    case HowFound::Cache:
+      return "already loaded";
+    case HowFound::Preload:
+      return "LD_PRELOAD";
+    case HowFound::AppCache:
+      return "app loader cache";
+    case HowFound::Rpath:
+      return "rpath";
+    case HowFound::RpathAncestor:
+      return "rpath (inherited)";
+    case HowFound::LdLibraryPath:
+      return "LD_LIBRARY_PATH";
+    case HowFound::Runpath:
+      return "runpath";
+    case HowFound::LdSoConf:
+      return "ld.so.conf";
+    case HowFound::DefaultPath:
+      return "default path";
+    case HowFound::NotFound:
+      return "not found";
+  }
+  return "?";
+}
+
+const LoadedObject* LoadReport::find_loaded(
+    std::string_view path_or_soname) const {
+  for (const auto& obj : load_order) {
+    if (obj.path == path_or_soname || obj.name == path_or_soname ||
+        obj.real_path == path_or_soname) {
+      return &obj;
+    }
+    if (obj.object && obj.object->dyn.soname == path_or_soname) return &obj;
+  }
+  return nullptr;
+}
+
+Loader::Loader(vfs::FileSystem& fs, SearchConfig config, Dialect dialect)
+    : fs_(fs), config_(std::move(config)), dialect_(dialect) {}
+
+void Loader::invalidate() {
+  cache_.clear();
+  ld_cache_.clear();
+  ld_cache_built_ = false;
+}
+
+std::string Loader::expand_origin(std::string_view entry,
+                                  std::string_view object_path) {
+  if (entry.find("$ORIGIN") == std::string_view::npos &&
+      entry.find("${ORIGIN}") == std::string_view::npos) {
+    return std::string(entry);
+  }
+  const std::string origin = vfs::dirname(object_path);
+  std::string out = support::replace_all(entry, "${ORIGIN}", origin);
+  out = support::replace_all(out, "$ORIGIN", origin);
+  return out;
+}
+
+std::shared_ptr<const elf::Object> Loader::fetch_object(
+    const std::string& path, bool count_read) {
+  const auto canonical = fs_.realpath(path);
+  const std::string key = canonical.value_or(path);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (count_read) fs_.count_read(path);
+    return it->second;
+  }
+  const vfs::FileData* data = fs_.peek(path);
+  if (data == nullptr) return nullptr;
+  if (!elf::looks_like_self(data->bytes)) return nullptr;
+  auto object = std::make_shared<const elf::Object>(elf::parse(data->bytes));
+  cache_.emplace(key, object);
+  if (count_read) fs_.count_read(path);
+  return object;
+}
+
+bool Loader::probe_file(const std::string& path, elf::Machine machine) {
+  const vfs::FileData* data = fs_.open(path);  // counted probe
+  if (data == nullptr) {
+    if (probe_log_) probe_log_->push_back("trying " + path + " ... ENOENT");
+    return false;
+  }
+  if (!elf::looks_like_self(data->bytes)) {
+    if (probe_log_) {
+      probe_log_->push_back("trying " + path + " ... not an object, skipped");
+    }
+    return false;
+  }
+  // The System V rule the paper leans on (§IV): a candidate whose
+  // architecture does not match is silently ignored and the search goes on.
+  elf::Object header = elf::parse(data->bytes);
+  if (header.machine != machine) {
+    if (probe_log_) {
+      probe_log_->push_back("trying " + path +
+                            " ... wrong architecture, skipped");
+    }
+    return false;
+  }
+  if (probe_log_) probe_log_->push_back("trying " + path + " ... found");
+  return true;
+}
+
+bool Loader::try_candidate(const std::string& dir, const std::string& name,
+                           elf::Machine machine, std::string& out_path) {
+  if (dir.empty() || dir.front() != '/') {
+    // Relative search dirs (a historic security hole) resolve against /;
+    // keep them functional but unremarkable.
+    return try_candidate("/" + dir, name, machine, out_path);
+  }
+  if (dialect_ == Dialect::Glibc) {
+    for (const auto& hwcap : config_.hwcaps) {
+      const std::string candidate =
+          vfs::normalize_path(dir + "/" + hwcap + "/" + name);
+      if (probe_file(candidate, machine)) {
+        out_path = candidate;
+        return true;
+      }
+    }
+  }
+  const std::string candidate = vfs::normalize_path(dir + "/" + name);
+  if (probe_file(candidate, machine)) {
+    out_path = candidate;
+    return true;
+  }
+  return false;
+}
+
+void Loader::ensure_ld_cache() {
+  if (ld_cache_built_) return;
+  ld_cache_built_ = true;
+  ld_cache_.clear();
+  auto scan = [&](const std::vector<std::string>& dirs, HowFound how) {
+    for (const auto& dir : dirs) {
+      if (!fs_.exists(dir)) continue;
+      for (const auto& name : fs_.list_dir(dir)) {
+        const std::string path = dir + "/" + name;
+        if (!ld_cache_.contains(name)) {
+          ld_cache_.emplace(name, Resolution{path, how});
+        }
+      }
+    }
+  };
+  scan(config_.ld_so_conf, HowFound::LdSoConf);
+  scan(config_.default_paths, HowFound::DefaultPath);
+}
+
+std::vector<std::string> Loader::effective_rpath_chain(
+    const Session& session, std::size_t requester_index,
+    bool& first_is_own) const {
+  // Glibc: DT_RPATH of the requester, then of each ancestor up to the
+  // executable. Any object carrying DT_RUNPATH contributes nothing from its
+  // DT_RPATH (Table I), and a requester with DT_RUNPATH disables the whole
+  // chain.
+  std::vector<std::string> dirs;
+  first_is_own = false;
+  const auto& order = session.report.load_order;
+  const LoadedObject& requester = order[requester_index];
+  if (!requester.object) return dirs;
+  if (dialect_ == Dialect::Glibc && !requester.object->dyn.runpath.empty()) {
+    return dirs;  // DT_RUNPATH present: RPATH protocol disabled
+  }
+  std::int64_t index = static_cast<std::int64_t>(requester_index);
+  bool first = true;
+  std::size_t own_count = 0;
+  while (index >= 0) {
+    const LoadedObject& node = order[static_cast<std::size_t>(index)];
+    if (node.object) {
+      const bool has_runpath = !node.object->dyn.runpath.empty();
+      if (dialect_ == Dialect::Glibc) {
+        if (!has_runpath) {
+          for (const auto& dir : node.object->dyn.rpath) {
+            dirs.push_back(expand_origin(dir, node.path));
+            if (first) ++own_count;
+          }
+        }
+      } else {
+        // Musl melds RPATH and RUNPATH and propagates both.
+        for (const auto& dir : node.object->dyn.rpath) {
+          dirs.push_back(expand_origin(dir, node.path));
+          if (first) ++own_count;
+        }
+        for (const auto& dir : node.object->dyn.runpath) {
+          dirs.push_back(expand_origin(dir, node.path));
+          if (first) ++own_count;
+        }
+      }
+    }
+    first = false;
+    index = node.parent_index;
+  }
+  first_is_own = own_count > 0;
+  return dirs;
+}
+
+std::optional<std::size_t> Loader::dedup_lookup(Session& session,
+                                                const std::string& name) const {
+  if (const auto it = session.by_name.find(name); it != session.by_name.end()) {
+    return it->second;
+  }
+  if (dialect_ == Dialect::Glibc) {
+    // glibc also satisfies requests from the DT_SONAME of anything already
+    // loaded — the dedup Shrinkwrap exploits (Fig 5). Musl does not (§IV).
+    if (const auto it = session.by_soname.find(name);
+        it != session.by_soname.end()) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+Loader::Resolution Loader::search(Session& session, const std::string& name,
+                                  std::size_t requester_index) {
+  const auto& order = session.report.load_order;
+  const LoadedObject& requester = order[requester_index];
+  const elf::Machine machine =
+      order[0].object ? order[0].object->machine : elf::Machine::X86_64;
+
+  // Needed entries containing '/' are used as-is (after DST expansion).
+  if (name.find('/') != std::string::npos) {
+    std::string path = expand_origin(name, requester.path);
+    if (!path.empty() && path.front() == '/') {
+      path = vfs::normalize_path(path);
+    }
+    if (probe_file(path, machine)) {
+      return Resolution{path, HowFound::AbsolutePath};
+    }
+    return Resolution{{}, HowFound::NotFound};
+  }
+
+  // Per-application loader cache: consulted before any directory search.
+  if (const auto it = session.app_cache.find(name);
+      it != session.app_cache.end()) {
+    if (probe_file(it->second, machine)) {
+      return Resolution{it->second, HowFound::AppCache};
+    }
+    // Stale cache entry: fall through to the normal search.
+  }
+
+  std::string found;
+
+  if (dialect_ == Dialect::Musl) {
+    // Musl: LD_LIBRARY_PATH first, then the melded, inherited rpath/runpath
+    // chain, then system paths (§IV: "a meld of the two where paths are
+    // inherited by dependencies but are searched after LD_LIBRARY_PATH").
+    for (const auto& dir : session.env->ld_library_path) {
+      if (try_candidate(dir, name, machine, found)) {
+        return Resolution{found, HowFound::LdLibraryPath};
+      }
+    }
+    bool first_is_own = false;
+    const auto chain =
+        effective_rpath_chain(session, requester_index, first_is_own);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (try_candidate(chain[i], name, machine, found)) {
+        return Resolution{found, (i == 0 && first_is_own)
+                                     ? HowFound::Rpath
+                                     : HowFound::RpathAncestor};
+      }
+    }
+    for (const auto& dir : config_.ld_so_conf) {
+      if (try_candidate(dir, name, machine, found)) {
+        return Resolution{found, HowFound::LdSoConf};
+      }
+    }
+    for (const auto& dir : config_.default_paths) {
+      if (try_candidate(dir, name, machine, found)) {
+        return Resolution{found, HowFound::DefaultPath};
+      }
+    }
+    return Resolution{{}, HowFound::NotFound};
+  }
+
+  // Glibc order (Table I): RPATH chain, LD_LIBRARY_PATH, RUNPATH,
+  // ld.so.cache, default paths.
+  {
+    bool first_is_own = false;
+    const auto chain =
+        effective_rpath_chain(session, requester_index, first_is_own);
+    std::size_t own = 0;
+    if (first_is_own && requester.object) {
+      own = requester.object->dyn.rpath.size();
+    }
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (try_candidate(chain[i], name, machine, found)) {
+        return Resolution{found, (first_is_own && i < own)
+                                     ? HowFound::Rpath
+                                     : HowFound::RpathAncestor};
+      }
+    }
+  }
+  for (const auto& dir : session.env->ld_library_path) {
+    if (try_candidate(dir, name, machine, found)) {
+      return Resolution{found, HowFound::LdLibraryPath};
+    }
+  }
+  if (requester.object) {
+    for (const auto& dir : requester.object->dyn.runpath) {
+      if (try_candidate(expand_origin(dir, requester.path), name, machine,
+                        found)) {
+        return Resolution{found, HowFound::Runpath};
+      }
+    }
+  }
+  if (config_.use_ld_cache) {
+    ensure_ld_cache();
+    if (const auto it = ld_cache_.find(name); it != ld_cache_.end()) {
+      // The cache told us where to look; the loader still open()s the file.
+      if (probe_file(it->second.path, machine)) {
+        return it->second;
+      }
+    }
+  } else {
+    for (const auto& dir : config_.ld_so_conf) {
+      if (try_candidate(dir, name, machine, found)) {
+        return Resolution{found, HowFound::LdSoConf};
+      }
+    }
+    for (const auto& dir : config_.default_paths) {
+      if (try_candidate(dir, name, machine, found)) {
+        return Resolution{found, HowFound::DefaultPath};
+      }
+    }
+  }
+  return Resolution{{}, HowFound::NotFound};
+}
+
+std::size_t Loader::register_object(Session& session, LoadedObject loaded) {
+  auto& order = session.report.load_order;
+  const std::size_t index = order.size();
+  // Dedup keys. Musl never dedups by soname (§IV); both dedup by the
+  // requested string and by canonical path (the inode proxy).
+  session.by_name.emplace(loaded.name, index);
+  if (!loaded.real_path.empty()) {
+    session.by_realpath.emplace(loaded.real_path, index);
+  }
+  if (loaded.object && !loaded.object->dyn.soname.empty()) {
+    if (dialect_ == Dialect::Glibc) {
+      session.by_soname.emplace(loaded.object->dyn.soname, index);
+    } else {
+      // Musl keys purely on the needed string; record nothing extra.
+    }
+  }
+  order.push_back(std::move(loaded));
+  return index;
+}
+
+LoadReport Loader::load(const std::string& exe_path, const Environment& env) {
+  Session session;
+  session.env = &env;
+  session.report.success = true;
+  probe_log_ = config_.record_probes ? &session.report.probe_log : nullptr;
+  const vfs::SyscallStats before = fs_.stats();
+
+  // Open + read the executable itself (execve's work).
+  const vfs::FileData* exe_data = fs_.open(exe_path);
+  if (exe_data == nullptr) {
+    throw FsError("cannot execute: " + exe_path);
+  }
+  auto exe_object = fetch_object(exe_path, /*count_read=*/true);
+  if (!exe_object) {
+    throw ElfError("not a SELF executable: " + exe_path);
+  }
+  // Read the per-application loader cache, if enabled and present. The
+  // loader pays one open() for the cache file itself.
+  if (config_.use_app_cache) {
+    const std::string cache_path = exe_path + config_.app_cache_suffix;
+    if (const vfs::FileData* cache = fs_.open(cache_path)) {
+      for (const auto& line : support::split(cache->bytes, '\n')) {
+        const auto space = line.find(' ');
+        if (space == std::string::npos) continue;
+        session.app_cache.emplace(line.substr(0, space),
+                                  line.substr(space + 1));
+      }
+    }
+  }
+
+  LoadedObject root;
+  root.name = exe_path;
+  root.path = exe_path;
+  root.real_path = fs_.realpath(exe_path).value_or(exe_path);
+  root.how = HowFound::Root;
+  root.depth = 0;
+  root.parent_index = -1;
+  root.object = exe_object;
+  register_object(session, std::move(root));
+
+  std::deque<WorkItem> queue;
+
+  // LD_PRELOAD objects load before anything from the needed lists and are
+  // searched with the executable as the requester.
+  for (const auto& preload : env.ld_preload) {
+    Resolution res;
+    if (preload.find('/') != std::string::npos) {
+      res = probe_file(preload, exe_object->machine)
+                ? Resolution{preload, HowFound::Preload}
+                : Resolution{{}, HowFound::NotFound};
+    } else {
+      res = search(session, preload, 0);
+      if (res.how != HowFound::NotFound) res.how = HowFound::Preload;
+    }
+    LoadedObject loaded;
+    loaded.name = preload;
+    loaded.requested_by = "LD_PRELOAD";
+    loaded.depth = 1;
+    loaded.parent_index = 0;
+    loaded.how = res.how;
+    if (res.how == HowFound::NotFound) {
+      session.report.requests.push_back(loaded);
+      session.report.missing.push_back(loaded);
+      // glibc warns but continues on missing preloads.
+      continue;
+    }
+    loaded.path = res.path;
+    loaded.real_path = fs_.realpath(res.path).value_or(res.path);
+    loaded.object = fetch_object(res.path, /*count_read=*/true);
+    session.report.requests.push_back(loaded);
+    register_object(session, std::move(loaded));
+  }
+
+  // Initial BFS scope: the executable's needed entries, then each
+  // preload's, exactly the order ld.so seeds its link-map search list.
+  for (std::size_t i = 0; i < session.report.load_order.size(); ++i) {
+    enqueue_needed_deque(session, i, queue);
+  }
+
+  while (!queue.empty()) {
+    const WorkItem item = std::move(queue.front());
+    queue.pop_front();
+    process_request(session, item, queue);
+  }
+
+  session.report.stats = stats_delta(before, fs_.stats());
+  probe_log_ = nullptr;
+  return session.report;
+}
+
+void Loader::process_request(Session& session, const WorkItem& item,
+                             std::deque<WorkItem>& queue) {
+  const LoadedObject& requester = session.report.load_order[item.requester_index];
+
+  LoadedObject request;
+  request.name = item.name;
+  request.requested_by = requester.path;
+  request.depth = requester.depth + 1;
+  request.parent_index = static_cast<std::int64_t>(item.requester_index);
+
+  // Dedup by name/soname before touching the filesystem.
+  if (const auto hit = dedup_lookup(session, item.name)) {
+    const LoadedObject& original = session.report.load_order[*hit];
+    request.path = original.path;
+    request.real_path = original.real_path;
+    request.how = HowFound::Cache;
+    request.object = original.object;
+    if (config_.classify_cache_hits) {
+      // What would a pure search from this requester have found? Probe
+      // uncounted (and unlogged) so the measured workload is unchanged.
+      fs_.set_counting(false);
+      std::vector<std::string>* saved_log = probe_log_;
+      probe_log_ = nullptr;
+      const Resolution shadow = search(session, item.name, item.requester_index);
+      probe_log_ = saved_log;
+      fs_.set_counting(true);
+      request.cache_search_how = shadow.how;
+    }
+    session.report.requests.push_back(std::move(request));
+    return;
+  }
+
+  Resolution res = search(session, item.name, item.requester_index);
+  if (res.how == HowFound::NotFound) {
+    request.how = HowFound::NotFound;
+    session.report.requests.push_back(request);
+    session.report.missing.push_back(std::move(request));
+    session.report.success = false;
+    return;
+  }
+
+  request.path = res.path;
+  request.real_path = fs_.realpath(res.path).value_or(res.path);
+
+  // Post-resolution inode dedup (both dialects; this is how musl avoids
+  // double-loading a file reached via two different strings).
+  if (const auto it = session.by_realpath.find(request.real_path);
+      it != session.by_realpath.end()) {
+    const LoadedObject& original = session.report.load_order[it->second];
+    request.how = HowFound::Cache;
+    request.object = original.object;
+    // Record the requested name as now-known (glibc adds it to l_libname).
+    session.by_name.emplace(item.name, it->second);
+    session.report.requests.push_back(std::move(request));
+    return;
+  }
+
+  request.how = res.how;
+  request.object = fetch_object(res.path, /*count_read=*/true);
+  assert(request.object && "probe succeeded but fetch failed");
+  session.report.requests.push_back(request);
+  const std::size_t index = register_object(session, std::move(request));
+  enqueue_needed_deque(session, index, queue);
+}
+
+void Loader::enqueue_needed_deque(Session& session, std::size_t index,
+                                  std::deque<WorkItem>& queue) {
+  const auto& obj = session.report.load_order[index];
+  if (!obj.object) return;
+  for (const auto& entry : obj.object->dyn.needed) {
+    queue.push_back(WorkItem{entry, index});
+  }
+}
+
+LoadedObject Loader::dlopen(LoadReport& report, const std::string& caller_path,
+                            const std::string& name, const Environment& env) {
+  // Rebuild session state from the existing report.
+  Session session;
+  session.env = &env;
+  session.report = std::move(report);
+  for (std::size_t i = 0; i < session.report.load_order.size(); ++i) {
+    const auto& obj = session.report.load_order[i];
+    session.by_name.emplace(obj.name, i);
+    if (!obj.real_path.empty()) session.by_realpath.emplace(obj.real_path, i);
+    if (dialect_ == Dialect::Glibc && obj.object &&
+        !obj.object->dyn.soname.empty()) {
+      session.by_soname.emplace(obj.object->dyn.soname, i);
+    }
+  }
+  std::size_t caller_index = 0;
+  bool caller_found = false;
+  for (std::size_t i = 0; i < session.report.load_order.size(); ++i) {
+    const auto& obj = session.report.load_order[i];
+    if (obj.path == caller_path || obj.real_path == caller_path) {
+      caller_index = i;
+      caller_found = true;
+      break;
+    }
+  }
+  if (!caller_found) {
+    report = std::move(session.report);
+    throw Error("dlopen caller not loaded: " + caller_path);
+  }
+
+  const vfs::SyscallStats before = fs_.stats();
+  std::deque<WorkItem> queue;
+  queue.push_back(WorkItem{name, caller_index});
+  const std::size_t first_request = session.report.requests.size();
+  while (!queue.empty()) {
+    const WorkItem item = std::move(queue.front());
+    queue.pop_front();
+    process_request(session, item, queue);
+  }
+  auto delta = stats_delta(before, fs_.stats());
+  session.report.stats += delta;
+
+  LoadedObject result = session.report.requests[first_request];
+  report = std::move(session.report);
+  return result;
+}
+
+}  // namespace depchaos::loader

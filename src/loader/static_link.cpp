@@ -1,0 +1,72 @@
+#include "depchaos/loader/static_link.hpp"
+
+#include <set>
+
+#include "depchaos/elf/patcher.hpp"
+
+namespace depchaos::loader {
+
+StaticLinkResult static_link(const vfs::FileSystem& fs,
+                             const std::string& exe_path,
+                             const std::vector<std::string>& closure_paths) {
+  StaticLinkResult result;
+  result.check = link_check(fs, exe_path, closure_paths);
+  if (!result.check.ok) return result;
+
+  const elf::Object exe = elf::read_object(fs, exe_path);
+  elf::Object merged;
+  merged.kind = elf::ObjectKind::Executable;
+  merged.machine = exe.machine;
+  // No interpreter, no dynamic section: nothing for ld.so to do.
+  merged.interp.clear();
+  merged.extra_size = exe.extra_size;
+
+  std::set<std::string> defined;
+  auto absorb = [&](const elf::Object& object) {
+    for (const auto& sym : object.symbols) {
+      if (!sym.defined) continue;  // resolved at link time
+      if (sym.binding == elf::SymbolBinding::Local) continue;
+      if (defined.insert(sym.name).second) {
+        merged.symbols.push_back(sym);
+      }
+    }
+    merged.extra_size += object.extra_size;
+    // Approximate each object's metadata weight too.
+    merged.extra_size += elf::serialize(object).size();
+  };
+  absorb(exe);
+  for (const auto& path : closure_paths) {
+    absorb(elf::read_object(fs, path));
+  }
+  // Any surviving undefined strong reference would have failed link_check;
+  // weak undefined references resolve to null in a static image.
+  result.image_size = merged.extra_size;
+  result.merged = std::move(merged);
+  result.ok = true;
+  return result;
+}
+
+SystemCost estimate_system_cost(
+    const std::vector<std::uint64_t>& binary_sizes,
+    const std::vector<std::vector<std::size_t>>& binary_deps,
+    const std::vector<std::uint64_t>& lib_sizes) {
+  SystemCost cost;
+  std::set<std::size_t> used_libs;
+  for (std::size_t b = 0; b < binary_deps.size(); ++b) {
+    const std::uint64_t own =
+        b < binary_sizes.size() ? binary_sizes[b] : 0;
+    cost.dynamic_bytes += own;
+    std::uint64_t static_total = own;
+    for (const std::size_t lib : binary_deps[b]) {
+      used_libs.insert(lib);
+      static_total += lib_sizes[lib];
+    }
+    cost.static_bytes += static_total;
+  }
+  for (const std::size_t lib : used_libs) {
+    cost.dynamic_bytes += lib_sizes[lib];  // resident once, shared
+  }
+  return cost;
+}
+
+}  // namespace depchaos::loader

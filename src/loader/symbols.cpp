@@ -1,0 +1,116 @@
+#include "depchaos/loader/symbols.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "depchaos/elf/patcher.hpp"
+
+namespace depchaos::loader {
+
+BindReport bind_symbols(const LoadReport& report) {
+  BindReport out;
+
+  // First pass: which objects define which symbols, in load order.
+  struct Definition {
+    std::string path;
+    bool weak;
+    std::string version;
+  };
+  std::unordered_map<std::string, std::vector<Definition>> definitions;
+  for (const auto& loaded : report.load_order) {
+    if (!loaded.object) continue;
+    for (const auto& sym : loaded.object->symbols) {
+      if (!sym.defined || sym.binding == elf::SymbolBinding::Local) continue;
+      definitions[sym.name].push_back(Definition{
+          loaded.path, sym.binding == elf::SymbolBinding::Weak, sym.version});
+    }
+  }
+
+  // Interpositions: any multiply-defined global symbol.
+  for (const auto& [name, defs] : definitions) {
+    if (defs.size() < 2) continue;
+    ShadowedSymbol shadow;
+    shadow.symbol = name;
+    shadow.winner_path = defs.front().path;
+    for (std::size_t i = 1; i < defs.size(); ++i) {
+      shadow.shadowed_paths.push_back(defs[i].path);
+    }
+    out.interpositions.push_back(std::move(shadow));
+  }
+  std::sort(out.interpositions.begin(), out.interpositions.end(),
+            [](const auto& a, const auto& b) { return a.symbol < b.symbol; });
+
+  // Second pass: bind every undefined reference to the first definer.
+  std::set<std::string> seen;
+  for (const auto& loaded : report.load_order) {
+    if (!loaded.object) continue;
+    for (const auto& sym : loaded.object->symbols) {
+      if (sym.defined) continue;
+      if (!seen.insert(sym.name).second) continue;
+      const auto it = definitions.find(sym.name);
+      const Definition* chosen = nullptr;
+      if (it != definitions.end()) {
+        // Versioned reference: exact version match, or an unversioned
+        // definition (glibc's compatibility fallback). Unversioned
+        // reference: anything with the right name.
+        for (const Definition& def : it->second) {
+          if (sym.version.empty() || def.version.empty() ||
+              def.version == sym.version) {
+            chosen = &def;
+            break;
+          }
+        }
+      }
+      if (chosen == nullptr) {
+        if (sym.binding != elf::SymbolBinding::Weak) {
+          out.unresolved.push_back(sym.display());
+        }
+        continue;
+      }
+      out.provider.emplace(sym.name, chosen->path);
+      out.bindings.push_back(BoundSymbol{sym.name, chosen->path, chosen->weak});
+    }
+  }
+  std::sort(out.unresolved.begin(), out.unresolved.end());
+  return out;
+}
+
+LinkResult link_check(const vfs::FileSystem& fs, const std::string& exe_path,
+                      const std::vector<std::string>& lib_paths) {
+  LinkResult result;
+  std::map<std::string, int> strong_definitions;
+  std::set<std::string> any_definition;
+  std::set<std::string> references;
+
+  auto absorb = [&](const elf::Object& object) {
+    for (const auto& sym : object.symbols) {
+      if (sym.defined) {
+        if (sym.binding == elf::SymbolBinding::Global) {
+          ++strong_definitions[sym.name];
+        }
+        if (sym.binding != elf::SymbolBinding::Local) {
+          any_definition.insert(sym.name);
+        }
+      } else if (sym.binding != elf::SymbolBinding::Weak) {
+        references.insert(sym.name);
+      }
+    }
+  };
+
+  absorb(elf::read_object(fs, exe_path));
+  for (const auto& path : lib_paths) {
+    absorb(elf::read_object(fs, path));
+  }
+
+  for (const auto& [name, count] : strong_definitions) {
+    if (count > 1) result.duplicate_strong.push_back(name);
+  }
+  for (const auto& name : references) {
+    if (!any_definition.contains(name)) result.undefined.push_back(name);
+  }
+  result.ok = result.duplicate_strong.empty() && result.undefined.empty();
+  return result;
+}
+
+}  // namespace depchaos::loader

@@ -1,0 +1,38 @@
+#include "depchaos/pkg/bundle.hpp"
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::pkg::bundle {
+
+Bundle create_bundle(vfs::FileSystem& fs, const BundleSpec& spec,
+                     const std::string& base_dir) {
+  Bundle bundle;
+  bundle.root = vfs::normalize_path(base_dir + "/" + spec.name);
+  bundle.exe_path = bundle.root + "/bin/" + spec.name;
+  bundle.lib_dir = bundle.root + "/lib";
+
+  elf::Object exe = spec.exe;
+  exe.kind = elf::ObjectKind::Executable;
+  exe.dyn.runpath = {"$ORIGIN/../lib"};
+  elf::install_object(fs, bundle.exe_path, exe);
+
+  for (const auto& [soname, object] : spec.libs) {
+    elf::Object lib = object;
+    lib.kind = elf::ObjectKind::SharedObject;
+    if (lib.dyn.soname.empty()) lib.dyn.soname = soname;
+    if (spec.runpath_on_libs) lib.dyn.runpath = {"$ORIGIN"};
+    elf::install_object(fs, bundle.lib_dir + "/" + soname, lib);
+  }
+  return bundle;
+}
+
+Bundle relocate_bundle(vfs::FileSystem& fs, const Bundle& bundle,
+                       const std::string& new_root) {
+  const std::string target = vfs::normalize_path(new_root);
+  fs.rename(bundle.root, target);
+  const std::string name = vfs::basename(bundle.exe_path);
+  return Bundle{target, target + "/bin/" + name, target + "/lib"};
+}
+
+}  // namespace depchaos::pkg::bundle

@@ -1,0 +1,195 @@
+#include "depchaos/pkg/deb_version.hpp"
+
+#include <cctype>
+#include <map>
+#include <mutex>
+
+#include "depchaos/support/error.hpp"
+
+namespace depchaos::pkg::deb {
+
+namespace {
+
+/// Character order for the non-digit chunks: '~' before end-of-string,
+/// end-of-string before letters, letters before everything else.
+int char_order(char c) {
+  if (c == '~') return -1;
+  if (c == '\0') return 0;
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0) return c;
+  return c + 256;  // non-letters after all letters
+}
+
+/// Compare one upstream/revision component with the alternating-chunk rule.
+int compare_component(std::string_view a, std::string_view b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    // Non-digit run.
+    while ((i < a.size() && !std::isdigit(static_cast<unsigned char>(a[i]))) ||
+           (j < b.size() && !std::isdigit(static_cast<unsigned char>(b[j])))) {
+      const char ca = (i < a.size() &&
+                       !std::isdigit(static_cast<unsigned char>(a[i])))
+                          ? a[i]
+                          : '\0';
+      const char cb = (j < b.size() &&
+                       !std::isdigit(static_cast<unsigned char>(b[j])))
+                          ? b[j]
+                          : '\0';
+      if (ca == '\0' && cb == '\0') break;
+      const int diff = char_order(ca) - char_order(cb);
+      if (diff != 0) return diff;
+      if (ca != '\0') ++i;
+      if (cb != '\0') ++j;
+    }
+    // Digit run: strip leading zeros, compare by length then lexically.
+    std::size_t ai = i, bj = j;
+    while (ai < a.size() && std::isdigit(static_cast<unsigned char>(a[ai]))) {
+      ++ai;
+    }
+    while (bj < b.size() && std::isdigit(static_cast<unsigned char>(b[bj]))) {
+      ++bj;
+    }
+    std::string_view da = a.substr(i, ai - i);
+    std::string_view db = b.substr(j, bj - j);
+    while (!da.empty() && da.front() == '0') da.remove_prefix(1);
+    while (!db.empty() && db.front() == '0') db.remove_prefix(1);
+    if (da.size() != db.size()) {
+      return da.size() < db.size() ? -1 : 1;
+    }
+    const int cmp = da.compare(db);
+    if (cmp != 0) return cmp;
+    i = ai;
+    j = bj;
+  }
+  return 0;
+}
+
+struct Parts {
+  long epoch = 0;
+  std::string_view upstream;
+  std::string_view revision;
+};
+
+Parts split_version(std::string_view text) {
+  Parts parts;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    const auto epoch_text = text.substr(0, colon);
+    parts.epoch = 0;
+    for (const char c : epoch_text) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        throw ParseError("bad epoch in version: " + std::string(text));
+      }
+      parts.epoch = parts.epoch * 10 + (c - '0');
+    }
+    text = text.substr(colon + 1);
+  }
+  if (const auto dash = text.rfind('-'); dash != std::string_view::npos) {
+    parts.upstream = text.substr(0, dash);
+    parts.revision = text.substr(dash + 1);
+  } else {
+    parts.upstream = text;
+    parts.revision = "0";
+  }
+  return parts;
+}
+
+}  // namespace
+
+int compare_versions(std::string_view a, std::string_view b) {
+  const Parts pa = split_version(a);
+  const Parts pb = split_version(b);
+  if (pa.epoch != pb.epoch) return pa.epoch < pb.epoch ? -1 : 1;
+  if (const int cmp = compare_component(pa.upstream, pb.upstream); cmp != 0) {
+    return cmp;
+  }
+  return compare_component(pa.revision, pb.revision);
+}
+
+bool version_satisfies(std::string_view candidate, std::string_view relation,
+                       std::string_view wanted) {
+  const int cmp = compare_versions(candidate, wanted);
+  if (relation == "<<") return cmp < 0;
+  if (relation == "<=") return cmp <= 0;
+  if (relation == "=") return cmp == 0;
+  if (relation == ">=") return cmp >= 0;
+  if (relation == ">>") return cmp > 0;
+  throw ParseError("unknown version relation: " + std::string(relation));
+}
+
+bool dep_accepts(const DepSpec& dep, std::string_view version) {
+  if (dep.kind == DepKind::Unversioned) return true;
+  return version_satisfies(version, dep.relation, dep.version);
+}
+
+namespace {
+
+ConsistencyReport check_range(
+    const std::vector<Package>& archive,
+    const std::map<std::string, std::vector<const Package*>>& by_name,
+    std::size_t begin, std::size_t end) {
+  ConsistencyReport report;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Package& pkg = archive[i];
+    for (const auto& dep : pkg.depends) {
+      ++report.deps_checked;
+      const auto it = by_name.find(dep.package);
+      if (it == by_name.end()) {
+        report.broken.push_back(BrokenDep{pkg.name, dep, true});
+        continue;
+      }
+      bool satisfied = false;
+      for (const Package* candidate : it->second) {
+        if (dep_accepts(dep, candidate->version)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        report.broken.push_back(BrokenDep{pkg.name, dep, false});
+      }
+    }
+  }
+  return report;
+}
+
+std::map<std::string, std::vector<const Package*>> index_archive(
+    const std::vector<Package>& archive) {
+  std::map<std::string, std::vector<const Package*>> by_name;
+  for (const auto& pkg : archive) {
+    by_name[pkg.name].push_back(&pkg);
+  }
+  return by_name;
+}
+
+}  // namespace
+
+ConsistencyReport check_archive(const std::vector<Package>& archive) {
+  return check_range(archive, index_archive(archive), 0, archive.size());
+}
+
+ConsistencyReport check_archive_parallel(support::ThreadPool& pool,
+                                         const std::vector<Package>& archive) {
+  const auto by_name = index_archive(archive);
+  const std::size_t shards = pool.size() * 4;
+  const std::size_t chunk = (archive.size() + shards - 1) / std::max<std::size_t>(1, shards);
+  std::vector<ConsistencyReport> partials(shards);
+  std::mutex done;
+  support::parallel_for(
+      pool, shards,
+      [&](std::size_t shard) {
+        const std::size_t begin = shard * chunk;
+        const std::size_t end = std::min(archive.size(), begin + chunk);
+        if (begin >= end) return;
+        partials[shard] = check_range(archive, by_name, begin, end);
+      },
+      /*min_chunk=*/1);
+  ConsistencyReport report;
+  for (auto& partial : partials) {
+    report.deps_checked += partial.deps_checked;
+    report.broken.insert(report.broken.end(),
+                         std::make_move_iterator(partial.broken.begin()),
+                         std::make_move_iterator(partial.broken.end()));
+  }
+  return report;
+}
+
+}  // namespace depchaos::pkg::deb

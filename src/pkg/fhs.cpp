@@ -1,0 +1,77 @@
+#include "depchaos/pkg/fhs.hpp"
+
+#include <algorithm>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/error.hpp"
+
+namespace depchaos::pkg::fhs {
+
+std::string Installer::abs_path(const std::string& rel) const {
+  if (root_ == "/") return "/" + rel;
+  return root_ + "/" + rel;
+}
+
+InstallResult Installer::install(const Package& package) {
+  InstallResult result = install_interrupted(package, package.files.size());
+  manifests_[package.name] = result.written;
+  return result;
+}
+
+InstallResult Installer::install_interrupted(const Package& package,
+                                             std::size_t files_written) {
+  InstallResult result;
+  const std::size_t count = std::min(files_written, package.files.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const PackageFile& file = package.files[i];
+    const std::string path = vfs::normalize_path(abs_path(file.rel_path));
+    if (const auto it = owners_.find(path);
+        it != owners_.end() && it->second != package.name) {
+      result.clobbered.push_back(path);
+    } else if (owners_.find(path) == owners_.end() && fs_.exists(path)) {
+      // Unowned but present: someone wrote it outside the package manager.
+      result.clobbered.push_back(path);
+    }
+    if (file.object) {
+      elf::install_object(fs_, path, *file.object);
+    } else {
+      fs_.write_file(path, file.content);
+    }
+    owners_[path] = package.name;
+    result.written.push_back(path);
+  }
+  return result;
+}
+
+void Installer::remove(const std::string& name) {
+  const auto it = manifests_.find(name);
+  if (it == manifests_.end()) {
+    throw Error("fhs: package not installed: " + name);
+  }
+  for (const auto& path : it->second) {
+    const auto owner = owners_.find(path);
+    if (owner == owners_.end() || owner->second != name) {
+      continue;  // clobbered by a later install; not ours to delete anymore
+    }
+    if (fs_.exists(path)) fs_.remove(path);
+    owners_.erase(owner);
+  }
+  manifests_.erase(it);
+}
+
+std::optional<std::string> Installer::owner_of(
+    const std::string& abs_path) const {
+  const auto it = owners_.find(vfs::normalize_path(abs_path));
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Installer::installed() const {
+  std::vector<std::string> names;
+  names.reserve(manifests_.size());
+  for (const auto& [name, manifest] : manifests_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace depchaos::pkg::fhs

@@ -1,0 +1,102 @@
+#include "depchaos/pkg/hermetic.hpp"
+
+#include <algorithm>
+
+#include "depchaos/support/error.hpp"
+#include "depchaos/support/sha256.hpp"
+
+namespace depchaos::pkg::hermetic {
+
+void Image::write_file(std::string path, vfs::FileData data) {
+  staging_.entries[vfs::normalize_path(path)] =
+      LayerEntry{false, std::move(data)};
+}
+
+void Image::remove(std::string path) {
+  staging_.entries[vfs::normalize_path(path)] = LayerEntry{true, {}};
+}
+
+std::string Image::commit(std::string message) {
+  if (staging_.entries.empty()) return head();
+  support::Sha256 hasher;
+  hasher.update(head());
+  for (const auto& [path, entry] : staging_.entries) {
+    hasher.update(path);
+    hasher.update(entry.whiteout ? "\0w" : "\0f", 2);
+    hasher.update(entry.data.bytes);
+  }
+  staging_.id = hasher.hex_digest().substr(0, 16);
+  staging_.message = std::move(message);
+  // Committing on a rolled-back head discards the abandoned future, like
+  // `git reset --hard` followed by new commits.
+  commits_.resize(head_count_);
+  commits_.push_back(std::move(staging_));
+  staging_ = Layer{};
+  head_count_ = commits_.size();
+  return commits_.back().id;
+}
+
+std::vector<std::string> Image::log() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < head_count_; ++i) out.push_back(commits_[i].id);
+  return out;
+}
+
+std::string Image::head() const {
+  return head_count_ == 0 ? std::string{} : commits_[head_count_ - 1].id;
+}
+
+void Image::rollback() {
+  if (head_count_ == 0) {
+    throw Error("hermetic: no commit to roll back");
+  }
+  --head_count_;
+  staging_ = Layer{};  // staged changes are abandoned with the deployment
+}
+
+void Image::checkout_commit(const std::string& id) {
+  for (std::size_t i = 0; i < commits_.size(); ++i) {
+    if (commits_[i].id == id) {
+      head_count_ = i + 1;
+      staging_ = Layer{};
+      return;
+    }
+  }
+  throw Error("hermetic: unknown commit: " + id);
+}
+
+std::optional<vfs::FileData> Image::read(const std::string& path) const {
+  const std::string norm = vfs::normalize_path(path);
+  // Staging first, then layers newest-to-oldest: overlayfs upper-dir rules.
+  if (const auto it = staging_.entries.find(norm);
+      it != staging_.entries.end()) {
+    if (it->second.whiteout) return std::nullopt;
+    return it->second.data;
+  }
+  for (std::size_t i = head_count_; i-- > 0;) {
+    const auto it = commits_[i].entries.find(norm);
+    if (it == commits_[i].entries.end()) continue;
+    if (it->second.whiteout) return std::nullopt;
+    return it->second.data;
+  }
+  return std::nullopt;
+}
+
+vfs::FileSystem Image::materialize() const {
+  vfs::FileSystem fs;
+  // Apply oldest-to-newest so later layers override and whiteouts delete.
+  auto apply = [&fs](const Layer& layer) {
+    for (const auto& [path, entry] : layer.entries) {
+      if (entry.whiteout) {
+        if (fs.exists(path)) fs.remove(path);
+      } else {
+        fs.write_file(path, entry.data);
+      }
+    }
+  };
+  for (std::size_t i = 0; i < head_count_; ++i) apply(commits_[i]);
+  apply(staging_);
+  return fs;
+}
+
+}  // namespace depchaos::pkg::hermetic

@@ -1,0 +1,44 @@
+// The Self-Referential (Bundled) Model (§II-B): AppDir-style bundles.
+//
+// An application directory vendoring all its libraries, wired together with
+// a $ORIGIN-relative RUNPATH on the executable — the AppImage/AppDir recipe
+// the paper describes. Bundles are relocatable: the whole directory can be
+// renamed/moved and keeps working, which tests verify.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "depchaos/elf/object.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::pkg::bundle {
+
+struct BundleSpec {
+  std::string name;
+  elf::Object exe;  // needed entries refer to the vendored sonames
+  /// (soname, object) pairs vendored into <bundle>/lib.
+  std::vector<std::pair<std::string, elf::Object>> libs;
+  /// Propagate the $ORIGIN runpath to vendored libs too (so their own
+  /// dependencies resolve inside the bundle). AppDir tooling does this.
+  bool runpath_on_libs = true;
+};
+
+struct Bundle {
+  std::string root;      // /apps/<name>
+  std::string exe_path;  // /apps/<name>/bin/<name>
+  std::string lib_dir;   // /apps/<name>/lib
+};
+
+/// Materialize the bundle under `base_dir`. The executable gets
+/// RUNPATH=$ORIGIN/../lib so the bundle is relocatable.
+Bundle create_bundle(vfs::FileSystem& fs, const BundleSpec& spec,
+                     const std::string& base_dir = "/apps");
+
+/// Move a bundle (rename its root) — the click-and-drag install the paper
+/// mentions. Returns the updated paths.
+Bundle relocate_bundle(vfs::FileSystem& fs, const Bundle& bundle,
+                       const std::string& new_root);
+
+}  // namespace depchaos::pkg::bundle

@@ -1,0 +1,58 @@
+// Debian version ordering (Debian Policy §5.6.12) and archive consistency.
+//
+// §II-A: packages "work because, and only because, the maintainers of
+// Debian diligently and manually ensure that the full graph of packages in
+// a given distribution build, link, and work together." The consistency
+// checker makes that implicit contract executable: given an archive, find
+// every dependency whose constraint no package version satisfies.
+//
+// Version syntax: [epoch:]upstream[-revision]. Comparison alternates
+// non-digit and digit chunks; '~' sorts before everything including the
+// empty string (so 1.0~rc1 << 1.0), letters sort before non-letters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depchaos/pkg/deb.hpp"
+#include "depchaos/support/thread_pool.hpp"
+
+namespace depchaos::pkg::deb {
+
+/// Compare full Debian version strings: negative / zero / positive like
+/// strcmp.
+int compare_versions(std::string_view a, std::string_view b);
+
+/// Does `candidate` satisfy `relation` against `wanted`?
+/// Relations: "<<", "<=", "=", ">=", ">>" (Policy §7.1).
+bool version_satisfies(std::string_view candidate, std::string_view relation,
+                       std::string_view wanted);
+
+/// Does the dependency accept this package version?
+bool dep_accepts(const DepSpec& dep, std::string_view version);
+
+struct BrokenDep {
+  std::string package;  // the package declaring the dependency
+  DepSpec dep;          // the unsatisfiable dependency
+  bool target_missing = false;  // no such package at all vs wrong version
+};
+
+struct ConsistencyReport {
+  std::uint64_t deps_checked = 0;
+  std::vector<BrokenDep> broken;
+
+  bool consistent() const { return broken.empty(); }
+};
+
+/// Check every dependency of every package against the archive. Alternative
+/// dependencies ('|') are NOT grouped here — the corpus generator emits
+/// plain dependencies; each is checked independently.
+ConsistencyReport check_archive(const std::vector<Package>& archive);
+
+/// Parallel variant for 200k-package corpora.
+ConsistencyReport check_archive_parallel(support::ThreadPool& pool,
+                                         const std::vector<Package>& archive);
+
+}  // namespace depchaos::pkg::deb

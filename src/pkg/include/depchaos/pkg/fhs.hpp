@@ -1,0 +1,77 @@
+// The Traditional Model (§II-A): a Filesystem Hierarchy Standard installer.
+//
+// Packages drop files into shared well-known directories (/usr/bin,
+// /usr/lib, ...). The model's documented weaknesses are implemented
+// faithfully so tests and benches can demonstrate them:
+//  * installation is file-at-a-time and can OVERWRITE other packages' files
+//    (the "limited key space dilemma");
+//  * an interrupted install leaves the system inconsistent;
+//  * removal depends on a manifest recorded at install time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "depchaos/elf/object.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::pkg::fhs {
+
+struct PackageFile {
+  std::string rel_path;  // e.g. "usr/lib/libfoo.so.1"
+  std::string content;   // raw bytes, or empty when `object` is set
+  std::optional<elf::Object> object;
+};
+
+struct Package {
+  std::string name;
+  std::string version;
+  std::vector<PackageFile> files;
+};
+
+struct InstallResult {
+  std::vector<std::string> written;
+  /// Paths that already existed and were owned by ANOTHER package — the
+  /// conflicts the FHS model cannot express.
+  std::vector<std::string> clobbered;
+};
+
+class Installer {
+ public:
+  explicit Installer(vfs::FileSystem& fs, std::string root = "/")
+      : fs_(fs), root_(std::move(root)) {}
+
+  /// Install every file; returns what was written and what got clobbered.
+  InstallResult install(const Package& package);
+
+  /// Simulate a crash after `files_written` files — the multi-step delivery
+  /// hazard from §II-A. The manifest is NOT updated (the package manager
+  /// died before committing).
+  InstallResult install_interrupted(const Package& package,
+                                    std::size_t files_written);
+
+  /// Remove a package by manifest. Files clobbered by a later package are
+  /// left alone. Throws if the package is unknown.
+  void remove(const std::string& name);
+
+  /// Owner of an installed path, if any.
+  std::optional<std::string> owner_of(const std::string& abs_path) const;
+
+  /// Installed package names.
+  std::vector<std::string> installed() const;
+
+ private:
+  std::string abs_path(const std::string& rel) const;
+
+  vfs::FileSystem& fs_;
+  std::string root_;
+  // abs path -> owning package
+  std::unordered_map<std::string, std::string> owners_;
+  // package -> manifest
+  std::unordered_map<std::string, std::vector<std::string>> manifests_;
+};
+
+}  // namespace depchaos::pkg::fhs

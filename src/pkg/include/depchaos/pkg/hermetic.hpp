@@ -1,0 +1,79 @@
+// The Hermetic Root Model (§II-C): layered, committed filesystem images.
+//
+// OSTree/CoreOS-style: the root filesystem is a stack of immutable layers
+// (like overlayfs), deployments are commits, and upgrade/rollback means
+// atomically choosing which commit the running system checks out. The
+// layout inside remains FHS — the model "adopts any benefits or
+// shortcomings of layouts used in addition to it" — so binaries built for
+// FHS work unchanged, while the whole OS becomes read-only and versioned.
+//
+// Layers record file writes and deletions (whiteouts). A commit freezes
+// the current staging layer with a content hash; checkout materializes a
+// commit chain into a VFS root for the loader to run against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::pkg::hermetic {
+
+struct LayerEntry {
+  bool whiteout = false;  // true = path deleted in this layer
+  vfs::FileData data;     // valid when !whiteout
+};
+
+struct Layer {
+  std::string id;  // content hash, assigned at commit
+  std::string message;
+  std::map<std::string, LayerEntry> entries;  // path -> delta
+};
+
+class Image {
+ public:
+  /// Stage a file write into the (mutable) top layer.
+  void write_file(std::string path, vfs::FileData data);
+  void write_file(std::string path, std::string bytes) {
+    write_file(std::move(path), vfs::FileData{std::move(bytes), 0});
+  }
+
+  /// Stage a deletion (whiteout).
+  void remove(std::string path);
+
+  /// Freeze the staging layer as a commit; returns its id. Empty staging
+  /// layers commit to the same id as the current head (no-op commits are
+  /// deduplicated).
+  std::string commit(std::string message);
+
+  /// Ids of all commits, oldest first.
+  std::vector<std::string> log() const;
+
+  /// Current head commit id ("" when nothing committed).
+  std::string head() const;
+
+  /// Move head back one commit (the atomic rollback of §II-C). Staged but
+  /// uncommitted changes are discarded. Throws Error with no parent.
+  void rollback();
+
+  /// Reset head to an arbitrary commit in the log.
+  void checkout_commit(const std::string& id);
+
+  /// Effective contents of `path` at head (+ staging), nullopt if absent.
+  std::optional<vfs::FileData> read(const std::string& path) const;
+
+  /// Materialize head (+ staging) into a fresh VFS for execution.
+  vfs::FileSystem materialize() const;
+
+  std::size_t staged_changes() const { return staging_.entries.size(); }
+
+ private:
+  std::vector<Layer> commits_;
+  std::size_t head_count_ = 0;  // commits_[0..head_count_) are active
+  Layer staging_;
+};
+
+}  // namespace depchaos::pkg::hermetic

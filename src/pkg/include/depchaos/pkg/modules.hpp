@@ -1,0 +1,60 @@
+// The HPC Module Model (§II-E): lmod/environment-modules style environment
+// mutation. A module prepends directories to LD_LIBRARY_PATH (and possibly
+// LD_PRELOAD), which is exactly how the §V-B.1 ROCm failure enters the
+// system: the loaded module's paths outrank RUNPATH (Table I) and silently
+// redirect library resolution.
+//
+// Modules can declare conflicts (rocm/4.5 vs rocm/4.3) and dependencies
+// (loading a compiler module pulls in its runtime module), mirroring lmod's
+// `conflict` and `depends_on` directives.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "depchaos/loader/loader.hpp"
+
+namespace depchaos::pkg::modules {
+
+struct Module {
+  std::string name;  // "rocm/4.5"
+  std::vector<std::string> ld_library_path_prepend;
+  std::vector<std::string> ld_preload_append;
+  /// Module-name prefixes this module conflicts with ("rocm" conflicts with
+  /// every other rocm/*).
+  std::vector<std::string> conflicts;
+  /// Modules auto-loaded first.
+  std::vector<std::string> requires_modules;
+};
+
+class ModuleSystem {
+ public:
+  /// Register an available module. Replaces any same-named registration.
+  void add(Module module);
+
+  /// `module load name`: loads dependencies first, then swaps out any
+  /// loaded module matching a conflict prefix (lmod family semantics),
+  /// then activates. Throws Error on unknown modules or dependency cycles.
+  void load(const std::string& name);
+
+  /// `module unload name`; no-op if not loaded.
+  void unload(const std::string& name);
+
+  /// Currently loaded modules, most recently loaded first (the order their
+  /// paths appear in LD_LIBRARY_PATH).
+  std::vector<std::string> loaded() const;
+
+  bool is_loaded(const std::string& name) const;
+
+  /// Compose the process environment the current module set produces.
+  loader::Environment environment() const;
+
+ private:
+  void load_recursive(const std::string& name, std::vector<std::string>& chain);
+
+  std::map<std::string, Module> available_;
+  std::vector<std::string> load_order_;  // oldest first
+};
+
+}  // namespace depchaos::pkg::modules

@@ -1,0 +1,65 @@
+// Nix-style derivations (§II-D, Fig 2).
+//
+// A derivation is a build recipe whose identity covers its full input
+// closure. Fig 2 visualizes the Ruby derivation's build+runtime closure in
+// nixpkgs — 453 dependencies, most of them bootstrap-stage compiler and
+// shell machinery. This module models derivation graphs with enough
+// structure (bootstrap stages, fetchurl sources, patches, builders) for the
+// workload generator to synthesize closures with the same shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depchaos/analysis/graph.hpp"
+
+namespace depchaos::pkg::nix {
+
+enum class DrvKind : std::uint8_t {
+  Package,    // ordinary build (gcc, perl, openssl...)
+  Source,     // fetchurl tarball / patch file
+  Bootstrap,  // bootstrap-stage machinery
+  Script,     // setup hooks / builder shell snippets
+};
+
+struct Derivation {
+  std::string name;  // "ruby-2.7.5.drv"
+  DrvKind kind = DrvKind::Package;
+  std::vector<std::size_t> inputs;  // indices into DerivationSet::drvs
+};
+
+struct ClosureStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t sources = 0;
+  std::size_t bootstrap = 0;
+  std::size_t max_depth = 0;
+  double density = 0;
+};
+
+class DerivationSet {
+ public:
+  std::size_t add(std::string name, DrvKind kind,
+                  std::vector<std::size_t> inputs = {});
+
+  /// Append one input edge to an existing derivation (used by generators
+  /// when growing a closure incrementally).
+  void add_input(std::size_t id, std::size_t input);
+
+  const Derivation& at(std::size_t id) const { return drvs_[id]; }
+  std::size_t size() const { return drvs_.size(); }
+
+  /// Full input closure of `root` (root included).
+  std::vector<std::size_t> closure(std::size_t root) const;
+
+  ClosureStats stats(std::size_t root) const;
+
+  /// Export the closure of `root` as a Digraph (for DOT / Fig 2).
+  analysis::Digraph closure_graph(std::size_t root) const;
+
+ private:
+  std::vector<Derivation> drvs_;
+};
+
+}  // namespace depchaos::pkg::nix

@@ -1,0 +1,69 @@
+// Language-level package manager model (§II-E: applications are "frequently
+// more ... pulled from package managers like Spack, vcpkg, pip, conda" —
+// layered ON TOP of the system models, with their own resolution rules).
+//
+// pip's site-packages is a FLAT namespace: exactly one version of each
+// distribution can be installed; `pip install` silently replaces whatever
+// was there, potentially breaking the requirements of other installed
+// packages. `pip check` is the after-the-fact consistency pass. Isolation
+// (venv) means a separate SitePackages directory per application — the
+// store-model move applied at the language layer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::pkg::pip {
+
+struct Requirement {
+  std::string name;
+  std::string min_version;  // "" = any ("foo" vs "foo>=1.2")
+
+  friend bool operator==(const Requirement&, const Requirement&) = default;
+};
+
+struct PyPackage {
+  std::string name;
+  std::string version;  // dotted-numeric
+  std::vector<Requirement> requirements;
+};
+
+struct PipInstallResult {
+  /// Version that was replaced in place ("" when fresh).
+  std::string replaced_version;
+};
+
+/// Numeric dotted-version comparison (PEP 440 reduced to release segments).
+int compare_py_versions(std::string_view a, std::string_view b);
+
+class SitePackages {
+ public:
+  /// `dir` e.g. "/usr/lib/python3.9/site-packages" or a venv's.
+  SitePackages(vfs::FileSystem& fs, std::string dir);
+
+  /// pip install: writes <dir>/<name>-<version>.dist-info, REPLACING any
+  /// other version of the same distribution (the flat-namespace hazard).
+  PipInstallResult install(const PyPackage& package);
+
+  void uninstall(const std::string& name);
+
+  std::optional<PyPackage> installed_version(const std::string& name) const;
+  std::vector<PyPackage> list() const;
+
+  /// `pip check`: every requirement of every installed package, verified
+  /// against the flat namespace. Returns human-readable breakages.
+  std::vector<std::string> check() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string metadata_path(const PyPackage& package) const;
+
+  vfs::FileSystem& fs_;
+  std::string dir_;
+};
+
+}  // namespace depchaos::pkg::pip

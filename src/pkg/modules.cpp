@@ -1,0 +1,76 @@
+#include "depchaos/pkg/modules.hpp"
+
+#include <algorithm>
+
+#include "depchaos/support/error.hpp"
+
+namespace depchaos::pkg::modules {
+
+void ModuleSystem::add(Module module) {
+  available_[module.name] = std::move(module);
+}
+
+bool ModuleSystem::is_loaded(const std::string& name) const {
+  return std::find(load_order_.begin(), load_order_.end(), name) !=
+         load_order_.end();
+}
+
+void ModuleSystem::load(const std::string& name) {
+  std::vector<std::string> chain;
+  load_recursive(name, chain);
+}
+
+void ModuleSystem::load_recursive(const std::string& name,
+                                  std::vector<std::string>& chain) {
+  if (is_loaded(name)) return;
+  if (std::find(chain.begin(), chain.end(), name) != chain.end()) {
+    throw Error("modules: dependency cycle through " + name);
+  }
+  const auto it = available_.find(name);
+  if (it == available_.end()) {
+    throw Error("modules: no such module: " + name);
+  }
+  chain.push_back(name);
+  const Module& module = it->second;
+  for (const auto& dep : module.requires_modules) {
+    load_recursive(dep, chain);
+  }
+  chain.pop_back();
+
+  // Family swap: unload anything matching a conflict prefix.
+  for (const auto& prefix : module.conflicts) {
+    for (const auto& loaded_name : loaded()) {
+      if (loaded_name != name && loaded_name.starts_with(prefix)) {
+        unload(loaded_name);
+      }
+    }
+  }
+  load_order_.push_back(name);
+}
+
+void ModuleSystem::unload(const std::string& name) {
+  const auto it = std::find(load_order_.begin(), load_order_.end(), name);
+  if (it != load_order_.end()) load_order_.erase(it);
+}
+
+std::vector<std::string> ModuleSystem::loaded() const {
+  std::vector<std::string> out(load_order_.rbegin(), load_order_.rend());
+  return out;
+}
+
+loader::Environment ModuleSystem::environment() const {
+  loader::Environment env;
+  // Most recently loaded module's paths first — lmod prepend semantics.
+  for (auto it = load_order_.rbegin(); it != load_order_.rend(); ++it) {
+    const Module& module = available_.at(*it);
+    for (const auto& dir : module.ld_library_path_prepend) {
+      env.ld_library_path.push_back(dir);
+    }
+    for (const auto& preload : module.ld_preload_append) {
+      env.ld_preload.push_back(preload);
+    }
+  }
+  return env;
+}
+
+}  // namespace depchaos::pkg::modules

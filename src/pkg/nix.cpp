@@ -1,0 +1,100 @@
+#include "depchaos/pkg/nix.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace depchaos::pkg::nix {
+
+std::size_t DerivationSet::add(std::string name, DrvKind kind,
+                               std::vector<std::size_t> inputs) {
+  drvs_.push_back(Derivation{std::move(name), kind, std::move(inputs)});
+  return drvs_.size() - 1;
+}
+
+void DerivationSet::add_input(std::size_t id, std::size_t input) {
+  drvs_[id].inputs.push_back(input);
+}
+
+std::vector<std::size_t> DerivationSet::closure(std::size_t root) const {
+  std::vector<bool> seen(drvs_.size(), false);
+  std::vector<std::size_t> out;
+  std::deque<std::size_t> queue{root};
+  seen[root] = true;
+  while (!queue.empty()) {
+    const std::size_t id = queue.front();
+    queue.pop_front();
+    out.push_back(id);
+    for (const std::size_t input : drvs_[id].inputs) {
+      if (!seen[input]) {
+        seen[input] = true;
+        queue.push_back(input);
+      }
+    }
+  }
+  return out;
+}
+
+ClosureStats DerivationSet::stats(std::size_t root) const {
+  ClosureStats stats;
+  const auto members = closure(root);
+  stats.nodes = members.size();
+
+  std::vector<std::size_t> depth(drvs_.size(), 0);
+  std::vector<bool> in_closure(drvs_.size(), false);
+  for (const auto id : members) in_closure[id] = true;
+
+  // BFS depth from root.
+  std::deque<std::size_t> queue{root};
+  std::vector<bool> seen(drvs_.size(), false);
+  seen[root] = true;
+  while (!queue.empty()) {
+    const std::size_t id = queue.front();
+    queue.pop_front();
+    stats.max_depth = std::max(stats.max_depth, depth[id]);
+    for (const std::size_t input : drvs_[id].inputs) {
+      if (in_closure[input]) stats.edges++;
+      if (!seen[input]) {
+        seen[input] = true;
+        depth[input] = depth[id] + 1;
+        queue.push_back(input);
+      }
+    }
+  }
+  for (const auto id : members) {
+    switch (drvs_[id].kind) {
+      case DrvKind::Source:
+        ++stats.sources;
+        break;
+      case DrvKind::Bootstrap:
+        ++stats.bootstrap;
+        break;
+      default:
+        break;
+    }
+  }
+  if (stats.nodes > 1) {
+    stats.density = static_cast<double>(stats.edges) /
+                    (static_cast<double>(stats.nodes) * (stats.nodes - 1));
+  }
+  return stats;
+}
+
+analysis::Digraph DerivationSet::closure_graph(std::size_t root) const {
+  analysis::Digraph graph;
+  const auto members = closure(root);
+  std::vector<bool> in_closure(drvs_.size(), false);
+  for (const auto id : members) in_closure[id] = true;
+  for (const auto id : members) {
+    graph.add_node(drvs_[id].name);
+  }
+  for (const auto id : members) {
+    for (const std::size_t input : drvs_[id].inputs) {
+      if (in_closure[input]) {
+        graph.add_edge(drvs_[id].name, drvs_[input].name);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace depchaos::pkg::nix

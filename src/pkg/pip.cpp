@@ -1,0 +1,120 @@
+#include "depchaos/pkg/pip.hpp"
+
+#include "depchaos/support/error.hpp"
+#include "depchaos/support/strings.hpp"
+
+namespace depchaos::pkg::pip {
+
+int compare_py_versions(std::string_view a, std::string_view b) {
+  const auto parts_a = support::split_nonempty(a, '.');
+  const auto parts_b = support::split_nonempty(b, '.');
+  const std::size_t n = std::max(parts_a.size(), parts_b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const long va = i < parts_a.size() ? std::stol(parts_a[i]) : 0;
+    const long vb = i < parts_b.size() ? std::stol(parts_b[i]) : 0;
+    if (va != vb) return va < vb ? -1 : 1;
+  }
+  return 0;
+}
+
+SitePackages::SitePackages(vfs::FileSystem& fs, std::string dir)
+    : fs_(fs), dir_(vfs::normalize_path(dir)) {
+  fs_.mkdir_p(dir_);
+}
+
+std::string SitePackages::metadata_path(const PyPackage& package) const {
+  return dir_ + "/" + package.name + "-" + package.version + ".dist-info";
+}
+
+PipInstallResult SitePackages::install(const PyPackage& package) {
+  PipInstallResult result;
+  if (const auto existing = installed_version(package.name)) {
+    result.replaced_version = existing->version;
+    uninstall(package.name);
+  }
+  std::string metadata = "Name: " + package.name + "\n" +
+                         "Version: " + package.version + "\n";
+  for (const auto& req : package.requirements) {
+    metadata += "Requires: " + req.name;
+    if (!req.min_version.empty()) metadata += ">=" + req.min_version;
+    metadata += "\n";
+  }
+  fs_.write_file(metadata_path(package), metadata);
+  return result;
+}
+
+void SitePackages::uninstall(const std::string& name) {
+  for (const auto& entry : fs_.list_dir(dir_)) {
+    if (entry.starts_with(name + "-") && entry.ends_with(".dist-info")) {
+      fs_.remove(dir_ + "/" + entry);
+      return;
+    }
+  }
+}
+
+std::optional<PyPackage> SitePackages::installed_version(
+    const std::string& name) const {
+  for (const auto& pkg : list()) {
+    if (pkg.name == name) return pkg;
+  }
+  return std::nullopt;
+}
+
+std::vector<PyPackage> SitePackages::list() const {
+  std::vector<PyPackage> out;
+  for (const auto& entry : fs_.list_dir(dir_)) {
+    if (!entry.ends_with(".dist-info")) continue;
+    const vfs::FileData* data = fs_.peek(dir_ + "/" + entry);
+    if (data == nullptr) continue;
+    PyPackage pkg;
+    for (const auto& line : support::split(data->bytes, '\n')) {
+      if (line.starts_with("Name: ")) {
+        pkg.name = line.substr(6);
+      } else if (line.starts_with("Version: ")) {
+        pkg.version = line.substr(9);
+      } else if (line.starts_with("Requires: ")) {
+        const std::string spec = line.substr(10);
+        Requirement req;
+        if (const auto ge = spec.find(">="); ge != std::string::npos) {
+          req.name = spec.substr(0, ge);
+          req.min_version = spec.substr(ge + 2);
+        } else {
+          req.name = spec;
+        }
+        pkg.requirements.push_back(std::move(req));
+      }
+    }
+    out.push_back(std::move(pkg));
+  }
+  return out;
+}
+
+std::vector<std::string> SitePackages::check() const {
+  std::vector<std::string> broken;
+  const auto packages = list();
+  for (const auto& pkg : packages) {
+    for (const auto& req : pkg.requirements) {
+      const PyPackage* found = nullptr;
+      for (const auto& candidate : packages) {
+        if (candidate.name == req.name) {
+          found = &candidate;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        broken.push_back(pkg.name + " requires " + req.name +
+                         ", which is not installed");
+        continue;
+      }
+      if (!req.min_version.empty() &&
+          compare_py_versions(found->version, req.min_version) < 0) {
+        broken.push_back(pkg.name + " requires " + req.name + ">=" +
+                         req.min_version + ", but " + found->version +
+                         " is installed");
+      }
+    }
+  }
+  return broken;
+}
+
+}  // namespace depchaos::pkg::pip

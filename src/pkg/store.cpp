@@ -1,0 +1,260 @@
+#include "depchaos/pkg/store.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/error.hpp"
+#include "depchaos/support/sha256.hpp"
+
+namespace depchaos::pkg::store {
+
+Store::Store(vfs::FileSystem& fs, std::string root, LinkStyle link_style)
+    : fs_(fs), root_(std::move(root)), link_style_(link_style) {
+  profiles_root_ = root_ + "/../profiles";
+  profiles_root_ = vfs::normalize_path(profiles_root_);
+  fs_.mkdir_p(root_);
+  fs_.mkdir_p(profiles_root_);
+}
+
+std::string Store::compute_hash(const PackageSpec& spec) const {
+  // Pessimistic hashing (§II-D): identity + payload + the hash of every
+  // dependency prefix (which itself embeds that package's closure hash).
+  support::Sha256 hasher;
+  hasher.update(spec.name);
+  hasher.update("\0", 1);
+  hasher.update(spec.version);
+  hasher.update("\0", 1);
+  for (const auto& file : spec.files) {
+    hasher.update(file.rel_path);
+    if (file.object) {
+      hasher.update(elf::serialize(*file.object));
+    } else {
+      hasher.update(file.content);
+    }
+  }
+  for (const auto& dep : spec.deps) {
+    hasher.update(dep);
+    hasher.update("\0", 1);
+  }
+  auto hex = hasher.hex_digest();
+  hex.resize(16);
+  return hex;
+}
+
+const InstalledPackage& Store::add(const PackageSpec& spec) {
+  for (const auto& dep : spec.deps) {
+    if (!fs_.exists(dep)) {
+      throw ResolveError("store: dependency prefix missing: " + dep);
+    }
+  }
+  InstalledPackage pkg;
+  pkg.name = spec.name;
+  pkg.version = spec.version;
+  pkg.hash = compute_hash(spec);
+  pkg.prefix = root_ + "/" + pkg.hash + "-" + spec.name + "-" + spec.version;
+  pkg.deps = spec.deps;
+
+  if (by_hash_.contains(pkg.hash)) {
+    // Identical inputs: already in the store; return the existing one.
+    return installed_[by_hash_.at(pkg.hash)];
+  }
+
+  // Search path: own lib dir plus every direct dependency's lib dir.
+  std::vector<std::string> search_dirs = {pkg.prefix + "/lib"};
+  for (const auto& dep : spec.deps) search_dirs.push_back(dep + "/lib");
+
+  for (const auto& file : spec.files) {
+    const std::string path =
+        vfs::normalize_path(pkg.prefix + "/" + file.rel_path);
+    if (file.object) {
+      elf::Object object = *file.object;
+      if (link_style_ == LinkStyle::Rpath) {
+        object.dyn.rpath = search_dirs;
+        object.dyn.runpath.clear();
+      } else {
+        object.dyn.runpath = search_dirs;
+        object.dyn.rpath.clear();
+      }
+      elf::install_object(fs_, path, object);
+      pkg.objects.push_back(path);
+    } else {
+      fs_.write_file(path, file.content);
+    }
+  }
+  fs_.mkdir_p(pkg.prefix);  // even for file-less packages
+
+  installed_.push_back(std::move(pkg));
+  const std::size_t index = installed_.size() - 1;
+  by_hash_[installed_[index].hash] = index;
+  by_name_[installed_[index].name] = index;
+  return installed_[index];
+}
+
+const InstalledPackage* Store::find(const std::string& name_or_hash) const {
+  if (const auto it = by_hash_.find(name_or_hash); it != by_hash_.end()) {
+    return &installed_[it->second];
+  }
+  if (const auto it = by_name_.find(name_or_hash); it != by_name_.end()) {
+    return &installed_[it->second];
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Store::closure(const InstalledPackage& package) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  std::deque<std::string> queue{package.prefix};
+  seen.insert(package.prefix);
+  while (!queue.empty()) {
+    const std::string prefix = queue.front();
+    queue.pop_front();
+    out.push_back(prefix);
+    // Find the installed record for this prefix.
+    for (const auto& pkg : installed_) {
+      if (pkg.prefix != prefix) continue;
+      for (const auto& dep : pkg.deps) {
+        if (seen.insert(dep).second) queue.push_back(dep);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Store::dependents_closure(
+    const std::string& prefix) const {
+  std::vector<std::string> affected;
+  std::set<std::string> dirty{prefix};
+  // installed_ is in installation order, so dependents always come after
+  // their dependencies; one forward pass reaches the fixpoint.
+  for (const auto& pkg : installed_) {
+    if (dirty.contains(pkg.prefix)) continue;
+    for (const auto& dep : pkg.deps) {
+      if (dirty.contains(dep)) {
+        dirty.insert(pkg.prefix);
+        affected.push_back(pkg.prefix);
+        break;
+      }
+    }
+  }
+  return affected;
+}
+
+std::uint64_t Store::rebuild_bytes(const std::string& prefix) const {
+  std::uint64_t total = fs_.disk_usage(prefix);
+  for (const auto& dependent : dependents_closure(prefix)) {
+    total += fs_.disk_usage(dependent);
+  }
+  return total;
+}
+
+Store::GcResult Store::garbage_collect() {
+  // Roots: every symlink in every surviving generation dir points into some
+  // package prefix.
+  std::set<std::string> live;
+  std::deque<std::string> queue;
+  if (fs_.exists(profiles_root_)) {
+    for (const auto& entry : fs_.list_dir(profiles_root_)) {
+      if (!entry.starts_with("generation-")) continue;
+      const std::string gen_dir = profiles_root_ + "/" + entry;
+      for (const auto& sub : {std::string("bin"), std::string("lib")}) {
+        const std::string sub_dir = gen_dir + "/" + sub;
+        if (!fs_.exists(sub_dir)) continue;
+        for (const auto& name : fs_.list_dir(sub_dir)) {
+          const auto target = fs_.peek_link_target(sub_dir + "/" + name);
+          if (!target.has_value() || !target->starts_with(root_ + "/")) {
+            continue;
+          }
+          // <root>/<hash>-<name>-<version>/<sub>/<file> -> the prefix is the
+          // first component under the store root.
+          const auto rest = target->substr(root_.size() + 1);
+          const auto slash = rest.find('/');
+          const std::string prefix =
+              root_ + "/" + (slash == std::string::npos ? rest
+                                                        : rest.substr(0, slash));
+          if (live.insert(prefix).second) queue.push_back(prefix);
+        }
+      }
+    }
+  }
+  // Dependency closure of the roots.
+  while (!queue.empty()) {
+    const std::string prefix = std::move(queue.front());
+    queue.pop_front();
+    for (const auto& pkg : installed_) {
+      if (pkg.prefix != prefix) continue;
+      for (const auto& dep : pkg.deps) {
+        if (live.insert(dep).second) queue.push_back(dep);
+      }
+      break;
+    }
+  }
+
+  GcResult result;
+  std::deque<InstalledPackage> survivors;
+  by_hash_.clear();
+  by_name_.clear();
+  for (auto& pkg : installed_) {
+    if (live.contains(pkg.prefix)) {
+      by_hash_[pkg.hash] = survivors.size();
+      by_name_[pkg.name] = survivors.size();
+      survivors.push_back(std::move(pkg));
+      continue;
+    }
+    result.bytes_freed += fs_.disk_usage(pkg.prefix);
+    result.removed_prefixes.push_back(pkg.prefix);
+    if (fs_.exists(pkg.prefix)) fs_.remove(pkg.prefix, /*recursive=*/true);
+  }
+  installed_ = std::move(survivors);
+  return result;
+}
+
+void Store::set_profile(const std::vector<std::string>& prefixes) {
+  const int generation = current_generation_ + 1;
+  const std::string gen_dir =
+      profiles_root_ + "/generation-" + std::to_string(generation);
+  // Build the new generation fully before flipping the `current` symlink —
+  // this is the commit model (§II-C/§II-D): readers see the old profile
+  // until the atomic rename.
+  for (const auto& prefix : prefixes) {
+    for (const auto& sub : {std::string("bin"), std::string("lib")}) {
+      const std::string src_dir = prefix + "/" + sub;
+      if (!fs_.exists(src_dir)) continue;
+      for (const auto& name : fs_.list_dir(src_dir)) {
+        const std::string link = gen_dir + "/" + sub + "/" + name;
+        if (!fs_.exists(link)) {
+          fs_.mkdir_p(vfs::dirname(link));
+          fs_.symlink(src_dir + "/" + name, link);
+        }
+      }
+    }
+  }
+  fs_.mkdir_p(gen_dir);
+  // Atomic flip: write the new symlink beside, then rename over.
+  const std::string tmp_link = profiles_root_ + "/.current.tmp";
+  if (fs_.exists(tmp_link)) fs_.remove(tmp_link);
+  fs_.symlink(gen_dir, tmp_link);
+  fs_.rename(tmp_link, profiles_root_ + "/current");
+  current_generation_ = generation;
+}
+
+void Store::rollback() {
+  if (current_generation_ <= 1) {
+    throw Error("store: no generation to roll back to");
+  }
+  const int generation = current_generation_ - 1;
+  const std::string gen_dir =
+      profiles_root_ + "/generation-" + std::to_string(generation);
+  if (!fs_.exists(gen_dir)) {
+    throw Error("store: missing generation dir: " + gen_dir);
+  }
+  const std::string tmp_link = profiles_root_ + "/.current.tmp";
+  if (fs_.exists(tmp_link)) fs_.remove(tmp_link);
+  fs_.symlink(gen_dir, tmp_link);
+  fs_.rename(tmp_link, profiles_root_ + "/current");
+  current_generation_ = generation;
+}
+
+}  // namespace depchaos::pkg::store

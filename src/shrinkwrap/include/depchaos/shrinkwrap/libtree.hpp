@@ -1,0 +1,29 @@
+// libtree: render a binary's dependency tree with per-edge resolution
+// annotations — the tool behind Listing 1, where libsamba-debug-samba4 is
+// "not found" on one branch yet satisfied on another because an earlier
+// subtree already loaded it.
+#pragma once
+
+#include <string>
+
+#include "depchaos/loader/loader.hpp"
+
+namespace depchaos::shrinkwrap {
+
+struct TreeOptions {
+  bool show_paths = false;  // append the resolved path to each line
+  int max_depth = -1;       // -1 = unlimited
+  int indent = 4;
+};
+
+/// Render the dependency tree of `exe_path` under `env`.
+std::string libtree(vfs::FileSystem& fs, loader::Loader& loader,
+                    const std::string& exe_path,
+                    const loader::Environment& env = {},
+                    const TreeOptions& options = {});
+
+/// Render from an existing report (avoids a second load).
+std::string render_tree(const loader::LoadReport& report,
+                        const TreeOptions& options = {});
+
+}  // namespace depchaos::shrinkwrap

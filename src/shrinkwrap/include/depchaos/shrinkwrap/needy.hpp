@@ -1,0 +1,36 @@
+// Needy Executables (§III-D2): lift the closure via the *link line*.
+//
+// The precursor to Shrinkwrap: relink the executable with every library of
+// the transitive closure as a direct NEEDED entry (bare sonames, with
+// search paths covering their directories). It fixes load order by pinning
+// BFS at the top, but has the two flaws the paper calls out, both modelled:
+//   * if any pair of closure libraries defines the same strong symbol the
+//     link FAILS (libomp vs libompstubs, §V-B.2) — Shrinkwrap does not
+//     touch the link line and therefore does not have this problem;
+//   * dlopen()ed libraries are invisible to it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/loader/symbols.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::shrinkwrap {
+
+struct NeedyReport {
+  bool ok = false;
+  loader::LinkResult link;             // why the link failed, if it did
+  std::vector<std::string> lifted;     // sonames now on the executable
+  std::vector<std::string> search_dirs;  // RUNPATH written to the executable
+};
+
+/// Relink `exe_path` with its full closure as direct needed entries.
+/// On duplicate strong symbols the executable is left unchanged and the
+/// report's link result explains the failure.
+NeedyReport make_needy(vfs::FileSystem& fs, loader::Loader& loader,
+                       const std::string& exe_path,
+                       const loader::Environment& env = {});
+
+}  // namespace depchaos::shrinkwrap

@@ -1,0 +1,40 @@
+// Dependency Views (§III-D1): the symlink-farm workaround.
+//
+// Instead of a long RPATH list on every object, build one package-local
+// FHS-shaped directory of symlinks to the whole dependency closure and give
+// the executable a single RPATH entry pointing at it. glibc's RPATH
+// propagation (Table I) then lets every transitive lookup resolve through
+// the view. The cost is inodes — one symlink per closure library — and the
+// single-version-per-dependency restriction, both of which the ablation
+// bench quantifies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::shrinkwrap {
+
+struct ViewReport {
+  std::string view_dir;          // <view>/lib
+  std::size_t symlink_count = 0;
+  std::size_t inode_cost = 0;    // inodes consumed by the view
+  /// Libraries that could not be added because a DIFFERENT file with the
+  /// same soname is already in the view — the single-version restriction.
+  std::vector<std::string> conflicts;
+  bool ok = false;
+};
+
+/// Build a dependency view for `exe_path` at `view_root` and rewire the
+/// executable: RPATH=[<view_root>/lib], RUNPATH cleared; every closure
+/// library has its own search paths cleared so resolution flows through the
+/// propagated view RPATH.
+ViewReport make_dependency_view(vfs::FileSystem& fs, loader::Loader& loader,
+                                const std::string& exe_path,
+                                const std::string& view_root,
+                                const loader::Environment& env = {});
+
+}  // namespace depchaos::shrinkwrap

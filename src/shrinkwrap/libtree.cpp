@@ -1,0 +1,80 @@
+#include "depchaos/shrinkwrap/libtree.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace depchaos::shrinkwrap {
+
+namespace {
+
+struct TreeBuilder {
+  const loader::LoadReport& report;
+  const TreeOptions& options;
+  // requester path -> indices into report.requests, in request order.
+  std::unordered_map<std::string, std::vector<std::size_t>> children;
+  std::string out;
+
+  void render(const std::string& requester_path, int depth) {
+    if (options.max_depth >= 0 && depth > options.max_depth) return;
+    const auto it = children.find(requester_path);
+    if (it == children.end()) return;
+    for (const std::size_t index : it->second) {
+      const auto& request = report.requests[index];
+      out.append(static_cast<std::size_t>(depth * options.indent), ' ');
+      out += request.name;
+      if (request.how == loader::HowFound::Cache &&
+          request.cache_search_how != loader::HowFound::Cache) {
+        // Listing 1 rendering: annotate with the PURE-search outcome. A
+        // library that only works because an earlier subtree loaded it
+        // shows as "not found" even though the program runs.
+        if (request.cache_search_how == loader::HowFound::NotFound) {
+          out += " not found (satisfied by earlier load)";
+        } else {
+          out += " [";
+          out += loader::how_found_name(request.cache_search_how);
+          out += "]";
+        }
+      } else {
+        out += " [";
+        out += loader::how_found_name(request.how);
+        out += "]";
+      }
+      if (options.show_paths && !request.path.empty()) {
+        out += " => " + request.path;
+      }
+      out += '\n';
+      // Recurse only below the edge that actually loaded the object; cache
+      // hits terminate (their subtree was rendered where it loaded).
+      if (request.how != loader::HowFound::Cache &&
+          request.how != loader::HowFound::NotFound) {
+        render(request.path, depth + 1);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string render_tree(const loader::LoadReport& report,
+                        const TreeOptions& options) {
+  if (report.load_order.empty()) return "(empty load)\n";
+  TreeBuilder builder{report, options, {}, {}};
+  for (std::size_t i = 0; i < report.requests.size(); ++i) {
+    builder.children[report.requests[i].requested_by].push_back(i);
+  }
+  const auto& root = report.load_order.front();
+  builder.out = root.path + "\n";
+  builder.render(root.path, 1);
+  return builder.out;
+}
+
+std::string libtree(vfs::FileSystem& fs, loader::Loader& loader,
+                    const std::string& exe_path,
+                    const loader::Environment& env,
+                    const TreeOptions& options) {
+  (void)fs;
+  const loader::LoadReport report = loader.load(exe_path, env);
+  return render_tree(report, options);
+}
+
+}  // namespace depchaos::shrinkwrap

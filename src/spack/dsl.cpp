@@ -1,0 +1,453 @@
+#include "depchaos/spack/dsl.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "depchaos/support/error.hpp"
+#include "depchaos/support/strings.hpp"
+
+namespace depchaos::spack {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny Python-literal value model for call arguments.
+// ---------------------------------------------------------------------------
+
+struct PyValue {
+  enum class Kind { Str, Bool, Number, Tuple, Ident } kind = Kind::Ident;
+  std::string str;               // Str / Ident / Number (raw)
+  bool boolean = false;          // Bool
+  std::vector<PyValue> items;    // Tuple
+};
+
+struct Arg {
+  std::string keyword;  // "" = positional
+  PyValue value;
+};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+
+  void skip_ws() {
+    while (!done() && (std::isspace(static_cast<unsigned char>(peek())) != 0)) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (!done() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view rest() const { return text_.substr(pos_); }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string parse_string_literal(Cursor& cur) {
+  cur.skip_ws();
+  const char quote = cur.take();
+  std::string out;
+  while (!cur.done()) {
+    const char c = cur.take();
+    if (c == '\\' && !cur.done()) {
+      out += cur.take();
+      continue;
+    }
+    if (c == quote) return out;
+    out += c;
+  }
+  throw ParseError("unterminated string literal");
+}
+
+PyValue parse_value(Cursor& cur);
+
+PyValue parse_tuple_or_list(Cursor& cur, char open) {
+  const char close = open == '(' ? ')' : ']';
+  PyValue out;
+  out.kind = PyValue::Kind::Tuple;
+  cur.take();  // consume open
+  while (true) {
+    cur.skip_ws();
+    if (cur.done()) throw ParseError("unterminated tuple/list");
+    if (cur.peek() == close) {
+      cur.take();
+      return out;
+    }
+    out.items.push_back(parse_value(cur));
+    cur.skip_ws();
+    if (!cur.done() && cur.peek() == ',') cur.take();
+  }
+}
+
+PyValue parse_value(Cursor& cur) {
+  cur.skip_ws();
+  if (cur.done()) throw ParseError("expected value");
+  const char c = cur.peek();
+  if (c == '"' || c == '\'') {
+    PyValue out;
+    out.kind = PyValue::Kind::Str;
+    out.str = parse_string_literal(cur);
+    return out;
+  }
+  if (c == '(' || c == '[') return parse_tuple_or_list(cur, c);
+  // Identifier / number / True / False.
+  std::string token;
+  while (!cur.done()) {
+    const char ch = cur.peek();
+    if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+        ch == '.' || ch == '-' || ch == '+') {
+      token += cur.take();
+    } else {
+      break;
+    }
+  }
+  if (token.empty()) {
+    throw ParseError("cannot parse value near: " + std::string(cur.rest()));
+  }
+  PyValue out;
+  if (token == "True" || token == "False") {
+    out.kind = PyValue::Kind::Bool;
+    out.boolean = (token == "True");
+  } else if (std::isdigit(static_cast<unsigned char>(token[0])) != 0 ||
+             token[0] == '-' || token[0] == '+') {
+    out.kind = PyValue::Kind::Number;
+    out.str = token;
+  } else {
+    out.kind = PyValue::Kind::Ident;
+    out.str = token;
+  }
+  return out;
+}
+
+/// Parse "name(arg, kw=value, ...)" into (name, args). The input must be a
+/// complete call expression.
+std::vector<Arg> parse_call_args(std::string_view args_text) {
+  std::vector<Arg> out;
+  Cursor cur(args_text);
+  while (true) {
+    cur.skip_ws();
+    if (cur.done()) return out;
+    // keyword= ?
+    Arg arg;
+    const std::string_view rest = cur.rest();
+    std::size_t i = 0;
+    while (i < rest.size() &&
+           (std::isalnum(static_cast<unsigned char>(rest[i])) != 0 ||
+            rest[i] == '_')) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < rest.size() &&
+           std::isspace(static_cast<unsigned char>(rest[j])) != 0) {
+      ++j;
+    }
+    if (i > 0 && j < rest.size() && rest[j] == '=' &&
+        (j + 1 >= rest.size() || rest[j + 1] != '=')) {
+      arg.keyword = std::string(rest.substr(0, i));
+      for (std::size_t k = 0; k <= j; ++k) cur.take();
+    }
+    arg.value = parse_value(cur);
+    out.push_back(std::move(arg));
+    cur.skip_ws();
+    if (!cur.done() && cur.peek() == ',') {
+      cur.take();
+      continue;
+    }
+    cur.skip_ws();
+    if (cur.done()) return out;
+    throw ParseError("trailing junk in call args: " + std::string(cur.rest()));
+  }
+}
+
+const PyValue* find_kwarg(const std::vector<Arg>& args, std::string_view key) {
+  for (const auto& arg : args) {
+    if (arg.keyword == key) return &arg.value;
+  }
+  return nullptr;
+}
+
+const PyValue* positional(const std::vector<Arg>& args, std::size_t index) {
+  std::size_t seen = 0;
+  for (const auto& arg : args) {
+    if (!arg.keyword.empty()) continue;
+    if (seen == index) return &arg.value;
+    ++seen;
+  }
+  return nullptr;
+}
+
+/// Preprocess: strip comments, remove docstrings, merge multi-line calls
+/// into single logical lines (balancing parens/brackets outside strings).
+std::vector<std::string> logical_lines(std::string_view source) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  char string_quote = 0;
+  bool in_triple = false;
+  std::string triple_quote;
+
+  std::size_t i = 0;
+  while (i < source.size()) {
+    const char c = source[i];
+    if (in_triple) {
+      if (source.substr(i, 3) == triple_quote) {
+        in_triple = false;
+        i += 3;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        current += c;
+        if (i + 1 < source.size()) current += source[i + 1];
+        i += 2;
+        continue;
+      }
+      current += c;
+      if (c == string_quote) in_string = false;
+      ++i;
+      continue;
+    }
+    if (source.substr(i, 3) == "\"\"\"" || source.substr(i, 3) == "'''") {
+      in_triple = true;
+      triple_quote = std::string(source.substr(i, 3));
+      i += 3;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_string = true;
+      string_quote = c;
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (c == '\n') {
+      if (depth > 0) {
+        current += ' ';
+      } else {
+        out.push_back(current);
+        current.clear();
+      }
+      ++i;
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+std::vector<std::string> tuple_to_strings(const PyValue& value) {
+  std::vector<std::string> out;
+  if (value.kind == PyValue::Kind::Str) {
+    out.push_back(value.str);
+    return out;
+  }
+  if (value.kind == PyValue::Kind::Tuple) {
+    for (const auto& item : value.items) {
+      if (item.kind == PyValue::Kind::Str) out.push_back(item.str);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string class_to_package_name(std::string_view class_name) {
+  std::string out;
+  for (std::size_t i = 0; i < class_name.size(); ++i) {
+    const char c = class_name[i];
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+      if (i != 0) out += '-';
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (c == '_') {
+      out += '-';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Recipe::best_version(const VersionConstraint& constraint) const {
+  const VersionDecl* best = nullptr;
+  Version best_version;
+  bool best_preferred = false;
+  for (const auto& decl : versions) {
+    if (decl.deprecated) continue;
+    const Version candidate(decl.version);
+    if (!constraint.satisfied_by(candidate)) continue;
+    const bool better =
+        best == nullptr ||
+        (decl.preferred && !best_preferred) ||
+        (decl.preferred == best_preferred && best_version < candidate);
+    if (better) {
+      best = &decl;
+      best_version = candidate;
+      best_preferred = decl.preferred;
+    }
+  }
+  return best ? best->version : std::string{};
+}
+
+const VariantDecl* Recipe::find_variant(std::string_view variant_name) const {
+  for (const auto& variant : variants) {
+    if (variant.name == variant_name) return &variant;
+  }
+  return nullptr;
+}
+
+Recipe parse_package_py(std::string_view source) {
+  Recipe recipe;
+  for (const auto& raw_line : logical_lines(source)) {
+    const std::string_view line = support::trim(raw_line);
+    if (line.empty()) continue;
+
+    // class Foo(Base):
+    if (line.starts_with("class ")) {
+      auto rest = support::trim(line.substr(6));
+      const auto paren = rest.find('(');
+      const auto colon = rest.find(':');
+      const auto name_end = std::min(paren, colon);
+      recipe.class_name = std::string(support::trim(rest.substr(0, name_end)));
+      recipe.name = class_to_package_name(recipe.class_name);
+      if (paren != std::string_view::npos && colon != std::string_view::npos &&
+          colon > paren) {
+        const auto close = rest.find(')', paren);
+        if (close != std::string_view::npos) {
+          recipe.base_class =
+              std::string(support::trim(rest.substr(paren + 1, close - paren - 1)));
+        }
+      }
+      continue;
+    }
+
+    // attribute = "string"
+    {
+      const auto eq = line.find('=');
+      if (eq != std::string_view::npos && line.find('(') > eq) {
+        const auto key = support::trim(line.substr(0, eq));
+        const auto value_text = support::trim(line.substr(eq + 1));
+        if (!value_text.empty() &&
+            (value_text.front() == '"' || value_text.front() == '\'')) {
+          Cursor cur(value_text);
+          const std::string value = parse_string_literal(cur);
+          if (key == "homepage") recipe.homepage = value;
+          if (key == "url") recipe.url = value;
+        }
+        continue;
+      }
+    }
+
+    // call(...)
+    const auto paren = line.find('(');
+    if (paren == std::string_view::npos || !line.ends_with(")")) continue;
+    const std::string fn = std::string(support::trim(line.substr(0, paren)));
+    const std::string_view args_text =
+        line.substr(paren + 1, line.size() - paren - 2);
+
+    if (fn == "version") {
+      const auto args = parse_call_args(args_text);
+      const PyValue* ver = positional(args, 0);
+      if (ver == nullptr || ver->kind != PyValue::Kind::Str) {
+        throw ParseError("version() needs a string argument: " +
+                         std::string(line));
+      }
+      VersionDecl decl;
+      decl.version = ver->str;
+      if (const auto* sha = find_kwarg(args, "sha256")) decl.sha256 = sha->str;
+      if (const auto* pref = find_kwarg(args, "preferred")) {
+        decl.preferred = pref->boolean;
+      }
+      if (const auto* depr = find_kwarg(args, "deprecated")) {
+        decl.deprecated = depr->boolean;
+      }
+      recipe.versions.push_back(std::move(decl));
+    } else if (fn == "variant") {
+      const auto args = parse_call_args(args_text);
+      const PyValue* name = positional(args, 0);
+      if (name == nullptr || name->kind != PyValue::Kind::Str) {
+        throw ParseError("variant() needs a string argument: " +
+                         std::string(line));
+      }
+      VariantDecl decl;
+      decl.name = name->str;
+      if (const auto* dflt = find_kwarg(args, "default")) {
+        decl.default_value = dflt->boolean;
+      }
+      if (const auto* desc = find_kwarg(args, "description")) {
+        decl.description = desc->str;
+      }
+      recipe.variants.push_back(std::move(decl));
+    } else if (fn == "depends_on") {
+      const auto args = parse_call_args(args_text);
+      const PyValue* spec_text = positional(args, 0);
+      if (spec_text == nullptr || spec_text->kind != PyValue::Kind::Str) {
+        throw ParseError("depends_on() needs a string argument: " +
+                         std::string(line));
+      }
+      DependsDecl decl;
+      decl.spec = Spec::parse(spec_text->str);
+      if (const auto* when = find_kwarg(args, "when")) {
+        decl.when = Spec::parse(when->str);
+        decl.has_when = true;
+      }
+      if (const auto* type = find_kwarg(args, "type")) {
+        decl.types = tuple_to_strings(*type);
+      } else {
+        decl.types = {"build", "link"};
+      }
+      recipe.dependencies.push_back(std::move(decl));
+    } else if (fn == "provides") {
+      const auto args = parse_call_args(args_text);
+      for (const auto& arg : args) {
+        if (arg.keyword.empty() && arg.value.kind == PyValue::Kind::Str) {
+          recipe.provides.push_back(arg.value.str);
+        }
+      }
+    } else if (fn == "conflicts") {
+      const auto args = parse_call_args(args_text);
+      const PyValue* what = positional(args, 0);
+      if (what == nullptr || what->kind != PyValue::Kind::Str) continue;
+      ConflictDecl decl;
+      decl.conflict = Spec::parse(what->str);
+      if (const auto* when = find_kwarg(args, "when")) {
+        decl.when = Spec::parse(when->str);
+        decl.has_when = true;
+      }
+      recipe.conflicts.push_back(std::move(decl));
+    } else if (fn == "patch") {
+      ++recipe.patch_count;
+    }
+    // Other calls (maintainers(), license(), ...) are tolerated and skipped.
+  }
+  if (recipe.name.empty()) {
+    throw ParseError("package.py defines no class");
+  }
+  return recipe;
+}
+
+}  // namespace depchaos::spack

@@ -1,0 +1,41 @@
+#include "depchaos/spack/environment.hpp"
+
+#include <set>
+
+namespace depchaos::spack {
+
+ConcretizedEnvironment concretize_environment(
+    const Concretizer& concretizer,
+    const std::vector<std::string>& spec_texts) {
+  std::vector<Spec> roots;
+  roots.reserve(spec_texts.size());
+  for (const auto& text : spec_texts) {
+    roots.push_back(Spec::parse(text));
+  }
+  ConcretizedEnvironment env;
+  env.dag = concretizer.concretize_many(roots, &env.roots);
+  return env;
+}
+
+EnvironmentInstallation install_environment(
+    pkg::store::Store& store, const ConcretizedEnvironment& env) {
+  EnvironmentInstallation result;
+  std::set<std::string> profile_prefixes;
+  for (const auto& root : env.roots) {
+    ConcreteDag per_root;
+    per_root.root = root;
+    per_root.nodes = env.dag.nodes;  // shared node set
+    const auto installed = install_dag(store, per_root);
+    for (const auto& [name, prefix] : installed.prefixes) {
+      profile_prefixes.insert(prefix);
+    }
+    result.per_root.push_back(installed);
+  }
+  store.set_profile(
+      std::vector<std::string>(profile_prefixes.begin(),
+                               profile_prefixes.end()));
+  result.view_path = store.profile_path();
+  return result;
+}
+
+}  // namespace depchaos::spack

@@ -1,0 +1,84 @@
+// Reparser for the subset of Spack's Python package DSL that defines the
+// dependency graph (the "awkward" piece of reproducing the paper's
+// ecosystem: Spack recipes are Python, so we parse the declarative calls
+// without executing Python).
+//
+// Supported statements:
+//   class Axom(CMakePackage):            -> recipe name (CamelCase -> kebab)
+//   """docstring"""                      -> skipped (multi-line aware)
+//   homepage = "https://..."             -> recorded
+//   version("0.7.0", sha256="…", deprecated=True, preferred=True)
+//   variant("mpi", default=True, description="…")
+//   depends_on("hdf5@1.8:1.12+shared", when="+mpi", type=("build","link"))
+//   provides("mpi")                      -> virtual package provision
+//   conflicts("%gcc@:7", when="+cuda")   -> recorded for the concretizer
+//   patch("fix.patch", when="@1.0")      -> counted
+// Calls may span multiple lines; comments and unknown statements are
+// skipped; unknown kwargs are tolerated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depchaos/spack/spec.hpp"
+
+namespace depchaos::spack {
+
+struct VersionDecl {
+  std::string version;
+  std::string sha256;
+  bool preferred = false;
+  bool deprecated = false;
+};
+
+struct VariantDecl {
+  std::string name;
+  bool default_value = false;
+  std::string description;
+};
+
+struct DependsDecl {
+  Spec spec;                       // parsed from the first argument
+  Spec when;                       // anonymous condition spec ("" = always)
+  bool has_when = false;
+  std::vector<std::string> types;  // build/link/run (default build+link)
+};
+
+struct ConflictDecl {
+  Spec conflict;  // what must NOT hold
+  Spec when;
+  bool has_when = false;
+};
+
+struct Recipe {
+  std::string name;        // kebab-case package name
+  std::string class_name;  // original CamelCase
+  std::string base_class;  // Package / CMakePackage / ...
+  std::string homepage;
+  std::string url;
+  std::vector<VersionDecl> versions;
+  std::vector<VariantDecl> variants;
+  std::vector<DependsDecl> dependencies;
+  std::vector<ConflictDecl> conflicts;
+  std::vector<std::string> provides;  // virtual names
+  std::size_t patch_count = 0;
+
+  /// Highest non-deprecated version satisfying `constraint` (preferred
+  /// versions win ties at the front). Empty string when none.
+  std::string best_version(const VersionConstraint& constraint) const;
+
+  const VariantDecl* find_variant(std::string_view variant_name) const;
+};
+
+/// Convert a Python class name to a Spack package name:
+/// "Axom" -> "axom", "PyNumpy" -> "py-numpy", "Hdf5" -> "hdf5".
+std::string class_to_package_name(std::string_view class_name);
+
+/// Parse one package.py. Throws ParseError on inputs outside the subset
+/// only when they are structurally broken (unbalanced quotes/parens);
+/// unknown-but-wellformed statements are skipped.
+Recipe parse_package_py(std::string_view source);
+
+}  // namespace depchaos::spack

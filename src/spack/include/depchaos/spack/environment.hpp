@@ -1,0 +1,44 @@
+// Spack environments: several root specs concretized TOGETHER so shared
+// dependencies unify into one node — the data structure behind Spack's
+// environment views, which §III-D1's Dependency Views workaround is
+// explicitly "based on the concept of".
+//
+// A concretized environment installs every node into the store and can
+// publish a merged profile view (one bin/ + lib/ of symlinks), the
+// unified-FHS experience the paper describes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depchaos/pkg/store.hpp"
+#include "depchaos/spack/concretizer.hpp"
+#include "depchaos/spack/install.hpp"
+
+namespace depchaos::spack {
+
+struct ConcretizedEnvironment {
+  std::vector<std::string> roots;  // package names of the root specs
+  ConcreteDag dag;                 // unified node set (dag.root = first root)
+};
+
+/// Concretize `spec_texts` with unified constraints: a package appearing in
+/// several roots' closures gets ONE concrete node satisfying all of them
+/// (or ResolveError when they cannot agree — the views limitation of
+/// §III-D1: "only allowing a package to depend on a single version of any
+/// dependency").
+ConcretizedEnvironment concretize_environment(
+    const Concretizer& concretizer, const std::vector<std::string>& spec_texts);
+
+struct EnvironmentInstallation {
+  std::vector<InstallationResult> per_root;
+  /// Profile view path (<store>/../profiles/current) after set_profile.
+  std::string view_path;
+};
+
+/// Install every root (shared nodes install once thanks to store hashing)
+/// and publish the merged profile view.
+EnvironmentInstallation install_environment(pkg::store::Store& store,
+                                            const ConcretizedEnvironment& env);
+
+}  // namespace depchaos::spack

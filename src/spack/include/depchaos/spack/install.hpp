@@ -1,0 +1,31 @@
+// Materialize a concrete DAG into a store-model prefix tree (§II-D).
+//
+// Every package becomes <store>/<dag_hash>-<name>-<version>/lib/lib<name>.so
+// with DT_NEEDED on its dependencies' sonames and RPATH or RUNPATH entries
+// pointing at their store lib dirs — exactly the binaries Shrinkwrap is
+// designed to freeze. The DAG root additionally gets bin/<name>.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "depchaos/pkg/store.hpp"
+#include "depchaos/spack/concretizer.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::spack {
+
+struct InstallationResult {
+  /// Package name -> store prefix.
+  std::map<std::string, std::string> prefixes;
+  /// Absolute path of the root package's executable.
+  std::string exe_path;
+  /// Root package's library soname.
+  std::string root_soname;
+};
+
+/// Install every node of `dag` into `store`, dependencies first.
+InstallationResult install_dag(pkg::store::Store& store,
+                               const ConcreteDag& dag);
+
+}  // namespace depchaos::spack

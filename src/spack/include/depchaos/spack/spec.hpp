@@ -1,0 +1,36 @@
+// Spack spec syntax: "pkg@ver%compiler@cver +variant ~variant ^dep@ver ...".
+//
+// This is the abstract-spec language users type on the command line and the
+// `when=` condition language inside package.py. The parser covers the
+// subset the DSL reparser and concretizer need: names, version constraints,
+// compiler (with version), boolean variants, and '^'-anchored dependency
+// constraints.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depchaos/spack/version.hpp"
+
+namespace depchaos::spack {
+
+struct Spec {
+  std::string name;  // may be empty in anonymous `when=` specs ("+mpi")
+  VersionConstraint version;
+  std::string compiler;  // "" = unconstrained
+  VersionConstraint compiler_version;
+  std::map<std::string, bool> variants;  // name -> requested value
+  std::vector<Spec> dep_constraints;     // from '^' clauses
+
+  /// Parse a spec string. Throws ParseError on malformed input.
+  static Spec parse(std::string_view text);
+
+  /// Canonical rendering (stable ordering; used in hashes and messages).
+  std::string str() const;
+
+  bool anonymous() const { return name.empty(); }
+};
+
+}  // namespace depchaos::spack

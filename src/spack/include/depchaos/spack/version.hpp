@@ -1,0 +1,76 @@
+// Spack-style versions and version ranges.
+//
+// Versions are dotted numeric/alpha tuples compared segment-wise
+// ("1.10" > "1.9"). Constraints follow Spack's spec syntax:
+//   "1.8"        — prefix match (any 1.8.x)
+//   "=1.8.2"     — exact match
+//   "1.8:1.12"   — inclusive range
+//   "1.8:"       — at least
+//   ":1.12"      — at most
+//   ""           — anything
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depchaos::spack {
+
+class Version {
+ public:
+  Version() = default;
+  explicit Version(std::string_view text);
+
+  const std::string& str() const { return raw_; }
+  bool empty() const { return raw_.empty(); }
+
+  std::strong_ordering operator<=>(const Version& other) const;
+  bool operator==(const Version& other) const {
+    return (*this <=> other) == std::strong_ordering::equal;
+  }
+
+  /// True if `this` is a prefix of `other` at segment granularity
+  /// (1.8 is satisfied by 1.8.2; 1.8 is not satisfied by 1.80).
+  bool is_prefix_of(const Version& other) const;
+
+ private:
+  struct Segment {
+    long number = -1;   // -1 = non-numeric
+    std::string text;   // original text (used for alpha compare)
+    std::strong_ordering operator<=>(const Segment& other) const;
+    bool operator==(const Segment& other) const {
+      return (*this <=> other) == std::strong_ordering::equal;
+    }
+  };
+  std::string raw_;
+  std::vector<Segment> segments_;
+};
+
+class VersionConstraint {
+ public:
+  VersionConstraint() = default;  // matches anything
+
+  /// Parse the text after '@' in a spec.
+  explicit VersionConstraint(std::string_view text);
+
+  bool satisfied_by(const Version& version) const;
+  bool is_any() const { return kind_ == Kind::Any; }
+  const std::string& str() const { return raw_; }
+
+  /// Whether two constraints can possibly agree (used when the concretizer
+  /// unifies two requirements on the same package). Conservative: checks
+  /// range overlap.
+  bool intersects(const VersionConstraint& other) const;
+
+ private:
+  enum class Kind { Any, Exact, Prefix, Range };
+  Kind kind_ = Kind::Any;
+  std::string raw_;
+  Version exact_;                 // Exact / Prefix
+  std::optional<Version> lo_;     // Range
+  std::optional<Version> hi_;
+};
+
+}  // namespace depchaos::spack

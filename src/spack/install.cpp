@@ -1,0 +1,52 @@
+#include "depchaos/spack/install.hpp"
+
+#include "depchaos/elf/object.hpp"
+
+namespace depchaos::spack {
+
+namespace {
+std::string soname_for(const std::string& package_name) {
+  return "lib" + package_name + ".so";
+}
+}  // namespace
+
+InstallationResult install_dag(pkg::store::Store& store,
+                               const ConcreteDag& dag) {
+  InstallationResult result;
+  for (const auto& name : dag.install_order()) {
+    const ConcreteSpec& node = dag.at(name);
+    pkg::store::PackageSpec spec;
+    spec.name = node.name;
+    spec.version = node.version;
+    for (const auto& dep : node.deps) {
+      spec.deps.push_back(result.prefixes.at(dep));
+    }
+
+    std::vector<std::string> dep_sonames;
+    for (const auto& dep : node.deps) dep_sonames.push_back(soname_for(dep));
+
+    elf::Object lib = elf::make_library(soname_for(node.name), dep_sonames);
+    lib.symbols.push_back(
+        elf::Symbol{node.name + "_init", elf::SymbolBinding::Global, true});
+    spec.files.push_back(
+        pkg::store::StoreFile{"lib/" + soname_for(node.name), lib, ""});
+
+    const bool is_root = (node.name == dag.root);
+    if (is_root) {
+      std::vector<std::string> exe_needed = {soname_for(node.name)};
+      elf::Object exe = elf::make_executable(exe_needed);
+      spec.files.push_back(
+          pkg::store::StoreFile{"bin/" + node.name, exe, ""});
+    }
+
+    const auto& installed = store.add(spec);
+    result.prefixes[node.name] = installed.prefix;
+    if (is_root) {
+      result.exe_path = installed.prefix + "/bin/" + node.name;
+      result.root_soname = soname_for(node.name);
+    }
+  }
+  return result;
+}
+
+}  // namespace depchaos::spack

@@ -1,0 +1,137 @@
+#include "depchaos/spack/spec.hpp"
+
+#include <cctype>
+
+#include "depchaos/support/error.hpp"
+#include "depchaos/support/strings.hpp"
+
+namespace depchaos::spack {
+
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == '.';
+}
+
+bool is_version_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == ':' ||
+         c == '=' || c == '-';
+}
+
+// Parse one "unit" (no '^'): name@ver%comp@cver+var~var
+Spec parse_unit(std::string_view text) {
+  Spec spec;
+  std::size_t pos = 0;
+  const auto take_while = [&](auto pred) {
+    const std::size_t start = pos;
+    while (pos < text.size() && pred(text[pos])) ++pos;
+    return std::string(text.substr(start, pos - start));
+  };
+
+  // Leading name (may be absent for anonymous specs like "+mpi" or "@1.8:").
+  if (pos < text.size() && is_name_char(text[pos]) && text[pos] != '.') {
+    spec.name = take_while(is_name_char);
+  }
+
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    switch (c) {
+      case '@': {
+        ++pos;
+        const std::string v = take_while(is_version_char);
+        if (v.empty()) throw ParseError("empty version in spec: " + std::string(text));
+        spec.version = VersionConstraint(v);
+        break;
+      }
+      case '%': {
+        ++pos;
+        spec.compiler = take_while([](char ch) {
+          return std::isalnum(static_cast<unsigned char>(ch)) || ch == '-' ||
+                 ch == '_';
+        });
+        if (spec.compiler.empty()) {
+          throw ParseError("empty compiler in spec: " + std::string(text));
+        }
+        if (pos < text.size() && text[pos] == '@') {
+          ++pos;
+          spec.compiler_version = VersionConstraint(take_while(is_version_char));
+        }
+        break;
+      }
+      case '+': {
+        ++pos;
+        const std::string v = take_while(is_name_char);
+        if (v.empty()) throw ParseError("empty +variant in: " + std::string(text));
+        spec.variants[v] = true;
+        break;
+      }
+      case '~':
+      case '-': {
+        // '-variant' only counts when following whitespace or at start;
+        // inside names '-' was already consumed by take_while(is_name_char).
+        ++pos;
+        const std::string v = take_while(is_name_char);
+        if (v.empty()) throw ParseError("empty ~variant in: " + std::string(text));
+        spec.variants[v] = false;
+        break;
+      }
+      default:
+        throw ParseError("unexpected character '" + std::string(1, c) +
+                         "' in spec: " + std::string(text));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Spec Spec::parse(std::string_view text) {
+  const auto trimmed = support::trim(text);
+  // Split on '^' boundaries (dependency constraints).
+  std::vector<std::string> units;
+  std::string current;
+  for (const char c : trimmed) {
+    if (c == '^') {
+      units.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  units.push_back(current);
+
+  Spec spec = parse_unit(support::trim(units.front()));
+  for (std::size_t i = 1; i < units.size(); ++i) {
+    const auto unit = support::trim(units[i]);
+    if (unit.empty()) throw ParseError("empty ^dependency in: " + std::string(text));
+    Spec dep = parse_unit(unit);
+    if (dep.anonymous()) {
+      throw ParseError("^dependency must be named in: " + std::string(text));
+    }
+    spec.dep_constraints.push_back(std::move(dep));
+  }
+  return spec;
+}
+
+std::string Spec::str() const {
+  std::string out = name;
+  if (!version.is_any()) out += "@" + version.str();
+  if (!compiler.empty()) {
+    out += "%" + compiler;
+    if (!compiler_version.is_any()) out += "@" + compiler_version.str();
+  }
+  for (const auto& [variant, value] : variants) {
+    out += (value ? "+" : "~") + variant;
+  }
+  for (const auto& dep : dep_constraints) {
+    out += " ^" + dep.str();
+  }
+  return out;
+}
+
+}  // namespace depchaos::spack

@@ -1,0 +1,132 @@
+#include "depchaos/spack/version.hpp"
+
+#include <cctype>
+
+#include "depchaos/support/error.hpp"
+#include "depchaos/support/strings.hpp"
+
+namespace depchaos::spack {
+
+Version::Version(std::string_view text) : raw_(text) {
+  for (const auto& part : support::split_nonempty(text, '.')) {
+    Segment seg;
+    seg.text = part;
+    if (support::is_all_digits(part)) {
+      seg.number = std::stol(part);
+    }
+    segments_.push_back(std::move(seg));
+  }
+}
+
+std::strong_ordering Version::Segment::operator<=>(const Segment& other) const {
+  const bool a_num = number >= 0, b_num = other.number >= 0;
+  if (a_num && b_num) return number <=> other.number;
+  // Numeric segments sort after alpha ones ("1.0rc1" < "1.0.1" style);
+  // simple but consistent.
+  if (a_num != b_num) {
+    return a_num ? std::strong_ordering::greater : std::strong_ordering::less;
+  }
+  const int cmp = text.compare(other.text);
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::strong_ordering Version::operator<=>(const Version& other) const {
+  const std::size_t n = std::max(segments_.size(), other.segments_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Missing segments compare as 0 ("1.8" == "1.8.0").
+    static const Segment kZero{0, "0"};
+    const Segment& a = i < segments_.size() ? segments_[i] : kZero;
+    const Segment& b = i < other.segments_.size() ? other.segments_[i] : kZero;
+    const auto cmp = a <=> b;
+    if (cmp != std::strong_ordering::equal) return cmp;
+  }
+  return std::strong_ordering::equal;
+}
+
+bool Version::is_prefix_of(const Version& other) const {
+  if (segments_.size() > other.segments_.size()) {
+    // "1.8.0" can still prefix-match "1.8" only if trailing zeros.
+    for (std::size_t i = other.segments_.size(); i < segments_.size(); ++i) {
+      if (segments_[i].number != 0) return false;
+    }
+  }
+  const std::size_t n = std::min(segments_.size(), other.segments_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(segments_[i] == other.segments_[i])) return false;
+  }
+  return true;
+}
+
+VersionConstraint::VersionConstraint(std::string_view text) : raw_(text) {
+  if (text.empty()) {
+    kind_ = Kind::Any;
+    return;
+  }
+  if (text.front() == '=') {
+    kind_ = Kind::Exact;
+    exact_ = Version(text.substr(1));
+    return;
+  }
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    kind_ = Kind::Prefix;
+    exact_ = Version(text);
+    return;
+  }
+  kind_ = Kind::Range;
+  const auto lo_text = text.substr(0, colon);
+  const auto hi_text = text.substr(colon + 1);
+  if (!lo_text.empty()) lo_ = Version(lo_text);
+  if (!hi_text.empty()) hi_ = Version(hi_text);
+}
+
+bool VersionConstraint::satisfied_by(const Version& version) const {
+  switch (kind_) {
+    case Kind::Any:
+      return true;
+    case Kind::Exact:
+      return exact_ == version;
+    case Kind::Prefix:
+      return exact_.is_prefix_of(version);
+    case Kind::Range:
+      if (lo_ && version < *lo_) return false;
+      if (hi_) {
+        // Inclusive upper bound with prefix semantics: "…:1.12" admits
+        // 1.12.3 (Spack's ranges are closed over prefix matches).
+        if (*hi_ < version && !hi_->is_prefix_of(version)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool VersionConstraint::intersects(const VersionConstraint& other) const {
+  if (is_any() || other.is_any()) return true;
+  // Sample-based check against both exact points and range endpoints;
+  // exact for the constraint shapes the DSL can produce.
+  auto candidates = [](const VersionConstraint& c) {
+    std::vector<Version> out;
+    if (c.kind_ == Kind::Exact || c.kind_ == Kind::Prefix) out.push_back(c.exact_);
+    if (c.kind_ == Kind::Range) {
+      if (c.lo_) out.push_back(*c.lo_);
+      if (c.hi_) out.push_back(*c.hi_);
+    }
+    return out;
+  };
+  for (const auto& v : candidates(*this)) {
+    if (other.satisfied_by(v)) return true;
+  }
+  for (const auto& v : candidates(other)) {
+    if (satisfied_by(v)) return true;
+  }
+  // Two open-ended ranges pointing at each other.
+  if (kind_ == Kind::Range && other.kind_ == Kind::Range) {
+    if (!hi_ && !other.hi_) return true;
+    if (!lo_ && !other.lo_) return true;
+  }
+  return false;
+}
+
+}  // namespace depchaos::spack

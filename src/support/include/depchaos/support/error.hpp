@@ -1,0 +1,52 @@
+// Error taxonomy for the depchaos library.
+//
+// All recoverable "the simulated world disagrees with you" conditions are
+// reported via exceptions derived from depchaos::Error so callers can catch
+// one base type. Lookup-style APIs that can legitimately miss return
+// std::optional instead of throwing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace depchaos {
+
+/// Base class for all depchaos errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Filesystem-level failure (missing path, not-a-directory, symlink loop...).
+class FsError : public Error {
+ public:
+  explicit FsError(const std::string& what) : Error("vfs: " + what) {}
+};
+
+/// Malformed SELF image, bad patch request, truncated serialization.
+class ElfError : public Error {
+ public:
+  explicit ElfError(const std::string& what) : Error("elf: " + what) {}
+};
+
+/// Parse failure in one of the package metadata formats (Debian control,
+/// Spack package.py subset, spec syntax).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+/// Dependency resolution failure (concretizer conflict, unknown package).
+class ResolveError : public Error {
+ public:
+  explicit ResolveError(const std::string& what) : Error("resolve: " + what) {}
+};
+
+/// Link-time failure (duplicate strong symbols in the Needy Executables
+/// workaround, unresolved strong references).
+class LinkError : public Error {
+ public:
+  explicit LinkError(const std::string& what) : Error("link: " + what) {}
+};
+
+}  // namespace depchaos

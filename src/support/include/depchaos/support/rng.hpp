@@ -1,0 +1,141 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// All generators in depchaos::workload derive their streams from these so
+// every figure/table reproduction is bit-identical run to run. SplitMix64 is
+// used for seeding; xoshiro256** is the workhorse generator (Blackman &
+// Vigna). Distribution helpers (uniform, Zipf) avoid libstdc++'s unspecified
+// distribution algorithms so sequences are stable across standard libraries.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace depchaos::support {
+
+/// SplitMix64: tiny generator used to expand a single seed into state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// bias is negligible for the bounds used here (< 2^32).
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Pick an index according to a weight vector (weights need not sum to 1).
+  std::size_t weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (const double w : weights) total += w;
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed sampler over ranks 1..n with exponent s, implemented by
+/// precomputing the CDF (n is at most a few hundred thousand here).
+/// Used for Fig 4's shared-object reuse distribution: a handful of libraries
+/// (libc-like) are needed by nearly everything, most by almost nothing.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_[k - 1] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  /// Sample a rank in [0, n). Rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace depchaos::support

@@ -1,0 +1,49 @@
+// Standalone SHA-256 used for content-addressed store paths (Nix/Spack
+// models) and deterministic dag hashes. Implemented from FIPS 180-4; no
+// external dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace depchaos::support {
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update("a"); h.update("b"); auto hex = h.hex_digest();
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input. May be called repeatedly.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 32-byte digest. The object must not be updated
+  /// afterwards; construct a fresh one for a new message.
+  std::array<std::uint8_t, 32> digest();
+
+  /// Finalize and return the digest as 64 lowercase hex characters.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t bit_count_ = 0;
+  std::size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience: hex SHA-256 of a string.
+std::string sha256_hex(std::string_view s);
+
+/// Store-style truncated hash: first `n` hex chars (Spack uses 32 for
+/// directory names, Nix uses a 32-char base-32; hex is close enough for the
+/// purposes of a store path).
+std::string sha256_prefix(std::string_view s, std::size_t n = 32);
+
+}  // namespace depchaos::support

@@ -1,0 +1,30 @@
+// Small string utilities shared by the parsers (Debian control files, Spack
+// package.py subset, spec syntax) and path handling in the VFS.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depchaos::support {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on `sep`, dropping empty fields.
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Join parts with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` consists only of [0-9].
+bool is_all_digits(std::string_view s);
+
+/// Replace every occurrence of `from` in `s` with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+}  // namespace depchaos::support

@@ -1,0 +1,55 @@
+// Fixed-size thread pool + parallel_for used by the corpus analyses (Fig 1,
+// Fig 4) and the multi-rank launch simulation (Fig 6). Deliberately simple:
+// a single mutex-protected deque is more than fast enough for coarse-grained
+// analysis tasks, and simplicity keeps the shutdown path obviously correct
+// (CppCoreGuidelines CP.*: RAII-owned threads, no detached threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace depchaos::support {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; outstanding tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for i in [0, n) across the pool in contiguous chunks and wait.
+/// fn must be safe to call concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_chunk = 256);
+
+}  // namespace depchaos::support

@@ -1,0 +1,29 @@
+// World snapshots: serialize an entire simulated filesystem to a single
+// text image and back. This is what lets the CLI tools (tools/depchaos)
+// operate like their real-world counterparts: one invocation generates a
+// world to a file, later invocations run libtree/shrinkwrap/launch against
+// it — the same workflow as pointing real tools at a real filesystem.
+//
+// Format (DCWORLD1): a header line, then one record per node in
+// depth-first order:
+//   dir <path>
+//   link <path> <target>
+//   file <path> <declared_size> <nbytes>\n<nbytes raw bytes>\n
+// Raw bytes are length-prefixed, so SELF images (which are multi-line text)
+// embed without escaping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::vfs {
+
+/// Serialize the whole filesystem (uncounted).
+std::string save_world(const FileSystem& fs);
+
+/// Rebuild a filesystem from a snapshot. Throws FsError on malformed input.
+FileSystem load_world(std::string_view image);
+
+}  // namespace depchaos::vfs

@@ -1,0 +1,203 @@
+// In-memory POSIX-style filesystem with syscall accounting.
+//
+// This is the substrate every packaging model in the paper is built on:
+// FHS trees, bundled AppDirs, Nix/Spack stores, module directories. The
+// loader simulator issues stat()/open() calls against it exactly the way
+// ld.so probes candidate paths, and the per-operation counters + latency
+// model produce the numbers behind Table II and Fig 6.
+//
+// Conventions:
+//  * Paths are absolute, '/'-separated; "." and ".." are normalized away.
+//  * Symlinks store a (possibly relative) target string, resolved lazily
+//    with a Linux-style 40-hop loop limit.
+//  * Mutating setup APIs (write_file, mkdir_p, symlink, rename, remove) are
+//    NOT counted as syscalls: they represent package-manager installation,
+//    not process startup. The counted operations are stat/open/read/readlink.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "depchaos/support/error.hpp"
+#include "depchaos/vfs/latency.hpp"
+
+namespace depchaos::vfs {
+
+using InodeNum = std::uint64_t;
+
+enum class NodeType : std::uint8_t { Regular, Directory, Symlink };
+
+/// Result of stat()/lstat().
+struct Stat {
+  InodeNum ino = 0;
+  NodeType type = NodeType::Regular;
+  std::uint64_t size = 0;
+};
+
+/// Contents of a regular file. `declared_size` lets workloads model large
+/// binaries (the paper wraps a 213 MiB executable) without materializing
+/// bytes; it is max(bytes.size(), declared_size) that stat() reports.
+struct FileData {
+  std::string bytes;
+  std::uint64_t declared_size = 0;
+
+  std::uint64_t size() const {
+    return std::max<std::uint64_t>(bytes.size(), declared_size);
+  }
+};
+
+/// Counters for the operations a process issues during startup.
+struct SyscallStats {
+  std::uint64_t stat_calls = 0;
+  std::uint64_t open_calls = 0;
+  std::uint64_t read_calls = 0;
+  std::uint64_t readlink_calls = 0;
+  std::uint64_t failed_probes = 0;  // stat/open of nonexistent paths
+  double sim_time_s = 0;            // accumulated latency-model cost
+
+  std::uint64_t metadata_calls() const { return stat_calls + open_calls; }
+
+  SyscallStats& operator+=(const SyscallStats& other);
+};
+
+/// Normalize an absolute path: collapse '//', resolve '.' and '..'
+/// lexically. Throws FsError if `path` is not absolute.
+std::string normalize_path(std::string_view path);
+
+/// Lexical dirname/basename of a normalized absolute path.
+std::string dirname(std::string_view path);
+std::string basename(std::string_view path);
+
+class FileSystem {
+ public:
+  FileSystem();
+
+  // ----- setup (uncounted) -------------------------------------------------
+
+  /// Create directory and all ancestors. Idempotent.
+  void mkdir_p(std::string_view path);
+
+  /// Create/overwrite a regular file, creating parent directories.
+  void write_file(std::string_view path, FileData data);
+  void write_file(std::string_view path, std::string bytes) {
+    write_file(path, FileData{std::move(bytes), 0});
+  }
+
+  /// Create a symlink at `linkpath` pointing at `target` (target may be
+  /// relative and need not exist). Throws if linkpath already exists.
+  void symlink(std::string_view target, std::string_view linkpath);
+
+  /// Remove a file/symlink, or a directory (recursively if requested).
+  void remove(std::string_view path, bool recursive = false);
+
+  /// Atomic rename (the store model's commit primitive). Replaces an
+  /// existing non-directory destination, like rename(2).
+  void rename(std::string_view from, std::string_view to);
+
+  /// True if the path exists (following symlinks). Uncounted.
+  bool exists(std::string_view path) const;
+
+  /// Directory listing in insertion order. Uncounted.
+  std::vector<std::string> list_dir(std::string_view path) const;
+
+  /// Resolve all symlinks; returns canonical path or nullopt. Uncounted.
+  std::optional<std::string> realpath(std::string_view path) const;
+
+  /// Total inode count (Dependency Views cost accounting, §III-D1).
+  std::size_t inode_count() const { return live_inodes_; }
+
+  /// Uncounted file access for tooling (package managers, patchers) that
+  /// does not represent process-startup syscall traffic.
+  const FileData* peek(std::string_view path) const;
+
+  /// Recursive on-disk byte total under `path` (uncounted; du(1)-style).
+  /// Symlinks contribute nothing. Returns 0 for missing paths.
+  std::uint64_t disk_usage(std::string_view path) const;
+
+  /// Uncounted node-type query. `follow` controls final-symlink
+  /// dereferencing (stat vs lstat semantics).
+  std::optional<NodeType> peek_type(std::string_view path,
+                                    bool follow = false) const;
+
+  /// Uncounted readlink(2): the literal target of a symlink, nullopt when
+  /// the path is not a symlink.
+  std::optional<std::string> peek_link_target(std::string_view path) const;
+
+  // ----- counted process-startup operations --------------------------------
+
+  /// stat(2): follow symlinks, count one metadata op (plus readlink costs).
+  std::optional<Stat> stat(std::string_view path);
+
+  /// lstat(2): do not follow the final symlink.
+  std::optional<Stat> lstat(std::string_view path);
+
+  /// openat(2) + contents: returns file data if `path` names a regular file.
+  const FileData* open(std::string_view path);
+
+  /// Read after open: counted separately (data vs metadata traffic).
+  void count_read(std::string_view path);
+
+  // ----- accounting ---------------------------------------------------------
+
+  SyscallStats& stats() { return stats_; }
+  const SyscallStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SyscallStats{}; }
+
+  /// Attach/replace the latency model (nullptr = free operations).
+  void set_latency_model(std::shared_ptr<LatencyModel> model) {
+    latency_ = std::move(model);
+  }
+  LatencyModel* latency_model() const { return latency_.get(); }
+
+  /// Drop client caches in the latency model (cold start).
+  void clear_caches() {
+    if (latency_) latency_->clear_client_cache();
+  }
+
+  /// Disable/enable syscall accounting (counters AND latency). Used for
+  /// what-if probes (libtree's cache-hit classification) that must not
+  /// perturb the measured workload.
+  void set_counting(bool enabled) { counting_ = enabled; }
+  bool counting() const { return counting_; }
+
+ private:
+  struct Node {
+    NodeType type = NodeType::Regular;
+    // Directory children, insertion-ordered for deterministic listings.
+    std::vector<std::pair<std::string, InodeNum>> children;
+    FileData data;            // Regular
+    std::string link_target;  // Symlink
+    bool alive = true;
+
+    InodeNum find_child(const std::string& name) const;
+  };
+
+  // Resolve `path` to an inode. If follow_final is false the last component
+  // is not dereferenced when it is a symlink. Returns 0 (invalid) on miss.
+  InodeNum resolve(std::string_view path, bool follow_final,
+                   std::string* canonical = nullptr) const;
+
+  InodeNum resolve_components(const std::vector<std::string>& comps,
+                              bool follow_final, int& hops,
+                              std::string* canonical) const;
+
+  // Parent directory inode of `path`, creating it if `create`.
+  InodeNum parent_of(const std::string& norm, bool create);
+
+  InodeNum new_node(NodeType type);
+  void charge(OpKind op, bool hit, const std::string& path);
+  void remove_subtree(InodeNum ino);
+
+  std::vector<Node> nodes_;  // nodes_[0] unused; 1 = root
+  std::size_t live_inodes_ = 0;
+  SyscallStats stats_;
+  std::shared_ptr<LatencyModel> latency_;
+  bool counting_ = true;
+};
+
+}  // namespace depchaos::vfs

@@ -1,0 +1,51 @@
+#include "depchaos/vfs/latency.hpp"
+
+namespace depchaos::vfs {
+namespace {
+constexpr double kMicro = 1e-6;
+}
+
+double LocalDiskModel::cost(OpKind op, bool /*hit*/,
+                            const std::string& /*path*/) {
+  switch (op) {
+    case OpKind::Stat:
+      return params_.stat_us * kMicro;
+    case OpKind::Open:
+      return params_.open_us * kMicro;
+    case OpKind::Read:
+      return params_.read_us * kMicro;
+    case OpKind::Readlink:
+      return params_.readlink_us * kMicro;
+  }
+  return 0;
+}
+
+double NfsModel::cost(OpKind op, bool hit, const std::string& path) {
+  if (op == OpKind::Read) {
+    // Data reads always go to the server in this model; the attribute cache
+    // only covers metadata.
+    ++server_round_trips_;
+    return params_.read_us * kMicro;
+  }
+  if (hit) {
+    if (attr_cache_.contains(path)) return params_.cached_us * kMicro;
+    attr_cache_.insert(path);
+    ++server_round_trips_;
+    return params_.rtt_us * kMicro;
+  }
+  // Miss: with negative caching the client remembers "not there"; without it
+  // (the LLNL default per §V-A) every probe of a missing path is a full RTT.
+  if (params_.negative_caching) {
+    if (negative_cache_.contains(path)) return params_.cached_us * kMicro;
+    negative_cache_.insert(path);
+  }
+  ++server_round_trips_;
+  return params_.rtt_us * kMicro;
+}
+
+void NfsModel::clear_client_cache() {
+  attr_cache_.clear();
+  negative_cache_.clear();
+}
+
+}  // namespace depchaos::vfs

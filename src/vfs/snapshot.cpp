@@ -1,0 +1,111 @@
+#include "depchaos/vfs/snapshot.hpp"
+
+#include <charconv>
+
+namespace depchaos::vfs {
+
+namespace {
+constexpr std::string_view kMagic = "DCWORLD1\n";
+
+void save_tree(const FileSystem& fs, const std::string& path,
+               std::string& out) {
+  const auto listing = fs.list_dir(path);
+  for (const auto& name : listing) {
+    const std::string child = path == "/" ? "/" + name : path + "/" + name;
+    const auto type = fs.peek_type(child, /*follow=*/false);
+    if (!type.has_value()) continue;  // unreachable in practice
+    switch (*type) {
+      case NodeType::Symlink:
+        out += "link " + child + " " + *fs.peek_link_target(child) + "\n";
+        break;
+      case NodeType::Regular: {
+        const FileData* data = fs.peek(child);
+        out += "file " + child + " " + std::to_string(data->declared_size) +
+               " " + std::to_string(data->bytes.size()) + "\n";
+        out += data->bytes;
+        out += '\n';
+        break;
+      }
+      case NodeType::Directory:
+        out += "dir " + child + "\n";
+        save_tree(fs, child, out);
+        break;
+    }
+  }
+}
+}  // namespace
+
+std::string save_world(const FileSystem& fs) {
+  std::string out{kMagic};
+  save_tree(fs, "/", out);
+  return out;
+}
+
+FileSystem load_world(std::string_view image) {
+  if (image.substr(0, kMagic.size()) != kMagic) {
+    throw FsError("bad world snapshot magic");
+  }
+  FileSystem fs;
+  std::size_t pos = kMagic.size();
+  const auto read_line = [&]() -> std::string_view {
+    const auto end = image.find('\n', pos);
+    if (end == std::string_view::npos) {
+      const auto line = image.substr(pos);
+      pos = image.size();
+      return line;
+    }
+    const auto line = image.substr(pos, end - pos);
+    pos = end + 1;
+    return line;
+  };
+  while (pos < image.size()) {
+    const std::string_view line = read_line();
+    if (line.empty()) continue;
+    const auto first_space = line.find(' ');
+    if (first_space == std::string_view::npos) {
+      throw FsError("malformed snapshot line: " + std::string(line));
+    }
+    const std::string_view kind = line.substr(0, first_space);
+    const std::string_view rest = line.substr(first_space + 1);
+    if (kind == "dir") {
+      fs.mkdir_p(rest);
+    } else if (kind == "link") {
+      const auto space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        throw FsError("malformed link record: " + std::string(line));
+      }
+      fs.symlink(rest.substr(space + 1), rest.substr(0, space));
+    } else if (kind == "file") {
+      // file <path> <declared> <nbytes>
+      const auto size_pos = rest.rfind(' ');
+      const auto declared_pos = rest.rfind(' ', size_pos - 1);
+      if (size_pos == std::string_view::npos ||
+          declared_pos == std::string_view::npos) {
+        throw FsError("malformed file record: " + std::string(line));
+      }
+      const std::string_view path = rest.substr(0, declared_pos);
+      std::uint64_t declared = 0, nbytes = 0;
+      const auto declared_text =
+          rest.substr(declared_pos + 1, size_pos - declared_pos - 1);
+      const auto nbytes_text = rest.substr(size_pos + 1);
+      std::from_chars(declared_text.data(),
+                      declared_text.data() + declared_text.size(), declared);
+      std::from_chars(nbytes_text.data(),
+                      nbytes_text.data() + nbytes_text.size(), nbytes);
+      if (pos + nbytes > image.size()) {
+        throw FsError("truncated file payload: " + std::string(path));
+      }
+      FileData data;
+      data.bytes = std::string(image.substr(pos, nbytes));
+      data.declared_size = declared;
+      pos += nbytes;
+      if (pos < image.size() && image[pos] == '\n') ++pos;
+      fs.write_file(path, std::move(data));
+    } else {
+      throw FsError("unknown snapshot record: " + std::string(kind));
+    }
+  }
+  return fs;
+}
+
+}  // namespace depchaos::vfs

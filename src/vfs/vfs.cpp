@@ -1,0 +1,438 @@
+#include "depchaos/vfs/vfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "depchaos/support/strings.hpp"
+
+namespace depchaos::vfs {
+
+namespace {
+constexpr int kMaxSymlinkHops = 40;  // Linux ELOOP limit
+}
+
+SyscallStats& SyscallStats::operator+=(const SyscallStats& other) {
+  stat_calls += other.stat_calls;
+  open_calls += other.open_calls;
+  read_calls += other.read_calls;
+  readlink_calls += other.readlink_calls;
+  failed_probes += other.failed_probes;
+  sim_time_s += other.sim_time_s;
+  return *this;
+}
+
+std::string normalize_path(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    throw FsError("path must be absolute: '" + std::string(path) + "'");
+  }
+  std::vector<std::string> out;
+  for (const auto& comp : support::split_nonempty(path, '/')) {
+    if (comp == ".") continue;
+    if (comp == "..") {
+      if (!out.empty()) out.pop_back();
+      continue;
+    }
+    out.push_back(comp);
+  }
+  if (out.empty()) return "/";
+  std::string result;
+  for (const auto& comp : out) {
+    result += '/';
+    result += comp;
+  }
+  return result;
+}
+
+std::string dirname(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  const auto pos = norm.rfind('/');
+  if (pos == 0) return "/";
+  return norm.substr(0, pos);
+}
+
+std::string basename(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return "/";
+  return norm.substr(norm.rfind('/') + 1);
+}
+
+InodeNum FileSystem::Node::find_child(const std::string& name) const {
+  for (const auto& [child_name, ino] : children) {
+    if (child_name == name) return ino;
+  }
+  return 0;
+}
+
+FileSystem::FileSystem() {
+  nodes_.resize(2);
+  nodes_[1].type = NodeType::Directory;
+  live_inodes_ = 1;
+}
+
+InodeNum FileSystem::new_node(NodeType type) {
+  nodes_.emplace_back();
+  nodes_.back().type = type;
+  ++live_inodes_;
+  return nodes_.size() - 1;
+}
+
+void FileSystem::charge(OpKind op, bool hit, const std::string& path) {
+  if (!counting_) return;
+  switch (op) {
+    case OpKind::Stat:
+      ++stats_.stat_calls;
+      break;
+    case OpKind::Open:
+      ++stats_.open_calls;
+      break;
+    case OpKind::Read:
+      ++stats_.read_calls;
+      break;
+    case OpKind::Readlink:
+      ++stats_.readlink_calls;
+      break;
+  }
+  if (!hit && (op == OpKind::Stat || op == OpKind::Open)) {
+    ++stats_.failed_probes;
+  }
+  if (latency_) stats_.sim_time_s += latency_->cost(op, hit, path);
+}
+
+InodeNum FileSystem::resolve_components(const std::vector<std::string>& comps,
+                                        bool follow_final, int& hops,
+                                        std::string* canonical) const {
+  InodeNum cur = 1;
+  std::vector<std::string> canon;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    const Node& node = nodes_[cur];
+    if (node.type != NodeType::Directory) return 0;
+    const InodeNum child = node.find_child(comps[i]);
+    if (child == 0) return 0;
+    const bool is_final = (i + 1 == comps.size());
+    if (nodes_[child].type == NodeType::Symlink && (follow_final || !is_final)) {
+      if (++hops > kMaxSymlinkHops) {
+        throw FsError("too many levels of symbolic links");
+      }
+      // Build the target path: absolute targets restart from root; relative
+      // targets are resolved against the link's directory.
+      std::string target = nodes_[child].link_target;
+      std::string base;
+      if (!target.empty() && target.front() == '/') {
+        base = target;
+      } else {
+        base = "/";
+        for (const auto& comp : canon) base += comp + "/";
+        base += target;
+      }
+      std::string rest = normalize_path(base);
+      for (std::size_t j = i + 1; j < comps.size(); ++j) {
+        rest += '/';
+        rest += comps[j];
+      }
+      const auto rest_comps =
+          support::split_nonempty(normalize_path(rest), '/');
+      return resolve_components(rest_comps, follow_final, hops, canonical);
+    }
+    canon.push_back(comps[i]);
+    cur = child;
+  }
+  if (canonical) {
+    *canonical = "/";
+    for (std::size_t i = 0; i < canon.size(); ++i) {
+      if (i) *canonical += '/';
+      *canonical += canon[i];
+    }
+    if (canon.empty()) *canonical = "/";
+    else if ((*canonical)[0] != '/') *canonical = "/" + *canonical;
+  }
+  return cur;
+}
+
+InodeNum FileSystem::resolve(std::string_view path, bool follow_final,
+                             std::string* canonical) const {
+  const std::string norm = normalize_path(path);
+  const auto comps = support::split_nonempty(norm, '/');
+  int hops = 0;
+  return resolve_components(comps, follow_final, hops, canonical);
+}
+
+InodeNum FileSystem::parent_of(const std::string& norm, bool create) {
+  const std::string dir = dirname(norm);
+  InodeNum ino = resolve(dir, /*follow_final=*/true);
+  if (ino != 0) {
+    if (nodes_[ino].type != NodeType::Directory) {
+      throw FsError("not a directory: " + dir);
+    }
+    return ino;
+  }
+  if (!create) throw FsError("no such directory: " + dir);
+  mkdir_p(dir);
+  ino = resolve(dir, true);
+  assert(ino != 0);
+  return ino;
+}
+
+void FileSystem::mkdir_p(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return;
+  InodeNum cur = 1;
+  std::string prefix;
+  for (const auto& comp : support::split_nonempty(norm, '/')) {
+    prefix += '/';
+    prefix += comp;
+    InodeNum child = nodes_[cur].find_child(comp);
+    if (child == 0) {
+      child = new_node(NodeType::Directory);
+      nodes_[cur].children.emplace_back(comp, child);
+    } else if (nodes_[child].type == NodeType::Symlink) {
+      // Follow symlinked intermediate directories.
+      child = resolve(prefix, /*follow_final=*/true);
+      if (child == 0 || nodes_[child].type != NodeType::Directory) {
+        throw FsError("not a directory (through symlink): " + prefix);
+      }
+    } else if (nodes_[child].type != NodeType::Directory) {
+      throw FsError("not a directory: " + prefix);
+    }
+    cur = child;
+  }
+}
+
+void FileSystem::write_file(std::string_view path, FileData data) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") throw FsError("cannot write to /");
+  const InodeNum parent = parent_of(norm, /*create=*/true);
+  const std::string name = basename(norm);
+  InodeNum child = nodes_[parent].find_child(name);
+  if (child != 0 && nodes_[child].type == NodeType::Symlink) {
+    // Writing through a symlink targets the link's destination.
+    std::string canonical;
+    const InodeNum target = resolve(norm, true, &canonical);
+    if (target != 0) {
+      child = target;
+    } else {
+      throw FsError("dangling symlink: " + norm);
+    }
+  }
+  if (child == 0) {
+    child = new_node(NodeType::Regular);
+    nodes_[parent].children.emplace_back(name, child);
+  } else if (nodes_[child].type == NodeType::Directory) {
+    throw FsError("is a directory: " + norm);
+  }
+  nodes_[child].data = std::move(data);
+}
+
+void FileSystem::symlink(std::string_view target, std::string_view linkpath) {
+  const std::string norm = normalize_path(linkpath);
+  const InodeNum parent = parent_of(norm, /*create=*/true);
+  const std::string name = basename(norm);
+  if (nodes_[parent].find_child(name) != 0) {
+    throw FsError("already exists: " + norm);
+  }
+  const InodeNum child = new_node(NodeType::Symlink);
+  nodes_[child].link_target = std::string(target);
+  nodes_[parent].children.emplace_back(name, child);
+}
+
+void FileSystem::remove_subtree(InodeNum ino) {
+  for (const auto& [name, child] : nodes_[ino].children) {
+    remove_subtree(child);
+  }
+  nodes_[ino].children.clear();
+  nodes_[ino].alive = false;
+  --live_inodes_;
+}
+
+void FileSystem::remove(std::string_view path, bool recursive) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") throw FsError("cannot remove /");
+  const InodeNum parent = resolve(dirname(norm), true);
+  if (parent == 0) throw FsError("no such path: " + norm);
+  const std::string name = basename(norm);
+  auto& children = nodes_[parent].children;
+  const auto it = std::find_if(children.begin(), children.end(),
+                               [&](const auto& p) { return p.first == name; });
+  if (it == children.end()) throw FsError("no such path: " + norm);
+  const InodeNum ino = it->second;
+  if (nodes_[ino].type == NodeType::Directory &&
+      !nodes_[ino].children.empty() && !recursive) {
+    throw FsError("directory not empty: " + norm);
+  }
+  remove_subtree(ino);
+  children.erase(it);
+}
+
+void FileSystem::rename(std::string_view from, std::string_view to) {
+  const std::string norm_from = normalize_path(from);
+  const std::string norm_to = normalize_path(to);
+  const InodeNum from_parent = resolve(dirname(norm_from), true);
+  if (from_parent == 0) throw FsError("no such path: " + norm_from);
+  auto& from_children = nodes_[from_parent].children;
+  const std::string from_name = basename(norm_from);
+  const auto it =
+      std::find_if(from_children.begin(), from_children.end(),
+                   [&](const auto& p) { return p.first == from_name; });
+  if (it == from_children.end()) throw FsError("no such path: " + norm_from);
+  const InodeNum moving = it->second;
+  from_children.erase(it);
+
+  const InodeNum to_parent = parent_of(norm_to, /*create=*/true);
+  const std::string to_name = basename(norm_to);
+  auto& to_children = nodes_[to_parent].children;
+  const auto existing =
+      std::find_if(to_children.begin(), to_children.end(),
+                   [&](const auto& p) { return p.first == to_name; });
+  if (existing != to_children.end()) {
+    if (nodes_[existing->second].type == NodeType::Directory) {
+      throw FsError("rename over directory: " + norm_to);
+    }
+    remove_subtree(existing->second);
+    to_children.erase(existing);
+  }
+  to_children.emplace_back(to_name, moving);
+}
+
+bool FileSystem::exists(std::string_view path) const {
+  try {
+    return resolve(path, true) != 0;
+  } catch (const FsError&) {
+    return false;  // symlink loop counts as nonexistent for probing purposes
+  }
+}
+
+std::vector<std::string> FileSystem::list_dir(std::string_view path) const {
+  const InodeNum ino = resolve(path, true);
+  if (ino == 0) throw FsError("no such directory: " + std::string(path));
+  if (nodes_[ino].type != NodeType::Directory) {
+    throw FsError("not a directory: " + std::string(path));
+  }
+  std::vector<std::string> out;
+  out.reserve(nodes_[ino].children.size());
+  for (const auto& [name, child] : nodes_[ino].children) out.push_back(name);
+  return out;
+}
+
+std::optional<std::string> FileSystem::realpath(std::string_view path) const {
+  std::string canonical;
+  try {
+    if (resolve(path, true, &canonical) == 0) return std::nullopt;
+  } catch (const FsError&) {
+    return std::nullopt;
+  }
+  return canonical;
+}
+
+const FileData* FileSystem::peek(std::string_view path) const {
+  InodeNum ino = 0;
+  try {
+    ino = resolve(path, true);
+  } catch (const FsError&) {
+    return nullptr;
+  }
+  if (ino == 0 || nodes_[ino].type != NodeType::Regular) return nullptr;
+  return &nodes_[ino].data;
+}
+
+std::optional<NodeType> FileSystem::peek_type(std::string_view path,
+                                              bool follow) const {
+  InodeNum ino = 0;
+  try {
+    ino = resolve(path, follow);
+  } catch (const FsError&) {
+    return std::nullopt;
+  }
+  if (ino == 0) return std::nullopt;
+  return nodes_[ino].type;
+}
+
+std::optional<std::string> FileSystem::peek_link_target(
+    std::string_view path) const {
+  InodeNum ino = 0;
+  try {
+    ino = resolve(path, /*follow_final=*/false);
+  } catch (const FsError&) {
+    return std::nullopt;
+  }
+  if (ino == 0 || nodes_[ino].type != NodeType::Symlink) return std::nullopt;
+  return nodes_[ino].link_target;
+}
+
+std::uint64_t FileSystem::disk_usage(std::string_view path) const {
+  InodeNum ino = 0;
+  try {
+    ino = resolve(path, true);
+  } catch (const FsError&) {
+    return 0;
+  }
+  if (ino == 0) return 0;
+  // Iterative DFS over the subtree.
+  std::uint64_t total = 0;
+  std::vector<InodeNum> stack{ino};
+  while (!stack.empty()) {
+    const InodeNum node = stack.back();
+    stack.pop_back();
+    switch (nodes_[node].type) {
+      case NodeType::Regular:
+        total += nodes_[node].data.size();
+        break;
+      case NodeType::Directory:
+        for (const auto& [name, child] : nodes_[node].children) {
+          stack.push_back(child);
+        }
+        break;
+      case NodeType::Symlink:
+        break;  // links are weightless here
+    }
+  }
+  return total;
+}
+
+std::optional<Stat> FileSystem::stat(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  InodeNum ino = 0;
+  try {
+    ino = resolve(norm, true);
+  } catch (const FsError&) {
+    ino = 0;
+  }
+  charge(OpKind::Stat, ino != 0, norm);
+  if (ino == 0) return std::nullopt;
+  const Node& node = nodes_[ino];
+  return Stat{ino, node.type,
+              node.type == NodeType::Regular ? node.data.size() : 0};
+}
+
+std::optional<Stat> FileSystem::lstat(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  InodeNum ino = 0;
+  try {
+    ino = resolve(norm, false);
+  } catch (const FsError&) {
+    ino = 0;
+  }
+  charge(OpKind::Stat, ino != 0, norm);
+  if (ino == 0) return std::nullopt;
+  const Node& node = nodes_[ino];
+  return Stat{ino, node.type,
+              node.type == NodeType::Regular ? node.data.size() : 0};
+}
+
+const FileData* FileSystem::open(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  InodeNum ino = 0;
+  try {
+    ino = resolve(norm, true);
+  } catch (const FsError&) {
+    ino = 0;
+  }
+  const bool hit = ino != 0 && nodes_[ino].type == NodeType::Regular;
+  charge(OpKind::Open, hit, norm);
+  if (!hit) return nullptr;
+  return &nodes_[ino].data;
+}
+
+void FileSystem::count_read(std::string_view path) {
+  charge(OpKind::Read, true, normalize_path(path));
+}
+
+}  // namespace depchaos::vfs

@@ -1,0 +1,127 @@
+#include "depchaos/workload/debian.hpp"
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/rng.hpp"
+
+namespace depchaos::workload {
+
+std::vector<pkg::deb::Package> generate_debian_corpus(
+    const DebianCorpusConfig& config) {
+  support::Rng rng(config.seed);
+  std::vector<pkg::deb::Package> out;
+  out.reserve(config.num_packages);
+
+  static const char* kSections[] = {"libs",  "utils", "devel", "admin",
+                                    "net",   "science", "python", "editors"};
+
+  // First pass: names and versions, so dependency constraints can be
+  // generated AGAINST the target's real version (a curated archive).
+  for (std::size_t i = 0; i < config.num_packages; ++i) {
+    pkg::deb::Package pkg;
+    pkg.name = "pkg" + std::to_string(i);
+    pkg.version = std::to_string(1 + rng.below(9)) + "." +
+                  std::to_string(rng.below(30)) + "-" +
+                  std::to_string(1 + rng.below(5));
+    pkg.section = kSections[rng.below(std::size(kSections))];
+    out.push_back(std::move(pkg));
+  }
+
+  // Second pass: dependencies.
+  for (auto& pkg : out) {
+    const std::size_t num_deps = static_cast<std::size_t>(
+        rng.between(static_cast<std::int64_t>(config.min_deps),
+                    static_cast<std::int64_t>(config.max_deps)));
+    for (std::size_t d = 0; d < num_deps; ++d) {
+      pkg::deb::DepSpec dep;
+      const std::size_t target = rng.below(config.num_packages);
+      dep.package = out[target].name;
+      const std::string& target_version = out[target].version;
+      const bool breaks = rng.chance(config.broken_fraction);
+      const double roll = rng.uniform();
+      if (roll < config.frac_unversioned && !breaks) {
+        dep.kind = pkg::deb::DepKind::Unversioned;
+      } else if (roll < config.frac_unversioned + config.frac_range) {
+        dep.kind = pkg::deb::DepKind::VersionRange;
+        if (breaks) {
+          dep.relation = ">>";  // strictly newer than what exists
+          dep.version = target_version;
+        } else {
+          // A lower bound at (or just below) the shipped version holds.
+          dep.relation = rng.chance(0.8) ? ">=" : "<=";
+          dep.version = dep.relation == ">=" ? "0.1" : "99:99";
+          if (rng.chance(0.5)) {
+            dep.relation = ">=";
+            dep.version = target_version;
+          }
+        }
+      } else {
+        dep.kind = pkg::deb::DepKind::Exact;
+        dep.relation = "=";
+        dep.version = breaks ? target_version + "+broken" : target_version;
+      }
+      pkg.depends.push_back(std::move(dep));
+    }
+  }
+  return out;
+}
+
+std::string corpus_to_control_text(
+    const std::vector<pkg::deb::Package>& pkgs) {
+  return pkg::deb::to_control(pkgs);
+}
+
+InstalledSystem generate_installed_system(
+    const InstalledSystemConfig& config) {
+  support::Rng rng(config.seed);
+  support::ZipfSampler zipf(config.num_shared_objects, config.zipf_s);
+  InstalledSystem system;
+  system.num_shared_objects = config.num_shared_objects;
+  system.binary_deps.resize(config.num_binaries);
+
+  for (auto& deps : system.binary_deps) {
+    const std::size_t num_deps = static_cast<std::size_t>(
+        rng.between(static_cast<std::int64_t>(config.min_deps),
+                    static_cast<std::int64_t>(config.max_deps)));
+    std::vector<bool> used(config.num_shared_objects, false);
+    // Every dynamic binary uses the C library (rank 0).
+    deps.push_back(0);
+    used[0] = true;
+    for (std::size_t d = 1; d < num_deps; ++d) {
+      const std::size_t object = zipf.sample(rng);
+      if (!used[object]) {
+        used[object] = true;
+        deps.push_back(object);
+      }
+    }
+  }
+  return system;
+}
+
+analysis::Histogram reuse_histogram(const InstalledSystem& system) {
+  std::vector<std::uint64_t> counts(system.num_shared_objects, 0);
+  for (const auto& deps : system.binary_deps) {
+    for (const std::size_t object : deps) ++counts[object];
+  }
+  analysis::Histogram histogram;
+  histogram.reserve(counts.size());
+  for (const auto count : counts) histogram.add(count);
+  return histogram;
+}
+
+void materialize_installed_system(vfs::FileSystem& fs,
+                                  const InstalledSystem& system) {
+  for (std::size_t j = 0; j < system.num_shared_objects; ++j) {
+    const std::string soname = "libso" + std::to_string(j) + ".so";
+    elf::install_object(fs, "/usr/lib/" + soname, elf::make_library(soname));
+  }
+  for (std::size_t b = 0; b < system.binary_deps.size(); ++b) {
+    std::vector<std::string> needed;
+    for (const std::size_t j : system.binary_deps[b]) {
+      needed.push_back("libso" + std::to_string(j) + ".so");
+    }
+    elf::install_object(fs, "/usr/bin/bin" + std::to_string(b),
+                        elf::make_executable(std::move(needed)));
+  }
+}
+
+}  // namespace depchaos::workload

@@ -1,0 +1,38 @@
+#include "depchaos/workload/emacs.hpp"
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/rng.hpp"
+
+namespace depchaos::workload {
+
+EmacsApp generate_emacs_like(vfs::FileSystem& fs, const EmacsConfig& config) {
+  EmacsApp app;
+  support::Rng rng(config.seed);
+
+  // Store-style hashed directories, e.g. /nix/store/ab12…-dep7/lib.
+  for (std::size_t d = 0; d < config.num_dirs; ++d) {
+    app.search_dirs.push_back(config.root + "/w" + std::to_string(d) +
+                              "-emacs-dep-dir/lib");
+  }
+
+  std::vector<std::string> sonames;
+  for (std::size_t i = 0; i < config.num_deps; ++i) {
+    const std::string soname = "libemacsdep" + std::to_string(i) + ".so";
+    sonames.push_back(soname);
+    const std::string& dir = app.search_dirs[rng.below(config.num_dirs)];
+    std::vector<std::string> cross;
+    for (std::size_t c = 0; c < config.cross_deps && i > 0; ++c) {
+      cross.push_back(sonames[rng.below(i)]);  // earlier lib: acyclic
+    }
+    elf::Object lib = elf::make_library(soname, cross);
+    elf::install_object(fs, dir + "/" + soname, lib);
+    app.lib_paths.push_back(dir + "/" + soname);
+  }
+
+  elf::Object exe = elf::make_executable(sonames, /*runpath=*/app.search_dirs);
+  app.exe_path = config.root + "/w-emacs/bin/emacs";
+  elf::install_object(fs, app.exe_path, exe);
+  return app;
+}
+
+}  // namespace depchaos::workload

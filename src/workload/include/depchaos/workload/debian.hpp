@@ -1,0 +1,76 @@
+// Debian-ecosystem synthesizers for Fig 1 and Fig 4.
+//
+// Fig 1: a 209k-package archive where "nearly 3/4 use completely
+// unversioned dependency specifications". The generator emits control-file
+// text with the archive's statistical mix; the analyzer REPARSES it with the
+// real parser, so the measured bars come out of the same machinery a real
+// archive would go through.
+//
+// Fig 4: a desktop install with 3,287 binaries whose shared-object reuse is
+// sharply heavy-tailed — "only 4% of shared object files are used by more
+// than 5% of the binaries". Reuse follows a Zipf law (libc at rank 0,
+// one-off plugin libs in the tail).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depchaos/analysis/histogram.hpp"
+#include "depchaos/pkg/deb.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::workload {
+
+struct DebianCorpusConfig {
+  std::size_t num_packages = 209000;
+  /// Per-dependency spec-kind mix (Fig 1's measured proportions).
+  double frac_unversioned = 0.735;
+  double frac_range = 0.248;  // remainder is Exact
+  /// Dependencies per package: uniform in [min_deps, max_deps].
+  std::size_t min_deps = 0;
+  std::size_t max_deps = 7;
+  /// Curated archives (the Debian reality of §II-A) generate version
+  /// constraints that the target package's actual version satisfies;
+  /// `broken_fraction` of dependencies are deliberately made unsatisfiable
+  /// (the regressions maintainers catch), which the consistency checker in
+  /// pkg::deb must find.
+  double broken_fraction = 0.0;
+  std::uint64_t seed = 0xdeb1a2;
+};
+
+/// Generate the archive metadata (packages + dependency specs).
+std::vector<pkg::deb::Package> generate_debian_corpus(
+    const DebianCorpusConfig& config);
+
+/// Render to control-file text (feed back through pkg::deb::parse_control).
+std::string corpus_to_control_text(const std::vector<pkg::deb::Package>& pkgs);
+
+struct InstalledSystemConfig {
+  std::size_t num_binaries = 3287;
+  std::size_t num_shared_objects = 1400;
+  /// Zipf exponent for library popularity; calibrated so the >5%-of-binaries
+  /// club is ~4% of objects.
+  double zipf_s = 0.84;
+  std::size_t min_deps = 2;
+  std::size_t max_deps = 38;
+  std::uint64_t seed = 0xdeb0405;
+};
+
+struct InstalledSystem {
+  /// binary_deps[b] = indices of shared objects binary b links against.
+  std::vector<std::vector<std::size_t>> binary_deps;
+  std::size_t num_shared_objects = 0;
+};
+
+InstalledSystem generate_installed_system(const InstalledSystemConfig& config);
+
+/// Fig 4: per-shared-object count of binaries using it.
+analysis::Histogram reuse_histogram(const InstalledSystem& system);
+
+/// Optionally materialize the system into a VFS as an FHS tree
+/// (/usr/bin/bin<i>, /usr/lib/libso<j>.so) for integration tests.
+void materialize_installed_system(vfs::FileSystem& fs,
+                                  const InstalledSystem& system);
+
+}  // namespace depchaos::workload

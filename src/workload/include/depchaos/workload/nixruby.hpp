@@ -1,0 +1,31 @@
+// Ruby-in-Nix closure generator (Fig 2).
+//
+// Fig 2 shows the build+runtime derivation closure of the Ruby package in
+// nixpkgs: 453 dependencies, dominated by five gcc bootstrap stages, core
+// toolchain packages, their fetchurl sources, CVE patches, and setup-hook
+// scripts. The generator reproduces that structure: a core package graph
+// with realistic names and edges, padded deterministically with source and
+// patch derivations until the closure has exactly `target_nodes` members.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "depchaos/pkg/nix.hpp"
+
+namespace depchaos::workload {
+
+struct RubyClosureConfig {
+  std::size_t target_nodes = 453;  // closure size incl. the root (paper: 453 deps)
+  std::size_t bootstrap_stages = 5;
+  std::uint64_t seed = 0x10bc0de;
+};
+
+struct RubyClosure {
+  pkg::nix::DerivationSet drvs;
+  std::size_t root = 0;  // ruby-2.7.5.drv
+};
+
+RubyClosure generate_ruby_closure(const RubyClosureConfig& config);
+
+}  // namespace depchaos::workload

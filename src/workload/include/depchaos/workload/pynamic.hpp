@@ -1,0 +1,39 @@
+// Pynamic-like workload (§V-A, Fig 6).
+//
+// LLNL's Pynamic benchmark emulates a large dynamically-linked MPI
+// application. The paper's configuration ("bigexe"): ~900 shared libraries,
+// all listed as needed entries on the executable, "modified slightly to
+// place each of them in its own rpath directory" — the worst case for
+// directory-list search: resolving module i probes every directory before
+// i's, so a full load issues O(n²/2) metadata syscalls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::workload {
+
+struct PynamicConfig {
+  std::size_t num_modules = 900;
+  /// Additional cross-module needed edges per module (dedup makes these
+  /// cache hits; they model the utility libraries Pynamic links).
+  std::size_t avg_cross_deps = 2;
+  /// Main executable's extra on-disk size (the paper wraps a 213 MiB one).
+  std::uint64_t exe_extra_bytes = 213ull << 20;
+  std::string root = "/apps/pynamic";
+  std::uint64_t seed = 0xdecafbad;
+};
+
+struct PynamicApp {
+  std::string exe_path;
+  std::vector<std::string> module_paths;
+  std::vector<std::string> search_dirs;  // one per module
+};
+
+/// Build the application tree under config.root.
+PynamicApp generate_pynamic(vfs::FileSystem& fs, const PynamicConfig& config);
+
+}  // namespace depchaos::workload

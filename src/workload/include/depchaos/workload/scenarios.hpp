@@ -1,0 +1,99 @@
+// Scenario builders for the paper's concrete failure cases.
+//
+//  * ROCm three-factor failure (§V-B.1): RPATH on the executable +
+//    LD_LIBRARY_PATH from a different ROCm module + RUNPATH inside the ROCm
+//    libraries => internal libraries of the WRONG version get loaded.
+//  * samba/dbwrap_tool (Listing 1): a library four levels down has no
+//    RUNPATH; its dependency resolves only because an earlier subtree
+//    already loaded it.
+//  * libomp/libompstubs (§V-B.2): two drop-in libraries defining the same
+//    strong symbols; load order decides behaviour; the link line rejects
+//    them together.
+//  * RUNPATH paradox (Fig 3): no single search-path ordering can pick
+//    dirA/liba.so AND dirB/libb.so.
+//  * Qt plugin trap (§III-A): dlopen from inside a library sees RPATH
+//    ancestry but not the executable's RUNPATH.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::workload {
+
+struct RocmScenario {
+  std::string exe_path;
+  std::string good_lib_dir;  // /opt/rocm-4.5/lib
+  std::string bad_lib_dir;   // /opt/rocm-4.3/lib
+  /// Environment with the WRONG module loaded (LD_LIBRARY_PATH -> 4.3).
+  loader::Environment wrong_module_env;
+  loader::Environment clean_env;
+};
+
+/// Build the ROCm layout. The application was built against 4.5; the
+/// internal library carries a version marker symbol (rocm_version_4_5 /
+/// rocm_version_4_3) so tests can detect a mixed load.
+RocmScenario make_rocm_scenario(vfs::FileSystem& fs);
+
+/// True when the load mixed libraries from both ROCm prefixes — the
+/// "segfault" condition of §V-B.1.
+bool rocm_versions_mixed(const loader::LoadReport& report,
+                         const RocmScenario& scenario);
+
+struct SambaScenario {
+  std::string exe_path;  // /usr/bin/dbwrap_tool
+  /// The library that has no RUNPATH of its own.
+  std::string no_runpath_lib;  // libsamba-modules-samba4.so
+  /// Its dependency that is only found via an earlier load.
+  std::string rescued_soname;  // libsamba-debug-samba4.so
+};
+
+SambaScenario make_samba_scenario(vfs::FileSystem& fs);
+
+struct OmpScenario {
+  std::string exe_path;
+  std::string libomp_path;
+  std::string stubs_path;
+  std::string probe_symbol;  // defined strong by BOTH libraries
+};
+
+/// `stubs_first` controls the user's link order (the paper's hazard:
+/// whichever loads first wins).
+OmpScenario make_ompstubs_scenario(vfs::FileSystem& fs,
+                                   bool stubs_first = false);
+
+struct ParadoxScenario {
+  std::string exe_path;
+  std::string dir_a;  // wants liba.so from here
+  std::string dir_b;  // wants libb.so from here
+  std::string good_a_path;
+  std::string good_b_path;
+};
+
+ParadoxScenario make_runpath_paradox(vfs::FileSystem& fs);
+
+/// Did the load pick BOTH intended libraries? (Impossible with any single
+/// directory-order search; trivial after Shrinkwrap.)
+bool paradox_satisfied(const loader::LoadReport& report,
+                       const ParadoxScenario& scenario);
+
+/// Re-point the executable's RUNPATH at the given directory order (Fig 3's
+/// exhaustive enumeration helper).
+void set_paradox_search_order(vfs::FileSystem& fs,
+                              const ParadoxScenario& scenario,
+                              const std::vector<std::string>& dirs);
+
+struct QtPluginScenario {
+  std::string exe_path;      // application
+  std::string gui_lib_path;  // libqtgui.so — dlopens the plugin
+  std::string plugin_soname;
+  std::string plugin_dir;
+};
+
+/// `use_rpath` selects whether the application uses RPATH (plugin found via
+/// ancestor propagation) or RUNPATH (plugin NOT found from the dlopen).
+QtPluginScenario make_qt_plugin_scenario(vfs::FileSystem& fs, bool use_rpath);
+
+}  // namespace depchaos::workload

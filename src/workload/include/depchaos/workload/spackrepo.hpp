@@ -1,0 +1,47 @@
+// Spack recipe corpus (intro claim + DSL stress).
+//
+// The paper's introduction: "Today the Axom library, a common support
+// library for Livermore codes, can require more than 200 total
+// dependencies." This module provides (a) a hand-written set of recipes
+// for the recognizable core of that stack (axom, raja, umpire, conduit,
+// hdf5, mfem, hypre, mpi providers, cmake, python...), written in the
+// package.py DSL and REPARSED through the production parser, and (b) a
+// deterministic synthetic-recipe generator that emits additional
+// package.py sources so the corpus reaches Axom-scale closures and the
+// parser/concretizer are exercised at repository scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depchaos/spack/concretizer.hpp"
+
+namespace depchaos::workload {
+
+/// Hand-written package.py sources for the core HPC stack (~20 packages).
+std::vector<std::string> core_hpc_recipes();
+
+struct SyntheticRepoConfig {
+  /// Number of synthetic packages to generate. The default is sized so
+  /// axom's concrete closure crosses the paper's 200-dependency mark.
+  std::size_t num_packages = 265;
+  /// Dependencies per synthetic package drawn uniformly from
+  /// [0, max_deps], always pointing at earlier packages (acyclic).
+  std::size_t max_deps = 4;
+  /// Fraction of dependency declarations carrying a when= condition.
+  double when_fraction = 0.25;
+  std::uint64_t seed = 0x5eed5ac4;
+};
+
+/// Generate synthetic package.py SOURCE TEXT (parsed by the DSL reader,
+/// not constructed directly — the parser is part of what we test at scale).
+/// Packages are named "synth0".."synthN-1".
+std::vector<std::string> synthetic_recipes(const SyntheticRepoConfig& config);
+
+/// Build the full repository: core recipes plus `extra` synthetic packages
+/// wired so that axom additionally depends on a slice of the synthetic
+/// layer (giving it a paper-scale closure of 200+ packages).
+spack::Repo build_hpc_repo(const SyntheticRepoConfig& config = {});
+
+}  // namespace depchaos::workload

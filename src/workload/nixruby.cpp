@@ -1,0 +1,123 @@
+#include "depchaos/workload/nixruby.hpp"
+
+#include <vector>
+
+#include "depchaos/support/rng.hpp"
+
+namespace depchaos::workload {
+
+using pkg::nix::DrvKind;
+
+RubyClosure generate_ruby_closure(const RubyClosureConfig& config) {
+  RubyClosure out;
+  auto& drvs = out.drvs;
+  support::Rng rng(config.seed);
+
+  // --- bootstrap stages (stage 0 ... stage N-1), each depending on the
+  // previous: stdenv, gcc-wrapper, binutils-wrapper, glibc.
+  std::vector<std::size_t> stage_stdenv;
+  std::size_t prev_stdenv = drvs.add("bootstrap-tools.drv", DrvKind::Bootstrap);
+  const std::size_t unpack =
+      drvs.add("unpack-bootstrap-tools.sh", DrvKind::Script);
+  (void)unpack;
+  for (std::size_t s = 0; s < config.bootstrap_stages; ++s) {
+    const std::string suffix = std::to_string(s);
+    const std::size_t binutils = drvs.add(
+        "bootstrap-stage" + suffix + "-binutils-wrapper-.drv",
+        DrvKind::Bootstrap, {prev_stdenv});
+    const std::size_t glibc =
+        drvs.add("bootstrap-stage" + suffix + "-glibc-.drv",
+                 DrvKind::Bootstrap, {prev_stdenv});
+    const std::size_t gcc_wrapper = drvs.add(
+        "bootstrap-stage" + suffix + "-gcc-wrapper-.drv", DrvKind::Bootstrap,
+        {prev_stdenv, binutils, glibc});
+    const std::size_t stdenv =
+        drvs.add("bootstrap-stage" + suffix + "-stdenv-linux.drv",
+                 DrvKind::Bootstrap, {gcc_wrapper, binutils, glibc});
+    stage_stdenv.push_back(stdenv);
+    prev_stdenv = stdenv;
+  }
+  const std::size_t stdenv_final =
+      drvs.add("stdenv-linux.drv", DrvKind::Bootstrap, {prev_stdenv});
+
+  // --- core toolchain packages: each gets a source tarball derivation and
+  // a handful of patches, and depends on the final stdenv plus a few peers.
+  struct CorePackage {
+    const char* name;
+    std::size_t patches;
+  };
+  static constexpr CorePackage kCore[] = {
+      {"gcc-10.3.0.drv", 3},        {"glibc-2.33-56.drv", 9},
+      {"binutils-2.35.2.drv", 7},   {"perl-5.34.0.drv", 2},
+      {"openssl-1.1.1l.drv", 2},    {"zlib-1.2.11.drv", 0},
+      {"ncurses-6.2.drv", 1},       {"readline-6.3p08.drv", 8},
+      {"libffi-3.4.2.drv", 0},      {"libyaml-0.2.5.drv", 0},
+      {"gdbm-1.20.drv", 0},         {"autoconf-2.71.drv", 2},
+      {"automake-1.16.3.drv", 1},   {"libtool-2.4.6.drv", 1},
+      {"pkg-config-0.29.2.drv", 1}, {"bison-3.8.2.drv", 0},
+      {"gnum4-1.4.19.drv", 0},      {"groff-1.22.4.drv", 1},
+      {"texinfo-6.8.drv", 0},       {"curl-7.79.1.drv", 1},
+      {"nghttp2-1.43.0.drv", 0},    {"libssh2-1.10.0.drv", 0},
+      {"libkrb5-1.18.drv", 0},      {"keyutils-1.6.3.drv", 1},
+      {"coreutils-9.0.drv", 2},     {"findutils-4.8.0.drv", 1},
+      {"diffutils-3.8.drv", 0},     {"gnused-4.8.drv", 0},
+      {"gnugrep-3.7.drv", 0},       {"gawk-5.1.1.drv", 0},
+      {"gnutar-1.34.drv", 0},       {"gzip-1.11.drv", 0},
+      {"bzip2-1.0.6.0.2.drv", 2},   {"xz-5.2.5.drv", 0},
+      {"bash-5.1-p12.drv", 12},     {"gnumake-4.3.drv", 2},
+      {"patch-2.7.6.drv", 6},       {"patchelf-0.13.drv", 1},
+      {"expat-2.4.1.drv", 0},       {"gettext-0.21.drv", 1},
+      {"gmp-6.2.1.drv", 0},         {"mpfr-4.1.0.drv", 0},
+      {"libmpc-1.2.1.drv", 0},      {"isl-0.20.drv", 0},
+      {"libelf-0.8.13.drv", 2},     {"pcre-8.44.drv", 1},
+      {"libidn2-2.3.2.drv", 0},     {"libunistring-0.9.10.drv", 0},
+      {"unzip-6.0.drv", 11},        {"which-2.21.drv", 0},
+      {"help2man-1.48.5.drv", 0},   {"python3-minimal-3.9.6.drv", 5},
+      {"rubygems.drv", 3},
+  };
+
+  const std::size_t mirrors = drvs.add("mirrors-list.drv", DrvKind::Script);
+  std::vector<std::size_t> core_ids;
+  for (const auto& core : kCore) {
+    const std::string base(core.name);
+    const std::size_t src =
+        drvs.add(base.substr(0, base.size() - 4) + ".tar.gz.drv",
+                 DrvKind::Source, {mirrors});
+    std::vector<std::size_t> inputs = {stdenv_final, src};
+    for (std::size_t p = 0; p < core.patches; ++p) {
+      inputs.push_back(drvs.add(base.substr(0, base.size() - 4) + "-patch-" +
+                                    std::to_string(p) + ".patch.drv",
+                                DrvKind::Source));
+    }
+    // A few peer dependencies among earlier core packages.
+    const std::size_t peers = rng.below(4);
+    for (std::size_t p = 0; p < peers && !core_ids.empty(); ++p) {
+      inputs.push_back(core_ids[rng.below(core_ids.size())]);
+    }
+    core_ids.push_back(drvs.add(base, DrvKind::Package, inputs));
+  }
+
+  // --- ruby root: source + rubygems patches + a wide slice of core.
+  std::vector<std::size_t> ruby_inputs = {stdenv_final};
+  ruby_inputs.push_back(
+      drvs.add("ruby-2.7.5.tar.gz.drv", DrvKind::Source, {mirrors}));
+  for (const std::size_t id : core_ids) ruby_inputs.push_back(id);
+  out.root = drvs.add("ruby-2.7.5.drv", DrvKind::Package, ruby_inputs);
+
+  // --- pad with setup-hook scripts attached to random core packages until
+  // the closure hits the target size. Hooks are inputs of their package, so
+  // attaching one to a closure member grows the closure by exactly one.
+  std::size_t closure_size = drvs.closure(out.root).size();
+  std::size_t hook_counter = 0;
+  while (closure_size < config.target_nodes) {
+    const std::size_t owner = core_ids[rng.below(core_ids.size())];
+    const std::size_t hook = drvs.add(
+        "setup-hook-" + std::to_string(hook_counter++) + ".sh.drv",
+        DrvKind::Script);
+    drvs.add_input(owner, hook);
+    ++closure_size;
+  }
+  return out;
+}
+
+}  // namespace depchaos::workload

@@ -1,0 +1,46 @@
+#include "depchaos/workload/pynamic.hpp"
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/rng.hpp"
+
+namespace depchaos::workload {
+
+PynamicApp generate_pynamic(vfs::FileSystem& fs, const PynamicConfig& config) {
+  PynamicApp app;
+  support::Rng rng(config.seed);
+
+  std::vector<std::string> sonames;
+  sonames.reserve(config.num_modules);
+  for (std::size_t i = 0; i < config.num_modules; ++i) {
+    sonames.push_back("libpynamic_module_" + std::to_string(i) + ".so");
+  }
+
+  // One directory per module: <root>/m<i>/lib.
+  for (std::size_t i = 0; i < config.num_modules; ++i) {
+    const std::string dir = config.root + "/m" + std::to_string(i) + "/lib";
+    app.search_dirs.push_back(dir);
+
+    std::vector<std::string> cross;
+    for (std::size_t d = 0; d < config.avg_cross_deps; ++d) {
+      // Cross-deps point at random earlier modules (keeps the graph acyclic
+      // and makes them dedup cache hits during BFS).
+      if (i == 0) break;
+      cross.push_back(sonames[rng.below(i)]);
+    }
+    elf::Object module = elf::make_library(sonames[i], cross);
+    module.symbols.push_back(elf::Symbol{
+        "pynamic_module_" + std::to_string(i) + "_entry",
+        elf::SymbolBinding::Global, true});
+    elf::install_object(fs, dir + "/" + sonames[i], module);
+    app.module_paths.push_back(dir + "/" + sonames[i]);
+  }
+
+  elf::Object exe = elf::make_executable(sonames, /*runpath=*/{},
+                                         /*rpath=*/app.search_dirs);
+  exe.extra_size = config.exe_extra_bytes;
+  app.exe_path = config.root + "/bigexe";
+  elf::install_object(fs, app.exe_path, exe);
+  return app;
+}
+
+}  // namespace depchaos::workload

@@ -1,0 +1,211 @@
+#include "depchaos/workload/scenarios.hpp"
+
+#include "depchaos/elf/patcher.hpp"
+
+namespace depchaos::workload {
+
+RocmScenario make_rocm_scenario(vfs::FileSystem& fs) {
+  RocmScenario scenario;
+  scenario.good_lib_dir = "/opt/rocm-4.5/lib";
+  scenario.bad_lib_dir = "/opt/rocm-4.3/lib";
+
+  // Internal library in both prefixes; version marker symbols differ.
+  for (const auto& [dir, marker] :
+       {std::pair{scenario.good_lib_dir, std::string("rocm_version_4_5")},
+        std::pair{scenario.bad_lib_dir, std::string("rocm_version_4_3")}}) {
+    elf::Object internal = elf::make_library("librocm-internal.so");
+    internal.symbols.push_back(
+        elf::Symbol{marker, elf::SymbolBinding::Global, true});
+    elf::install_object(fs, dir + "/librocm-internal.so", internal);
+
+    // The ROCm packages ship with RUNPATH (the paper's factor #3).
+    elf::Object core =
+        elf::make_library("librocm-core.so", {"librocm-internal.so"},
+                          /*runpath=*/{dir});
+    elf::install_object(fs, dir + "/librocm-core.so", core);
+  }
+
+  // Application built against 4.5 with RPATH to it (factor #1).
+  elf::Object exe = elf::make_executable({"librocm-core.so"},
+                                         /*runpath=*/{},
+                                         /*rpath=*/{scenario.good_lib_dir});
+  scenario.exe_path = "/apps/gpu_sim/bin/gpu_sim";
+  elf::install_object(fs, scenario.exe_path, exe);
+
+  // Factor #2: the module for the OTHER ROCm version sets LD_LIBRARY_PATH.
+  scenario.wrong_module_env.ld_library_path = {scenario.bad_lib_dir};
+  return scenario;
+}
+
+bool rocm_versions_mixed(const loader::LoadReport& report,
+                         const RocmScenario& scenario) {
+  bool saw_good = false, saw_bad = false;
+  for (const auto& obj : report.load_order) {
+    if (obj.path.starts_with(scenario.good_lib_dir)) saw_good = true;
+    if (obj.path.starts_with(scenario.bad_lib_dir)) saw_bad = true;
+  }
+  return saw_good && saw_bad;
+}
+
+SambaScenario make_samba_scenario(vfs::FileSystem& fs) {
+  SambaScenario scenario;
+  const std::string priv = "/usr/lib/samba";  // private samba lib dir
+  scenario.rescued_soname = "libsamba-debug-samba4.so";
+
+  auto lib_with_runpath = [&](const std::string& soname,
+                              std::vector<std::string> needed) {
+    elf::Object lib =
+        elf::make_library(soname, std::move(needed), /*runpath=*/{priv});
+    elf::install_object(fs, priv + "/" + soname, lib);
+    return priv + "/" + soname;
+  };
+
+  // Public sonames live in the default path; private ones only in `priv`.
+  auto lib_in_default = [&](const std::string& soname) {
+    elf::Object lib = elf::make_library(soname);
+    elf::install_object(fs, "/usr/lib/" + soname, lib);
+  };
+  lib_in_default("libsamba-util.so.0");
+  lib_in_default("libtalloc.so.2");
+  lib_in_default("libsamba-errors.so.1");
+  lib_in_default("libpopt.so.0");
+  lib_in_default("libsmbconf.so.0");
+
+  lib_with_runpath(scenario.rescued_soname, {});
+  lib_with_runpath("libutil-tdb-samba4.so", {scenario.rescued_soname});
+  lib_with_runpath("libdbwrap-samba4.so",
+                   {"libutil-tdb-samba4.so", scenario.rescued_soname});
+
+  // The odd one out: built WITHOUT any runpath (Listing 1's culprit).
+  {
+    elf::Object modules = elf::make_library(
+        "libsamba-modules-samba4.so",
+        {"libsamba-util.so.0", "libtalloc.so.2", "libsamba-errors.so.1",
+         scenario.rescued_soname});
+    scenario.no_runpath_lib = priv + "/libsamba-modules-samba4.so";
+    elf::install_object(fs, scenario.no_runpath_lib, modules);
+  }
+
+  lib_with_runpath("libgensec-samba4.so", {"libsamba-modules-samba4.so"});
+  lib_with_runpath("libsamba-sockets-samba4.so", {"libgensec-samba4.so"});
+  lib_with_runpath("libsmb-transport-samba4.so",
+                   {"libsamba-sockets-samba4.so"});
+  lib_with_runpath("libiov-buf-samba4.so", {"libsmb-transport-samba4.so"});
+  lib_with_runpath("libcli-smb-common-samba4.so",
+                   {"libiov-buf-samba4.so", "libsmb-transport-samba4.so"});
+  lib_with_runpath("libpopt-samba3-samba4.so",
+                   {"libpopt.so.0", "libcli-smb-common-samba4.so"});
+
+  // dbwrap_tool: note libdbwrap (whose subtree loads the rescued library
+  // via runpath) is requested BEFORE the gensec subtree reaches the
+  // runpath-less modules library; BFS order makes the rescue work.
+  elf::Object exe = elf::make_executable(
+      {"libpopt-samba3-samba4.so", "libdbwrap-samba4.so",
+       "libutil-tdb-samba4.so", "libcli-smb-common-samba4.so",
+       "libsmbconf.so.0", "libsamba-util.so.0"},
+      /*runpath=*/{priv});
+  scenario.exe_path = "/usr/bin/dbwrap_tool";
+  elf::install_object(fs, scenario.exe_path, exe);
+  return scenario;
+}
+
+OmpScenario make_ompstubs_scenario(vfs::FileSystem& fs, bool stubs_first) {
+  OmpScenario scenario;
+  scenario.probe_symbol = "omp_get_num_threads";
+  const std::string dir = "/opt/compiler/lib";
+
+  auto omp_like = [&](const std::string& soname, const std::string& flavor) {
+    elf::Object lib = elf::make_library(soname);
+    for (const char* symbol :
+         {"omp_get_num_threads", "omp_get_thread_num", "omp_set_num_threads",
+          "GOMP_parallel"}) {
+      lib.symbols.push_back(
+          elf::Symbol{symbol, elf::SymbolBinding::Global, true});
+    }
+    lib.symbols.push_back(
+        elf::Symbol{"omp_flavor_" + flavor, elf::SymbolBinding::Global, true});
+    elf::install_object(fs, dir + "/" + soname, lib);
+    return dir + "/" + soname;
+  };
+  scenario.libomp_path = omp_like("libomp.so", "real");
+  scenario.stubs_path = omp_like("libompstubs.so", "stubs");
+
+  std::vector<std::string> needed =
+      stubs_first ? std::vector<std::string>{"libompstubs.so", "libomp.so"}
+                  : std::vector<std::string>{"libomp.so", "libompstubs.so"};
+  elf::Object exe = elf::make_executable(std::move(needed), /*runpath=*/{},
+                                         /*rpath=*/{dir});
+  exe.symbols.push_back(elf::Symbol{scenario.probe_symbol,
+                                    elf::SymbolBinding::Global, false});
+  scenario.exe_path = "/apps/omp_app/bin/omp_app";
+  elf::install_object(fs, scenario.exe_path, exe);
+  return scenario;
+}
+
+ParadoxScenario make_runpath_paradox(vfs::FileSystem& fs) {
+  ParadoxScenario scenario;
+  scenario.dir_a = "/opt/paradox/dirA";
+  scenario.dir_b = "/opt/paradox/dirB";
+
+  auto lib = [&](const std::string& dir, const std::string& soname,
+                 bool good) {
+    elf::Object object = elf::make_library(soname);
+    object.symbols.push_back(elf::Symbol{
+        soname.substr(0, soname.find('.')) + (good ? "_good" : "_bad"),
+        elf::SymbolBinding::Global, true});
+    elf::install_object(fs, dir + "/" + soname, object);
+    return dir + "/" + soname;
+  };
+  scenario.good_a_path = lib(scenario.dir_a, "liba.so", true);
+  lib(scenario.dir_a, "libb.so", false);
+  lib(scenario.dir_b, "liba.so", false);
+  scenario.good_b_path = lib(scenario.dir_b, "libb.so", true);
+
+  elf::Object exe =
+      elf::make_executable({"liba.so", "libb.so"},
+                           /*runpath=*/{scenario.dir_a, scenario.dir_b});
+  scenario.exe_path = "/opt/paradox/bin/app";
+  elf::install_object(fs, scenario.exe_path, exe);
+  return scenario;
+}
+
+bool paradox_satisfied(const loader::LoadReport& report,
+                       const ParadoxScenario& scenario) {
+  const auto* a = report.find_loaded("liba.so");
+  const auto* b = report.find_loaded("libb.so");
+  return a != nullptr && b != nullptr && a->path == scenario.good_a_path &&
+         b->path == scenario.good_b_path;
+}
+
+void set_paradox_search_order(vfs::FileSystem& fs,
+                              const ParadoxScenario& scenario,
+                              const std::vector<std::string>& dirs) {
+  elf::Patcher patcher(fs);
+  patcher.set_runpath(scenario.exe_path, dirs);
+}
+
+QtPluginScenario make_qt_plugin_scenario(vfs::FileSystem& fs, bool use_rpath) {
+  QtPluginScenario scenario;
+  const std::string qt_dir = "/opt/qt/lib";
+  scenario.plugin_dir = "/opt/app/plugins";
+  scenario.plugin_soname = "libqsqlite_plugin.so";
+
+  elf::install_object(fs, scenario.plugin_dir + "/" + scenario.plugin_soname,
+                      elf::make_library(scenario.plugin_soname));
+
+  // libqtgui has no search paths of its own — the Qt blog scenario.
+  elf::Object gui = elf::make_library("libqtgui.so");
+  scenario.gui_lib_path = qt_dir + "/libqtgui.so";
+  elf::install_object(fs, scenario.gui_lib_path, gui);
+
+  std::vector<std::string> search = {qt_dir, scenario.plugin_dir};
+  elf::Object exe = elf::make_executable(
+      {"libqtgui.so"},
+      /*runpath=*/use_rpath ? std::vector<std::string>{} : search,
+      /*rpath=*/use_rpath ? search : std::vector<std::string>{});
+  scenario.exe_path = "/opt/app/bin/app";
+  elf::install_object(fs, scenario.exe_path, exe);
+  return scenario;
+}
+
+}  // namespace depchaos::workload

@@ -1,0 +1,243 @@
+#include "depchaos/workload/spackrepo.hpp"
+
+#include "depchaos/support/rng.hpp"
+
+namespace depchaos::workload {
+
+std::vector<std::string> core_hpc_recipes() {
+  return {
+      R"PY(
+class Cmake(Package):
+    homepage = "https://cmake.org"
+    version("3.23.1")
+    version("3.22.2")
+    depends_on("openssl")
+    depends_on("ncurses")
+)PY",
+      R"PY(
+class Openssl(Package):
+    version("1.1.1q")
+    depends_on("zlib")
+    depends_on("perl", type=("build",))
+)PY",
+      R"PY(
+class Zlib(Package):
+    version("1.2.12")
+    version("1.2.11", deprecated=True)
+    variant("shared", default=True, description="Build shared library")
+)PY",
+      R"PY(
+class Ncurses(Package):
+    version("6.2")
+)PY",
+      R"PY(
+class Perl(Package):
+    version("5.34.1")
+    depends_on("gdbm")
+)PY",
+      R"PY(
+class Gdbm(Package):
+    version("1.21")
+)PY",
+      R"PY(
+class Hwloc(Package):
+    version("2.7.1")
+    variant("libxml2", default=False, description="XML topology export")
+    depends_on("libxml2", when="+libxml2")
+)PY",
+      R"PY(
+class Libxml2(Package):
+    version("2.9.13")
+    depends_on("zlib")
+)PY",
+      R"PY(
+class Libevent(Package):
+    version("2.1.12")
+    depends_on("openssl")
+)PY",
+      R"PY(
+class Openmpi(Package):
+    homepage = "https://www.open-mpi.org"
+    version("4.1.3")
+    version("4.0.7")
+    provides("mpi")
+    depends_on("hwloc")
+    depends_on("libevent")
+    depends_on("zlib")
+)PY",
+      R"PY(
+class Mvapich2(Package):
+    version("2.3.7")
+    provides("mpi")
+    depends_on("hwloc")
+)PY",
+      R"PY(
+class Hdf5(Package):
+    homepage = "https://www.hdfgroup.org"
+    version("1.12.2")
+    version("1.10.8")
+    variant("mpi", default=True, description="Parallel HDF5")
+    variant("shared", default=True, description="Shared libs")
+    depends_on("zlib")
+    depends_on("mpi", when="+mpi")
+    depends_on("cmake", type=("build",))
+)PY",
+      R"PY(
+class Conduit(Package):
+    version("0.8.3")
+    variant("mpi", default=True, description="MPI support")
+    variant("hdf5", default=True, description="HDF5 I/O")
+    depends_on("hdf5@1.10:+shared", when="+hdf5")
+    depends_on("mpi", when="+mpi")
+    depends_on("cmake", type=("build",))
+)PY",
+      R"PY(
+class Camp(Package):
+    version("2022.3.0")
+    depends_on("cmake", type=("build",))
+)PY",
+      R"PY(
+class Raja(Package):
+    version("2022.3.0")
+    version("0.14.0")
+    variant("openmp", default=True, description="OpenMP backend")
+    depends_on("camp")
+    depends_on("cmake", type=("build",))
+)PY",
+      R"PY(
+class Umpire(Package):
+    version("2022.3.0")
+    depends_on("camp")
+    depends_on("cmake", type=("build",))
+)PY",
+      R"PY(
+class Metis(Package):
+    version("5.1.0")
+)PY",
+      R"PY(
+class Hypre(Package):
+    version("2.24.0")
+    variant("mpi", default=True, description="MPI")
+    depends_on("mpi", when="+mpi")
+)PY",
+      R"PY(
+class Mfem(Package):
+    version("4.4.0")
+    variant("mpi", default=True, description="Parallel")
+    depends_on("mpi", when="+mpi")
+    depends_on("hypre", when="+mpi")
+    depends_on("metis")
+    depends_on("zlib")
+)PY",
+      R"PY(
+class Python(Package):
+    version("3.9.12")
+    depends_on("openssl")
+    depends_on("zlib")
+    depends_on("ncurses")
+    depends_on("gdbm")
+)PY",
+      R"PY(
+class PyNumpy(Package):
+    version("1.22.3")
+    depends_on("python")
+)PY",
+      R"PY(
+class Lua(Package):
+    version("5.4.4")
+    depends_on("ncurses")
+)PY",
+      R"PY(
+class Axom(CMakePackage):
+    """Axom provides robust software components for HPC applications —
+    the paper's motivating 200+-dependency package."""
+    homepage = "https://github.com/LLNL/axom"
+    version("0.7.0")
+    version("0.6.1")
+    variant("mpi", default=True, description="MPI support")
+    variant("python", default=True, description="Python bindings")
+    variant("openmp", default=True, description="OpenMP")
+    depends_on("cmake", type=("build",))
+    depends_on("conduit+hdf5")
+    depends_on("hdf5@1.10:")
+    depends_on("raja+openmp", when="+openmp")
+    depends_on("raja~openmp", when="~openmp")
+    depends_on("umpire")
+    depends_on("camp")
+    depends_on("mfem")
+    depends_on("mpi", when="+mpi")
+    depends_on("python", when="+python")
+    depends_on("py-numpy", when="+python")
+    depends_on("lua")
+)PY",
+  };
+}
+
+std::vector<std::string> synthetic_recipes(const SyntheticRepoConfig& config) {
+  support::Rng rng(config.seed);
+  std::vector<std::string> out;
+  out.reserve(config.num_packages);
+  for (std::size_t i = 0; i < config.num_packages; ++i) {
+    std::string src = "class Synth" + std::to_string(i) + "(Package):\n";
+    src += "    \"\"\"synthetic support library #" + std::to_string(i) +
+           "\"\"\"\n";
+    const int minor = static_cast<int>(rng.below(20));
+    src += "    version(\"1." + std::to_string(minor) + "\")\n";
+    if (rng.chance(0.5)) {
+      src += "    version(\"1." + std::to_string(minor / 2) + "\")\n";
+    }
+    const bool has_variant = rng.chance(0.4);
+    if (has_variant) {
+      src += "    variant(\"extras\", default=" +
+             std::string(rng.chance(0.5) ? "True" : "False") +
+             ", description=\"optional bits\")\n";
+    }
+    const std::size_t deps = i == 0 ? 0 : rng.below(config.max_deps + 1);
+    for (std::size_t d = 0; d < deps; ++d) {
+      const std::size_t target = rng.below(i);
+      src += "    depends_on(\"synth" + std::to_string(target) + "\"";
+      if (has_variant && rng.chance(config.when_fraction)) {
+        src += ", when=\"+extras\"";
+      }
+      src += ")\n";
+    }
+    out.push_back(std::move(src));
+  }
+  return out;
+}
+
+spack::Repo build_hpc_repo(const SyntheticRepoConfig& config) {
+  spack::Repo repo;
+  for (const auto& source : core_hpc_recipes()) {
+    repo.add_package_py(source);
+  }
+  for (const auto& source : synthetic_recipes(config)) {
+    repo.add_package_py(source);
+  }
+  // Give axom the paper-scale fan-out: it (transitively, through a shim
+  // package) pulls a slice of the synthetic layer, the way a real Axom
+  // build pulls in py-*, tool, and TPL packages.
+  if (config.num_packages > 0) {
+    std::string shim =
+        "class AxomTpls(Package):\n"
+        "    \"\"\"third-party-library bundle for axom\"\"\"\n"
+        "    version(\"1.0\")\n";
+    const std::size_t stride = 2;
+    for (std::size_t i = config.num_packages - 1; i > 0; i -= stride) {
+      shim += "    depends_on(\"synth" + std::to_string(i) + "\")\n";
+      if (i < stride) break;
+    }
+    repo.add_package_py(shim);
+
+    // Extend axom itself: re-parse its recipe and append the shim dep.
+    spack::Recipe axom = spack::parse_package_py(core_hpc_recipes().back());
+    spack::DependsDecl extra;
+    extra.spec = spack::Spec::parse("axom-tpls");
+    extra.types = {"build", "link"};
+    axom.dependencies.push_back(extra);
+    repo.add(std::move(axom));
+  }
+  return repo;
+}
+
+}  // namespace depchaos::workload

@@ -1,0 +1,180 @@
+// Symbol versioning, ABI diffing, and the §III-A administrator swap
+// scenario (buggy-but-compatible 4.3.0 -> 4.3.1 via symlink, validated by
+// abi_diff first).
+
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/abi.hpp"
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/loader/symbols.hpp"
+
+namespace depchaos::elf {
+namespace {
+
+Object lib_with_exports(
+    const std::string& soname,
+    const std::vector<std::pair<std::string, std::string>>& exports) {
+  Object lib = make_library(soname);
+  for (const auto& [name, version] : exports) {
+    Symbol sym{name, SymbolBinding::Global, true, version};
+    lib.symbols.push_back(std::move(sym));
+  }
+  return lib;
+}
+
+TEST(VersionedSymbols, SerializationRoundTrips) {
+  Object lib = lib_with_exports(
+      "libc.so.6", {{"memcpy", "GLIBC_2.14"}, {"memcpy", "GLIBC_2.2.5"},
+                    {"open", ""}});
+  EXPECT_EQ(parse(serialize(lib)), lib);
+}
+
+TEST(VersionedSymbols, DisplayForm) {
+  const Symbol versioned{"memcpy", SymbolBinding::Global, true, "GLIBC_2.14"};
+  EXPECT_EQ(versioned.display(), "memcpy@GLIBC_2.14");
+  const Symbol plain{"open", SymbolBinding::Global, true, ""};
+  EXPECT_EQ(plain.display(), "open");
+}
+
+TEST(VersionedSymbols, MalformedVsymbolLinesRejected) {
+  EXPECT_THROW(parse("SELF1\nvsymbol G D\nend\n"), ElfError);
+  EXPECT_THROW(parse("SELF1\nvsymbol G D onlyversion\nend\n"), ElfError);
+}
+
+TEST(AbiDiffTest, IdenticalLibrariesCompatible) {
+  const Object lib = lib_with_exports("libz.so.1", {{"deflate", ""}});
+  const auto diff = abi_diff(lib, lib);
+  EXPECT_TRUE(diff.compatible());
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_TRUE(diff.added.empty());
+}
+
+TEST(AbiDiffTest, AddedSymbolsStayCompatible) {
+  const Object old_lib = lib_with_exports("libz.so.1", {{"deflate", ""}});
+  const Object new_lib =
+      lib_with_exports("libz.so.1", {{"deflate", ""}, {"deflate2", ""}});
+  const auto diff = abi_diff(old_lib, new_lib);
+  EXPECT_TRUE(diff.compatible());
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0], "deflate2");
+}
+
+TEST(AbiDiffTest, RemovedSymbolBreaks) {
+  const Object old_lib =
+      lib_with_exports("libz.so.1", {{"deflate", ""}, {"inflate", ""}});
+  const Object new_lib = lib_with_exports("libz.so.1", {{"deflate", ""}});
+  const auto diff = abi_diff(old_lib, new_lib);
+  EXPECT_FALSE(diff.compatible());
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], "inflate");
+}
+
+TEST(AbiDiffTest, VersionBumpOnSymbolBreaks) {
+  const Object old_lib =
+      lib_with_exports("libc.so.6", {{"memcpy", "GLIBC_2.2.5"}});
+  const Object new_lib =
+      lib_with_exports("libc.so.6", {{"memcpy", "GLIBC_2.14"}});
+  const auto diff = abi_diff(old_lib, new_lib);
+  EXPECT_FALSE(diff.compatible());
+  EXPECT_EQ(diff.removed[0], "memcpy@GLIBC_2.2.5");
+}
+
+TEST(AbiDiffTest, SonameChangeIsAnAbiBreak) {
+  const Object old_lib = lib_with_exports("libssl.so.1", {{"f", ""}});
+  const Object new_lib = lib_with_exports("libssl.so.3", {{"f", ""}});
+  EXPECT_FALSE(abi_diff(old_lib, new_lib).compatible());
+}
+
+TEST(AbiDiffTest, UnsatisfiedReferences) {
+  Object app = make_executable({});
+  app.symbols.push_back(
+      Symbol{"memcpy", SymbolBinding::Global, false, "GLIBC_2.14"});
+  app.symbols.push_back(Symbol{"custom", SymbolBinding::Global, false, ""});
+  const Object libc =
+      lib_with_exports("libc.so.6", {{"memcpy", "GLIBC_2.14"}});
+  const auto missing = unsatisfied_references(app, {&libc});
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], "custom");
+}
+
+TEST(AbiDiffTest, VersionedRefAcceptsUnversionedProvider) {
+  Object app = make_executable({});
+  app.symbols.push_back(
+      Symbol{"memcpy", SymbolBinding::Global, false, "GLIBC_2.14"});
+  const Object compat = lib_with_exports("libc.so.6", {{"memcpy", ""}});
+  EXPECT_TRUE(unsatisfied_references(app, {&compat}).empty());
+}
+
+TEST(AbiDiffTest, UnversionedRefAcceptsVersionedProvider) {
+  Object app = make_executable({});
+  app.symbols.push_back(Symbol{"memcpy", SymbolBinding::Global, false, ""});
+  const Object libc =
+      lib_with_exports("libc.so.6", {{"memcpy", "GLIBC_2.14"}});
+  EXPECT_TRUE(unsatisfied_references(app, {&libc}).empty());
+}
+
+TEST(VersionedBinding, LoaderBindsExactVersion) {
+  vfs::FileSystem fs;
+  Object libc = lib_with_exports(
+      "libc.so.6", {{"memcpy", "GLIBC_2.2.5"}, {"memcpy", "GLIBC_2.14"}});
+  install_object(fs, "/usr/lib/libc.so.6", libc);
+  Object app = make_executable({"libc.so.6"});
+  app.symbols.push_back(
+      Symbol{"memcpy", SymbolBinding::Global, false, "GLIBC_2.14"});
+  install_object(fs, "/bin/app", app);
+  loader::Loader loader(fs);
+  const auto bind = loader::bind_symbols(loader.load("/bin/app"));
+  EXPECT_TRUE(bind.unresolved.empty());
+}
+
+TEST(VersionedBinding, MissingVersionIsUnresolved) {
+  vfs::FileSystem fs;
+  install_object(fs, "/usr/lib/libc.so.6",
+                 lib_with_exports("libc.so.6", {{"memcpy", "GLIBC_2.2.5"}}));
+  Object app = make_executable({"libc.so.6"});
+  app.symbols.push_back(
+      Symbol{"memcpy", SymbolBinding::Global, false, "GLIBC_2.38"});
+  install_object(fs, "/bin/app", app);
+  loader::Loader loader(fs);
+  const auto bind = loader::bind_symbols(loader.load("/bin/app"));
+  ASSERT_EQ(bind.unresolved.size(), 1u);
+  EXPECT_EQ(bind.unresolved[0], "memcpy@GLIBC_2.38");
+}
+
+TEST(AdminSwap, CompatibleSymlinkSwapValidatedByAbiDiff) {
+  // §III-A: /opt/rocm-4.3.0 is buggy but 4.3.1 is binary compatible; the
+  // administrator validates with abi_diff, then symlinks the new one in.
+  vfs::FileSystem fs;
+  const Object v430 = lib_with_exports(
+      "librocblas.so", {{"rocblas_sgemm", "ROCBLAS_4.3"}});
+  Object v431 = v430;  // compatible: same exports (plus a fix inside)
+  v431.symbols.push_back(
+      Symbol{"rocblas_internal_fix", SymbolBinding::Local, true, ""});
+  install_object(fs, "/opt/rocm-4.3.0/lib/librocblas.so", v430);
+  install_object(fs, "/opt/rocm-4.3.1/lib/librocblas.so", v431);
+
+  Object app = make_executable({"librocblas.so"}, {},
+                               {"/opt/rocm-current/lib"});
+  app.symbols.push_back(Symbol{"rocblas_sgemm", SymbolBinding::Global, false,
+                               "ROCBLAS_4.3"});
+  install_object(fs, "/bin/gpu_app", app);
+  fs.symlink("/opt/rocm-4.3.0/lib", "/opt/rocm-current/lib");
+
+  const auto diff = abi_diff(fs, "/opt/rocm-4.3.0/lib/librocblas.so",
+                             "/opt/rocm-4.3.1/lib/librocblas.so");
+  ASSERT_TRUE(diff.compatible());
+
+  // The swap: retarget the symlink (atomic via rename in real life).
+  fs.remove("/opt/rocm-current/lib");
+  fs.symlink("/opt/rocm-4.3.1/lib", "/opt/rocm-current/lib");
+  loader::Loader loader(fs);
+  const auto report = loader.load("/bin/gpu_app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].real_path,
+            "/opt/rocm-4.3.1/lib/librocblas.so");
+  EXPECT_TRUE(loader::bind_symbols(report).unresolved.empty());
+}
+
+}  // namespace
+}  // namespace depchaos::elf

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/analysis/graph.hpp"
+#include "depchaos/analysis/histogram.hpp"
+
+namespace depchaos::analysis {
+namespace {
+
+TEST(Digraph, NodesDedupByLabel) {
+  Digraph graph;
+  const auto a1 = graph.add_node("a");
+  const auto a2 = graph.add_node("a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(graph.node_count(), 1u);
+}
+
+TEST(Digraph, EdgesDedup) {
+  Digraph graph;
+  graph.add_edge("a", "b");
+  graph.add_edge("a", "b");
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_EQ(graph.in_degree(graph.find("b").value()), 1u);
+}
+
+TEST(Digraph, ReachableFromIsClosure) {
+  Digraph graph;
+  graph.add_edge("root", "a");
+  graph.add_edge("a", "b");
+  graph.add_edge("x", "y");  // unreachable
+  const auto closure = graph.reachable_from(graph.find("root").value());
+  EXPECT_EQ(closure.size(), 3u);
+}
+
+TEST(Digraph, TopoOrderRespectsEdges) {
+  Digraph graph;
+  graph.add_edge("app", "lib");
+  graph.add_edge("lib", "base");
+  const auto order = graph.topo_order();
+  ASSERT_TRUE(order.has_value());
+  const auto pos = [&](const char* label) {
+    const auto id = graph.find(label).value();
+    return std::find(order->begin(), order->end(), id) - order->begin();
+  };
+  EXPECT_LT(pos("app"), pos("lib"));
+  EXPECT_LT(pos("lib"), pos("base"));
+}
+
+TEST(Digraph, CycleDetection) {
+  Digraph graph;
+  graph.add_edge("a", "b");
+  graph.add_edge("b", "a");
+  EXPECT_TRUE(graph.has_cycle());
+  EXPECT_FALSE(graph.topo_order().has_value());
+}
+
+TEST(Digraph, DensityOfCompleteGraph) {
+  Digraph graph;
+  const char* names[] = {"a", "b", "c"};
+  for (const auto* from : names) {
+    for (const auto* to : names) {
+      if (from != to) graph.add_edge(from, to);
+    }
+  }
+  EXPECT_DOUBLE_EQ(graph.density(), 1.0);
+}
+
+TEST(Digraph, DotOutputWellFormed) {
+  Digraph graph;
+  graph.add_edge("a", "b");
+  const auto dot = graph.to_dot("test");
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(HistogramTest, SummariesOnKnownData) {
+  Histogram histogram;
+  for (const std::uint64_t v : {1, 1, 2, 3, 10}) histogram.add(v);
+  EXPECT_EQ(histogram.max(), 10u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 17.0 / 5);
+  EXPECT_DOUBLE_EQ(histogram.fraction_above(2), 2.0 / 5);
+  EXPECT_EQ(histogram.quantile(0.5), 2u);
+  EXPECT_EQ(histogram.quantile(1.0), 10u);
+}
+
+TEST(HistogramTest, SortedDescForPlotting) {
+  Histogram histogram;
+  for (const std::uint64_t v : {3, 1, 2}) histogram.add(v);
+  EXPECT_EQ(histogram.sorted_desc(), (std::vector<std::uint64_t>{3, 2, 1}));
+}
+
+TEST(HistogramTest, FrequencyTableCaps) {
+  Histogram histogram;
+  for (const std::uint64_t v : {0, 1, 1, 9}) histogram.add(v);
+  const auto table = histogram.frequency_table(5);
+  EXPECT_EQ(table[0], 1u);
+  EXPECT_EQ(table[1], 2u);
+  EXPECT_EQ(table[5], 1u);  // 9 clamped into the cap bucket
+}
+
+TEST(HistogramTest, AsciiChartNonEmpty) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.add(i % 10);
+  const auto chart = histogram.ascii_chart(5);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  const Histogram histogram;
+  EXPECT_EQ(histogram.max(), 0u);
+  EXPECT_EQ(histogram.quantile(0.9), 0u);
+  EXPECT_DOUBLE_EQ(histogram.fraction_above(5), 0.0);
+  EXPECT_EQ(histogram.ascii_chart(4), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace depchaos::analysis

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/pkg/deb_version.hpp"
+#include "depchaos/workload/debian.hpp"
+
+namespace depchaos::pkg::deb {
+namespace {
+
+TEST(DebVersion, NumericOrdering) {
+  EXPECT_LT(compare_versions("1.9", "1.10"), 0);
+  EXPECT_LT(compare_versions("2.0", "10.0"), 0);
+  EXPECT_EQ(compare_versions("1.0", "1.0"), 0);
+  EXPECT_GT(compare_versions("1.0.1", "1.0"), 0);
+}
+
+TEST(DebVersion, LeadingZerosIgnored) {
+  EXPECT_EQ(compare_versions("1.01", "1.1"), 0);
+  EXPECT_LT(compare_versions("1.09", "1.10"), 0);
+}
+
+TEST(DebVersion, TildeSortsBeforeEverything) {
+  EXPECT_LT(compare_versions("1.0~rc1", "1.0"), 0);
+  EXPECT_LT(compare_versions("1.0~~", "1.0~"), 0);
+  EXPECT_LT(compare_versions("1.0~beta", "1.0~rc"), 0);
+}
+
+TEST(DebVersion, LettersBeforeNonLetters) {
+  EXPECT_LT(compare_versions("1.0a", "1.0+"), 0);
+  EXPECT_GT(compare_versions("1.0+dfsg", "1.0"), 0);
+}
+
+TEST(DebVersion, EpochDominates) {
+  EXPECT_LT(compare_versions("9.9", "1:0.1"), 0);
+  EXPECT_LT(compare_versions("1:1.0", "2:0.1"), 0);
+  EXPECT_EQ(compare_versions("0:1.0", "1.0"), 0);
+}
+
+TEST(DebVersion, RevisionTieBreaks) {
+  EXPECT_LT(compare_versions("1.0-1", "1.0-2"), 0);
+  EXPECT_EQ(compare_versions("1.0-1", "1.0-1"), 0);
+  EXPECT_LT(compare_versions("1.0", "1.0-1"), 0);  // missing rev = "0"
+}
+
+TEST(DebVersion, BadEpochThrows) {
+  EXPECT_THROW(compare_versions("x:1.0", "1.0"), ParseError);
+}
+
+TEST(DebVersion, RelationOperators) {
+  EXPECT_TRUE(version_satisfies("2.0", ">=", "1.9"));
+  EXPECT_TRUE(version_satisfies("2.0", ">>", "1.9"));
+  EXPECT_FALSE(version_satisfies("2.0", ">>", "2.0"));
+  EXPECT_TRUE(version_satisfies("2.0", "=", "2.0"));
+  EXPECT_TRUE(version_satisfies("1.5", "<<", "2.0"));
+  EXPECT_FALSE(version_satisfies("2.0", "<=", "1.9"));
+  EXPECT_THROW(version_satisfies("1", "~>", "2"), ParseError);
+}
+
+TEST(DebVersion, DepAcceptsHonorsKind) {
+  DepSpec unversioned{"x", DepKind::Unversioned, "", ""};
+  EXPECT_TRUE(dep_accepts(unversioned, "0.0.1"));
+  DepSpec range{"x", DepKind::VersionRange, ">=", "2.0"};
+  EXPECT_TRUE(dep_accepts(range, "2.1"));
+  EXPECT_FALSE(dep_accepts(range, "1.9"));
+}
+
+TEST(Consistency, CleanArchivePasses) {
+  std::vector<Package> archive = parse_control(
+      "Package: a\nVersion: 2.0-1\nDepends: b (>= 1.0), c\n"
+      "\nPackage: b\nVersion: 1.5\n"
+      "\nPackage: c\nVersion: 0.1\n");
+  const auto report = check_archive(archive);
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(report.deps_checked, 2u);
+}
+
+TEST(Consistency, FindsMissingPackageAndBadVersion) {
+  std::vector<Package> archive = parse_control(
+      "Package: a\nVersion: 1.0\nDepends: ghost, b (>= 9.0)\n"
+      "\nPackage: b\nVersion: 1.5\n");
+  const auto report = check_archive(archive);
+  ASSERT_EQ(report.broken.size(), 2u);
+  EXPECT_TRUE(report.broken[0].target_missing);
+  EXPECT_FALSE(report.broken[1].target_missing);
+}
+
+TEST(Consistency, MultipleVersionsAnyMatchCounts) {
+  std::vector<Package> archive = parse_control(
+      "Package: a\nVersion: 1.0\nDepends: b (>= 2.0)\n"
+      "\nPackage: b\nVersion: 1.0\n"
+      "\nPackage: b\nVersion: 2.5\n");
+  EXPECT_TRUE(check_archive(archive).consistent());
+}
+
+TEST(Consistency, CuratedCorpusIsConsistent) {
+  workload::DebianCorpusConfig config;
+  config.num_packages = 3000;
+  const auto corpus = workload::generate_debian_corpus(config);
+  EXPECT_TRUE(check_archive(corpus).consistent());
+}
+
+TEST(Consistency, BrokenFractionIsDetected) {
+  workload::DebianCorpusConfig config;
+  config.num_packages = 3000;
+  config.broken_fraction = 0.02;
+  const auto corpus = workload::generate_debian_corpus(config);
+  const auto report = check_archive(corpus);
+  EXPECT_FALSE(report.consistent());
+  const double rate = static_cast<double>(report.broken.size()) /
+                      static_cast<double>(report.deps_checked);
+  // A broken dependency is always emitted in versioned form, so the
+  // observed rate tracks broken_fraction directly.
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.035);
+}
+
+TEST(Consistency, ParallelMatchesSerial) {
+  workload::DebianCorpusConfig config;
+  config.num_packages = 5000;
+  config.broken_fraction = 0.01;
+  const auto corpus = workload::generate_debian_corpus(config);
+  support::ThreadPool pool(4);
+  const auto serial = check_archive(corpus);
+  const auto parallel = check_archive_parallel(pool, corpus);
+  EXPECT_EQ(serial.deps_checked, parallel.deps_checked);
+  EXPECT_EQ(serial.broken.size(), parallel.broken.size());
+}
+
+}  // namespace
+}  // namespace depchaos::pkg::deb

@@ -1,0 +1,123 @@
+// package.py DSL reparser edge cases: the syntax quirks real Spack recipes
+// exercise (the "awkward" part of the reproduction).
+
+#include <gtest/gtest.h>
+
+#include "depchaos/spack/dsl.hpp"
+#include "depchaos/support/error.hpp"
+
+namespace depchaos::spack {
+namespace {
+
+TEST(DslEdge, SingleQuotedStrings) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version('1.0', sha256='abc')\n"
+      "    depends_on('zlib@1.2:')\n");
+  ASSERT_EQ(recipe.versions.size(), 1u);
+  EXPECT_EQ(recipe.versions[0].sha256, "abc");
+  EXPECT_EQ(recipe.dependencies[0].spec.name, "zlib");
+}
+
+TEST(DslEdge, EscapedQuotesInsideStrings) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\"1.0\")\n"
+      "    variant(\"x\", default=False, description=\"says \\\"hi\\\"\")\n");
+  EXPECT_EQ(recipe.variants[0].description, "says \"hi\"");
+}
+
+TEST(DslEdge, TrailingCommasAndWeirdWhitespace) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\n"
+      "        \"2.1\"  ,\n"
+      "        sha256 = \"fff\" ,\n"
+      "    )\n");
+  ASSERT_EQ(recipe.versions.size(), 1u);
+  EXPECT_EQ(recipe.versions[0].version, "2.1");
+  EXPECT_EQ(recipe.versions[0].sha256, "fff");
+}
+
+TEST(DslEdge, CommentsAfterCode) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\"1.0\")  # latest\n"
+      "    # depends_on(\"ghost\")\n");
+  EXPECT_EQ(recipe.versions.size(), 1u);
+  EXPECT_TRUE(recipe.dependencies.empty());
+}
+
+TEST(DslEdge, TupleTypeArgumentSingleElement) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\"1.0\")\n"
+      "    depends_on(\"cmake\", type=(\"build\",))\n");
+  EXPECT_EQ(recipe.dependencies[0].types,
+            std::vector<std::string>{"build"});
+}
+
+TEST(DslEdge, ListTypeArgument) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\"1.0\")\n"
+      "    depends_on(\"py-setuptools\", type=[\"build\", \"run\"])\n");
+  EXPECT_EQ(recipe.dependencies[0].types,
+            (std::vector<std::string>{"build", "run"}));
+}
+
+TEST(DslEdge, WhenSpecWithVersionAndCompiler) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\"1.0\")\n"
+      "    depends_on(\"cuda\", when=\"@1.0:%gcc@:11+gpu\")\n");
+  const auto& when = recipe.dependencies[0].when;
+  EXPECT_TRUE(recipe.dependencies[0].has_when);
+  EXPECT_FALSE(when.version.is_any());
+  EXPECT_EQ(when.compiler, "gcc");
+  EXPECT_TRUE(when.variants.at("gpu"));
+}
+
+TEST(DslEdge, UnknownCallsAndKwargsTolerated) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    maintainers(\"alice\", \"bob\")\n"
+      "    license(\"MIT\")\n"
+      "    version(\"1.0\", expand=False, url=\"http://x\")\n");
+  EXPECT_EQ(recipe.versions.size(), 1u);
+}
+
+TEST(DslEdge, MultilineDocstringWithCodeLookalikes) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    '''Docs.\n"
+      "    version(\"9.9\")\n"
+      "    depends_on(\"fake\")\n"
+      "    '''\n"
+      "    version(\"1.0\")\n");
+  ASSERT_EQ(recipe.versions.size(), 1u);
+  EXPECT_EQ(recipe.versions[0].version, "1.0");
+}
+
+TEST(DslEdge, UnderscoreClassNames) {
+  EXPECT_EQ(class_to_package_name("_7zip"), "-7zip");
+  EXPECT_EQ(class_to_package_name("RubyRake"), "ruby-rake");
+}
+
+TEST(DslEdge, UnterminatedStringThrows) {
+  EXPECT_THROW(parse_package_py("class P(Package):\n    version(\"1.0)\n"),
+               depchaos::Error);
+}
+
+TEST(DslEdge, ConflictsWithoutWhen) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\"1.0\")\n"
+      "    conflicts(\"%intel\")\n");
+  ASSERT_EQ(recipe.conflicts.size(), 1u);
+  EXPECT_FALSE(recipe.conflicts[0].has_when);
+  EXPECT_EQ(recipe.conflicts[0].conflict.compiler, "intel");
+}
+
+}  // namespace
+}  // namespace depchaos::spack

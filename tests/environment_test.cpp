@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/spack/environment.hpp"
+
+namespace depchaos::spack {
+namespace {
+
+Repo env_repo() {
+  Repo repo;
+  repo.add_package_py("class Zlib(Package):\n    version(\"1.2.12\")\n"
+                      "    version(\"1.2.11\")\n");
+  repo.add_package_py(
+      "class Hdf5(Package):\n    version(\"1.12.1\")\n    version(\"1.10.8\")\n"
+      "    depends_on(\"zlib\")\n");
+  repo.add_package_py(
+      "class Viz(Package):\n    version(\"3.0\")\n"
+      "    depends_on(\"hdf5@1.10\")\n");
+  repo.add_package_py(
+      "class Sim(Package):\n    version(\"2.0\")\n"
+      "    depends_on(\"hdf5\")\n    depends_on(\"zlib\")\n");
+  return repo;
+}
+
+TEST(Environment, SharedDependenciesUnify) {
+  const Repo repo = env_repo();
+  const Concretizer concretizer(repo);
+  const auto env = concretize_environment(concretizer, {"sim", "viz"});
+  EXPECT_EQ(env.roots, (std::vector<std::string>{"sim", "viz"}));
+  // viz pins hdf5@1.10; unification forces sim onto the same node.
+  EXPECT_EQ(env.dag.nodes.count("hdf5"), 1u);
+  EXPECT_EQ(env.dag.at("hdf5").version, "1.10.8");
+  EXPECT_EQ(env.dag.nodes.count("zlib"), 1u);
+}
+
+TEST(Environment, ContradictoryRootsThrow) {
+  const Repo repo = env_repo();
+  const Concretizer concretizer(repo);
+  EXPECT_THROW(concretize_environment(
+                   concretizer, {"sim ^hdf5@1.12", "viz"}),  // viz wants 1.10
+               ResolveError);
+}
+
+TEST(Environment, SingleRootMatchesPlainConcretize) {
+  const Repo repo = env_repo();
+  const Concretizer concretizer(repo);
+  const auto env = concretize_environment(concretizer, {"sim"});
+  const auto plain = concretizer.concretize("sim");
+  EXPECT_EQ(env.dag.size(), plain.size());
+  EXPECT_EQ(env.dag.dag_hash("sim"), plain.dag_hash("sim"));
+}
+
+TEST(Environment, EmptyRootListThrows) {
+  const Repo repo = env_repo();
+  const Concretizer concretizer(repo);
+  EXPECT_THROW(concretize_environment(concretizer, {}), ResolveError);
+}
+
+TEST(Environment, InstallPublishesMergedView) {
+  const Repo repo = env_repo();
+  const Concretizer concretizer(repo);
+  const auto env = concretize_environment(concretizer, {"sim", "viz"});
+
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs, "/spack/store");
+  const auto installed = install_environment(store, env);
+  ASSERT_EQ(installed.per_root.size(), 2u);
+
+  // Both executables exist and load.
+  loader::Loader loader(fs);
+  for (const auto& root : installed.per_root) {
+    EXPECT_TRUE(loader.load(root.exe_path).success);
+  }
+  // The merged view exposes both binaries and the shared libraries once.
+  EXPECT_TRUE(fs.exists(installed.view_path + "/bin/sim"));
+  EXPECT_TRUE(fs.exists(installed.view_path + "/bin/viz"));
+  EXPECT_TRUE(fs.exists(installed.view_path + "/lib/libhdf5.so"));
+  EXPECT_TRUE(fs.exists(installed.view_path + "/lib/libzlib.so"));
+}
+
+TEST(Environment, SharedNodesInstallOnce) {
+  const Repo repo = env_repo();
+  const Concretizer concretizer(repo);
+  const auto env = concretize_environment(concretizer, {"sim", "viz"});
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs, "/spack/store");
+  (void)install_environment(store, env);
+  // 4 packages total despite two roots sharing hdf5+zlib.
+  EXPECT_EQ(store.packages().size(), env.dag.size());
+}
+
+}  // namespace
+}  // namespace depchaos::spack

@@ -1,0 +1,304 @@
+// Tests for the extension features: the Guix-style per-application loader
+// cache (§V-A reference), static linking (§III-B), the store rebuild
+// cascade (§II-D), and the HPC recipe corpus (intro claim).
+
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/static_link.hpp"
+#include "depchaos/loader/symbols.hpp"
+#include "depchaos/pkg/store.hpp"
+#include "depchaos/shrinkwrap/ldcache.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/spack/install.hpp"
+#include "depchaos/workload/emacs.hpp"
+#include "depchaos/workload/spackrepo.hpp"
+
+namespace depchaos {
+namespace {
+
+using elf::install_object;
+using elf::make_executable;
+using elf::make_library;
+
+// ------------------------------------------------------- app loader cache
+
+class LdCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_.mkdir_p("/store/empty");
+    install_object(fs_, "/store/b/libb.so", make_library("libb.so"));
+    install_object(fs_, "/store/a/liba.so",
+                   make_library("liba.so", {"libb.so"}));
+    install_object(fs_, "/bin/app",
+                   make_executable({"liba.so"}, {},
+                                   {"/store/empty", "/store/a", "/store/b"}));
+  }
+
+  loader::Loader cache_loader() {
+    loader::SearchConfig config;
+    config.use_app_cache = true;
+    return loader::Loader(fs_, config);
+  }
+
+  vfs::FileSystem fs_;
+};
+
+TEST_F(LdCacheTest, WriterProducesEntries) {
+  loader::Loader loader(fs_);
+  const auto report = shrinkwrap::make_loader_cache(fs_, loader, "/bin/app");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.cache_path, "/bin/app.ldcache");
+  EXPECT_GE(report.entries, 2u);
+  EXPECT_TRUE(fs_.exists("/bin/app.ldcache"));
+}
+
+TEST_F(LdCacheTest, CacheEliminatesSearchProbes) {
+  loader::Loader plain(fs_);
+  const auto before = plain.load("/bin/app");
+  ASSERT_TRUE(before.success);
+
+  loader::Loader writer(fs_);
+  ASSERT_TRUE(shrinkwrap::make_loader_cache(fs_, writer, "/bin/app").ok());
+  auto cached = cache_loader();
+  const auto after = cached.load("/bin/app");
+  ASSERT_TRUE(after.success);
+  EXPECT_EQ(after.load_order[1].how, loader::HowFound::AppCache);
+  EXPECT_LT(after.stats.failed_probes, before.stats.failed_probes);
+  EXPECT_LE(after.stats.metadata_calls(), before.stats.metadata_calls());
+}
+
+TEST_F(LdCacheTest, BinaryIsUntouched) {
+  const auto before = elf::read_object(fs_, "/bin/app");
+  loader::Loader loader(fs_);
+  ASSERT_TRUE(shrinkwrap::make_loader_cache(fs_, loader, "/bin/app").ok());
+  EXPECT_EQ(elf::read_object(fs_, "/bin/app"), before);
+}
+
+TEST_F(LdCacheTest, StaleEntryFallsBackToSearch) {
+  loader::Loader writer(fs_);
+  ASSERT_TRUE(shrinkwrap::make_loader_cache(fs_, writer, "/bin/app").ok());
+  // Move liba: the cache now points at a dead path.
+  fs_.rename("/store/a/liba.so", "/store/b/liba.so");
+  auto cached = cache_loader();
+  const auto report = cached.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.find_loaded("liba.so")->path, "/store/b/liba.so");
+  EXPECT_NE(report.find_loaded("liba.so")->how, loader::HowFound::AppCache);
+}
+
+TEST_F(LdCacheTest, MissingCacheFileIsHarmless) {
+  auto cached = cache_loader();
+  const auto report = cached.load("/bin/app");
+  EXPECT_TRUE(report.success);  // one wasted open, then the normal search
+}
+
+TEST_F(LdCacheTest, LosingTheSideFileLosesTheBenefit) {
+  // The trade-off vs Shrinkwrap: the mapping lives OUTSIDE the binary.
+  loader::Loader writer(fs_);
+  ASSERT_TRUE(shrinkwrap::make_loader_cache(fs_, writer, "/bin/app").ok());
+  fs_.remove("/bin/app.ldcache");
+  auto cached = cache_loader();
+  const auto report = cached.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_NE(report.load_order[1].how, loader::HowFound::AppCache);
+}
+
+// ----------------------------------------------------------- static link
+
+class StaticLinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    elf::Object lib = make_library("liba.so");
+    lib.symbols.push_back(
+        elf::Symbol{"compute", elf::SymbolBinding::Global, true});
+    lib.extra_size = 1000;
+    install_object(fs_, "/l/liba.so", lib);
+    elf::Object exe = make_executable({"liba.so"}, {}, {"/l"});
+    exe.symbols.push_back(
+        elf::Symbol{"compute", elf::SymbolBinding::Global, false});
+    exe.extra_size = 5000;
+    install_object(fs_, "/bin/app", exe);
+  }
+  vfs::FileSystem fs_;
+};
+
+TEST_F(StaticLinkTest, ProducesSelfContainedImage) {
+  const auto result = loader::static_link(fs_, "/bin/app", {"/l/liba.so"});
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.merged.dyn.needed.empty());
+  EXPECT_TRUE(result.merged.interp.empty());
+  EXPECT_TRUE(result.merged.defines("compute"));
+  EXPECT_GE(result.image_size, 6000u);  // both components folded in
+}
+
+TEST_F(StaticLinkTest, StaticImageLoadsWithOneOpen) {
+  const auto result = loader::static_link(fs_, "/bin/app", {"/l/liba.so"});
+  ASSERT_TRUE(result.ok);
+  install_object(fs_, "/bin/app-static", result.merged);
+  loader::Loader loader(fs_);
+  const auto report = loader.load("/bin/app-static");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 1u);
+  EXPECT_EQ(report.stats.open_calls, 1u);
+}
+
+TEST_F(StaticLinkTest, DuplicateStrongSymbolsFailTheLink) {
+  elf::Object other = make_library("libb.so");
+  other.symbols.push_back(
+      elf::Symbol{"compute", elf::SymbolBinding::Global, true});
+  install_object(fs_, "/l/libb.so", other);
+  const auto result =
+      loader::static_link(fs_, "/bin/app", {"/l/liba.so", "/l/libb.so"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.check.duplicate_strong.empty());
+}
+
+TEST_F(StaticLinkTest, InterpositionStopsWorking) {
+  // §III-B: "Changing to fully static linking breaks all of these tools."
+  const auto result = loader::static_link(fs_, "/bin/app", {"/l/liba.so"});
+  ASSERT_TRUE(result.ok);
+  install_object(fs_, "/bin/app-static", result.merged);
+  elf::Object tool = make_library("libwrap.so");
+  tool.symbols.push_back(
+      elf::Symbol{"compute", elf::SymbolBinding::Global, true});
+  install_object(fs_, "/usr/lib/libwrap.so", tool);
+
+  loader::Loader loader(fs_);
+  loader::Environment env;
+  env.ld_preload = {"libwrap.so"};
+  const auto bind = loader::bind_symbols(loader.load("/bin/app-static", env));
+  // The static image has no undefined references: nothing binds to the tool.
+  EXPECT_TRUE(bind.bindings.empty());
+}
+
+TEST_F(StaticLinkTest, SystemCostBlowup) {
+  // Three binaries sharing one big libc: dynamic keeps one copy.
+  const std::vector<std::uint64_t> bin_sizes = {100, 100, 100};
+  const std::vector<std::vector<std::size_t>> deps = {{0}, {0}, {0}};
+  const std::vector<std::uint64_t> lib_sizes = {1000};
+  const auto cost = loader::estimate_system_cost(bin_sizes, deps, lib_sizes);
+  EXPECT_EQ(cost.dynamic_bytes, 300u + 1000u);
+  EXPECT_EQ(cost.static_bytes, 300u + 3000u);
+  EXPECT_GT(cost.blowup(), 2.5);
+}
+
+// ------------------------------------------------------- rebuild cascade
+
+TEST(RebuildCascade, DominoEffectThroughTheGraph) {
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs);
+  auto mk = [&](const std::string& name, std::vector<std::string> deps) {
+    pkg::store::PackageSpec spec;
+    spec.name = name;
+    spec.version = "1";
+    spec.deps = std::move(deps);
+    elf::Object lib = make_library("lib" + name + ".so");
+    lib.extra_size = 10000;
+    spec.files.push_back(
+        pkg::store::StoreFile{"lib/lib" + name + ".so", lib, ""});
+    return store.add(spec).prefix;
+  };
+  const auto zlib = mk("zlib", {});
+  const auto curl = mk("curl", {zlib});
+  const auto cmake_pkg = mk("cmake", {curl});
+  const auto standalone = mk("standalone", {});
+
+  const auto affected = store.dependents_closure(zlib);
+  EXPECT_EQ(affected.size(), 2u);  // curl + cmake, not standalone
+  EXPECT_TRUE(std::find(affected.begin(), affected.end(), curl) !=
+              affected.end());
+  EXPECT_TRUE(std::find(affected.begin(), affected.end(), cmake_pkg) !=
+              affected.end());
+  EXPECT_TRUE(std::find(affected.begin(), affected.end(), standalone) ==
+              affected.end());
+
+  // Rebuild bytes cover zlib itself plus both dependents.
+  EXPECT_GE(store.rebuild_bytes(zlib), 3u * 10000u);
+  EXPECT_LT(store.rebuild_bytes(standalone), 2u * 10000u);
+}
+
+TEST(RebuildCascade, LeafUpdateTouchesOnlyItself) {
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs);
+  pkg::store::PackageSpec spec;
+  spec.name = "leaf";
+  spec.version = "1";
+  spec.files.push_back(
+      pkg::store::StoreFile{"lib/libleaf.so", make_library("libleaf.so"), ""});
+  const auto& leaf = store.add(spec);
+  EXPECT_TRUE(store.dependents_closure(leaf.prefix).empty());
+}
+
+// ---------------------------------------------------------- recipe corpus
+
+TEST(HpcRepo, CoreRecipesAllParse) {
+  spack::Repo repo;
+  for (const auto& source : workload::core_hpc_recipes()) {
+    EXPECT_NO_THROW(repo.add_package_py(source));
+  }
+  EXPECT_NE(repo.find("axom"), nullptr);
+  EXPECT_NE(repo.find("py-numpy"), nullptr);  // CamelCase conversion
+  EXPECT_TRUE(repo.is_virtual("mpi"));
+}
+
+TEST(HpcRepo, AxomClosureExceedsTwoHundred) {
+  const auto repo = workload::build_hpc_repo();
+  spack::ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "openmpi";
+  const spack::Concretizer concretizer(repo, options);
+  const auto dag = concretizer.concretize("axom");
+  EXPECT_GT(dag.size(), 200u);  // the paper's intro claim
+}
+
+TEST(HpcRepo, VariantsSteerTheClosure) {
+  const auto repo = workload::build_hpc_repo();
+  spack::ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "openmpi";
+  const spack::Concretizer concretizer(repo, options);
+  const auto with_python = concretizer.concretize("axom+python");
+  const auto without_python = concretizer.concretize("axom~python");
+  EXPECT_TRUE(with_python.nodes.contains("py-numpy"));
+  EXPECT_FALSE(without_python.nodes.contains("py-numpy"));
+  EXPECT_LT(without_python.size(), with_python.size());
+}
+
+TEST(HpcRepo, SyntheticRecipesDeterministic) {
+  workload::SyntheticRepoConfig config;
+  config.num_packages = 50;
+  EXPECT_EQ(workload::synthetic_recipes(config),
+            workload::synthetic_recipes(config));
+}
+
+TEST(HpcRepo, InstalledAxomLoadsAndWraps) {
+  const auto repo = workload::build_hpc_repo();
+  spack::ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "openmpi";
+  const spack::Concretizer concretizer(repo, options);
+  const auto dag = concretizer.concretize("axom");
+  vfs::FileSystem fs;
+  pkg::store::Store store(fs, "/spack/store");
+  const auto installed = spack::install_dag(store, dag);
+  loader::Loader loader(fs);
+  ASSERT_TRUE(loader.load(installed.exe_path).success);
+  ASSERT_TRUE(shrinkwrap::shrinkwrap(fs, loader, installed.exe_path).ok());
+  const auto wrapped = loader.load(installed.exe_path);
+  ASSERT_TRUE(wrapped.success);
+  EXPECT_EQ(wrapped.stats.metadata_calls(), dag.size() + 1);
+}
+
+// -------------------------------------------------------------- disk usage
+
+TEST(DiskUsage, SumsRegularFilesOnly) {
+  vfs::FileSystem fs;
+  fs.write_file("/d/a", std::string(100, 'x'));
+  vfs::FileData big;
+  big.declared_size = 5000;
+  fs.write_file("/d/sub/b", std::move(big));
+  fs.symlink("/d/a", "/d/link");
+  EXPECT_EQ(fs.disk_usage("/d"), 5100u);
+  EXPECT_EQ(fs.disk_usage("/nonexistent"), 0u);
+}
+
+}  // namespace
+}  // namespace depchaos

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/pkg/hermetic.hpp"
+
+namespace depchaos::pkg::hermetic {
+namespace {
+
+TEST(Hermetic, CommitFreezesStagingLayer) {
+  Image image;
+  image.write_file("/usr/lib/libc.so.6", std::string("v1"));
+  EXPECT_EQ(image.staged_changes(), 1u);
+  const auto id = image.commit("base");
+  EXPECT_FALSE(id.empty());
+  EXPECT_EQ(image.staged_changes(), 0u);
+  EXPECT_EQ(image.head(), id);
+}
+
+TEST(Hermetic, EmptyCommitIsNoop) {
+  Image image;
+  image.write_file("/f", std::string("x"));
+  const auto first = image.commit("one");
+  EXPECT_EQ(image.commit("empty"), first);
+  EXPECT_EQ(image.log().size(), 1u);
+}
+
+TEST(Hermetic, UpperLayerOverridesLower) {
+  Image image;
+  image.write_file("/etc/conf", std::string("old"));
+  image.commit("base");
+  image.write_file("/etc/conf", std::string("new"));
+  image.commit("update");
+  EXPECT_EQ(image.read("/etc/conf")->bytes, "new");
+}
+
+TEST(Hermetic, WhiteoutDeletes) {
+  Image image;
+  image.write_file("/usr/bin/tool", std::string("bin"));
+  image.commit("base");
+  image.remove("/usr/bin/tool");
+  image.commit("remove tool");
+  EXPECT_FALSE(image.read("/usr/bin/tool").has_value());
+  // The underlying layer still holds it: rollback resurrects.
+  image.rollback();
+  EXPECT_TRUE(image.read("/usr/bin/tool").has_value());
+}
+
+TEST(Hermetic, RollbackIsAtomicAndDiscardsStaging) {
+  Image image;
+  image.write_file("/a", std::string("1"));
+  const auto first = image.commit("one");
+  image.write_file("/a", std::string("2"));
+  image.write_file("/b", std::string("2"));
+  image.commit("two");
+  image.write_file("/c", std::string("staged"));
+
+  image.rollback();
+  EXPECT_EQ(image.head(), first);
+  EXPECT_EQ(image.read("/a")->bytes, "1");
+  EXPECT_FALSE(image.read("/b").has_value());
+  EXPECT_FALSE(image.read("/c").has_value());
+}
+
+TEST(Hermetic, RollbackPastRootThrows) {
+  Image image;
+  EXPECT_THROW(image.rollback(), Error);
+}
+
+TEST(Hermetic, CommitAfterRollbackAbandonsTheFuture) {
+  Image image;
+  image.write_file("/v", std::string("1"));
+  image.commit("one");
+  image.write_file("/v", std::string("2"));
+  const auto two = image.commit("two");
+  image.rollback();
+  image.write_file("/v", std::string("3"));
+  image.commit("three");
+  EXPECT_EQ(image.read("/v")->bytes, "3");
+  EXPECT_THROW(image.checkout_commit(two), Error);  // rewritten history
+  EXPECT_EQ(image.log().size(), 2u);
+}
+
+TEST(Hermetic, CheckoutArbitraryCommit) {
+  Image image;
+  image.write_file("/gen", std::string("1"));
+  const auto one = image.commit("one");
+  image.write_file("/gen", std::string("2"));
+  image.commit("two");
+  image.checkout_commit(one);
+  EXPECT_EQ(image.read("/gen")->bytes, "1");
+}
+
+TEST(Hermetic, MaterializedImageRunsFhsBinaries) {
+  // The §II-C selling point: the interior is plain FHS, so ordinary
+  // dynamic binaries work against a checked-out commit.
+  Image image;
+  image.write_file("/usr/lib/libm.so",
+                   elf::serialize(elf::make_library("libm.so")));
+  image.write_file("/usr/bin/calc",
+                   elf::serialize(elf::make_executable({"libm.so"})));
+  image.commit("base os");
+
+  auto fs = image.materialize();
+  loader::Loader loader(fs);
+  const auto report = loader.load("/usr/bin/calc");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].how, loader::HowFound::DefaultPath);
+}
+
+TEST(Hermetic, UpgradeThenRollbackChangesWhatLoads) {
+  Image image;
+  elf::Object v1 = elf::make_library("libssl.so");
+  v1.symbols.push_back(elf::Symbol{"ssl_v1", elf::SymbolBinding::Global, true});
+  image.write_file("/usr/lib/libssl.so", elf::serialize(v1));
+  image.write_file("/usr/bin/app",
+                   elf::serialize(elf::make_executable({"libssl.so"})));
+  image.commit("v1");
+
+  elf::Object v2 = elf::make_library("libssl.so");
+  v2.symbols.push_back(elf::Symbol{"ssl_v2", elf::SymbolBinding::Global, true});
+  image.write_file("/usr/lib/libssl.so", elf::serialize(v2));
+  image.commit("security update");
+
+  {
+    auto fs = image.materialize();
+    loader::Loader loader(fs);
+    const auto report = loader.load("/usr/bin/app");
+    EXPECT_TRUE(report.load_order[1].object->defines("ssl_v2"));
+  }
+  image.rollback();
+  {
+    auto fs = image.materialize();
+    loader::Loader loader(fs);
+    const auto report = loader.load("/usr/bin/app");
+    EXPECT_TRUE(report.load_order[1].object->defines("ssl_v1"));
+  }
+}
+
+}  // namespace
+}  // namespace depchaos::pkg::hermetic

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/launch/launch.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/workload/pynamic.hpp"
+
+namespace depchaos::launch {
+namespace {
+
+class LaunchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_.set_latency_model(std::make_shared<vfs::NfsModel>());
+    workload::PynamicConfig config;
+    config.num_modules = 120;  // scaled-down Pynamic
+    config.exe_extra_bytes = 8ull << 20;
+    app_ = workload::generate_pynamic(fs_, config);
+  }
+
+  vfs::FileSystem fs_;
+  workload::PynamicApp app_;
+};
+
+TEST_F(LaunchTest, TimeGrowsWithRankCount) {
+  loader::Loader loader(fs_);
+  const auto r512 = simulate_launch(fs_, loader, app_.exe_path, {}, 512);
+  const auto r2048 = simulate_launch(fs_, loader, app_.exe_path, {}, 2048);
+  ASSERT_TRUE(r512.load_succeeded);
+  EXPECT_GT(r2048.total_time_s, r512.total_time_s);
+  // Sublinear: quadrupling ranks should not quadruple the time.
+  EXPECT_LT(r2048.total_time_s, 4 * r512.total_time_s);
+}
+
+TEST_F(LaunchTest, WrappedBeatsNormalAtEveryScale) {
+  loader::Loader loader(fs_);
+  const std::vector<int> ranks = {512, 1024, 2048};
+  const auto normal = scaling_sweep(fs_, loader, app_.exe_path, {}, ranks);
+
+  ASSERT_TRUE(shrinkwrap::shrinkwrap(fs_, loader, app_.exe_path).ok());
+  const auto wrapped = scaling_sweep(fs_, loader, app_.exe_path, {}, ranks);
+
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_LT(wrapped[i].total_time_s, normal[i].total_time_s);
+  }
+}
+
+TEST_F(LaunchTest, SpeedupGrowsWithScale) {
+  // Fig 6's headline: the gap WIDENS as the job grows (5.5x -> 7.2x).
+  loader::Loader loader(fs_);
+  const auto n512 = simulate_launch(fs_, loader, app_.exe_path, {}, 512);
+  const auto n2048 = simulate_launch(fs_, loader, app_.exe_path, {}, 2048);
+  ASSERT_TRUE(shrinkwrap::shrinkwrap(fs_, loader, app_.exe_path).ok());
+  const auto w512 = simulate_launch(fs_, loader, app_.exe_path, {}, 512);
+  const auto w2048 = simulate_launch(fs_, loader, app_.exe_path, {}, 2048);
+
+  const double speedup_512 = n512.total_time_s / w512.total_time_s;
+  const double speedup_2048 = n2048.total_time_s / w2048.total_time_s;
+  EXPECT_GT(speedup_512, 1.5);
+  EXPECT_GT(speedup_2048, speedup_512);
+}
+
+TEST_F(LaunchTest, MetaOpsMeasuredNotModelled) {
+  loader::Loader loader(fs_);
+  const auto result = simulate_launch(fs_, loader, app_.exe_path, {}, 64);
+  // 120 modules, one per directory: ~n^2/2 probes.
+  EXPECT_GT(result.meta_ops_per_rank, 120ull * 121 / 2);
+  EXPECT_GT(result.bytes_per_rank, 8ull << 20);
+}
+
+TEST_F(LaunchTest, BytesIdenticalBeforeAndAfterWrap) {
+  // Shrinkwrap only removes metadata work; the bytes staged are the same.
+  loader::Loader loader(fs_);
+  const auto before = simulate_launch(fs_, loader, app_.exe_path, {}, 64);
+  ASSERT_TRUE(shrinkwrap::shrinkwrap(fs_, loader, app_.exe_path).ok());
+  const auto after = simulate_launch(fs_, loader, app_.exe_path, {}, 64);
+  // Wrapped metadata is tiny compared to the original.
+  EXPECT_LT(after.meta_ops_per_rank * 20, before.meta_ops_per_rank);
+  // Bytes differ only by the rewritten (slightly longer) dynamic section.
+  const double byte_ratio = static_cast<double>(after.bytes_per_rank) /
+                            static_cast<double>(before.bytes_per_rank);
+  EXPECT_NEAR(byte_ratio, 1.0, 0.01);
+}
+
+TEST_F(LaunchTest, SpindleBroadcastFlattensMetadataScaling) {
+  loader::Loader loader(fs_);
+  ClusterConfig spindle;
+  spindle.spindle_broadcast = true;
+  const auto s512 =
+      simulate_launch(fs_, loader, app_.exe_path, {}, 512, spindle);
+  const auto s2048 =
+      simulate_launch(fs_, loader, app_.exe_path, {}, 2048, spindle);
+  const auto n2048 = simulate_launch(fs_, loader, app_.exe_path, {}, 2048);
+  // Broadcast beats per-rank resolution at scale...
+  EXPECT_LT(s2048.meta_time_s, n2048.meta_time_s);
+  // ...and its metadata phase grows only logarithmically.
+  EXPECT_LT(s2048.meta_time_s, s512.meta_time_s * 1.5);
+}
+
+TEST_F(LaunchTest, SingleRankHasNoContentionPenalty) {
+  loader::Loader loader(fs_);
+  const auto result = simulate_launch(fs_, loader, app_.exe_path, {}, 1);
+  ClusterConfig config;
+  const double raw_meta =
+      static_cast<double>(result.meta_ops_per_rank) * config.meta_op_cost_s;
+  EXPECT_NEAR(result.meta_time_s, raw_meta, 1e-9);
+}
+
+}  // namespace
+}  // namespace depchaos::launch

@@ -1,0 +1,597 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::loader {
+namespace {
+
+using elf::install_object;
+using elf::make_executable;
+using elf::make_library;
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  vfs::FileSystem fs_;
+
+  Loader glibc(SearchConfig config = {}) {
+    return Loader(fs_, std::move(config), Dialect::Glibc);
+  }
+  Loader musl(SearchConfig config = {}) {
+    return Loader(fs_, std::move(config), Dialect::Musl);
+  }
+};
+
+// ----------------------------------------------------------- fundamentals
+
+TEST_F(LoaderTest, LoadsExecutableWithNoDeps) {
+  install_object(fs_, "/bin/app", make_executable({}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  EXPECT_TRUE(report.success);
+  ASSERT_EQ(report.load_order.size(), 1u);
+  EXPECT_EQ(report.load_order[0].how, HowFound::Root);
+}
+
+TEST_F(LoaderTest, MissingExecutableThrows) {
+  auto loader = glibc();
+  EXPECT_THROW(loader.load("/bin/nope"), FsError);
+}
+
+TEST_F(LoaderTest, NonSelfExecutableThrows) {
+  fs_.write_file("/bin/script", std::string("#!/bin/sh\n"));
+  auto loader = glibc();
+  EXPECT_THROW(loader.load("/bin/script"), ElfError);
+}
+
+TEST_F(LoaderTest, FindsLibInRunpath) {
+  install_object(fs_, "/app/lib/libx.so", make_library("libx.so"));
+  install_object(fs_, "/app/bin/app",
+                 make_executable({"libx.so"}, {"/app/lib"}));
+  auto loader = glibc();
+  const auto report = loader.load("/app/bin/app");
+  ASSERT_TRUE(report.success);
+  ASSERT_EQ(report.load_order.size(), 2u);
+  EXPECT_EQ(report.load_order[1].how, HowFound::Runpath);
+  EXPECT_EQ(report.load_order[1].path, "/app/lib/libx.so");
+}
+
+TEST_F(LoaderTest, MissingDependencyReportsFailure) {
+  install_object(fs_, "/bin/app", make_executable({"libmissing.so"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  EXPECT_FALSE(report.success);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0].name, "libmissing.so");
+  EXPECT_EQ(report.missing[0].how, HowFound::NotFound);
+}
+
+TEST_F(LoaderTest, AbsoluteNeededPathLoadsDirectly) {
+  install_object(fs_, "/exact/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app", make_executable({"/exact/libx.so"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].how, HowFound::AbsolutePath);
+}
+
+TEST_F(LoaderTest, BfsLoadOrder) {
+  // app -> (a, b); a -> c. BFS: app, a, b, c.
+  install_object(fs_, "/l/libc1.so", make_library("libc1.so"));
+  install_object(fs_, "/l/liba.so",
+                 make_library("liba.so", {"libc1.so"}, {"/l"}));
+  install_object(fs_, "/l/libb.so", make_library("libb.so"));
+  install_object(fs_, "/bin/app",
+                 make_executable({"liba.so", "libb.so"}, {"/l"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  ASSERT_EQ(report.load_order.size(), 4u);
+  EXPECT_EQ(report.load_order[1].name, "liba.so");
+  EXPECT_EQ(report.load_order[2].name, "libb.so");
+  EXPECT_EQ(report.load_order[3].name, "libc1.so");
+  EXPECT_EQ(report.load_order[3].depth, 2);
+}
+
+// --------------------------------------------------------------- Table I
+
+TEST_F(LoaderTest, TableI_RpathBeforeLdLibraryPath) {
+  install_object(fs_, "/rp/libx.so", make_library("libx.so"));
+  install_object(fs_, "/env/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libx.so"}, {}, {"/rp"}));
+  auto loader = glibc();
+  const auto report =
+      loader.load("/bin/app", Environment::with_library_path({"/env"}));
+  EXPECT_EQ(report.load_order[1].path, "/rp/libx.so");
+  EXPECT_EQ(report.load_order[1].how, HowFound::Rpath);
+}
+
+TEST_F(LoaderTest, TableI_LdLibraryPathBeforeRunpath) {
+  install_object(fs_, "/rp/libx.so", make_library("libx.so"));
+  install_object(fs_, "/env/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, {"/rp"}));
+  auto loader = glibc();
+  const auto report =
+      loader.load("/bin/app", Environment::with_library_path({"/env"}));
+  EXPECT_EQ(report.load_order[1].path, "/env/libx.so");
+  EXPECT_EQ(report.load_order[1].how, HowFound::LdLibraryPath);
+}
+
+TEST_F(LoaderTest, TableI_RpathPropagatesToDependencies) {
+  // liby.so is needed by libx.so; only the EXECUTABLE's RPATH names its dir.
+  install_object(fs_, "/deep/liby.so", make_library("liby.so"));
+  install_object(fs_, "/l/libx.so", make_library("libx.so", {"liby.so"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libx.so"}, {}, {"/l", "/deep"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  const auto* y = report.find_loaded("liby.so");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->how, HowFound::RpathAncestor);
+}
+
+TEST_F(LoaderTest, TableI_RunpathDoesNotPropagate) {
+  install_object(fs_, "/deep/liby.so", make_library("liby.so"));
+  install_object(fs_, "/l/libx.so", make_library("libx.so", {"liby.so"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libx.so"}, {"/l", "/deep"}));  // RUNPATH
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  EXPECT_FALSE(report.success);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0].name, "liby.so");
+}
+
+TEST_F(LoaderTest, RunpathOnRequesterDisablesItsRpathChain) {
+  // The ROCm mechanism in miniature: the requesting library carries a
+  // RUNPATH, so the executable's RPATH no longer applies to its lookups.
+  install_object(fs_, "/good/liby.so", make_library("liby.so"));
+  install_object(fs_, "/other/libz.so", make_library("libz.so"));
+  elf::Object libx = make_library("libx.so", {"liby.so"});
+  libx.dyn.runpath = {"/other"};  // present but useless for liby
+  install_object(fs_, "/l/libx.so", libx);
+  install_object(fs_, "/bin/app",
+                 make_executable({"libx.so"}, {}, {"/l", "/good"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  EXPECT_FALSE(report.success);  // liby not findable: RPATH chain disabled
+}
+
+TEST_F(LoaderTest, AncestorWithRunpathContributesNoRpath) {
+  // Chain: app(RUNPATH) -> libmid(RPATH /deep) -> liby. libmid's own RPATH
+  // applies (it has no RUNPATH); the app's RPATH would be ignored anyway.
+  install_object(fs_, "/deep/liby.so", make_library("liby.so"));
+  install_object(fs_, "/l/libmid.so",
+                 make_library("libmid.so", {"liby.so"}, {}, {"/deep"}));
+  install_object(fs_, "/bin/app", make_executable({"libmid.so"}, {"/l"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.find_loaded("liby.so")->how, HowFound::Rpath);
+}
+
+// ------------------------------------------------------------ dedup rules
+
+TEST_F(LoaderTest, GlibcDedupsBySonameAcrossAbsoluteAndBare) {
+  // Fig 5: exe needs /abs path; a transitive object requests the bare
+  // soname; glibc satisfies it from the cache.
+  install_object(fs_, "/store/libac.so", make_library("libac.so"));
+  install_object(fs_, "/store/libxyz.so",
+                 make_library("libxyz.so", {"libac.so"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"/store/libac.so", "/store/libxyz.so"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 3u);  // no duplicate libac
+  const auto& last_request = report.requests.back();
+  EXPECT_EQ(last_request.name, "libac.so");
+  EXPECT_EQ(last_request.how, HowFound::Cache);
+}
+
+TEST_F(LoaderTest, MuslDoesNotDedupBySoname) {
+  // Same layout as above but under musl: the bare-soname request is NOT
+  // satisfied from cache; the search fails (store dir is not searched).
+  install_object(fs_, "/store/libac.so", make_library("libac.so"));
+  install_object(fs_, "/store/libxyz.so",
+                 make_library("libxyz.so", {"libac.so"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"/store/libac.so", "/store/libxyz.so"}));
+  auto loader = musl();
+  const auto report = loader.load("/bin/app");
+  EXPECT_FALSE(report.success);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0].name, "libac.so");
+}
+
+TEST_F(LoaderTest, MuslDedupsByInodeWhenSearchFindsSameFile) {
+  install_object(fs_, "/l/libac.so", make_library("libac.so"));
+  install_object(fs_, "/l/libxyz.so",
+                 make_library("libxyz.so", {"libac.so"}, {}, {"/l"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"/l/libac.so", "libxyz.so"}, {}, {"/l"}));
+  auto loader = musl();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 3u);  // libac loaded once (inode dedup)
+  EXPECT_EQ(report.requests.back().how, HowFound::Cache);
+}
+
+TEST_F(LoaderTest, SymlinkAliasesDedupByRealpath) {
+  install_object(fs_, "/real/libx.so.1.2", make_library("libx.so"));
+  fs_.symlink("/real/libx.so.1.2", "/real/libx.so");
+  install_object(fs_, "/bin/app",
+                 make_executable({"/real/libx.so", "/real/libx.so.1.2"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 2u);
+}
+
+TEST_F(LoaderTest, SameNameRequestedTwiceLoadsOnce) {
+  install_object(fs_, "/l/libx.so", make_library("libx.so"));
+  install_object(fs_, "/l/liba.so", make_library("liba.so", {"libx.so"}, {"/l"}));
+  install_object(fs_, "/l/libb.so", make_library("libb.so", {"libx.so"}, {"/l"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"liba.so", "libb.so", "libx.so"}, {"/l"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 4u);
+  int cache_hits = 0;
+  for (const auto& request : report.requests) {
+    if (request.how == HowFound::Cache) ++cache_hits;
+  }
+  EXPECT_EQ(cache_hits, 2);
+}
+
+// -------------------------------------------------- musl melded search
+
+TEST_F(LoaderTest, MuslSearchesLdLibraryPathBeforeRpath) {
+  install_object(fs_, "/rp/libx.so", make_library("libx.so"));
+  install_object(fs_, "/env/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, {}, {"/rp"}));
+  auto loader = musl();
+  const auto report =
+      loader.load("/bin/app", Environment::with_library_path({"/env"}));
+  EXPECT_EQ(report.load_order[1].path, "/env/libx.so");
+}
+
+TEST_F(LoaderTest, MuslRunpathPropagates) {
+  // Would fail under glibc (RUNPATH doesn't propagate); musl's meld works.
+  install_object(fs_, "/deep/liby.so", make_library("liby.so"));
+  install_object(fs_, "/l/libx.so", make_library("libx.so", {"liby.so"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libx.so"}, {"/l", "/deep"}));
+  auto loader = musl();
+  const auto report = loader.load("/bin/app");
+  EXPECT_TRUE(report.success);
+}
+
+// ----------------------------------------------- $ORIGIN, hwcaps, arch
+
+TEST_F(LoaderTest, OriginExpansionInRunpath) {
+  install_object(fs_, "/apps/x/lib/libx.so", make_library("libx.so"));
+  install_object(fs_, "/apps/x/bin/app",
+                 make_executable({"libx.so"}, {"$ORIGIN/../lib"}));
+  auto loader = glibc();
+  const auto report = loader.load("/apps/x/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].path, "/apps/x/lib/libx.so");
+}
+
+TEST_F(LoaderTest, OriginBracedForm) {
+  install_object(fs_, "/apps/x/lib/libx.so", make_library("libx.so"));
+  install_object(fs_, "/apps/x/bin/app",
+                 make_executable({"libx.so"}, {"${ORIGIN}/../lib"}));
+  auto loader = glibc();
+  EXPECT_TRUE(loader.load("/apps/x/bin/app").success);
+}
+
+TEST_F(LoaderTest, OriginExpandsRelativeToTheObjectThatSaysIt) {
+  install_object(fs_, "/pkg/lib/liby.so", make_library("liby.so"));
+  install_object(fs_, "/pkg/lib/libx.so",
+                 make_library("libx.so", {"liby.so"}, {"$ORIGIN"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libx.so"}, {"/pkg/lib"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.find_loaded("liby.so")->path, "/pkg/lib/liby.so");
+}
+
+TEST_F(LoaderTest, HwcapsSubdirPreferred) {
+  install_object(fs_, "/l/libx.so", make_library("libx.so"));
+  install_object(fs_, "/l/glibc-hwcaps/x86-64-v3/libx.so",
+                 make_library("libx.so"));
+  SearchConfig config;
+  config.hwcaps = {"glibc-hwcaps/x86-64-v3"};
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, {"/l"}));
+  auto loader = glibc(config);
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].path, "/l/glibc-hwcaps/x86-64-v3/libx.so");
+}
+
+TEST_F(LoaderTest, MuslIgnoresHwcaps) {
+  install_object(fs_, "/l/libx.so", make_library("libx.so"));
+  install_object(fs_, "/l/glibc-hwcaps/x86-64-v3/libx.so",
+                 make_library("libx.so"));
+  SearchConfig config;
+  config.hwcaps = {"glibc-hwcaps/x86-64-v3"};
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, {}, {"/l"}));
+  auto loader = musl(config);
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].path, "/l/libx.so");
+}
+
+TEST_F(LoaderTest, WrongArchitectureSilentlySkipped) {
+  // A 32-bit libx.so earlier in the search path must be skipped and the
+  // x86_64 one found in a later directory (§IV).
+  elf::Object lib32 = make_library("libx.so");
+  lib32.machine = elf::Machine::X86;
+  install_object(fs_, "/lib32/libx.so", lib32);
+  install_object(fs_, "/lib64dir/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libx.so"}, {"/lib32", "/lib64dir"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].path, "/lib64dir/libx.so");
+}
+
+TEST_F(LoaderTest, NonElfFileInSearchPathSkipped) {
+  fs_.write_file("/l1/libx.so", std::string("not an object"));
+  install_object(fs_, "/l2/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, {"/l1", "/l2"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].path, "/l2/libx.so");
+}
+
+// -------------------------------------------- system paths & ld.so.cache
+
+TEST_F(LoaderTest, DefaultPathFallback) {
+  install_object(fs_, "/usr/lib/libsys.so", make_library("libsys.so"));
+  install_object(fs_, "/bin/app", make_executable({"libsys.so"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].how, HowFound::DefaultPath);
+}
+
+TEST_F(LoaderTest, LdSoConfBeforeDefaults) {
+  install_object(fs_, "/opt/conf/libsys.so", make_library("libsys.so"));
+  install_object(fs_, "/usr/lib/libsys.so", make_library("libsys.so"));
+  SearchConfig config;
+  config.ld_so_conf = {"/opt/conf"};
+  install_object(fs_, "/bin/app", make_executable({"libsys.so"}));
+  auto loader = glibc(config);
+  const auto report = loader.load("/bin/app");
+  EXPECT_EQ(report.load_order[1].how, HowFound::LdSoConf);
+  EXPECT_EQ(report.load_order[1].path, "/opt/conf/libsys.so");
+}
+
+TEST_F(LoaderTest, LdCacheCostsOneOpenPerHit) {
+  install_object(fs_, "/usr/lib/libsys.so", make_library("libsys.so"));
+  install_object(fs_, "/bin/app", make_executable({"libsys.so"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  // exe open + lib open: the cache lookup itself is free.
+  EXPECT_EQ(report.stats.open_calls, 2u);
+}
+
+TEST_F(LoaderTest, NoCacheModeProbesDirectories) {
+  install_object(fs_, "/usr/lib/libsys.so", make_library("libsys.so"));
+  install_object(fs_, "/bin/app", make_executable({"libsys.so"}));
+  SearchConfig config;
+  config.use_ld_cache = false;
+  auto loader = glibc(config);
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  // defaults: /lib64, /usr/lib64, /lib fail before /usr/lib hits; + exe.
+  EXPECT_GT(report.stats.open_calls, 2u);
+}
+
+TEST_F(LoaderTest, StaleCacheInvalidatedExplicitly) {
+  install_object(fs_, "/usr/lib/libsys.so", make_library("libsys.so"));
+  install_object(fs_, "/bin/app", make_executable({"libsys.so"}));
+  auto loader = glibc();
+  ASSERT_TRUE(loader.load("/bin/app").success);
+  elf::Patcher patcher(fs_);
+  patcher.set_needed("/bin/app", {"libnew.so"});
+  install_object(fs_, "/usr/lib/libnew.so", make_library("libnew.so"));
+  loader.invalidate();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].name, "libnew.so");
+}
+
+// --------------------------------------------------------------- preload
+
+TEST_F(LoaderTest, PreloadLoadsBeforeNeeded) {
+  install_object(fs_, "/usr/lib/libtool.so", make_library("libtool.so"));
+  install_object(fs_, "/l/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, {"/l"}));
+  Environment env;
+  env.ld_preload = {"libtool.so"};
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app", env);
+  ASSERT_TRUE(report.success);
+  ASSERT_GE(report.load_order.size(), 3u);
+  EXPECT_EQ(report.load_order[1].name, "libtool.so");
+  EXPECT_EQ(report.load_order[1].how, HowFound::Preload);
+}
+
+TEST_F(LoaderTest, PreloadByAbsolutePath) {
+  install_object(fs_, "/tools/libpmpi.so", make_library("libpmpi.so"));
+  install_object(fs_, "/bin/app", make_executable({}));
+  Environment env;
+  env.ld_preload = {"/tools/libpmpi.so"};
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app", env);
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].path, "/tools/libpmpi.so");
+}
+
+TEST_F(LoaderTest, MissingPreloadWarnsButContinues) {
+  install_object(fs_, "/bin/app", make_executable({}));
+  Environment env;
+  env.ld_preload = {"libgone.so"};
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app", env);
+  EXPECT_TRUE(report.success);  // glibc behaviour: warn, keep going
+  EXPECT_EQ(report.load_order.size(), 1u);
+}
+
+TEST_F(LoaderTest, PreloadDependenciesAreLoaded) {
+  install_object(fs_, "/usr/lib/libdep.so", make_library("libdep.so"));
+  install_object(fs_, "/usr/lib/libtool.so",
+                 make_library("libtool.so", {"libdep.so"}));
+  install_object(fs_, "/bin/app", make_executable({}));
+  Environment env;
+  env.ld_preload = {"libtool.so"};
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app", env);
+  ASSERT_TRUE(report.success);
+  EXPECT_NE(report.find_loaded("libdep.so"), nullptr);
+}
+
+// ---------------------------------------------------------------- dlopen
+
+TEST_F(LoaderTest, DlopenUsesCallerRunpath) {
+  install_object(fs_, "/qt/plugins/libplug.so", make_library("libplug.so"));
+  install_object(fs_, "/qt/lib/libgui.so",
+                 make_library("libgui.so", {}, {"/qt/plugins"}));
+  install_object(fs_, "/bin/app", make_executable({"libgui.so"}, {"/qt/lib"}));
+  auto loader = glibc();
+  auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  const auto plug = loader.dlopen(report, "/qt/lib/libgui.so", "libplug.so");
+  EXPECT_EQ(plug.how, HowFound::Runpath);
+}
+
+TEST_F(LoaderTest, DlopenSeesExecutableRpathViaAncestry) {
+  install_object(fs_, "/qt/plugins/libplug.so", make_library("libplug.so"));
+  install_object(fs_, "/qt/lib/libgui.so", make_library("libgui.so"));
+  install_object(fs_, "/bin/app", make_executable({"libgui.so"}, {},
+                                                  {"/qt/lib", "/qt/plugins"}));
+  auto loader = glibc();
+  auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  const auto plug = loader.dlopen(report, "/qt/lib/libgui.so", "libplug.so");
+  EXPECT_EQ(plug.how, HowFound::RpathAncestor);
+}
+
+TEST_F(LoaderTest, DlopenDoesNotSeeExecutableRunpath) {
+  // The Qt plugin trap (§III-A): the app's RUNPATH does NOT reach a dlopen
+  // issued inside libgui.
+  install_object(fs_, "/qt/plugins/libplug.so", make_library("libplug.so"));
+  install_object(fs_, "/qt/lib/libgui.so", make_library("libgui.so"));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libgui.so"}, {"/qt/lib", "/qt/plugins"}));
+  auto loader = glibc();
+  auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  const auto plug = loader.dlopen(report, "/qt/lib/libgui.so", "libplug.so");
+  EXPECT_EQ(plug.how, HowFound::NotFound);
+}
+
+TEST_F(LoaderTest, DlopenAbsolutePath) {
+  install_object(fs_, "/p/libplug.so", make_library("libplug.so"));
+  install_object(fs_, "/bin/app", make_executable({}));
+  auto loader = glibc();
+  auto report = loader.load("/bin/app");
+  const auto plug = loader.dlopen(report, "/bin/app", "/p/libplug.so");
+  EXPECT_EQ(plug.how, HowFound::AbsolutePath);
+  EXPECT_NE(report.find_loaded("/p/libplug.so"), nullptr);
+}
+
+TEST_F(LoaderTest, DlopenLoadsTransitiveDeps) {
+  install_object(fs_, "/usr/lib/libleaf.so", make_library("libleaf.so"));
+  install_object(fs_, "/p/libplug.so", make_library("libplug.so", {"libleaf.so"}));
+  install_object(fs_, "/bin/app", make_executable({}));
+  auto loader = glibc();
+  auto report = loader.load("/bin/app");
+  (void)loader.dlopen(report, "/bin/app", "/p/libplug.so");
+  EXPECT_NE(report.find_loaded("libleaf.so"), nullptr);
+}
+
+TEST_F(LoaderTest, DlopenUnknownCallerThrows) {
+  install_object(fs_, "/bin/app", make_executable({}));
+  auto loader = glibc();
+  auto report = loader.load("/bin/app");
+  EXPECT_THROW(loader.dlopen(report, "/not/loaded.so", "libx.so"), Error);
+}
+
+// --------------------------------------------------- request trace detail
+
+TEST_F(LoaderTest, RequestsIncludeCacheHitsInOrder) {
+  install_object(fs_, "/l/libshared.so", make_library("libshared.so"));
+  install_object(fs_, "/l/liba.so",
+                 make_library("liba.so", {"libshared.so"}, {"/l"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"liba.so", "libshared.so"}, {"/l"}));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_EQ(report.requests.size(), 3u);
+  EXPECT_EQ(report.requests[0].name, "liba.so");
+  EXPECT_EQ(report.requests[1].name, "libshared.so");
+  EXPECT_NE(report.requests[1].how, HowFound::Cache);
+  EXPECT_EQ(report.requests[2].name, "libshared.so");
+  EXPECT_EQ(report.requests[2].how, HowFound::Cache);
+}
+
+TEST_F(LoaderTest, ClassifyCacheHitsDoesNotPerturbStats) {
+  install_object(fs_, "/l/libshared.so", make_library("libshared.so"));
+  install_object(fs_, "/l/liba.so",
+                 make_library("liba.so", {"libshared.so"}, {"/l"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"liba.so", "libshared.so"}, {"/l"}));
+
+  auto plain = glibc();
+  const auto baseline = plain.load("/bin/app");
+
+  SearchConfig config;
+  config.classify_cache_hits = true;
+  auto classifying = glibc(config);
+  const auto classified = classifying.load("/bin/app");
+
+  EXPECT_EQ(baseline.stats.metadata_calls(), classified.stats.metadata_calls());
+  EXPECT_EQ(classified.requests[2].cache_search_how, HowFound::Runpath);
+}
+
+TEST_F(LoaderTest, StatsAreDeltaPerLoad) {
+  install_object(fs_, "/l/libx.so", make_library("libx.so"));
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, {"/l"}));
+  auto loader = glibc();
+  const auto first = loader.load("/bin/app");
+  const auto second = loader.load("/bin/app");
+  EXPECT_EQ(first.stats.open_calls, second.stats.open_calls);
+}
+
+// ------------------------------------------------- search-cost arithmetic
+
+TEST_F(LoaderTest, SearchCostGrowsWithDirectoryPosition) {
+  // lib in the 5th of 5 runpath dirs: 4 failed probes + 1 hit + exe open.
+  for (int d = 0; d < 4; ++d) {
+    fs_.mkdir_p("/dirs/d" + std::to_string(d));
+  }
+  install_object(fs_, "/dirs/d4/libx.so", make_library("libx.so"));
+  std::vector<std::string> dirs;
+  for (int d = 0; d < 5; ++d) dirs.push_back("/dirs/d" + std::to_string(d));
+  install_object(fs_, "/bin/app", make_executable({"libx.so"}, dirs));
+  auto loader = glibc();
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.stats.open_calls, 1u + 5u);
+  EXPECT_EQ(report.stats.failed_probes, 4u);
+}
+
+}  // namespace
+}  // namespace depchaos::loader

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/pkg/modules.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+namespace depchaos::pkg::modules {
+namespace {
+
+Module rocm(const std::string& version) {
+  Module module;
+  module.name = "rocm/" + version;
+  module.ld_library_path_prepend = {"/opt/rocm-" + version + "/lib"};
+  module.conflicts = {"rocm/"};
+  return module;
+}
+
+TEST(Modules, LoadUnloadRoundTrip) {
+  ModuleSystem system;
+  system.add(rocm("4.5"));
+  system.load("rocm/4.5");
+  EXPECT_TRUE(system.is_loaded("rocm/4.5"));
+  system.unload("rocm/4.5");
+  EXPECT_FALSE(system.is_loaded("rocm/4.5"));
+  EXPECT_TRUE(system.environment().ld_library_path.empty());
+}
+
+TEST(Modules, UnknownModuleThrows) {
+  ModuleSystem system;
+  EXPECT_THROW(system.load("nope/1.0"), Error);
+}
+
+TEST(Modules, FamilySwapOnConflict) {
+  ModuleSystem system;
+  system.add(rocm("4.5"));
+  system.add(rocm("4.3"));
+  system.load("rocm/4.5");
+  system.load("rocm/4.3");
+  EXPECT_FALSE(system.is_loaded("rocm/4.5"));
+  EXPECT_TRUE(system.is_loaded("rocm/4.3"));
+  ASSERT_EQ(system.environment().ld_library_path.size(), 1u);
+  EXPECT_EQ(system.environment().ld_library_path[0], "/opt/rocm-4.3/lib");
+}
+
+TEST(Modules, MostRecentModulePathsFirst) {
+  ModuleSystem system;
+  Module a;
+  a.name = "a/1";
+  a.ld_library_path_prepend = {"/a/lib"};
+  Module b;
+  b.name = "b/1";
+  b.ld_library_path_prepend = {"/b/lib"};
+  system.add(a);
+  system.add(b);
+  system.load("a/1");
+  system.load("b/1");
+  const auto env = system.environment();
+  ASSERT_EQ(env.ld_library_path.size(), 2u);
+  EXPECT_EQ(env.ld_library_path[0], "/b/lib");  // prepend semantics
+  EXPECT_EQ(env.ld_library_path[1], "/a/lib");
+}
+
+TEST(Modules, DependenciesAutoLoadFirst) {
+  ModuleSystem system;
+  Module gcc;
+  gcc.name = "gcc/12";
+  gcc.ld_library_path_prepend = {"/opt/gcc12/lib"};
+  Module mpi;
+  mpi.name = "mvapich2/2.3";
+  mpi.ld_library_path_prepend = {"/opt/mvapich/lib"};
+  mpi.requires_modules = {"gcc/12"};
+  system.add(gcc);
+  system.add(mpi);
+  system.load("mvapich2/2.3");
+  EXPECT_TRUE(system.is_loaded("gcc/12"));
+  const auto env = system.environment();
+  // mpi loaded after gcc, so its path outranks gcc's.
+  EXPECT_EQ(env.ld_library_path[0], "/opt/mvapich/lib");
+}
+
+TEST(Modules, DependencyCycleDetected) {
+  ModuleSystem system;
+  Module a;
+  a.name = "a";
+  a.requires_modules = {"b"};
+  Module b;
+  b.name = "b";
+  b.requires_modules = {"a"};
+  system.add(a);
+  system.add(b);
+  EXPECT_THROW(system.load("a"), Error);
+}
+
+TEST(Modules, PreloadToolsCompose) {
+  ModuleSystem system;
+  Module tool;
+  tool.name = "memcheck/1";
+  tool.ld_preload_append = {"libmemcheck.so"};
+  system.add(tool);
+  system.load("memcheck/1");
+  ASSERT_EQ(system.environment().ld_preload.size(), 1u);
+}
+
+TEST(Modules, RocmScenarioDrivenByModules) {
+  // The §V-B.1 failure expressed in module terms: the app was built with
+  // rocm/4.5 loaded; a user later runs it with rocm/4.3 loaded.
+  vfs::FileSystem fs;
+  const auto scenario = workload::make_rocm_scenario(fs);
+  ModuleSystem system;
+  system.add(rocm("4.5"));
+  system.add(rocm("4.3"));
+
+  loader::Loader loader(fs);
+  system.load("rocm/4.5");
+  const auto ok_report =
+      loader.load(scenario.exe_path, system.environment());
+  EXPECT_FALSE(workload::rocm_versions_mixed(ok_report, scenario));
+
+  system.load("rocm/4.3");  // family swap
+  const auto broken =
+      loader.load(scenario.exe_path, system.environment());
+  EXPECT_TRUE(workload::rocm_versions_mixed(broken, scenario));
+}
+
+}  // namespace
+}  // namespace depchaos::pkg::modules

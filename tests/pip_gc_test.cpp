@@ -1,0 +1,159 @@
+// Language-layer package managers (§II-E) and store garbage collection.
+
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/pkg/pip.hpp"
+#include "depchaos/pkg/store.hpp"
+
+namespace depchaos::pkg {
+namespace {
+
+// ------------------------------------------------------------------- pip
+
+TEST(Pip, InstallListUninstall) {
+  vfs::FileSystem fs;
+  pip::SitePackages site(fs, "/usr/lib/python3.9/site-packages");
+  site.install({"numpy", "1.22.3", {}});
+  site.install(pip::PyPackage{"scipy", "1.8.0", {{"numpy", "1.20"}}});
+  ASSERT_EQ(site.list().size(), 2u);
+  EXPECT_EQ(site.installed_version("numpy")->version, "1.22.3");
+  site.uninstall("numpy");
+  EXPECT_FALSE(site.installed_version("numpy").has_value());
+}
+
+TEST(Pip, VersionComparison) {
+  EXPECT_LT(pip::compare_py_versions("1.9", "1.10"), 0);
+  EXPECT_EQ(pip::compare_py_versions("1.2", "1.2.0"), 0);
+  EXPECT_GT(pip::compare_py_versions("2.0.1", "2.0"), 0);
+}
+
+TEST(Pip, FlatNamespaceReplacesInPlace) {
+  vfs::FileSystem fs;
+  pip::SitePackages site(fs, "/sp");
+  site.install({"foo", "1.0", {}});
+  const auto result = site.install({"foo", "2.0", {}});
+  EXPECT_EQ(result.replaced_version, "1.0");
+  ASSERT_EQ(site.list().size(), 1u);
+  EXPECT_EQ(site.installed_version("foo")->version, "2.0");
+}
+
+TEST(Pip, UpgradeBreaksSiblingRequirement) {
+  // The §II-E hazard at the language layer: installing one app's deps
+  // silently downgrades/changes another's.
+  vfs::FileSystem fs;
+  pip::SitePackages site(fs, "/sp");
+  site.install({"foo", "2.1", {}});
+  site.install({"appA", "1.0", {{"foo", "2.0"}}});
+  EXPECT_TRUE(site.check().empty());
+  // appB pins an OLD foo; pip replaces the shared copy.
+  site.install({"foo", "1.5", {}});
+  site.install({"appB", "1.0", {{"foo", "1.5"}}});
+  const auto broken = site.check();
+  ASSERT_EQ(broken.size(), 1u);
+  EXPECT_NE(broken[0].find("appA requires foo>=2.0"), std::string::npos);
+}
+
+TEST(Pip, CheckFindsMissingRequirement) {
+  vfs::FileSystem fs;
+  pip::SitePackages site(fs, "/sp");
+  site.install({"app", "1.0", {{"ghost", ""}}});
+  const auto broken = site.check();
+  ASSERT_EQ(broken.size(), 1u);
+  EXPECT_NE(broken[0].find("not installed"), std::string::npos);
+}
+
+TEST(Pip, VenvIsolationAvoidsTheConflict) {
+  // The store-model move at the language layer: one site-packages per app.
+  vfs::FileSystem fs;
+  pip::SitePackages venv_a(fs, "/venvs/appA/site-packages");
+  pip::SitePackages venv_b(fs, "/venvs/appB/site-packages");
+  venv_a.install({"foo", "2.1", {}});
+  venv_a.install({"appA", "1.0", {{"foo", "2.0"}}});
+  venv_b.install({"foo", "1.5", {}});
+  venv_b.install({"appB", "1.0", {{"foo", "1.5"}}});
+  EXPECT_TRUE(venv_a.check().empty());
+  EXPECT_TRUE(venv_b.check().empty());
+}
+
+// -------------------------------------------------------------- store GC
+
+store::PackageSpec lib_pkg(const std::string& name,
+                           std::vector<std::string> deps = {}) {
+  store::PackageSpec spec;
+  spec.name = name;
+  spec.version = "1";
+  spec.deps = std::move(deps);
+  elf::Object lib = elf::make_library("lib" + name + ".so");
+  lib.extra_size = 1000;
+  spec.files.push_back(store::StoreFile{"lib/lib" + name + ".so", lib, ""});
+  return spec;
+}
+
+TEST(StoreGc, NoProfilesMeansEverythingIsGarbage) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto a = store.add(lib_pkg("a")).prefix;
+  store.add(lib_pkg("b", {a}));
+  const auto result = store.garbage_collect();
+  EXPECT_EQ(result.removed_prefixes.size(), 2u);
+  EXPECT_GT(result.bytes_freed, 2000u);
+  EXPECT_TRUE(store.packages().empty());
+  EXPECT_FALSE(fs.exists(a));
+}
+
+TEST(StoreGc, ProfileRootsKeepTheirClosure) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto base = store.add(lib_pkg("base")).prefix;
+  const auto app = store.add(lib_pkg("app", {base})).prefix;
+  const auto orphan = store.add(lib_pkg("orphan")).prefix;
+  store.set_profile({app});
+
+  const auto result = store.garbage_collect();
+  ASSERT_EQ(result.removed_prefixes.size(), 1u);
+  EXPECT_EQ(result.removed_prefixes[0], orphan);
+  EXPECT_TRUE(fs.exists(base));  // kept via app's dependency edge
+  EXPECT_TRUE(fs.exists(app));
+  EXPECT_EQ(store.packages().size(), 2u);
+}
+
+TEST(StoreGc, OldGenerationsPinOldVersions) {
+  // The §II-D upgrade story: after an upgrade, BOTH versions are live until
+  // the old generation is dropped.
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto v1 = store.add(lib_pkg("tool")).prefix;
+  store.set_profile({v1});
+  auto v2_spec = lib_pkg("tool");
+  v2_spec.version = "2";
+  const auto v2 = store.add(v2_spec).prefix;
+  store.set_profile({v2});
+
+  EXPECT_TRUE(store.garbage_collect().removed_prefixes.empty());
+  EXPECT_TRUE(fs.exists(v1));
+  EXPECT_TRUE(fs.exists(v2));
+}
+
+TEST(StoreGc, IdempotentWhenClean) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto app = store.add(lib_pkg("app")).prefix;
+  store.set_profile({app});
+  (void)store.garbage_collect();
+  EXPECT_TRUE(store.garbage_collect().removed_prefixes.empty());
+}
+
+TEST(StoreGc, LookupsStillWorkAfterCollection) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto& keep = store.add(lib_pkg("keep"));
+  store.add(lib_pkg("drop"));
+  store.set_profile({keep.prefix});
+  (void)store.garbage_collect();
+  EXPECT_NE(store.find("keep"), nullptr);
+  EXPECT_EQ(store.find("drop"), nullptr);
+}
+
+}  // namespace
+}  // namespace depchaos::pkg

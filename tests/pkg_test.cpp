@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/pkg/bundle.hpp"
+#include "depchaos/pkg/deb.hpp"
+#include "depchaos/pkg/fhs.hpp"
+#include "depchaos/pkg/nix.hpp"
+#include "depchaos/pkg/store.hpp"
+
+namespace depchaos::pkg {
+namespace {
+
+using elf::make_executable;
+using elf::make_library;
+
+// ----------------------------------------------------------------- deb
+
+TEST(DebDepends, UnversionedSingle) {
+  const auto deps = deb::parse_depends("libc6");
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].package, "libc6");
+  EXPECT_EQ(deps[0].kind, deb::DepKind::Unversioned);
+}
+
+TEST(DebDepends, RangeAndExact) {
+  const auto deps = deb::parse_depends("libc6 (>= 2.14), libfoo (= 1.2-3)");
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[0].kind, deb::DepKind::VersionRange);
+  EXPECT_EQ(deps[0].relation, ">=");
+  EXPECT_EQ(deps[0].version, "2.14");
+  EXPECT_EQ(deps[1].kind, deb::DepKind::Exact);
+}
+
+TEST(DebDepends, StrictRelations) {
+  const auto deps = deb::parse_depends("a (<< 2.0), b (>> 1.0), c (<= 3)");
+  EXPECT_EQ(deps[0].kind, deb::DepKind::VersionRange);
+  EXPECT_EQ(deps[0].relation, "<<");
+  EXPECT_EQ(deps[1].relation, ">>");
+  EXPECT_EQ(deps[2].relation, "<=");
+}
+
+TEST(DebDepends, AlternativesClassifiedIndependently) {
+  const auto deps = deb::parse_depends("mta | postfix (>= 3.0)");
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[0].kind, deb::DepKind::Unversioned);
+  EXPECT_EQ(deps[1].kind, deb::DepKind::VersionRange);
+}
+
+TEST(DebDepends, MalformedConstraintThrows) {
+  EXPECT_THROW(deb::parse_depends("foo ("), ParseError);
+  EXPECT_THROW(deb::parse_depends("foo (2.0)"), ParseError);
+  EXPECT_THROW(deb::parse_depends("(>= 1)"), ParseError);
+}
+
+TEST(DebControl, ParsesParagraphs) {
+  const auto pkgs = deb::parse_control(
+      "Package: foo\n"
+      "Version: 1.0-1\n"
+      "Section: libs\n"
+      "Depends: libc6 (>= 2.14), bar\n"
+      "\n"
+      "Package: bar\n"
+      "Version: 2.0\n");
+  ASSERT_EQ(pkgs.size(), 2u);
+  EXPECT_EQ(pkgs[0].name, "foo");
+  EXPECT_EQ(pkgs[0].depends.size(), 2u);
+  EXPECT_EQ(pkgs[1].name, "bar");
+  EXPECT_TRUE(pkgs[1].depends.empty());
+}
+
+TEST(DebControl, PreDependsCounted) {
+  const auto pkgs = deb::parse_control(
+      "Package: foo\nPre-Depends: dpkg (>= 1.15)\nDepends: libc6\n");
+  ASSERT_EQ(pkgs.size(), 1u);
+  EXPECT_EQ(pkgs[0].depends.size(), 2u);
+}
+
+TEST(DebControl, UnknownFieldsTolerated) {
+  const auto pkgs = deb::parse_control(
+      "Package: foo\nMaintainer: someone <x@y.z>\nDescription: hi\n");
+  ASSERT_EQ(pkgs.size(), 1u);
+}
+
+TEST(DebControl, MissingPackageFieldThrows) {
+  EXPECT_THROW(deb::parse_control("Version: 1.0\n"), ParseError);
+}
+
+TEST(DebControl, RoundTripThroughControlText) {
+  const auto original = deb::parse_control(
+      "Package: foo\nVersion: 1.0\nSection: libs\n"
+      "Depends: a, b (>= 2.0), c (= 3.1-1)\n");
+  const auto reparsed = deb::parse_control(deb::to_control(original));
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(DebClassify, CountsMatchKinds) {
+  const auto pkgs = deb::parse_control(
+      "Package: p1\nDepends: a, b (>= 1), c (= 2), d\n"
+      "\nPackage: p2\nDepends: e (<< 9)\n");
+  const auto counts = deb::classify(pkgs);
+  EXPECT_EQ(counts.unversioned, 2u);
+  EXPECT_EQ(counts.range, 2u);
+  EXPECT_EQ(counts.exact, 1u);
+  EXPECT_EQ(counts.total(), 5u);
+}
+
+TEST(DebClassify, ParallelMatchesSerial) {
+  std::vector<deb::Package> pkgs;
+  for (int i = 0; i < 5000; ++i) {
+    deb::Package pkg;
+    pkg.name = "p" + std::to_string(i);
+    pkg.depends.push_back(
+        {"q", i % 3 == 0 ? deb::DepKind::Unversioned
+                         : (i % 3 == 1 ? deb::DepKind::VersionRange
+                                       : deb::DepKind::Exact),
+         "", ""});
+    pkgs.push_back(std::move(pkg));
+  }
+  support::ThreadPool pool(4);
+  const auto serial = deb::classify(pkgs);
+  const auto parallel = deb::classify_parallel(pool, pkgs);
+  EXPECT_EQ(serial.unversioned, parallel.unversioned);
+  EXPECT_EQ(serial.range, parallel.range);
+  EXPECT_EQ(serial.exact, parallel.exact);
+}
+
+// ----------------------------------------------------------------- fhs
+
+TEST(Fhs, InstallWritesFilesAndManifest) {
+  vfs::FileSystem fs;
+  fhs::Installer installer(fs);
+  fhs::Package pkg{"tool", "1.0",
+                   {{"usr/bin/tool", "binary", std::nullopt},
+                    {"usr/lib/libtool.so.1", "", make_library("libtool.so.1")}}};
+  const auto result = installer.install(pkg);
+  EXPECT_EQ(result.written.size(), 2u);
+  EXPECT_TRUE(result.clobbered.empty());
+  EXPECT_TRUE(fs.exists("/usr/bin/tool"));
+  EXPECT_EQ(installer.owner_of("/usr/bin/tool").value(), "tool");
+}
+
+TEST(Fhs, OverwriteDetectedAsClobber) {
+  vfs::FileSystem fs;
+  fhs::Installer installer(fs);
+  installer.install({"a", "1", {{"usr/lib/libz.so", "A's", std::nullopt}}});
+  const auto result =
+      installer.install({"b", "1", {{"usr/lib/libz.so", "B's", std::nullopt}}});
+  ASSERT_EQ(result.clobbered.size(), 1u);
+  EXPECT_EQ(result.clobbered[0], "/usr/lib/libz.so");
+  // The file now belongs to b — the FHS key-space dilemma.
+  EXPECT_EQ(installer.owner_of("/usr/lib/libz.so").value(), "b");
+  EXPECT_EQ(fs.peek("/usr/lib/libz.so")->bytes, "B's");
+}
+
+TEST(Fhs, InterruptedInstallLeavesPartialState) {
+  vfs::FileSystem fs;
+  fhs::Installer installer(fs);
+  fhs::Package pkg{"big", "1",
+                   {{"usr/bin/one", "1", std::nullopt},
+                    {"usr/bin/two", "2", std::nullopt},
+                    {"usr/bin/three", "3", std::nullopt}}};
+  installer.install_interrupted(pkg, 2);
+  EXPECT_TRUE(fs.exists("/usr/bin/one"));
+  EXPECT_TRUE(fs.exists("/usr/bin/two"));
+  EXPECT_FALSE(fs.exists("/usr/bin/three"));
+  // The crash happened before the manifest commit: not "installed".
+  EXPECT_TRUE(installer.installed().empty());
+}
+
+TEST(Fhs, RemoveDeletesOwnedFilesOnly) {
+  vfs::FileSystem fs;
+  fhs::Installer installer(fs);
+  installer.install({"a", "1", {{"usr/lib/mine.so", "m", std::nullopt},
+                                {"usr/lib/shared.so", "a", std::nullopt}}});
+  installer.install({"b", "1", {{"usr/lib/shared.so", "b", std::nullopt}}});
+  installer.remove("a");
+  EXPECT_FALSE(fs.exists("/usr/lib/mine.so"));
+  // shared.so was clobbered by b: a's removal leaves it alone.
+  EXPECT_TRUE(fs.exists("/usr/lib/shared.so"));
+}
+
+TEST(Fhs, RemoveUnknownThrows) {
+  vfs::FileSystem fs;
+  fhs::Installer installer(fs);
+  EXPECT_THROW(installer.remove("ghost"), Error);
+}
+
+// -------------------------------------------------------------- bundle
+
+TEST(Bundle, CreatesRelocatableAppDir) {
+  vfs::FileSystem fs;
+  bundle::BundleSpec spec;
+  spec.name = "paraview";
+  spec.exe = make_executable({"libvtk.so"});
+  spec.libs = {{"libvtk.so", make_library("libvtk.so")}};
+  const auto bundle = bundle::create_bundle(fs, spec);
+
+  loader::Loader loader(fs);
+  EXPECT_TRUE(loader.load(bundle.exe_path).success);
+}
+
+TEST(Bundle, SurvivesRelocation) {
+  vfs::FileSystem fs;
+  bundle::BundleSpec spec;
+  spec.name = "app";
+  spec.exe = make_executable({"liba.so"});
+  spec.libs = {{"liba.so", make_library("liba.so")}};
+  const auto original = bundle::create_bundle(fs, spec);
+  const auto moved = bundle::relocate_bundle(fs, original, "/home/user/Desktop/app");
+
+  loader::Loader loader(fs);
+  const auto report = loader.load(moved.exe_path);
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].path, "/home/user/Desktop/app/lib/liba.so");
+}
+
+TEST(Bundle, VendoredLibsResolveTheirOwnDeps) {
+  vfs::FileSystem fs;
+  bundle::BundleSpec spec;
+  spec.name = "app";
+  spec.exe = make_executable({"liba.so"});
+  spec.libs = {{"liba.so", make_library("liba.so", {"libb.so"})},
+               {"libb.so", make_library("libb.so")}};
+  const auto bundle = bundle::create_bundle(fs, spec);
+  loader::Loader loader(fs);
+  const auto report = loader.load(bundle.exe_path);
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 3u);
+}
+
+TEST(Bundle, BundledTrumpsSystemLibrary) {
+  vfs::FileSystem fs;
+  elf::install_object(fs, "/usr/lib/liba.so", make_library("liba.so"));
+  bundle::BundleSpec spec;
+  spec.name = "app";
+  spec.exe = make_executable({"liba.so"});
+  spec.libs = {{"liba.so", make_library("liba.so")}};
+  const auto bundle = bundle::create_bundle(fs, spec);
+  loader::Loader loader(fs);
+  const auto report = loader.load(bundle.exe_path);
+  EXPECT_EQ(report.load_order[1].path, bundle.lib_dir + "/liba.so");
+}
+
+// --------------------------------------------------------------- store
+
+store::PackageSpec simple_pkg(const std::string& name,
+                              const std::string& version,
+                              std::vector<std::string> deps = {},
+                              std::vector<std::string> needed = {}) {
+  store::PackageSpec spec;
+  spec.name = name;
+  spec.version = version;
+  spec.deps = std::move(deps);
+  spec.files.push_back(store::StoreFile{
+      "lib/lib" + name + ".so", make_library("lib" + name + ".so",
+                                             std::move(needed)),
+      ""});
+  return spec;
+}
+
+TEST(Store, HashedPrefixesAreUnique) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto& a = store.add(simple_pkg("zlib", "1.2.11"));
+  const auto& b = store.add(simple_pkg("zlib", "1.2.12"));
+  EXPECT_NE(a.prefix, b.prefix);
+  EXPECT_TRUE(fs.exists(a.prefix));
+  EXPECT_TRUE(fs.exists(b.prefix));
+}
+
+TEST(Store, IdenticalInputsDeduplicate) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto& a = store.add(simple_pkg("zlib", "1.2.11"));
+  const auto& b = store.add(simple_pkg("zlib", "1.2.11"));
+  EXPECT_EQ(a.prefix, b.prefix);
+  EXPECT_EQ(store.packages().size(), 1u);
+}
+
+TEST(Store, PessimisticHashPropagatesThroughDeps) {
+  // Changing a leaf package changes every downstream hash — the "domino
+  // effect of rebuilds" (§II-D).
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto& zlib1 = store.add(simple_pkg("zlib", "1.2.11"));
+  const auto& curl1 = store.add(
+      simple_pkg("curl", "7.79", {zlib1.prefix}, {"libzlib.so"}));
+  const auto& zlib2 = store.add(simple_pkg("zlib", "1.2.12"));
+  const auto& curl2 = store.add(
+      simple_pkg("curl", "7.79", {zlib2.prefix}, {"libzlib.so"}));
+  EXPECT_NE(curl1.hash, curl2.hash);
+}
+
+TEST(Store, MissingDependencyPrefixRejected) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  EXPECT_THROW(store.add(simple_pkg("x", "1", {"/store/nonexistent"})),
+               ResolveError);
+}
+
+TEST(Store, RpathWiringMakesBinariesLoadable) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto& zlib = store.add(simple_pkg("zlib", "1.2.11"));
+  store::PackageSpec app = simple_pkg("app", "1.0", {zlib.prefix},
+                                      {"libzlib.so"});
+  app.files.push_back(store::StoreFile{
+      "bin/app", make_executable({"libapp.so"}), ""});
+  const auto& installed = store.add(app);
+
+  loader::Loader loader(fs);
+  const auto report = loader.load(installed.prefix + "/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 3u);
+  // libapp.so's own RPATH includes its dependencies' lib dirs.
+  EXPECT_EQ(report.find_loaded("libzlib.so")->how, loader::HowFound::Rpath);
+}
+
+TEST(Store, RunpathStyleBreaksTransitiveLookup) {
+  // Same graph, RUNPATH style: the app's RUNPATH does not propagate, but
+  // each library carries its own runpath including its deps, so it works —
+  // unless a library lacks the entry. Verify the happy path here.
+  vfs::FileSystem fs;
+  store::Store store(fs, "/store", store::LinkStyle::Runpath);
+  const auto& zlib = store.add(simple_pkg("zlib", "1.2.11"));
+  store::PackageSpec app =
+      simple_pkg("app", "1.0", {zlib.prefix}, {"libzlib.so"});
+  app.files.push_back(
+      store::StoreFile{"bin/app", make_executable({"libapp.so"}), ""});
+  const auto& installed = store.add(app);
+  loader::Loader loader(fs);
+  EXPECT_TRUE(loader.load(installed.prefix + "/bin/app").success);
+}
+
+TEST(Store, ClosureRootFirst) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto& a = store.add(simple_pkg("a", "1"));
+  const auto& b = store.add(simple_pkg("b", "1", {a.prefix}));
+  const auto& c = store.add(simple_pkg("c", "1", {b.prefix, a.prefix}));
+  const auto closure = store.closure(c);
+  ASSERT_EQ(closure.size(), 3u);
+  EXPECT_EQ(closure[0], c.prefix);
+}
+
+TEST(Store, ProfileFlipIsAtomicAndRollsBack) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  const auto& v1 = store.add(simple_pkg("tool", "1.0"));
+  const auto& v2 = store.add(simple_pkg("tool", "2.0"));
+
+  store.set_profile({v1.prefix});
+  const auto gen1 = fs.realpath(store.profile_path() + "/lib/libtool.so");
+  ASSERT_TRUE(gen1.has_value());
+  EXPECT_EQ(*gen1, v1.prefix + "/lib/libtool.so");
+
+  store.set_profile({v2.prefix});
+  EXPECT_EQ(fs.realpath(store.profile_path() + "/lib/libtool.so").value(),
+            v2.prefix + "/lib/libtool.so");
+
+  store.rollback();
+  EXPECT_EQ(fs.realpath(store.profile_path() + "/lib/libtool.so").value(),
+            v1.prefix + "/lib/libtool.so");
+}
+
+TEST(Store, RollbackWithoutHistoryThrows) {
+  vfs::FileSystem fs;
+  store::Store store(fs);
+  EXPECT_THROW(store.rollback(), Error);
+  store.set_profile({});
+  EXPECT_THROW(store.rollback(), Error);
+}
+
+// ----------------------------------------------------------------- nix
+
+TEST(Nix, ClosureIncludesAllInputsOnce) {
+  nix::DerivationSet drvs;
+  const auto leaf = drvs.add("leaf.drv", nix::DrvKind::Source);
+  const auto mid1 = drvs.add("mid1.drv", nix::DrvKind::Package, {leaf});
+  const auto mid2 = drvs.add("mid2.drv", nix::DrvKind::Package, {leaf});
+  const auto root = drvs.add("root.drv", nix::DrvKind::Package, {mid1, mid2});
+  const auto closure = drvs.closure(root);
+  EXPECT_EQ(closure.size(), 4u);
+}
+
+TEST(Nix, StatsCountKindsAndDepth) {
+  nix::DerivationSet drvs;
+  const auto src = drvs.add("src.drv", nix::DrvKind::Source);
+  const auto boot = drvs.add("boot.drv", nix::DrvKind::Bootstrap);
+  const auto pkg = drvs.add("pkg.drv", nix::DrvKind::Package, {src, boot});
+  const auto root = drvs.add("root.drv", nix::DrvKind::Package, {pkg});
+  const auto stats = drvs.stats(root);
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.sources, 1u);
+  EXPECT_EQ(stats.bootstrap, 1u);
+  EXPECT_EQ(stats.max_depth, 2u);
+  EXPECT_EQ(stats.edges, 3u);
+}
+
+TEST(Nix, ClosureGraphMatchesClosure) {
+  nix::DerivationSet drvs;
+  const auto a = drvs.add("a.drv", nix::DrvKind::Package);
+  const auto b = drvs.add("b.drv", nix::DrvKind::Package, {a});
+  const auto unrelated = drvs.add("z.drv", nix::DrvKind::Package);
+  (void)unrelated;
+  const auto graph = drvs.closure_graph(b);
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace depchaos::pkg

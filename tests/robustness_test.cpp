@@ -1,0 +1,119 @@
+// Parser robustness sweeps: hostile/garbled inputs must produce typed
+// exceptions (or clean skips), never crashes or hangs. Random inputs are
+// generated per-seed via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/object.hpp"
+#include "depchaos/pkg/deb.hpp"
+#include "depchaos/spack/dsl.hpp"
+#include "depchaos/spack/spec.hpp"
+#include "depchaos/support/rng.hpp"
+#include "depchaos/vfs/snapshot.hpp"
+
+namespace depchaos {
+namespace {
+
+std::string random_text(support::Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcXYZ0129 \t\n()[]{}\"'=,.:@%+~^/\\#$_-";
+  std::string out;
+  const std::size_t len = rng.below(max_len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+class FuzzishTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzishTest, SelfParserNeverCrashes) {
+  support::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input = rng.chance(0.5) ? "SELF1\n" : "";
+    input += random_text(rng, 200);
+    try {
+      (void)elf::parse(input);
+    } catch (const Error&) {
+      // typed failure is the contract
+    }
+  }
+}
+
+TEST_P(FuzzishTest, SelfParserSurvivesMutatedValidImages) {
+  support::Rng rng(GetParam());
+  const std::string valid = elf::serialize(elf::make_library(
+      "libx.so", {"liba.so", "libb.so"}, {"/r1"}, {"/r2"}));
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t at = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0:
+          mutated[at] = static_cast<char>('!' + rng.below(90));
+          break;
+        case 1:
+          mutated.erase(at, 1);
+          break;
+        default:
+          mutated.insert(at, 1, '\n');
+          break;
+      }
+    }
+    try {
+      (void)elf::parse(mutated);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzishTest, DebControlParserNeverCrashes) {
+  support::Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    try {
+      (void)pkg::deb::parse_control(random_text(rng, 300));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzishTest, SpecParserNeverCrashes) {
+  support::Rng rng(GetParam() + 2);
+  for (int trial = 0; trial < 500; ++trial) {
+    try {
+      (void)spack::Spec::parse(random_text(rng, 60));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzishTest, PackagePyParserNeverCrashes) {
+  support::Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string source = rng.chance(0.6) ? "class X(Package):\n" : "";
+    source += random_text(rng, 400);
+    try {
+      (void)spack::parse_package_py(source);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzishTest, SnapshotLoaderNeverCrashes) {
+  support::Rng rng(GetParam() + 4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string image = rng.chance(0.7) ? "DCWORLD1\n" : "";
+    image += random_text(rng, 300);
+    try {
+      (void)vfs::load_world(image);
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzishTest,
+                         ::testing::Values(0xf001, 0xf002, 0xf003, 0xf004));
+
+}  // namespace
+}  // namespace depchaos

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/symbols.hpp"
+#include "depchaos/shrinkwrap/libtree.hpp"
+#include "depchaos/shrinkwrap/needy.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/shrinkwrap/views.hpp"
+
+namespace depchaos::shrinkwrap {
+namespace {
+
+using elf::install_object;
+using elf::make_executable;
+using elf::make_library;
+
+class ShrinkwrapTest : public ::testing::Test {
+ protected:
+  // Store-style app: exe -> liba -> libb, each lib in its own directory,
+  // found via the executable's (propagating) RPATH list. The leading empty
+  // directory makes every lookup pay at least one failed probe, like a real
+  // store-model search.
+  void build_store_app() {
+    fs_.mkdir_p("/store/empty");
+    install_object(fs_, "/store/b/libb.so", make_library("libb.so"));
+    install_object(fs_, "/store/a/liba.so",
+                   make_library("liba.so", {"libb.so"}));
+    install_object(fs_, "/store/app/bin/app",
+                   make_executable({"liba.so"}, {},
+                                   {"/store/empty", "/store/a", "/store/b"}));
+  }
+
+  vfs::FileSystem fs_;
+  loader::Loader loader_{fs_};
+};
+
+TEST_F(ShrinkwrapTest, RewritesNeededToAbsolutePaths) {
+  build_store_app();
+  const auto report = shrinkwrap(fs_, loader_, "/store/app/bin/app");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.changed);
+  ASSERT_EQ(report.new_needed.size(), 2u);
+  EXPECT_EQ(report.new_needed[0], "/store/a/liba.so");
+  EXPECT_EQ(report.new_needed[1], "/store/b/libb.so");
+
+  const auto exe = elf::read_object(fs_, "/store/app/bin/app");
+  EXPECT_EQ(exe.dyn.needed, report.new_needed);
+  EXPECT_TRUE(exe.dyn.rpath.empty());  // cleared
+}
+
+TEST_F(ShrinkwrapTest, WrappedBinaryStillLoads) {
+  build_store_app();
+  ASSERT_TRUE(shrinkwrap(fs_, loader_, "/store/app/bin/app").ok());
+  const auto report = loader_.load("/store/app/bin/app");
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 3u);
+}
+
+TEST_F(ShrinkwrapTest, WrappedBinaryPassesVerify) {
+  build_store_app();
+  ASSERT_TRUE(shrinkwrap(fs_, loader_, "/store/app/bin/app").ok());
+  const auto audit = verify(fs_, loader_, "/store/app/bin/app");
+  EXPECT_TRUE(audit.ok);
+  EXPECT_TRUE(audit.non_absolute.empty());
+  EXPECT_TRUE(audit.missing.empty());
+}
+
+TEST_F(ShrinkwrapTest, UnwrappedBinaryFailsVerify) {
+  build_store_app();
+  const auto audit = verify(fs_, loader_, "/store/app/bin/app");
+  EXPECT_FALSE(audit.ok);
+  EXPECT_FALSE(audit.non_absolute.empty());
+}
+
+TEST_F(ShrinkwrapTest, SyscallsDropAfterWrapping) {
+  build_store_app();
+  const auto before = loader_.load("/store/app/bin/app");
+  ASSERT_TRUE(shrinkwrap(fs_, loader_, "/store/app/bin/app").ok());
+  const auto after = loader_.load("/store/app/bin/app");
+  EXPECT_LT(after.stats.metadata_calls(), before.stats.metadata_calls());
+  EXPECT_EQ(after.stats.failed_probes, 0u);
+}
+
+TEST_F(ShrinkwrapTest, IsIdempotent) {
+  build_store_app();
+  const auto first = shrinkwrap(fs_, loader_, "/store/app/bin/app");
+  ASSERT_TRUE(first.ok());
+  const auto second = shrinkwrap(fs_, loader_, "/store/app/bin/app");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.new_needed, second.new_needed);
+  EXPECT_FALSE(second.changed);
+}
+
+TEST_F(ShrinkwrapTest, ImmuneToLdLibraryPath) {
+  // After wrapping, a hostile LD_LIBRARY_PATH cannot redirect resolution.
+  build_store_app();
+  install_object(fs_, "/evil/liba.so", make_library("liba.so"));
+  install_object(fs_, "/evil/libb.so", make_library("libb.so"));
+  ASSERT_TRUE(shrinkwrap(fs_, loader_, "/store/app/bin/app").ok());
+  const auto report =
+      loader_.load("/store/app/bin/app",
+                   loader::Environment::with_library_path({"/evil"}));
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.find_loaded("liba.so")->path, "/store/a/liba.so");
+  EXPECT_EQ(report.find_loaded("libb.so")->path, "/store/b/libb.so");
+}
+
+TEST_F(ShrinkwrapTest, LdPreloadBackdoorStillWorks) {
+  build_store_app();
+  install_object(fs_, "/usr/lib/libhook.so", make_library("libhook.so"));
+  ASSERT_TRUE(shrinkwrap(fs_, loader_, "/store/app/bin/app").ok());
+  loader::Environment env;
+  env.ld_preload = {"libhook.so"};
+  const auto report = loader_.load("/store/app/bin/app", env);
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].how, loader::HowFound::Preload);
+}
+
+TEST_F(ShrinkwrapTest, PreservesFirstLevelOrder) {
+  // §V-B.2: "it preserves the order the user set".
+  install_object(fs_, "/l/libfirst.so", make_library("libfirst.so"));
+  install_object(fs_, "/l/libsecond.so", make_library("libsecond.so"));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libfirst.so", "libsecond.so"}, {}, {"/l"}));
+  const auto report = shrinkwrap(fs_, loader_, "/bin/app");
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.new_needed.size(), 2u);
+  EXPECT_EQ(report.new_needed[0], "/l/libfirst.so");
+  EXPECT_EQ(report.new_needed[1], "/l/libsecond.so");
+}
+
+TEST_F(ShrinkwrapTest, MissingDependencyRefusesToWrap) {
+  install_object(fs_, "/bin/app", make_executable({"libghost.so"}));
+  const auto report = shrinkwrap(fs_, loader_, "/bin/app");
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.unresolved.size(), 1u);
+  EXPECT_EQ(report.unresolved[0], "libghost.so");
+  // Binary untouched.
+  const auto exe = elf::read_object(fs_, "/bin/app");
+  EXPECT_EQ(exe.dyn.needed, std::vector<std::string>{"libghost.so"});
+}
+
+TEST_F(ShrinkwrapTest, LiftDisabledKeepsOnlyFirstLevel) {
+  build_store_app();
+  Options options;
+  options.lift_transitive = false;
+  const auto report = shrinkwrap(fs_, loader_, "/store/app/bin/app", options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.new_needed.size(), 1u);
+  EXPECT_EQ(report.new_needed[0], "/store/a/liba.so");
+}
+
+TEST_F(ShrinkwrapTest, TransitiveSonameRequestsHitDedupCache) {
+  // Fig 5: liba still asks for bare "libb.so"; the lifted absolute entry
+  // satisfies it from cache.
+  build_store_app();
+  ASSERT_TRUE(shrinkwrap(fs_, loader_, "/store/app/bin/app").ok());
+  const auto report = loader_.load("/store/app/bin/app");
+  ASSERT_TRUE(report.success);
+  bool saw_cache_hit = false;
+  for (const auto& request : report.requests) {
+    if (request.name == "libb.so" &&
+        request.how == loader::HowFound::Cache) {
+      saw_cache_hit = true;
+    }
+  }
+  EXPECT_TRUE(saw_cache_hit);
+}
+
+TEST_F(ShrinkwrapTest, WrappedBinaryBreaksOnMusl) {
+  // §IV: musl does not dedup by soname, so the lifted absolute entries do
+  // not satisfy the transitive bare-soname requests.
+  build_store_app();
+  ASSERT_TRUE(shrinkwrap(fs_, loader_, "/store/app/bin/app").ok());
+  loader::Loader musl_loader(fs_, {}, loader::Dialect::Musl);
+  const auto report = musl_loader.load("/store/app/bin/app");
+  EXPECT_FALSE(report.success);
+}
+
+TEST_F(ShrinkwrapTest, ExtraNeededCoversKnownDlopens) {
+  build_store_app();
+  install_object(fs_, "/store/py/libpymod.so", make_library("libpymod.so"));
+  Options options;
+  options.extra_needed = {"/store/py/libpymod.so"};
+  const auto report =
+      shrinkwrap(fs_, loader_, "/store/app/bin/app", options);
+  ASSERT_TRUE(report.ok());
+  const auto exe = elf::read_object(fs_, "/store/app/bin/app");
+  EXPECT_NE(std::find(exe.dyn.needed.begin(), exe.dyn.needed.end(),
+                      "/store/py/libpymod.so"),
+            exe.dyn.needed.end());
+}
+
+TEST_F(ShrinkwrapTest, NativeStrategyAgreesWithInterp) {
+  build_store_app();
+  const auto interp = shrinkwrap(fs_, loader_, "/store/app/bin/app");
+  ASSERT_TRUE(interp.ok());
+
+  // Fresh identical world for the native strategy.
+  vfs::FileSystem fs2;
+  loader::Loader loader2(fs2);
+  fs2.mkdir_p("/store/empty");
+  install_object(fs2, "/store/b/libb.so", make_library("libb.so"));
+  install_object(fs2, "/store/a/liba.so", make_library("liba.so", {"libb.so"}));
+  install_object(fs2, "/store/app/bin/app",
+                 make_executable({"liba.so"}, {},
+                                 {"/store/empty", "/store/a", "/store/b"}));
+  Options options;
+  options.strategy = Strategy::Native;
+  const auto native = shrinkwrap(fs2, loader2, "/store/app/bin/app", options);
+  ASSERT_TRUE(native.ok());
+  EXPECT_EQ(interp.new_needed, native.new_needed);
+}
+
+TEST_F(ShrinkwrapTest, WrapCostScalesWithSearchWork) {
+  build_store_app();
+  const auto report = shrinkwrap(fs_, loader_, "/store/app/bin/app");
+  EXPECT_GT(report.wrap_cost.metadata_calls(), 0u);
+}
+
+// ----------------------------------------------------------------- libtree
+
+TEST_F(ShrinkwrapTest, LibtreeRendersAnnotatedTree) {
+  build_store_app();
+  const std::string tree = libtree(fs_, loader_, "/store/app/bin/app");
+  EXPECT_NE(tree.find("liba.so [rpath]"), std::string::npos);
+  EXPECT_NE(tree.find("libb.so [rpath (inherited)]"), std::string::npos);
+}
+
+TEST_F(ShrinkwrapTest, LibtreeMarksMissing) {
+  install_object(fs_, "/bin/app", make_executable({"libghost.so"}));
+  const std::string tree = libtree(fs_, loader_, "/bin/app");
+  EXPECT_NE(tree.find("libghost.so [not found]"), std::string::npos);
+}
+
+TEST_F(ShrinkwrapTest, LibtreeShowsPathsWhenAsked) {
+  build_store_app();
+  TreeOptions options;
+  options.show_paths = true;
+  const std::string tree =
+      libtree(fs_, loader_, "/store/app/bin/app", {}, options);
+  EXPECT_NE(tree.find("=> /store/a/liba.so"), std::string::npos);
+}
+
+TEST_F(ShrinkwrapTest, LibtreeDepthLimit) {
+  build_store_app();
+  TreeOptions options;
+  options.max_depth = 1;
+  const std::string tree =
+      libtree(fs_, loader_, "/store/app/bin/app", {}, options);
+  EXPECT_NE(tree.find("liba.so"), std::string::npos);
+  EXPECT_EQ(tree.find("libb.so"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ views
+
+TEST_F(ShrinkwrapTest, ViewMakesSingleRpathWork) {
+  build_store_app();
+  const auto view =
+      make_dependency_view(fs_, loader_, "/store/app/bin/app", "/views/app");
+  ASSERT_TRUE(view.ok);
+  EXPECT_EQ(view.symlink_count, 2u);
+  EXPECT_GT(view.inode_cost, 0u);
+
+  const auto exe = elf::read_object(fs_, "/store/app/bin/app");
+  ASSERT_EQ(exe.dyn.rpath.size(), 1u);
+  EXPECT_EQ(exe.dyn.rpath[0], "/views/app/lib");
+
+  const auto report = loader_.load("/store/app/bin/app");
+  ASSERT_TRUE(report.success);
+  // Everything resolves through the view (rpath + propagation).
+  for (std::size_t i = 1; i < report.load_order.size(); ++i) {
+    EXPECT_TRUE(report.load_order[i].path.starts_with("/views/app/lib/"));
+  }
+}
+
+TEST_F(ShrinkwrapTest, ViewDetectsSonameConflicts) {
+  // Two different files, same soname: the single-version restriction.
+  install_object(fs_, "/s1/libdup.so", make_library("libdup.so"));
+  install_object(fs_, "/s2/libdup.so", make_library("libdup.so", {}, {}, {}));
+  elf::Object dup2 = make_library("libdup.so");
+  dup2.symbols.push_back(elf::Symbol{"v2", elf::SymbolBinding::Global, true});
+  install_object(fs_, "/s2/libdup.so", dup2);
+
+  install_object(fs_, "/l/liba.so",
+                 make_library("liba.so", {"/s1/libdup.so"}));
+  install_object(fs_, "/l/libb.so",
+                 make_library("libb.so", {"/s2/libdup.so"}));
+  install_object(fs_, "/bin/app",
+                 make_executable({"liba.so", "libb.so"}, {}, {"/l"}));
+  const auto view =
+      make_dependency_view(fs_, loader_, "/bin/app", "/views/app");
+  EXPECT_FALSE(view.ok);
+  ASSERT_EQ(view.conflicts.size(), 1u);
+  EXPECT_EQ(view.conflicts[0], "libdup.so");
+}
+
+// ------------------------------------------------------------------ needy
+
+TEST_F(ShrinkwrapTest, NeedyLiftsClosureToSonames) {
+  build_store_app();
+  const auto needy = make_needy(fs_, loader_, "/store/app/bin/app");
+  ASSERT_TRUE(needy.ok);
+  EXPECT_EQ(needy.lifted,
+            (std::vector<std::string>{"liba.so", "libb.so"}));
+  const auto report = loader_.load("/store/app/bin/app");
+  EXPECT_TRUE(report.success);
+}
+
+TEST_F(ShrinkwrapTest, NeedyFailsOnDuplicateStrongSymbols) {
+  // §V-B.2: the link line rejects libomp + libompstubs...
+  auto omp_like = [&](const std::string& soname) {
+    elf::Object lib = make_library(soname);
+    lib.symbols.push_back(
+        elf::Symbol{"omp_get_num_threads", elf::SymbolBinding::Global, true});
+    return lib;
+  };
+  install_object(fs_, "/l/libomp.so", omp_like("libomp.so"));
+  install_object(fs_, "/l/libompstubs.so", omp_like("libompstubs.so"));
+  install_object(fs_, "/bin/app",
+                 make_executable({"libomp.so", "libompstubs.so"}, {}, {"/l"}));
+
+  const auto needy = make_needy(fs_, loader_, "/bin/app");
+  EXPECT_FALSE(needy.ok);
+  ASSERT_EQ(needy.link.duplicate_strong.size(), 1u);
+  EXPECT_EQ(needy.link.duplicate_strong[0], "omp_get_num_threads");
+
+  // ...while Shrinkwrap, which never touches the link line, succeeds.
+  const auto wrapped = shrinkwrap(fs_, loader_, "/bin/app");
+  EXPECT_TRUE(wrapped.ok());
+  const auto exe = elf::read_object(fs_, "/bin/app");
+  EXPECT_EQ(exe.dyn.needed[0], "/l/libomp.so");  // user order preserved
+}
+
+}  // namespace
+}  // namespace depchaos::shrinkwrap

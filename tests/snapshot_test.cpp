@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/vfs/snapshot.hpp"
+#include "depchaos/workload/pynamic.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+namespace depchaos::vfs {
+namespace {
+
+TEST(Snapshot, EmptyWorldRoundTrips) {
+  FileSystem fs;
+  const auto restored = load_world(save_world(fs));
+  EXPECT_EQ(restored.list_dir("/").size(), 0u);
+}
+
+TEST(Snapshot, FilesDirsLinksRoundTrip) {
+  FileSystem fs;
+  fs.write_file("/a/b/file.txt", std::string("hello\nworld\n"));
+  FileData big;
+  big.bytes = "small body";
+  big.declared_size = 1 << 20;
+  fs.write_file("/a/big.bin", std::move(big));
+  fs.mkdir_p("/empty/dir");
+  fs.symlink("../b/file.txt", "/a/c/rel_link");
+  fs.symlink("/a/b/file.txt", "/abs_link");
+  fs.symlink("/nowhere", "/dangling");
+
+  const auto restored = load_world(save_world(fs));
+  EXPECT_EQ(restored.peek("/a/b/file.txt")->bytes, "hello\nworld\n");
+  EXPECT_EQ(restored.peek("/a/big.bin")->size(), 1u << 20);
+  EXPECT_TRUE(restored.exists("/empty/dir"));
+  EXPECT_EQ(restored.peek_link_target("/a/c/rel_link").value(),
+            "../b/file.txt");
+  EXPECT_EQ(restored.peek("/a/c/rel_link")->bytes, "hello\nworld\n");
+  EXPECT_EQ(restored.peek_link_target("/dangling").value(), "/nowhere");
+  EXPECT_FALSE(restored.exists("/dangling"));
+}
+
+TEST(Snapshot, DoubleRoundTripIsStable) {
+  FileSystem fs;
+  fs.write_file("/x/y", std::string("payload with\nfile /fake 1 2\ninside"));
+  fs.symlink("/x/y", "/z");
+  const auto once = save_world(fs);
+  const auto twice = save_world(load_world(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Snapshot, SelfImagesSurvive) {
+  FileSystem fs;
+  elf::install_object(fs, "/l/libx.so", elf::make_library("libx.so"));
+  elf::install_object(fs, "/bin/app",
+                      elf::make_executable({"libx.so"}, {"/l"}));
+  auto restored = load_world(save_world(fs));
+  loader::Loader loader(restored);
+  EXPECT_TRUE(loader.load("/bin/app").success);
+}
+
+TEST(Snapshot, WholeScenarioSurvivesIncludingShrinkwrap) {
+  FileSystem fs;
+  workload::PynamicConfig config;
+  config.num_modules = 30;
+  config.exe_extra_bytes = 0;
+  const auto app = workload::generate_pynamic(fs, config);
+
+  auto restored = load_world(save_world(fs));
+  loader::Loader loader(restored);
+  ASSERT_TRUE(shrinkwrap::shrinkwrap(restored, loader, app.exe_path).ok());
+  // And the wrapped world snapshots again.
+  auto restored2 = load_world(save_world(restored));
+  loader::Loader loader2(restored2);
+  const auto report = loader2.load(app.exe_path);
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.stats.failed_probes, 0u);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  EXPECT_THROW(load_world("NOTAWORLD\n"), FsError);
+}
+
+TEST(Snapshot, RejectsTruncatedPayload) {
+  EXPECT_THROW(load_world("DCWORLD1\nfile /x 0 100\nshort"), FsError);
+}
+
+TEST(Snapshot, RejectsUnknownRecord) {
+  EXPECT_THROW(load_world("DCWORLD1\nblob /x\n"), FsError);
+}
+
+// ---------------------------------------------------------- probe logging
+
+TEST(ProbeLog, RecordsEveryOutcomeKind) {
+  FileSystem fs;
+  fs.write_file("/p1/libx.so", std::string("not an object"));
+  elf::Object wrong_arch = elf::make_library("libx.so");
+  wrong_arch.machine = elf::Machine::AArch64;
+  elf::install_object(fs, "/p2/libx.so", wrong_arch);
+  elf::install_object(fs, "/p3/libx.so", elf::make_library("libx.so"));
+  elf::install_object(
+      fs, "/bin/app",
+      elf::make_executable({"libx.so"}, {"/p0", "/p1", "/p2", "/p3"}));
+
+  loader::SearchConfig config;
+  config.record_probes = true;
+  loader::Loader loader(fs, config);
+  const auto report = loader.load("/bin/app");
+  ASSERT_TRUE(report.success);
+  const auto joined = [&] {
+    std::string all;
+    for (const auto& line : report.probe_log) all += line + "\n";
+    return all;
+  }();
+  EXPECT_NE(joined.find("/p0/libx.so ... ENOENT"), std::string::npos);
+  EXPECT_NE(joined.find("/p1/libx.so ... not an object"), std::string::npos);
+  EXPECT_NE(joined.find("/p2/libx.so ... wrong architecture"),
+            std::string::npos);
+  EXPECT_NE(joined.find("/p3/libx.so ... found"), std::string::npos);
+}
+
+TEST(ProbeLog, OffByDefault) {
+  FileSystem fs;
+  elf::install_object(fs, "/bin/app", elf::make_executable({}));
+  loader::Loader loader(fs);
+  EXPECT_TRUE(loader.load("/bin/app").probe_log.empty());
+}
+
+TEST(ProbeLog, ShadowClassificationProbesNotLogged) {
+  FileSystem fs;
+  elf::install_object(fs, "/l/libshared.so", elf::make_library("libshared.so"));
+  elf::install_object(
+      fs, "/l/liba.so",
+      elf::make_library("liba.so", {"libshared.so"}, {"/l"}));
+  elf::install_object(
+      fs, "/bin/app",
+      elf::make_executable({"liba.so", "libshared.so"}, {"/l"}));
+  loader::SearchConfig plain_config;
+  plain_config.record_probes = true;
+  loader::Loader plain(fs, plain_config);
+  const auto baseline = plain.load("/bin/app").probe_log.size();
+
+  loader::SearchConfig shadow_config = plain_config;
+  shadow_config.classify_cache_hits = true;
+  loader::Loader shadowing(fs, shadow_config);
+  EXPECT_EQ(shadowing.load("/bin/app").probe_log.size(), baseline);
+}
+
+}  // namespace
+}  // namespace depchaos::vfs

@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/spack/concretizer.hpp"
+#include "depchaos/spack/dsl.hpp"
+#include "depchaos/spack/install.hpp"
+#include "depchaos/spack/spec.hpp"
+#include "depchaos/spack/version.hpp"
+
+namespace depchaos::spack {
+namespace {
+
+// -------------------------------------------------------------- versions
+
+TEST(Version, NumericSegmentCompare) {
+  EXPECT_LT(Version("1.9"), Version("1.10"));
+  EXPECT_LT(Version("1.8"), Version("2.0"));
+  EXPECT_EQ(Version("1.8"), Version("1.8.0"));
+  EXPECT_LT(Version("1.8"), Version("1.8.1"));
+}
+
+TEST(Version, PrefixMatch) {
+  EXPECT_TRUE(Version("1.8").is_prefix_of(Version("1.8.2")));
+  EXPECT_FALSE(Version("1.8").is_prefix_of(Version("1.80")));
+  EXPECT_TRUE(Version("1.8.0").is_prefix_of(Version("1.8")));
+  EXPECT_FALSE(Version("1.8.1").is_prefix_of(Version("1.8")));
+}
+
+TEST(Constraint, AnyMatchesEverything) {
+  const VersionConstraint any;
+  EXPECT_TRUE(any.satisfied_by(Version("0.0.1")));
+  EXPECT_TRUE(any.is_any());
+}
+
+TEST(Constraint, ExactRequiresEquality) {
+  const VersionConstraint exact("=1.8.2");
+  EXPECT_TRUE(exact.satisfied_by(Version("1.8.2")));
+  EXPECT_FALSE(exact.satisfied_by(Version("1.8.3")));
+}
+
+TEST(Constraint, PrefixForm) {
+  const VersionConstraint prefix("1.8");
+  EXPECT_TRUE(prefix.satisfied_by(Version("1.8.2")));
+  EXPECT_FALSE(prefix.satisfied_by(Version("1.9.0")));
+}
+
+TEST(Constraint, ClosedRange) {
+  const VersionConstraint range("1.8:1.12");
+  EXPECT_TRUE(range.satisfied_by(Version("1.8")));
+  EXPECT_TRUE(range.satisfied_by(Version("1.10.7")));
+  EXPECT_TRUE(range.satisfied_by(Version("1.12.3")));  // prefix-closed upper
+  EXPECT_FALSE(range.satisfied_by(Version("1.13")));
+  EXPECT_FALSE(range.satisfied_by(Version("1.7.9")));
+}
+
+TEST(Constraint, OpenRanges) {
+  EXPECT_TRUE(VersionConstraint("1.8:").satisfied_by(Version("99")));
+  EXPECT_FALSE(VersionConstraint("1.8:").satisfied_by(Version("1.7")));
+  EXPECT_TRUE(VersionConstraint(":1.12").satisfied_by(Version("0.1")));
+  EXPECT_FALSE(VersionConstraint(":1.12").satisfied_by(Version("2.0")));
+}
+
+TEST(Constraint, Intersections) {
+  EXPECT_TRUE(VersionConstraint("1.8:").intersects(VersionConstraint(":1.9")));
+  EXPECT_TRUE(VersionConstraint("1.8").intersects(VersionConstraint("1.8:2")));
+  EXPECT_FALSE(
+      VersionConstraint("=1.2").intersects(VersionConstraint("2.0:3.0")));
+}
+
+// ------------------------------------------------------------------ spec
+
+TEST(SpecParse, FullForm) {
+  const Spec spec = Spec::parse("axom@0.7.0%gcc@10.3 +mpi ~shared");
+  EXPECT_EQ(spec.name, "axom");
+  EXPECT_TRUE(spec.version.satisfied_by(Version("0.7.0")));
+  EXPECT_EQ(spec.compiler, "gcc");
+  EXPECT_TRUE(spec.compiler_version.satisfied_by(Version("10.3")));
+  EXPECT_TRUE(spec.variants.at("mpi"));
+  EXPECT_FALSE(spec.variants.at("shared"));
+}
+
+TEST(SpecParse, DependencyConstraints) {
+  const Spec spec = Spec::parse("app ^hdf5@1.8:1.12+shared ^mpi");
+  ASSERT_EQ(spec.dep_constraints.size(), 2u);
+  EXPECT_EQ(spec.dep_constraints[0].name, "hdf5");
+  EXPECT_TRUE(spec.dep_constraints[0].variants.at("shared"));
+  EXPECT_EQ(spec.dep_constraints[1].name, "mpi");
+}
+
+TEST(SpecParse, AnonymousConditionSpecs) {
+  const Spec cond = Spec::parse("+mpi");
+  EXPECT_TRUE(cond.anonymous());
+  EXPECT_TRUE(cond.variants.at("mpi"));
+  const Spec ver = Spec::parse("@1.8:");
+  EXPECT_TRUE(ver.anonymous());
+  EXPECT_FALSE(ver.version.is_any());
+}
+
+TEST(SpecParse, Malformed) {
+  EXPECT_THROW(Spec::parse("pkg@"), ParseError);
+  EXPECT_THROW(Spec::parse("pkg%"), ParseError);
+  EXPECT_THROW(Spec::parse("pkg+"), ParseError);
+  EXPECT_THROW(Spec::parse("pkg ^"), ParseError);
+  EXPECT_THROW(Spec::parse("pkg ^+mpi"), ParseError);
+}
+
+TEST(SpecParse, RoundTripThroughStr) {
+  const Spec spec = Spec::parse("axom@0.7%gcc+mpi~openmp ^hdf5@1.10:");
+  const Spec reparsed = Spec::parse(spec.str());
+  EXPECT_EQ(reparsed.name, "axom");
+  EXPECT_EQ(reparsed.variants.size(), 2u);
+  EXPECT_EQ(reparsed.dep_constraints.size(), 1u);
+}
+
+// ------------------------------------------------------------------- dsl
+
+constexpr const char* kAxomPy = R"PY(
+# Copyright (c) Lawrence Livermore
+from spack.package import *
+
+
+class Axom(CMakePackage):
+    """Axom provides robust software components
+    for HPC applications, across multiple lines."""
+
+    homepage = "https://github.com/LLNL/axom"
+    url = "https://github.com/LLNL/axom/archive/v0.7.0.tar.gz"
+
+    version("0.7.0", sha256="aaa111")
+    version("0.6.1", sha256="bbb222", deprecated=True)
+    version("0.5.0", sha256="ccc333")
+
+    variant("mpi", default=True, description="Enable MPI support")
+    variant("openmp", default=False, description="Enable OpenMP")
+    variant("shared", default=True, description="Build shared libs")
+
+    depends_on("mpi", when="+mpi")
+    depends_on(
+        "hdf5@1.8:1.12",
+        type=("build", "link"),
+    )
+    depends_on("conduit+shared", when="+shared")
+    depends_on("raja", when="+openmp")
+
+    conflicts("%gcc@:7", when="+openmp")
+    patch("fix-install.patch", when="@0.5.0")
+)PY";
+
+TEST(Dsl, ParsesClassAndMetadata) {
+  const Recipe recipe = parse_package_py(kAxomPy);
+  EXPECT_EQ(recipe.name, "axom");
+  EXPECT_EQ(recipe.class_name, "Axom");
+  EXPECT_EQ(recipe.base_class, "CMakePackage");
+  EXPECT_EQ(recipe.homepage, "https://github.com/LLNL/axom");
+}
+
+TEST(Dsl, ParsesVersionsWithKwargs) {
+  const Recipe recipe = parse_package_py(kAxomPy);
+  ASSERT_EQ(recipe.versions.size(), 3u);
+  EXPECT_EQ(recipe.versions[0].version, "0.7.0");
+  EXPECT_EQ(recipe.versions[0].sha256, "aaa111");
+  EXPECT_TRUE(recipe.versions[1].deprecated);
+}
+
+TEST(Dsl, ParsesVariants) {
+  const Recipe recipe = parse_package_py(kAxomPy);
+  ASSERT_EQ(recipe.variants.size(), 3u);
+  EXPECT_TRUE(recipe.find_variant("mpi")->default_value);
+  EXPECT_FALSE(recipe.find_variant("openmp")->default_value);
+  EXPECT_EQ(recipe.find_variant("mpi")->description, "Enable MPI support");
+}
+
+TEST(Dsl, ParsesDependsOnWithWhenAndMultiline) {
+  const Recipe recipe = parse_package_py(kAxomPy);
+  ASSERT_EQ(recipe.dependencies.size(), 4u);
+  EXPECT_EQ(recipe.dependencies[0].spec.name, "mpi");
+  EXPECT_TRUE(recipe.dependencies[0].has_when);
+  EXPECT_TRUE(recipe.dependencies[0].when.variants.at("mpi"));
+  // multi-line call merged:
+  EXPECT_EQ(recipe.dependencies[1].spec.name, "hdf5");
+  EXPECT_EQ(recipe.dependencies[1].types,
+            (std::vector<std::string>{"build", "link"}));
+  EXPECT_TRUE(recipe.dependencies[2].spec.variants.at("shared"));
+}
+
+TEST(Dsl, ParsesConflictsAndPatches) {
+  const Recipe recipe = parse_package_py(kAxomPy);
+  ASSERT_EQ(recipe.conflicts.size(), 1u);
+  EXPECT_EQ(recipe.conflicts[0].conflict.compiler, "gcc");
+  EXPECT_EQ(recipe.patch_count, 1u);
+}
+
+TEST(Dsl, DocstringAndCommentsIgnored) {
+  const Recipe recipe = parse_package_py(
+      "class X(Package):\n"
+      "    \"\"\"doc with version(\"9.9\") inside\"\"\"\n"
+      "    # version(\"8.8\")\n"
+      "    version(\"1.0\", sha256=\"x\")\n");
+  ASSERT_EQ(recipe.versions.size(), 1u);
+  EXPECT_EQ(recipe.versions[0].version, "1.0");
+}
+
+TEST(Dsl, CamelCaseConversion) {
+  EXPECT_EQ(class_to_package_name("Axom"), "axom");
+  EXPECT_EQ(class_to_package_name("PyNumpy"), "py-numpy");
+  EXPECT_EQ(class_to_package_name("Hdf5"), "hdf5");
+  EXPECT_EQ(class_to_package_name("Openmpi"), "openmpi");
+}
+
+TEST(Dsl, ProvidesVirtuals) {
+  const Recipe recipe = parse_package_py(
+      "class Openmpi(Package):\n"
+      "    version(\"4.1.1\")\n"
+      "    provides(\"mpi\")\n");
+  ASSERT_EQ(recipe.provides.size(), 1u);
+  EXPECT_EQ(recipe.provides[0], "mpi");
+}
+
+TEST(Dsl, NoClassThrows) {
+  EXPECT_THROW(parse_package_py("version(\"1.0\")\n"), ParseError);
+}
+
+TEST(Dsl, BestVersionSkipsDeprecatedAndHonorsPreferred) {
+  const Recipe recipe = parse_package_py(
+      "class P(Package):\n"
+      "    version(\"3.0\", deprecated=True)\n"
+      "    version(\"2.0\", preferred=True)\n"
+      "    version(\"2.5\")\n");
+  EXPECT_EQ(recipe.best_version(VersionConstraint{}), "2.0");
+  EXPECT_EQ(recipe.best_version(VersionConstraint("2.1:")), "2.5");
+  EXPECT_EQ(recipe.best_version(VersionConstraint("3.0:")), "");
+}
+
+// ----------------------------------------------------------- concretizer
+
+Repo sample_repo() {
+  Repo repo;
+  repo.add_package_py(kAxomPy);
+  repo.add_package_py(
+      "class Hdf5(Package):\n"
+      "    version(\"1.12.1\")\n"
+      "    version(\"1.10.8\")\n"
+      "    version(\"1.13.0\")\n"
+      "    depends_on(\"zlib\")\n");
+  repo.add_package_py(
+      "class Zlib(Package):\n"
+      "    version(\"1.2.11\")\n");
+  repo.add_package_py(
+      "class Conduit(Package):\n"
+      "    version(\"0.8.2\")\n"
+      "    variant(\"shared\", default=True, description=\"s\")\n"
+      "    depends_on(\"hdf5@1.8:1.12\")\n");
+  repo.add_package_py(
+      "class Raja(Package):\n"
+      "    version(\"2022.3.0\")\n");
+  repo.add_package_py(
+      "class Openmpi(Package):\n"
+      "    version(\"4.1.1\")\n"
+      "    provides(\"mpi\")\n"
+      "    depends_on(\"zlib\")\n");
+  repo.add_package_py(
+      "class Mvapich2(Package):\n"
+      "    version(\"2.3.6\")\n"
+      "    provides(\"mpi\")\n");
+  return repo;
+}
+
+TEST(Concretizer, PicksHighestSatisfyingVersion) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto dag = concretizer.concretize("hdf5@1.8:1.12");
+  EXPECT_EQ(dag.at("hdf5").version, "1.12.1");
+}
+
+TEST(Concretizer, DefaultsVariantsAndCompiler) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto dag = concretizer.concretize("axom");
+  const auto& axom = dag.at("axom");
+  EXPECT_EQ(axom.version, "0.7.0");  // deprecated 0.6.1 skipped
+  EXPECT_TRUE(axom.variants.at("mpi"));
+  EXPECT_FALSE(axom.variants.at("openmp"));
+  EXPECT_EQ(axom.compiler, "gcc");
+}
+
+TEST(Concretizer, WhenConditionsGateDependencies) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto with_mpi = concretizer.concretize("axom+mpi");
+  // Default provider is the alphabetically-first recipe providing "mpi".
+  EXPECT_TRUE(with_mpi.nodes.contains("mvapich2"));
+  const auto without_mpi = concretizer.concretize("axom~mpi");
+  EXPECT_FALSE(without_mpi.nodes.contains("openmpi"));
+  EXPECT_FALSE(without_mpi.nodes.contains("mvapich2"));
+}
+
+TEST(Concretizer, VirtualProviderSelectable) {
+  const Repo repo = sample_repo();
+  ConcretizerOptions options;
+  options.virtual_defaults["mpi"] = "mvapich2";
+  const Concretizer concretizer(repo, options);
+  const auto dag = concretizer.concretize("axom+mpi");
+  EXPECT_TRUE(dag.nodes.contains("mvapich2"));
+  EXPECT_FALSE(dag.nodes.contains("openmpi"));
+}
+
+TEST(Concretizer, DagUnifiesSharedDependencies) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto dag = concretizer.concretize("axom+mpi");
+  // zlib appears once even though hdf5 and openmpi both need it.
+  EXPECT_EQ(dag.nodes.count("zlib"), 1u);
+  const auto order = dag.install_order();
+  // deps-first: zlib before hdf5, everything before axom.
+  const auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("zlib"), pos("hdf5"));
+  EXPECT_EQ(order.back(), "axom");
+}
+
+TEST(Concretizer, HatConstraintNarrowsTransitiveDep) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto dag = concretizer.concretize("axom ^hdf5@1.10");
+  EXPECT_EQ(dag.at("hdf5").version, "1.10.8");
+}
+
+TEST(Concretizer, UnknownPackageThrows) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  EXPECT_THROW(concretizer.concretize("nosuchpkg"), ResolveError);
+}
+
+TEST(Concretizer, UnsatisfiableVersionThrows) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  EXPECT_THROW(concretizer.concretize("zlib@9.9"), ResolveError);
+}
+
+TEST(Concretizer, ConflictTriggers) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  // axom conflicts("%gcc@:7", when="+openmp"); default compiler gcc@12.1.0
+  // does NOT match @:7, so +openmp alone is fine...
+  EXPECT_NO_THROW(concretizer.concretize("axom+openmp"));
+  // ...but an old gcc plus openmp trips it.
+  EXPECT_THROW(concretizer.concretize("axom+openmp%gcc@7.5"), ResolveError);
+}
+
+TEST(Concretizer, ContradictoryVariantsThrow) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  EXPECT_THROW(concretizer.concretize("axom+shared ^conduit~shared +mpi"),
+               ResolveError);
+  // note: conduit~shared contradicts axom's depends_on("conduit+shared").
+}
+
+TEST(Concretizer, DagHashStableAndSensitive) {
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto dag1 = concretizer.concretize("axom");
+  const auto dag2 = concretizer.concretize("axom");
+  EXPECT_EQ(dag1.dag_hash("axom"), dag2.dag_hash("axom"));
+  const auto dag3 = concretizer.concretize("axom~mpi");
+  EXPECT_NE(dag1.dag_hash("axom"), dag3.dag_hash("axom"));
+}
+
+TEST(Concretizer, CycleDetected) {
+  Repo repo;
+  repo.add_package_py(
+      "class A(Package):\n    version(\"1\")\n    depends_on(\"b\")\n");
+  repo.add_package_py(
+      "class B(Package):\n    version(\"1\")\n    depends_on(\"a\")\n");
+  const Concretizer concretizer(repo);
+  EXPECT_THROW(concretizer.concretize("a"), ResolveError);
+}
+
+// --------------------------------------------------------------- install
+
+TEST(Install, MaterializedDagLoads) {
+  vfs::FileSystem fs;
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto dag = concretizer.concretize("axom+mpi");
+
+  pkg::store::Store store(fs, "/opt/spack/store");
+  const auto result = install_dag(store, dag);
+  ASSERT_FALSE(result.exe_path.empty());
+  EXPECT_EQ(result.prefixes.size(), dag.size());
+
+  loader::Loader loader(fs);
+  const auto report = loader.load(result.exe_path);
+  EXPECT_TRUE(report.success);
+  // Every DAG node's library got loaded.
+  EXPECT_EQ(report.load_order.size(), 1 + dag.size());
+}
+
+TEST(Install, RunpathStoreAlsoLoads) {
+  vfs::FileSystem fs;
+  const Repo repo = sample_repo();
+  const Concretizer concretizer(repo);
+  const auto dag = concretizer.concretize("conduit");
+  pkg::store::Store store(fs, "/opt/spack/store",
+                          pkg::store::LinkStyle::Runpath);
+  const auto result = install_dag(store, dag);
+  loader::Loader loader(fs);
+  EXPECT_TRUE(loader.load(result.exe_path).success);
+}
+
+}  // namespace
+}  // namespace depchaos::spack

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "depchaos/support/rng.hpp"
+#include "depchaos/support/sha256.hpp"
+#include "depchaos/support/strings.hpp"
+#include "depchaos/support/thread_pool.hpp"
+
+namespace depchaos::support {
+namespace {
+
+// ---------------------------------------------------------------- sha256
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update("hello ");
+  h.update("world");
+  EXPECT_EQ(h.hex_digest(), sha256_hex("hello world"));
+}
+
+TEST(Sha256, LongInputCrossesBlockBoundaries) {
+  std::string input(1000, 'x');
+  Sha256 h;
+  for (std::size_t i = 0; i < input.size(); i += 7) {
+    h.update(input.substr(i, 7));
+  }
+  EXPECT_EQ(h.hex_digest(), sha256_hex(input));
+}
+
+TEST(Sha256, ExactBlockSizeInput) {
+  const std::string input(64, 'a');
+  EXPECT_EQ(sha256_hex(input),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, PrefixTruncates) {
+  EXPECT_EQ(sha256_prefix("abc", 8), "ba7816bf");
+  EXPECT_EQ(sha256_prefix("abc", 200).size(), 64u);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedPrefersHeavyBucket) {
+  Rng rng(13);
+  int heavy = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.weighted({1.0, 9.0}) == 1) ++heavy;
+  }
+  EXPECT_GT(heavy, 800);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(Zipf, CoversSupport) {
+  Rng rng(19);
+  ZipfSampler zipf(5, 0.5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(zipf.sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// -------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitNonempty) {
+  const auto parts = split_nonempty("/usr//lib/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "usr");
+  EXPECT_EQ(parts[1], "lib");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ":"), "a:b:c");
+  EXPECT_EQ(join({}, ":"), "");
+}
+
+TEST(Strings, IsAllDigits) {
+  EXPECT_TRUE(is_all_digits("0123"));
+  EXPECT_FALSE(is_all_digits(""));
+  EXPECT_FALSE(is_all_digits("12a"));
+  EXPECT_FALSE(is_all_digits("-1"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("$ORIGIN/lib:$ORIGIN", "$ORIGIN", "/app"),
+            "/app/lib:/app");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+// ----------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i]++; }, 16);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [&](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace depchaos::support

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/loader/symbols.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::loader {
+namespace {
+
+using elf::install_object;
+using elf::make_executable;
+using elf::make_library;
+using elf::Symbol;
+using elf::SymbolBinding;
+
+class SymbolsTest : public ::testing::Test {
+ protected:
+  vfs::FileSystem fs_;
+
+  elf::Object lib_defining(const std::string& soname,
+                           std::vector<std::string> symbols,
+                           SymbolBinding binding = SymbolBinding::Global) {
+    elf::Object lib = make_library(soname);
+    for (auto& name : symbols) {
+      lib.symbols.push_back(Symbol{std::move(name), binding, true});
+    }
+    return lib;
+  }
+
+  LoadReport load(const std::string& exe, const Environment& env = {}) {
+    Loader loader(fs_);
+    return loader.load(exe, env);
+  }
+};
+
+TEST_F(SymbolsTest, BindsToFirstDefinerInLoadOrder) {
+  install_object(fs_, "/l/liba.so", lib_defining("liba.so", {"f"}));
+  install_object(fs_, "/l/libb.so", lib_defining("libb.so", {"f"}));
+  elf::Object exe = make_executable({"liba.so", "libb.so"}, {"/l"});
+  exe.symbols.push_back(Symbol{"f", SymbolBinding::Global, false});
+  install_object(fs_, "/bin/app", exe);
+
+  const auto bind = bind_symbols(load("/bin/app"));
+  ASSERT_NE(bind.provider_of("f"), nullptr);
+  EXPECT_EQ(*bind.provider_of("f"), "/l/liba.so");
+}
+
+TEST_F(SymbolsTest, InterpositionRecordsShadowedProviders) {
+  install_object(fs_, "/l/liba.so", lib_defining("liba.so", {"f"}));
+  install_object(fs_, "/l/libb.so", lib_defining("libb.so", {"f"}));
+  elf::Object exe = make_executable({"liba.so", "libb.so"}, {"/l"});
+  install_object(fs_, "/bin/app", exe);
+
+  const auto bind = bind_symbols(load("/bin/app"));
+  ASSERT_EQ(bind.interpositions.size(), 1u);
+  EXPECT_EQ(bind.interpositions[0].symbol, "f");
+  EXPECT_EQ(bind.interpositions[0].winner_path, "/l/liba.so");
+  ASSERT_EQ(bind.interpositions[0].shadowed_paths.size(), 1u);
+  EXPECT_EQ(bind.interpositions[0].shadowed_paths[0], "/l/libb.so");
+}
+
+TEST_F(SymbolsTest, PreloadInterposesOverRegularLibraries) {
+  // The PMPI / gperf pattern (§III-B): LD_PRELOAD provides the symbol
+  // before any regular dependency.
+  install_object(fs_, "/usr/lib/libwrap.so",
+                 lib_defining("libwrap.so", {"MPI_Send"}));
+  install_object(fs_, "/l/libmpi.so", lib_defining("libmpi.so", {"MPI_Send"}));
+  elf::Object exe = make_executable({"libmpi.so"}, {"/l"});
+  exe.symbols.push_back(Symbol{"MPI_Send", SymbolBinding::Global, false});
+  install_object(fs_, "/bin/app", exe);
+
+  Environment env;
+  env.ld_preload = {"libwrap.so"};
+  const auto bind = bind_symbols(load("/bin/app", env));
+  ASSERT_NE(bind.provider_of("MPI_Send"), nullptr);
+  EXPECT_EQ(*bind.provider_of("MPI_Send"), "/usr/lib/libwrap.so");
+}
+
+TEST_F(SymbolsTest, UnresolvedStrongReferenceReported) {
+  elf::Object exe = make_executable({});
+  exe.symbols.push_back(Symbol{"ghost", SymbolBinding::Global, false});
+  install_object(fs_, "/bin/app", exe);
+  const auto bind = bind_symbols(load("/bin/app"));
+  ASSERT_EQ(bind.unresolved.size(), 1u);
+  EXPECT_EQ(bind.unresolved[0], "ghost");
+}
+
+TEST_F(SymbolsTest, UnresolvedWeakReferenceTolerated) {
+  elf::Object exe = make_executable({});
+  exe.symbols.push_back(Symbol{"maybe", SymbolBinding::Weak, false});
+  install_object(fs_, "/bin/app", exe);
+  const auto bind = bind_symbols(load("/bin/app"));
+  EXPECT_TRUE(bind.unresolved.empty());
+}
+
+TEST_F(SymbolsTest, WeakDefinitionStillBinds) {
+  install_object(fs_, "/l/liba.so",
+                 lib_defining("liba.so", {"w"}, SymbolBinding::Weak));
+  elf::Object exe = make_executable({"liba.so"}, {"/l"});
+  exe.symbols.push_back(Symbol{"w", SymbolBinding::Global, false});
+  install_object(fs_, "/bin/app", exe);
+  const auto bind = bind_symbols(load("/bin/app"));
+  ASSERT_NE(bind.provider_of("w"), nullptr);
+  ASSERT_EQ(bind.bindings.size(), 1u);
+  EXPECT_TRUE(bind.bindings[0].weak);
+}
+
+TEST_F(SymbolsTest, LocalSymbolsInvisible) {
+  elf::Object lib = make_library("liba.so");
+  lib.symbols.push_back(Symbol{"hidden", SymbolBinding::Local, true});
+  install_object(fs_, "/l/liba.so", lib);
+  elf::Object exe = make_executable({"liba.so"}, {"/l"});
+  exe.symbols.push_back(Symbol{"hidden", SymbolBinding::Global, false});
+  install_object(fs_, "/bin/app", exe);
+  const auto bind = bind_symbols(load("/bin/app"));
+  ASSERT_EQ(bind.unresolved.size(), 1u);
+}
+
+// ------------------------------------------------------------ link_check
+
+TEST_F(SymbolsTest, LinkCheckAcceptsCleanLine) {
+  install_object(fs_, "/l/liba.so", lib_defining("liba.so", {"fa"}));
+  install_object(fs_, "/l/libb.so", lib_defining("libb.so", {"fb"}));
+  elf::Object exe = make_executable({});
+  exe.symbols.push_back(Symbol{"fa", SymbolBinding::Global, false});
+  install_object(fs_, "/bin/app", exe);
+  const auto result =
+      link_check(fs_, "/bin/app", {"/l/liba.so", "/l/libb.so"});
+  EXPECT_TRUE(result.ok);
+}
+
+TEST_F(SymbolsTest, LinkCheckRejectsDuplicateStrong) {
+  // The libomp/libompstubs failure (§V-B.2).
+  install_object(fs_, "/l/libomp.so", lib_defining("libomp.so", {"omp_f"}));
+  install_object(fs_, "/l/libompstubs.so",
+                 lib_defining("libompstubs.so", {"omp_f"}));
+  install_object(fs_, "/bin/app", make_executable({}));
+  const auto result =
+      link_check(fs_, "/bin/app", {"/l/libomp.so", "/l/libompstubs.so"});
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.duplicate_strong.size(), 1u);
+  EXPECT_EQ(result.duplicate_strong[0], "omp_f");
+}
+
+TEST_F(SymbolsTest, LinkCheckWeakDuplicatesAllowed) {
+  install_object(fs_, "/l/liba.so",
+                 lib_defining("liba.so", {"w"}, SymbolBinding::Weak));
+  install_object(fs_, "/l/libb.so",
+                 lib_defining("libb.so", {"w"}, SymbolBinding::Weak));
+  install_object(fs_, "/bin/app", make_executable({}));
+  EXPECT_TRUE(link_check(fs_, "/bin/app", {"/l/liba.so", "/l/libb.so"}).ok);
+}
+
+TEST_F(SymbolsTest, LinkCheckFlagsUndefined) {
+  elf::Object exe = make_executable({});
+  exe.symbols.push_back(Symbol{"nowhere", SymbolBinding::Global, false});
+  install_object(fs_, "/bin/app", exe);
+  const auto result = link_check(fs_, "/bin/app", {});
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.undefined.size(), 1u);
+  EXPECT_EQ(result.undefined[0], "nowhere");
+}
+
+}  // namespace
+}  // namespace depchaos::loader

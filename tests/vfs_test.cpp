@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::vfs {
+namespace {
+
+// ------------------------------------------------------------ path utils
+
+TEST(Paths, NormalizeCollapsesAndResolvesDots) {
+  EXPECT_EQ(normalize_path("/a//b/./c/../d"), "/a/b/d");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path("/.."), "/");
+  EXPECT_EQ(normalize_path("/a/"), "/a");
+}
+
+TEST(Paths, NormalizeRejectsRelative) {
+  EXPECT_THROW(normalize_path("a/b"), FsError);
+  EXPECT_THROW(normalize_path(""), FsError);
+}
+
+TEST(Paths, DirnameBasename) {
+  EXPECT_EQ(dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(dirname("/a"), "/");
+  EXPECT_EQ(basename("/a/b/c"), "c");
+  EXPECT_EQ(basename("/"), "/");
+}
+
+// ---------------------------------------------------------------- basics
+
+TEST(Vfs, WriteAndPeek) {
+  FileSystem fs;
+  fs.write_file("/usr/lib/libx.so", std::string("content"));
+  const FileData* data = fs.peek("/usr/lib/libx.so");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->bytes, "content");
+}
+
+TEST(Vfs, MkdirPIdempotent) {
+  FileSystem fs;
+  fs.mkdir_p("/a/b/c");
+  fs.mkdir_p("/a/b/c");
+  EXPECT_TRUE(fs.exists("/a/b/c"));
+}
+
+TEST(Vfs, WriteCreatesParents) {
+  FileSystem fs;
+  fs.write_file("/deep/nested/dir/file", std::string("x"));
+  EXPECT_TRUE(fs.exists("/deep/nested/dir"));
+}
+
+TEST(Vfs, OverwriteReplacesContent) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("old"));
+  fs.write_file("/f", std::string("new"));
+  EXPECT_EQ(fs.peek("/f")->bytes, "new");
+}
+
+TEST(Vfs, WriteOverDirectoryThrows) {
+  FileSystem fs;
+  fs.mkdir_p("/d");
+  EXPECT_THROW(fs.write_file("/d", std::string("x")), FsError);
+}
+
+TEST(Vfs, DeclaredSizeModelsLargeBinaries) {
+  FileSystem fs;
+  FileData data;
+  data.bytes = "small";
+  data.declared_size = 213ull << 20;
+  fs.write_file("/big", std::move(data));
+  const auto st = fs.stat("/big");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->size, 213ull << 20);
+}
+
+TEST(Vfs, ListDirInsertionOrder) {
+  FileSystem fs;
+  fs.write_file("/d/z", std::string("1"));
+  fs.write_file("/d/a", std::string("2"));
+  fs.write_file("/d/m", std::string("3"));
+  const auto names = fs.list_dir("/d");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "z");
+  EXPECT_EQ(names[1], "a");
+  EXPECT_EQ(names[2], "m");
+}
+
+TEST(Vfs, ListDirOnFileThrows) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("x"));
+  EXPECT_THROW(fs.list_dir("/f"), FsError);
+}
+
+// --------------------------------------------------------------- symlinks
+
+TEST(Vfs, SymlinkResolvesOnStat) {
+  FileSystem fs;
+  fs.write_file("/target/file", std::string("x"));
+  fs.symlink("/target/file", "/link");
+  const auto st = fs.stat("/link");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->type, NodeType::Regular);
+}
+
+TEST(Vfs, LstatDoesNotFollow) {
+  FileSystem fs;
+  fs.write_file("/t", std::string("x"));
+  fs.symlink("/t", "/l");
+  const auto st = fs.lstat("/l");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->type, NodeType::Symlink);
+}
+
+TEST(Vfs, RelativeSymlinkTarget) {
+  FileSystem fs;
+  fs.write_file("/a/b/real", std::string("x"));
+  fs.symlink("real", "/a/b/alias");
+  EXPECT_EQ(fs.peek("/a/b/alias")->bytes, "x");
+}
+
+TEST(Vfs, RelativeSymlinkWithDotDot) {
+  FileSystem fs;
+  fs.write_file("/pkg/lib/libx.so", std::string("x"));
+  fs.symlink("../lib/libx.so", "/pkg/bin/libx.so");
+  EXPECT_EQ(fs.peek("/pkg/bin/libx.so")->bytes, "x");
+}
+
+TEST(Vfs, SymlinkChain) {
+  FileSystem fs;
+  fs.write_file("/real", std::string("x"));
+  fs.symlink("/real", "/l1");
+  fs.symlink("/l1", "/l2");
+  fs.symlink("/l2", "/l3");
+  EXPECT_EQ(fs.realpath("/l3").value(), "/real");
+}
+
+TEST(Vfs, SymlinkLoopDetected) {
+  FileSystem fs;
+  fs.symlink("/b", "/a");
+  fs.symlink("/a", "/b");
+  EXPECT_FALSE(fs.exists("/a"));
+  EXPECT_FALSE(fs.realpath("/a").has_value());
+}
+
+TEST(Vfs, SymlinkedDirectoryTraversal) {
+  FileSystem fs;
+  fs.write_file("/store/pkg1/lib/libx.so", std::string("x"));
+  fs.symlink("/store/pkg1", "/current");
+  EXPECT_TRUE(fs.exists("/current/lib/libx.so"));
+  EXPECT_EQ(fs.realpath("/current/lib/libx.so").value(),
+            "/store/pkg1/lib/libx.so");
+}
+
+TEST(Vfs, DanglingSymlinkStatMisses) {
+  FileSystem fs;
+  fs.symlink("/nowhere", "/l");
+  EXPECT_FALSE(fs.stat("/l").has_value());
+  EXPECT_TRUE(fs.lstat("/l").has_value());
+}
+
+TEST(Vfs, SymlinkOverExistingThrows) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("x"));
+  EXPECT_THROW(fs.symlink("/t", "/f"), FsError);
+}
+
+// ------------------------------------------------------ remove and rename
+
+TEST(Vfs, RemoveFile) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("x"));
+  fs.remove("/f");
+  EXPECT_FALSE(fs.exists("/f"));
+}
+
+TEST(Vfs, RemoveNonEmptyDirRequiresRecursive) {
+  FileSystem fs;
+  fs.write_file("/d/f", std::string("x"));
+  EXPECT_THROW(fs.remove("/d"), FsError);
+  fs.remove("/d", /*recursive=*/true);
+  EXPECT_FALSE(fs.exists("/d"));
+}
+
+TEST(Vfs, RemoveUpdatesInodeCount) {
+  FileSystem fs;
+  const auto before = fs.inode_count();
+  fs.write_file("/d/f", std::string("x"));
+  EXPECT_EQ(fs.inode_count(), before + 2);  // dir + file
+  fs.remove("/d", true);
+  EXPECT_EQ(fs.inode_count(), before);
+}
+
+TEST(Vfs, RenameMovesSubtree) {
+  FileSystem fs;
+  fs.write_file("/old/sub/f", std::string("x"));
+  fs.rename("/old", "/new");
+  EXPECT_FALSE(fs.exists("/old"));
+  EXPECT_EQ(fs.peek("/new/sub/f")->bytes, "x");
+}
+
+TEST(Vfs, RenameReplacesFile) {
+  FileSystem fs;
+  fs.write_file("/a", std::string("A"));
+  fs.write_file("/b", std::string("B"));
+  fs.rename("/a", "/b");
+  EXPECT_FALSE(fs.exists("/a"));
+  EXPECT_EQ(fs.peek("/b")->bytes, "A");
+}
+
+TEST(Vfs, RenameReplacesSymlinkAtomically) {
+  // The store model's profile flip: rename a symlink over a symlink.
+  FileSystem fs;
+  fs.mkdir_p("/gen1");
+  fs.mkdir_p("/gen2");
+  fs.symlink("/gen1", "/profiles/current");
+  fs.symlink("/gen2", "/profiles/.tmp");
+  fs.rename("/profiles/.tmp", "/profiles/current");
+  EXPECT_EQ(fs.realpath("/profiles/current").value(), "/gen2");
+}
+
+TEST(Vfs, RenameOverDirectoryThrows) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("x"));
+  fs.mkdir_p("/d");
+  EXPECT_THROW(fs.rename("/f", "/d"), FsError);
+}
+
+// ----------------------------------------------------- syscall accounting
+
+TEST(Vfs, StatCountsAndClassifiesFailures) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("x"));
+  fs.reset_stats();
+  (void)fs.stat("/f");
+  (void)fs.stat("/missing");
+  EXPECT_EQ(fs.stats().stat_calls, 2u);
+  EXPECT_EQ(fs.stats().failed_probes, 1u);
+}
+
+TEST(Vfs, OpenCountsSeparatelyFromStat) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("x"));
+  fs.reset_stats();
+  (void)fs.open("/f");
+  EXPECT_EQ(fs.stats().open_calls, 1u);
+  EXPECT_EQ(fs.stats().stat_calls, 0u);
+}
+
+TEST(Vfs, OpenOnDirectoryIsFailedProbe) {
+  FileSystem fs;
+  fs.mkdir_p("/d");
+  fs.reset_stats();
+  EXPECT_EQ(fs.open("/d"), nullptr);
+  EXPECT_EQ(fs.stats().failed_probes, 1u);
+}
+
+TEST(Vfs, PeekIsUncounted) {
+  FileSystem fs;
+  fs.write_file("/f", std::string("x"));
+  fs.reset_stats();
+  (void)fs.peek("/f");
+  EXPECT_EQ(fs.stats().metadata_calls(), 0u);
+}
+
+TEST(Vfs, CountingToggleSuppressesEverything) {
+  FileSystem fs;
+  fs.set_latency_model(std::make_shared<LocalDiskModel>());
+  fs.write_file("/f", std::string("x"));
+  fs.reset_stats();
+  fs.set_counting(false);
+  (void)fs.stat("/f");
+  (void)fs.open("/missing");
+  fs.set_counting(true);
+  EXPECT_EQ(fs.stats().metadata_calls(), 0u);
+  EXPECT_EQ(fs.stats().sim_time_s, 0.0);
+}
+
+// ---------------------------------------------------------- latency models
+
+TEST(Latency, LocalDiskUniformCosts) {
+  FileSystem fs;
+  fs.set_latency_model(std::make_shared<LocalDiskModel>());
+  fs.write_file("/f", std::string("x"));
+  fs.reset_stats();
+  (void)fs.stat("/f");
+  const double first = fs.stats().sim_time_s;
+  (void)fs.stat("/f");
+  EXPECT_DOUBLE_EQ(fs.stats().sim_time_s, 2 * first);
+}
+
+TEST(Latency, NfsColdThenWarm) {
+  FileSystem fs;
+  auto nfs = std::make_shared<NfsModel>();
+  fs.set_latency_model(nfs);
+  fs.write_file("/f", std::string("x"));
+  fs.reset_stats();
+  (void)fs.stat("/f");
+  const double cold = fs.stats().sim_time_s;
+  (void)fs.stat("/f");
+  const double warm_delta = fs.stats().sim_time_s - cold;
+  EXPECT_GT(cold, warm_delta * 10);
+}
+
+TEST(Latency, NfsNegativeCachingOffRepays) {
+  FileSystem fs;
+  auto nfs = std::make_shared<NfsModel>();  // negative_caching = false
+  fs.set_latency_model(nfs);
+  fs.reset_stats();
+  (void)fs.stat("/missing");
+  const double first = fs.stats().sim_time_s;
+  (void)fs.stat("/missing");
+  EXPECT_DOUBLE_EQ(fs.stats().sim_time_s, 2 * first);
+}
+
+TEST(Latency, NfsNegativeCachingOnAmortizes) {
+  FileSystem fs;
+  NfsModel::Params params;
+  params.negative_caching = true;
+  fs.set_latency_model(std::make_shared<NfsModel>(params));
+  fs.reset_stats();
+  (void)fs.stat("/missing");
+  const double first = fs.stats().sim_time_s;
+  (void)fs.stat("/missing");
+  const double second = fs.stats().sim_time_s - first;
+  EXPECT_LT(second, first / 10);
+}
+
+TEST(Latency, ClearCachesRestoresColdCost) {
+  FileSystem fs;
+  auto nfs = std::make_shared<NfsModel>();
+  fs.set_latency_model(nfs);
+  fs.write_file("/f", std::string("x"));
+  fs.reset_stats();
+  (void)fs.stat("/f");
+  const double cold = fs.stats().sim_time_s;
+  fs.clear_caches();
+  fs.reset_stats();
+  (void)fs.stat("/f");
+  EXPECT_DOUBLE_EQ(fs.stats().sim_time_s, cold);
+}
+
+TEST(Latency, ServerRoundTripsTracked) {
+  FileSystem fs;
+  auto nfs = std::make_shared<NfsModel>();
+  fs.set_latency_model(nfs);
+  fs.write_file("/f", std::string("x"));
+  (void)fs.stat("/f");
+  (void)fs.stat("/f");
+  EXPECT_EQ(nfs->server_round_trips(), 1u);
+}
+
+}  // namespace
+}  // namespace depchaos::vfs

@@ -1,0 +1,259 @@
+// depchaos — command-line multi-tool over world snapshots.
+//
+// Mirrors the workflow of the real tools (shrinkwrap, libtree, ldd,
+// patchelf) but against simulated worlds, so every paper scenario can be
+// driven from a shell:
+//
+//   depchaos worldgen pynamic world.dcw --modules=200
+//   depchaos libtree  world.dcw /apps/pynamic/bigexe
+//   depchaos ldd      world.dcw /apps/pynamic/bigexe --debug
+//   depchaos shrinkwrap world.dcw /apps/pynamic/bigexe   (rewrites world.dcw)
+//   depchaos patchelf world.dcw /path --set-runpath /a:/b
+//   depchaos launch   world.dcw /apps/pynamic/bigexe --ranks=512
+//
+// Worldgen scenarios: pynamic, emacs, samba, rocm, paradox.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/launch/launch.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/libtree.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/support/strings.hpp"
+#include "depchaos/vfs/snapshot.hpp"
+#include "depchaos/workload/emacs.hpp"
+#include "depchaos/workload/pynamic.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+using namespace depchaos;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  depchaos worldgen <scenario> <world-file> [--modules=N]\n"
+      "      scenarios: pynamic emacs samba rocm paradox\n"
+      "  depchaos libtree <world-file> <exe> [--paths]\n"
+      "  depchaos ldd <world-file> <exe> [--debug] [--env=DIR:DIR...]\n"
+      "  depchaos shrinkwrap <world-file> <exe> [--no-lift] [--audit-dlopen]\n"
+      "  depchaos patchelf <world-file> <path> (--set-runpath|--set-rpath)"
+      " A:B | --print\n"
+      "  depchaos launch <world-file> <exe> [--ranks=N]\n");
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "depchaos: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "depchaos: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << contents;
+}
+
+bool has_flag(const std::vector<std::string>& args, std::string_view flag) {
+  for (const auto& arg : args) {
+    if (arg == flag) return true;
+  }
+  return false;
+}
+
+std::string flag_value(const std::vector<std::string>& args,
+                       std::string_view prefix, std::string fallback) {
+  for (const auto& arg : args) {
+    if (arg.starts_with(prefix)) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+int cmd_worldgen(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  const std::string& scenario = args[0];
+  const std::string& out_path = args[1];
+  vfs::FileSystem fs;
+  std::string note;
+  if (scenario == "pynamic") {
+    workload::PynamicConfig config;
+    config.num_modules = static_cast<std::size_t>(
+        std::strtoul(flag_value(args, "--modules=", "120").c_str(), nullptr,
+                     10));
+    config.exe_extra_bytes = 4u << 20;
+    const auto app = workload::generate_pynamic(fs, config);
+    note = "executable: " + app.exe_path;
+  } else if (scenario == "emacs") {
+    const auto app = workload::generate_emacs_like(fs, {});
+    note = "executable: " + app.exe_path;
+  } else if (scenario == "samba") {
+    const auto made = workload::make_samba_scenario(fs);
+    note = "executable: " + made.exe_path;
+  } else if (scenario == "rocm") {
+    const auto made = workload::make_rocm_scenario(fs);
+    note = "executable: " + made.exe_path +
+           "  (wrong env: LD_LIBRARY_PATH=" + made.bad_lib_dir + ")";
+  } else if (scenario == "paradox") {
+    const auto made = workload::make_runpath_paradox(fs);
+    note = "executable: " + made.exe_path;
+  } else {
+    usage();
+  }
+  write_file(out_path, vfs::save_world(fs));
+  std::printf("wrote %s\n%s\n", out_path.c_str(), note.c_str());
+  return 0;
+}
+
+loader::Environment env_from_args(const std::vector<std::string>& args) {
+  loader::Environment env;
+  const std::string dirs = flag_value(args, "--env=", "");
+  if (!dirs.empty()) {
+    env.ld_library_path = support::split_nonempty(dirs, ':');
+  }
+  return env;
+}
+
+int cmd_libtree(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  auto fs = vfs::load_world(read_file(args[0]));
+  loader::SearchConfig config;
+  config.classify_cache_hits = true;
+  loader::Loader loader(fs, config);
+  shrinkwrap::TreeOptions options;
+  options.show_paths = has_flag(args, "--paths");
+  std::fputs(
+      shrinkwrap::libtree(fs, loader, args[1], env_from_args(args), options)
+          .c_str(),
+      stdout);
+  return 0;
+}
+
+int cmd_ldd(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  auto fs = vfs::load_world(read_file(args[0]));
+  loader::SearchConfig config;
+  config.record_probes = has_flag(args, "--debug");
+  loader::Loader loader(fs, config);
+  const auto report = loader.load(args[1], env_from_args(args));
+  for (const auto& line : report.probe_log) {
+    std::printf("    %s\n", line.c_str());
+  }
+  for (std::size_t i = 1; i < report.load_order.size(); ++i) {
+    const auto& obj = report.load_order[i];
+    std::printf("\t%s => %s (%s)\n", obj.name.c_str(), obj.path.c_str(),
+                std::string(loader::how_found_name(obj.how)).c_str());
+  }
+  for (const auto& missing : report.missing) {
+    std::printf("\t%s => not found\n", missing.name.c_str());
+  }
+  std::printf("%llu metadata syscalls, %llu failed probes\n",
+              static_cast<unsigned long long>(report.stats.metadata_calls()),
+              static_cast<unsigned long long>(report.stats.failed_probes));
+  return report.success ? 0 : 1;
+}
+
+int cmd_shrinkwrap(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  auto fs = vfs::load_world(read_file(args[0]));
+  loader::Loader loader(fs);
+  shrinkwrap::Options options;
+  options.lift_transitive = !has_flag(args, "--no-lift");
+  options.audit_dlopens = has_flag(args, "--audit-dlopen");
+  options.env = env_from_args(args);
+  const auto report = shrinkwrap::shrinkwrap(fs, loader, args[1], options);
+  if (!report.ok()) {
+    for (const auto& name : report.unresolved) {
+      std::fprintf(stderr, "unresolved: %s\n", name.c_str());
+    }
+    return 1;
+  }
+  for (const auto& entry : report.new_needed) {
+    std::printf("needed %s\n", entry.c_str());
+  }
+  for (const auto& name : report.dlopen_unresolved) {
+    std::printf("warning: dlopen target not found: %s\n", name.c_str());
+  }
+  write_file(args[0], vfs::save_world(fs));
+  std::printf("rewrote %s in %s\n", args[1].c_str(), args[0].c_str());
+  return 0;
+}
+
+int cmd_patchelf(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  auto fs = vfs::load_world(read_file(args[0]));
+  elf::Patcher patcher(fs);
+  if (has_flag(args, "--print")) {
+    const auto object = patcher.read(args[1]);
+    std::fputs(elf::serialize(object).c_str(), stdout);
+    return 0;
+  }
+  const std::string runpath = flag_value(args, "--set-runpath=", "");
+  const std::string rpath = flag_value(args, "--set-rpath=", "");
+  if (runpath.empty() && rpath.empty()) usage();
+  if (!runpath.empty()) {
+    patcher.set_runpath(args[1], support::split_nonempty(runpath, ':'));
+  }
+  if (!rpath.empty()) {
+    patcher.set_rpath(args[1], support::split_nonempty(rpath, ':'));
+  }
+  write_file(args[0], vfs::save_world(fs));
+  std::printf("patched %s\n", args[1].c_str());
+  return 0;
+}
+
+int cmd_launch(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  auto fs = vfs::load_world(read_file(args[0]));
+  fs.set_latency_model(std::make_shared<vfs::NfsModel>());
+  loader::Loader loader(fs);
+  const int ranks = static_cast<int>(
+      std::strtol(flag_value(args, "--ranks=", "512").c_str(), nullptr, 10));
+  const auto result = launch::simulate_launch(fs, loader, args[1],
+                                              env_from_args(args), ranks);
+  std::printf("ranks=%d  meta_ops/rank=%llu  bytes/rank=%llu\n",
+              result.nprocs,
+              static_cast<unsigned long long>(result.meta_ops_per_rank),
+              static_cast<unsigned long long>(result.bytes_per_rank));
+  std::printf("time-to-launch: %.1f s (data %.1f + metadata %.1f)\n",
+              result.total_time_s, result.data_time_s, result.meta_time_s);
+  return result.load_succeeded ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "worldgen") return cmd_worldgen(args);
+    if (command == "libtree") return cmd_libtree(args);
+    if (command == "ldd") return cmd_ldd(args);
+    if (command == "shrinkwrap") return cmd_shrinkwrap(args);
+    if (command == "patchelf") return cmd_patchelf(args);
+    if (command == "launch") return cmd_launch(args);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "depchaos: %s\n", error.what());
+    return 1;
+  }
+  usage();
+}
