@@ -3,14 +3,11 @@
 // The same shrinkwrapped binary loads under glibc (soname dedup satisfies
 // the transitive bare-soname requests) and FAILS under musl (inode-keyed
 // dedup, no soname cache) — the incompatibility raised on the musl mailing
-// list. Also contrasts the melded musl search order.
+// list. Also contrasts the melded musl search order. The same world is
+// shared between the two dialect sessions via a snapshot round-trip.
 
 #include "bench_util.hpp"
-#include "depchaos/elf/patcher.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/emacs.hpp"
-#include "depchaos/workload/pynamic.hpp"
+#include "depchaos/core/world.hpp"
 
 namespace {
 
@@ -22,23 +19,27 @@ void print_report() {
 
   heading("Ablation — dialects: glibc vs musl on a shrinkwrapped binary");
 
-  vfs::FileSystem fs;
   workload::PynamicConfig config;
   config.num_modules = 60;
   config.avg_cross_deps = 2;  // cross-deps request bare sonames
   config.exe_extra_bytes = 0;
-  const auto app = workload::generate_pynamic(fs, config);
 
-  loader::Loader glibc_loader(fs, {}, loader::Dialect::Glibc);
-  const auto wrap = shrinkwrap::shrinkwrap(fs, glibc_loader, app.exe_path);
+  core::WorldBuilder builder;
+  auto glibc_session = builder.pynamic(config).build();
+  const auto wrap = glibc_session.shrinkwrap();
   row("shrinkwrap (under glibc)", wrap.ok() ? "ok" : "failed");
 
-  const auto glibc_report = glibc_loader.load(app.exe_path);
+  const auto glibc_report = glibc_session.load();
   row("glibc load of wrapped binary",
       glibc_report.success ? "SUCCESS (soname dedup, Fig 5)" : "failed");
 
-  loader::Loader musl_loader(fs, {}, loader::Dialect::Musl);
-  const auto musl_report = musl_loader.load(app.exe_path);
+  // Same (wrapped) world, musl policy: snapshot round-trip into a second
+  // session.
+  core::SessionConfig musl_config;
+  musl_config.dialect = loader::Dialect::Musl;
+  auto musl_session =
+      core::Session::from_snapshot(glibc_session.save(), musl_config);
+  const auto musl_report = musl_session.load(glibc_session.default_exe());
   row("musl load of wrapped binary",
       musl_report.success
           ? "success (unexpected)"
@@ -46,15 +47,17 @@ void print_report() {
                 " unresolved bare sonames (no soname dedup, §IV)");
 
   // Search-order contrast on an unwrapped app.
-  vfs::FileSystem fs2;
-  elf::install_object(fs2, "/rp/libx.so", elf::make_library("libx.so"));
-  elf::install_object(fs2, "/env/libx.so", elf::make_library("libx.so"));
-  elf::install_object(
-      fs2, "/bin/app",
-      elf::make_executable({"libx.so"}, {}, {"/rp"}));  // RPATH
   const auto env = loader::Environment::with_library_path({"/env"});
-  loader::Loader g2(fs2, {}, loader::Dialect::Glibc);
-  loader::Loader m2(fs2, {}, loader::Dialect::Musl);
+  core::WorldBuilder contrast;
+  contrast.install("/rp/libx.so", elf::make_library("libx.so"))
+      .install("/env/libx.so", elf::make_library("libx.so"))
+      .install("/bin/app",
+               elf::make_executable({"libx.so"}, {}, {"/rp"}));  // RPATH
+  const std::string image = contrast.save();
+  auto g2 = contrast.build();
+  core::SessionConfig m2_config;
+  m2_config.dialect = loader::Dialect::Musl;
+  auto m2 = core::Session::from_snapshot(image, m2_config);
   row("RPATH vs LD_LIBRARY_PATH, glibc picks",
       g2.load("/bin/app", env).load_order[1].path);
   row("RPATH vs LD_LIBRARY_PATH, musl picks",
@@ -62,13 +65,12 @@ void print_report() {
 }
 
 void BM_DialectLoad(benchmark::State& state) {
-  vfs::FileSystem fs;
-  const auto app = workload::generate_emacs_like(fs, {});
-  const auto dialect = state.range(0) == 0 ? loader::Dialect::Glibc
-                                           : loader::Dialect::Musl;
-  loader::Loader loader(fs, {}, dialect);
+  core::WorldBuilder builder;
+  builder.emacs({}).dialect(state.range(0) == 0 ? loader::Dialect::Glibc
+                                                : loader::Dialect::Musl);
+  auto session = builder.build();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(loader.load(app.exe_path).success);
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_DialectLoad)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);

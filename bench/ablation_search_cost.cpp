@@ -6,28 +6,28 @@
 // axes, and collapsing to deps+1 after shrinkwrapping.
 
 #include "bench_util.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/emacs.hpp"
+#include "depchaos/core/world.hpp"
 
 namespace {
 
 using namespace depchaos;
 
-std::uint64_t measure_ops(std::size_t deps, std::size_t dirs, bool wrapped) {
-  vfs::FileSystem fs;
+core::Session make_session(std::size_t deps, std::size_t dirs) {
   workload::EmacsConfig config;
   config.num_deps = deps;
   config.num_dirs = dirs;
-  const auto app = workload::generate_emacs_like(fs, config);
-  loader::Loader loader(fs);
-  if (wrapped) {
-    if (!shrinkwrap::shrinkwrap(fs, loader, app.exe_path).ok()) return 0;
-  }
-  return loader.load(app.exe_path).stats.metadata_calls();
+  return core::WorldBuilder().emacs(config).build();
+}
+
+std::uint64_t measure_ops(std::size_t deps, std::size_t dirs, bool wrapped) {
+  auto session = make_session(deps, dirs);
+  if (wrapped && !session.shrinkwrap().ok()) return 0;
+  return session.load().stats.metadata_calls();
 }
 
 void print_report() {
+  using depchaos::bench::capture;
+  using depchaos::bench::fmt;
   using depchaos::bench::heading;
   heading("Ablation — metadata ops vs (search dirs x dependencies)");
   std::printf("  %6s %6s %12s %12s %9s\n", "deps", "dirs", "normal ops",
@@ -40,19 +40,21 @@ void print_report() {
                   static_cast<unsigned long long>(normal),
                   static_cast<unsigned long long>(wrapped),
                   static_cast<double>(normal) / static_cast<double>(wrapped));
+      capture("deps=" + std::to_string(deps) + " dirs=" + std::to_string(dirs),
+              std::to_string(normal) + " normal / " + std::to_string(wrapped) +
+                  " wrapped (" +
+                  fmt(static_cast<double>(normal) /
+                          static_cast<double>(wrapped), 1) +
+                  "x)");
     }
   }
 }
 
 void BM_SearchCost(benchmark::State& state) {
-  vfs::FileSystem fs;
-  workload::EmacsConfig config;
-  config.num_deps = static_cast<std::size_t>(state.range(0));
-  config.num_dirs = static_cast<std::size_t>(state.range(1));
-  const auto app = workload::generate_emacs_like(fs, config);
-  loader::Loader loader(fs);
+  auto session = make_session(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(loader.load(app.exe_path).success);
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_SearchCost)

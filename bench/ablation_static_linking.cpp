@@ -8,13 +8,10 @@
 // widely shared, so the blowup is bounded by the popular few (libc).
 
 #include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
-#include "depchaos/loader/loader.hpp"
 #include "depchaos/loader/static_link.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 #include "depchaos/support/rng.hpp"
-#include "depchaos/workload/debian.hpp"
-#include "depchaos/workload/emacs.hpp"
 
 namespace {
 
@@ -25,11 +22,9 @@ void print_startup() {
   using depchaos::bench::row;
   heading("Ablation — startup metadata ops: dynamic vs shrinkwrap vs static");
 
-  vfs::FileSystem fs;
-  const auto app = workload::generate_emacs_like(fs, {});
-  loader::Loader loader(fs);
+  auto session = core::WorldBuilder().emacs({}).build();
 
-  const auto normal = loader.load(app.exe_path);
+  const auto normal = session.load();
   row("dynamic, as built", std::to_string(normal.stats.metadata_calls()) +
                                " ops (search storm)");
 
@@ -37,19 +32,21 @@ void print_startup() {
   for (std::size_t i = 1; i < normal.load_order.size(); ++i) {
     closure.push_back(normal.load_order[i].path);
   }
-  const auto static_image = loader::static_link(fs, app.exe_path, closure);
+  const auto static_image =
+      loader::static_link(session.fs(), session.default_exe(), closure);
   if (static_image.ok) {
-    elf::install_object(fs, "/bin/emacs-static", static_image.merged);
-    loader::Loader fresh(fs);
-    const auto report = fresh.load("/bin/emacs-static");
+    elf::install_object(session.fs(), "/bin/emacs-static",
+                        static_image.merged);
+    session.invalidate();
+    const auto report = session.load("/bin/emacs-static");
     row("static image",
         std::to_string(report.stats.metadata_calls()) + " ops (one open)");
   } else {
     row("static image", "LINK FAILED (duplicate symbols)");
   }
 
-  (void)shrinkwrap::shrinkwrap(fs, loader, app.exe_path);
-  const auto wrapped = loader.load(app.exe_path);
+  (void)session.shrinkwrap();
+  const auto wrapped = session.load();
   row("shrinkwrapped (still dynamic)",
       std::to_string(wrapped.stats.metadata_calls()) +
           " ops (deps+1 opens; LD_PRELOAD tools still work)");
@@ -83,19 +80,17 @@ void print_system_cost() {
 }
 
 void BM_StaticLink(benchmark::State& state) {
-  vfs::FileSystem fs;
   workload::EmacsConfig config;
   config.num_deps = static_cast<std::size_t>(state.range(0));
-  const auto app = workload::generate_emacs_like(fs, config);
-  loader::Loader loader(fs);
-  const auto report = loader.load(app.exe_path);
+  auto session = core::WorldBuilder().emacs(config).build();
+  const auto report = session.load();
   std::vector<std::string> closure;
   for (std::size_t i = 1; i < report.load_order.size(); ++i) {
     closure.push_back(report.load_order[i].path);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        loader::static_link(fs, app.exe_path, closure).ok);
+        loader::static_link(session.fs(), session.default_exe(), closure).ok);
   }
 }
 BENCHMARK(BM_StaticLink)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);

@@ -7,37 +7,24 @@
 //   Shrinkwrap        — absolute DT_NEEDED (fast, env-independent)
 
 #include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
-#include "depchaos/loader/loader.hpp"
 #include "depchaos/shrinkwrap/ldcache.hpp"
 #include "depchaos/shrinkwrap/needy.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 #include "depchaos/shrinkwrap/views.hpp"
-#include "depchaos/workload/pynamic.hpp"
 
 namespace {
 
 using namespace depchaos;
 
-struct World {
-  vfs::FileSystem fs;
-  workload::PynamicApp app;
-  loader::Loader loader;
-
-  explicit World(std::size_t modules = 150, bool app_cache = false)
-      : loader(fs, make_search_config(app_cache)) {
-    workload::PynamicConfig config;
-    config.num_modules = modules;
-    config.exe_extra_bytes = 0;
-    app = workload::generate_pynamic(fs, config);
-  }
-
-  static loader::SearchConfig make_search_config(bool app_cache) {
-    loader::SearchConfig config;
-    config.use_app_cache = app_cache;
-    return config;
-  }
-};
+core::Session make_session(std::size_t modules = 150, bool app_cache = false) {
+  workload::PynamicConfig config;
+  config.num_modules = modules;
+  config.exe_extra_bytes = 0;
+  loader::SearchConfig search;
+  search.use_app_cache = app_cache;
+  return core::WorldBuilder().search(search).pynamic(config).build();
+}
 
 struct Row {
   std::string name;
@@ -47,19 +34,18 @@ struct Row {
   bool env_immune = false;
 };
 
-Row measure(const std::string& name, World& world) {
+Row measure(const std::string& name, core::Session& session) {
   Row result;
   result.name = name;
-  const auto report = world.loader.load(world.app.exe_path);
+  const auto report = session.load();
   result.ops = report.stats.metadata_calls();
   result.failed = report.stats.failed_probes;
   // Environment immunity: plant an impostor first in LD_LIBRARY_PATH.
-  elf::install_object(world.fs, "/evil/libpynamic_module_0.so",
+  elf::install_object(session.fs(), "/evil/libpynamic_module_0.so",
                       elf::make_library("libpynamic_module_0.so"));
-  world.loader.invalidate();
-  const auto hostile = world.loader.load(
-      world.app.exe_path,
-      loader::Environment::with_library_path({"/evil"}));
+  session.invalidate();
+  const auto hostile = session.load(
+      "", loader::Environment::with_library_path({"/evil"}));
   const auto* module0 = hostile.find_loaded("libpynamic_module_0.so");
   result.env_immune =
       module0 != nullptr && !module0->path.starts_with("/evil");
@@ -72,37 +58,38 @@ void print_report() {
 
   std::vector<Row> rows;
   {
-    World world;
-    rows.push_back(measure("as-built (rpath list)", world));
+    auto session = make_session();
+    rows.push_back(measure("as-built (rpath list)", session));
   }
   {
-    World world;
-    const std::size_t inodes_before = world.fs.inode_count();
+    auto session = make_session();
+    const std::size_t inodes_before = session.fs().inode_count();
     const auto view = shrinkwrap::make_dependency_view(
-        world.fs, world.loader, world.app.exe_path, "/views/pynamic");
-    auto row = measure("dependency view", world);
-    row.inode_cost = world.fs.inode_count() - inodes_before;
+        session.fs(), session.loader(), session.default_exe(),
+        "/views/pynamic");
+    auto row = measure("dependency view", session);
+    row.inode_cost = session.fs().inode_count() - inodes_before;
     row.name += view.ok ? "" : " (CONFLICTS)";
     rows.push_back(row);
   }
   {
-    World world;
-    const auto needy =
-        shrinkwrap::make_needy(world.fs, world.loader, world.app.exe_path);
+    auto session = make_session();
+    const auto needy = shrinkwrap::make_needy(session.fs(), session.loader(),
+                                              session.default_exe());
     auto row = measure(needy.ok ? "needy executable" : "needy (LINK FAIL)",
-                       world);
+                       session);
     rows.push_back(row);
   }
   {
-    World world;
-    (void)shrinkwrap::shrinkwrap(world.fs, world.loader, world.app.exe_path);
-    rows.push_back(measure("shrinkwrapped", world));
+    auto session = make_session();
+    (void)session.shrinkwrap();
+    rows.push_back(measure("shrinkwrapped", session));
   }
   {
-    World world(150, /*app_cache=*/true);
-    (void)shrinkwrap::make_loader_cache(world.fs, world.loader,
-                                        world.app.exe_path);
-    rows.push_back(measure("app loader cache (Guix)", world));
+    auto session = make_session(150, /*app_cache=*/true);
+    (void)shrinkwrap::make_loader_cache(session.fs(), session.loader(),
+                                        session.default_exe());
+    rows.push_back(measure("app loader cache (Guix)", session));
   }
 
   std::printf("  %-26s %10s %10s %8s %10s\n", "strategy", "meta ops",
@@ -112,29 +99,33 @@ void print_report() {
                 static_cast<unsigned long long>(row.ops),
                 static_cast<unsigned long long>(row.failed), row.inode_cost,
                 row.env_immune ? "yes" : "no");
+    depchaos::bench::capture(
+        row.name, std::to_string(row.ops) + " ops, " +
+                      std::to_string(row.failed) + " failed, " +
+                      std::to_string(row.inode_cost) + " inodes, env-immune=" +
+                      (row.env_immune ? "yes" : "no"));
   }
 }
 
 void BM_StrategyLoad(benchmark::State& state) {
-  World world(100);
+  auto session = make_session(100);
   switch (state.range(0)) {
     case 1:
-      (void)shrinkwrap::make_dependency_view(world.fs, world.loader,
-                                             world.app.exe_path, "/v");
+      (void)shrinkwrap::make_dependency_view(session.fs(), session.loader(),
+                                             session.default_exe(), "/v");
       break;
     case 2:
-      (void)shrinkwrap::make_needy(world.fs, world.loader,
-                                   world.app.exe_path);
+      (void)shrinkwrap::make_needy(session.fs(), session.loader(),
+                                   session.default_exe());
       break;
     case 3:
-      (void)shrinkwrap::shrinkwrap(world.fs, world.loader,
-                                   world.app.exe_path);
+      (void)session.shrinkwrap();
       break;
     default:
       break;
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(world.loader.load(world.app.exe_path).success);
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_StrategyLoad)

@@ -1,21 +1,52 @@
 // Shared console helpers for the paper-table reproductions. Each bench
 // binary prints the paper-style rows first (the reproduction artifact),
 // then runs its google-benchmark timings.
+//
+// Every heading()/row() pair is also captured and written to
+// BENCH_<binary>.json when run_benchmarks() is reached, so harnesses can
+// diff the reproduction numbers without scraping the console text. (The
+// google-benchmark timings themselves already speak JSON natively via
+// --benchmark_format=json.)
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace depchaos::bench {
 
+struct ReportRow {
+  std::string section;
+  std::string label;
+  std::string value;
+};
+
+inline std::vector<ReportRow>& report_rows() {
+  static std::vector<ReportRow> rows;
+  return rows;
+}
+
+inline std::string& current_section() {
+  static std::string section;
+  return section;
+}
+
 inline void heading(const std::string& title) {
+  current_section() = title;
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
 inline void row(const std::string& label, const std::string& value) {
   std::printf("  %-44s %s\n", label.c_str(), value.c_str());
+  report_rows().push_back({current_section(), label, value});
+}
+
+/// Record a row in the JSON mirror without printing — for benches that
+/// format their own console tables.
+inline void capture(const std::string& label, const std::string& value) {
+  report_rows().push_back({current_section(), label, value});
 }
 
 inline std::string fmt(double value, int precision = 2) {
@@ -24,7 +55,63 @@ inline std::string fmt(double value, int precision = 2) {
   return buffer;
 }
 
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Write the captured report rows to BENCH_<basename(argv0)>.json in the
+/// current directory. Best-effort: an unwritable directory only loses the
+/// mirror, never the bench run.
+inline void write_json_report(const std::string& argv0) {
+  std::string name = argv0;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  std::FILE* out = std::fopen(("BENCH_" + name + ".json").c_str(), "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+               json_escape(name).c_str());
+  const auto& rows = report_rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "%s\n    {\"section\": \"%s\", \"label\": \"%s\", "
+                 "\"value\": \"%s\"}",
+                 i ? "," : "", json_escape(rows[i].section).c_str(),
+                 json_escape(rows[i].label).c_str(),
+                 json_escape(rows[i].value).c_str());
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+}
+
 inline int run_benchmarks(int argc, char** argv) {
+  if (argc > 0) write_json_report(argv[0]);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

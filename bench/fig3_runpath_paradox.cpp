@@ -4,9 +4,8 @@
 // (Shrinkwrap) resolve it trivially.
 
 #include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/workload/scenarios.hpp"
 
 namespace {
 
@@ -16,9 +15,9 @@ void print_figure() {
   using depchaos::bench::heading;
   using depchaos::bench::row;
 
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_runpath_paradox(fs);
-  loader::Loader loader(fs);
+  core::WorldBuilder builder;
+  auto session = builder.paradox().build();
+  const auto& scenario = *builder.paradox_info();
 
   heading("Fig 3 — RUNPATH paradox (want dirA/liba.so AND dirB/libb.so)");
   const std::vector<std::pair<std::string, std::vector<std::string>>> orders =
@@ -29,9 +28,9 @@ void print_figure() {
           {"[dirB]", {scenario.dir_b}},
       };
   for (const auto& [label, dirs] : orders) {
-    workload::set_paradox_search_order(fs, scenario, dirs);
-    loader.invalidate();
-    const auto report = loader.load(scenario.exe_path);
+    workload::set_paradox_search_order(session.fs(), scenario, dirs);
+    session.invalidate();
+    const auto report = session.load();
     const auto* a = report.find_loaded("liba.so");
     const auto* b = report.find_loaded("libb.so");
     row("search order " + label,
@@ -42,23 +41,21 @@ void print_figure() {
   }
 
   // Shrinkwrap-style absolute entries.
-  elf::Patcher patcher(fs);
+  elf::Patcher patcher(session.fs());
   patcher.set_needed(scenario.exe_path,
                      {scenario.good_a_path, scenario.good_b_path});
   patcher.set_runpath(scenario.exe_path, {});
-  loader.invalidate();
-  const auto wrapped = loader.load(scenario.exe_path);
+  session.invalidate();
+  const auto wrapped = session.load();
   row("absolute DT_NEEDED (shrinkwrapped)",
       workload::paradox_satisfied(wrapped, scenario) ? "OK — paradox resolved"
                                                      : "WRONG");
 }
 
 void BM_ParadoxLoad(benchmark::State& state) {
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_runpath_paradox(fs);
-  loader::Loader loader(fs);
+  auto session = core::WorldBuilder().paradox().build();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(loader.load(scenario.exe_path).success);
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_ParadoxLoad)->Unit(benchmark::kMicrosecond);

@@ -8,42 +8,33 @@
 // extrapolate rank contention with the calibrated launch model.
 
 #include "bench_util.hpp"
-#include "depchaos/launch/launch.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/pynamic.hpp"
+#include "depchaos/core/world.hpp"
 
 namespace {
 
 using namespace depchaos;
 
-struct Fixture {
-  vfs::FileSystem fs;
-  workload::PynamicApp app;
-  loader::Loader loader{fs};
-
-  Fixture() {
-    fs.set_latency_model(std::make_shared<vfs::NfsModel>());
-    app = workload::generate_pynamic(fs, {});  // 900 modules, 213 MiB exe
-  }
-};
+core::Session make_session() {
+  // 900 modules, 213 MiB exe, cold NFS.
+  return core::WorldBuilder().pynamic({}).nfs().build();
+}
 
 void print_figure() {
   using depchaos::bench::fmt;
   using depchaos::bench::heading;
   using depchaos::bench::row;
 
-  Fixture fx;
+  core::WorldBuilder builder;
+  auto session = builder.pynamic({}).nfs().build();
+  const auto& app = *builder.pynamic_info();
   const std::vector<int> ranks = {512, 1024, 2048};
 
-  const auto normal =
-      launch::scaling_sweep(fx.fs, fx.loader, fx.app.exe_path, {}, ranks);
-  const auto wrap = shrinkwrap::shrinkwrap(fx.fs, fx.loader, fx.app.exe_path);
-  const auto wrapped =
-      launch::scaling_sweep(fx.fs, fx.loader, fx.app.exe_path, {}, ranks);
+  const auto normal = session.launch_sweep("", ranks);
+  const auto wrap = session.shrinkwrap();
+  const auto wrapped = session.launch_sweep("", ranks);
 
   heading("Fig 6 — Pynamic time-to-launch, Normal vs Shrinkwrapped");
-  row("modules / needed entries", std::to_string(fx.app.module_paths.size()));
+  row("modules / needed entries", std::to_string(app.module_paths.size()));
   row("metadata ops per rank (normal)",
       std::to_string(normal[0].meta_ops_per_rank));
   row("metadata ops per rank (wrapped)",
@@ -58,6 +49,11 @@ void print_figure() {
     std::printf("  %6d %14.1f %14.1f %8.1fx\n", ranks[i],
                 normal[i].total_time_s, wrapped[i].total_time_s,
                 normal[i].total_time_s / wrapped[i].total_time_s);
+    depchaos::bench::capture(
+        "ranks=" + std::to_string(ranks[i]),
+        fmt(normal[i].total_time_s, 1) + "s normal / " +
+            fmt(wrapped[i].total_time_s, 1) + "s wrapped (" +
+            fmt(normal[i].total_time_s / wrapped[i].total_time_s, 1) + "x)");
   }
   (void)wrap;
 
@@ -65,25 +61,23 @@ void print_figure() {
   // Shrinkwrap with an approach like Spindle" — the broadcast mitigation
   // applied to the UNWRAPPED binary, for comparison.
   {
-    Fixture spindle_fx;
+    auto spindle_session = make_session();
     launch::ClusterConfig spindle_config;
     spindle_config.spindle_broadcast = true;
-    const auto spindle = launch::scaling_sweep(
-        spindle_fx.fs, spindle_fx.loader, spindle_fx.app.exe_path, {}, ranks,
-        spindle_config);
     std::printf("\n  Spindle-style broadcast on the unwrapped binary:\n");
-    for (std::size_t i = 0; i < ranks.size(); ++i) {
-      std::printf("  %6d %14.1f (one resolver rank + log-tree relay)\n",
-                  ranks[i], spindle[i].total_time_s);
+    for (const int r : ranks) {
+      const auto result = spindle_session.launch("", r, spindle_config);
+      std::printf("  %6d %14.1f (one resolver rank + log-tree relay)\n", r,
+                  result.total_time_s);
     }
   }
 }
 
 void BM_PynamicColdLoadNormal(benchmark::State& state) {
-  Fixture fx;
+  auto session = make_session();
   for (auto _ : state) {
-    fx.fs.clear_caches();
-    benchmark::DoNotOptimize(fx.loader.load(fx.app.exe_path).success);
+    session.fs().clear_caches();
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_PynamicColdLoadNormal)
@@ -91,13 +85,11 @@ BENCHMARK(BM_PynamicColdLoadNormal)
     ->Iterations(3);
 
 void BM_PynamicColdLoadWrapped(benchmark::State& state) {
-  Fixture fx;
-  const auto report =
-      shrinkwrap::shrinkwrap(fx.fs, fx.loader, fx.app.exe_path);
-  if (!report.ok()) state.SkipWithError("wrap failed");
+  auto session = make_session();
+  if (!session.shrinkwrap().ok()) state.SkipWithError("wrap failed");
   for (auto _ : state) {
-    fx.fs.clear_caches();
-    benchmark::DoNotOptimize(fx.loader.load(fx.app.exe_path).success);
+    session.fs().clear_caches();
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_PynamicColdLoadWrapped)
@@ -105,11 +97,10 @@ BENCHMARK(BM_PynamicColdLoadWrapped)
     ->Iterations(3);
 
 void BM_LaunchSweep(benchmark::State& state) {
-  Fixture fx;
+  auto session = make_session();
   for (auto _ : state) {
-    const auto result = launch::simulate_launch(
-        fx.fs, fx.loader, fx.app.exe_path, {},
-        static_cast<int>(state.range(0)));
+    const auto result =
+        session.launch("", static_cast<int>(state.range(0)));
     benchmark::DoNotOptimize(result.total_time_s);
   }
 }

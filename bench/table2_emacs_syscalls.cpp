@@ -9,26 +9,22 @@
 // the wrapped binary's transitive bare-soname requests are all cache hits.)
 
 #include "bench_util.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/emacs.hpp"
+#include "depchaos/core/world.hpp"
 
 namespace {
 
 using namespace depchaos;
 
 void print_table() {
+  using depchaos::bench::capture;
   using depchaos::bench::fmt;
   using depchaos::bench::heading;
 
-  vfs::FileSystem fs;
-  fs.set_latency_model(std::make_shared<vfs::LocalDiskModel>());
-  const auto app = workload::generate_emacs_like(fs, {});
-  loader::Loader loader(fs);
+  auto session = core::WorldBuilder().local_disk().emacs({}).build();
 
-  const auto normal = loader.load(app.exe_path);
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, app.exe_path);
-  const auto wrapped = loader.load(app.exe_path);
+  const auto normal = session.load();
+  const auto wrap = session.shrinkwrap();
+  const auto wrapped = session.load();
 
   heading("Table II — emacs stat/openat syscalls during startup");
   std::printf("  %-16s %16s %14s   (paper: 1823 / 104 calls, 36x)\n", "",
@@ -43,6 +39,16 @@ void print_table() {
               static_cast<double>(normal.stats.metadata_calls()) /
                   static_cast<double>(wrapped.stats.metadata_calls()),
               normal.stats.sim_time_s / wrapped.stats.sim_time_s);
+  capture("emacs", std::to_string(normal.stats.metadata_calls()) +
+                       " calls, " + fmt(normal.stats.sim_time_s, 6) + " s");
+  capture("emacs-wrapped",
+          std::to_string(wrapped.stats.metadata_calls()) + " calls, " +
+              fmt(wrapped.stats.sim_time_s, 6) + " s");
+  capture("syscall reduction",
+          fmt(static_cast<double>(normal.stats.metadata_calls()) /
+                  static_cast<double>(wrapped.stats.metadata_calls()),
+              1) +
+              "x");
 
   // Fig 5 companion numbers: dedup cache hits in the wrapped load.
   int cache_hits = 0;
@@ -51,28 +57,25 @@ void print_table() {
   }
   std::printf("  (Fig 5) soname dedup cache hits in wrapped load: %d\n",
               cache_hits);
+  capture("soname dedup cache hits (Fig 5)", std::to_string(cache_hits));
   (void)wrap;
 }
 
 void BM_EmacsLoadNormal(benchmark::State& state) {
-  vfs::FileSystem fs;
-  const auto app = workload::generate_emacs_like(fs, {});
-  loader::Loader loader(fs);
+  auto session = core::WorldBuilder().emacs({}).build();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(loader.load(app.exe_path).success);
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_EmacsLoadNormal)->Unit(benchmark::kMillisecond);
 
 void BM_EmacsLoadWrapped(benchmark::State& state) {
-  vfs::FileSystem fs;
-  const auto app = workload::generate_emacs_like(fs, {});
-  loader::Loader loader(fs);
-  if (!shrinkwrap::shrinkwrap(fs, loader, app.exe_path).ok()) {
+  auto session = core::WorldBuilder().emacs({}).build();
+  if (!session.shrinkwrap().ok()) {
     state.SkipWithError("wrap failed");
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(loader.load(app.exe_path).success);
+    benchmark::DoNotOptimize(session.load().success);
   }
 }
 BENCHMARK(BM_EmacsLoadWrapped)->Unit(benchmark::kMillisecond);

@@ -7,14 +7,12 @@
 
 #include <cstdio>
 
-#include "depchaos/elf/patcher.hpp"
-#include "depchaos/loader/loader.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/pkg/bundle.hpp"
 #include "depchaos/pkg/fhs.hpp"
 #include "depchaos/pkg/hermetic.hpp"
 #include "depchaos/pkg/modules.hpp"
 #include "depchaos/pkg/store.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 
 using namespace depchaos;
 
@@ -35,8 +33,8 @@ int main() {
 
   // ---- 1. Traditional FHS (§II-A): well-known directories.
   {
-    vfs::FileSystem fs;
-    pkg::fhs::Installer installer(fs);
+    core::WorldBuilder builder;
+    pkg::fhs::Installer installer(builder.fs());
     pkg::fhs::Package pkg;
     pkg.name = "physics";
     pkg.version = "1.0";
@@ -45,20 +43,21 @@ int main() {
     pkg.files.push_back(
         {"usr/bin/sim", "", elf::make_executable({"libphysics.so"})});
     installer.install(pkg);
-    loader::Loader loader(fs);
-    report_line("FHS", loader.load("/usr/bin/sim"));
+    auto session = builder.target("/usr/bin/sim").build();
+    report_line("FHS", session.load());
   }
 
   // ---- 2. Bundled AppDir (§II-B): $ORIGIN-relative vendoring.
   {
-    vfs::FileSystem fs;
+    core::WorldBuilder builder;
     pkg::bundle::BundleSpec spec;
     spec.name = "sim";
     spec.exe = elf::make_executable({"libphysics.so"});
     spec.libs = {{"libphysics.so", elf::make_library("libphysics.so")}};
-    const auto bundle = pkg::bundle::create_bundle(fs, spec, "/home/user");
-    loader::Loader loader(fs);
-    report_line("Bundled (AppDir)", loader.load(bundle.exe_path));
+    const auto bundle =
+        pkg::bundle::create_bundle(builder.fs(), spec, "/home/user");
+    auto session = builder.target(bundle.exe_path).build();
+    report_line("Bundled (AppDir)", session.load());
   }
 
   // ---- 3. Hermetic root (§II-C): committed layers, FHS interior.
@@ -69,16 +68,14 @@ int main() {
     image.write_file("/usr/bin/sim",
                      elf::serialize(elf::make_executable({"libphysics.so"})));
     image.commit("deploy sim");
-    auto fs = image.materialize();
-    loader::Loader loader(fs);
-    report_line("Hermetic root", loader.load("/usr/bin/sim"));
+    core::Session session(image.materialize(), {}, "/usr/bin/sim");
+    report_line("Hermetic root", session.load());
   }
 
   // ---- 4. Store model (§II-D): hashed prefixes + RPATH wiring.
-  std::string store_exe;
   {
-    vfs::FileSystem fs;
-    pkg::store::Store store(fs);
+    core::WorldBuilder builder;
+    pkg::store::Store store(builder.fs());
     pkg::store::PackageSpec lib;
     lib.name = "physics";
     lib.version = "1.0";
@@ -92,31 +89,31 @@ int main() {
     app.files.push_back(
         {"bin/sim", elf::make_executable({"libphysics.so"}), ""});
     const auto& app_installed = store.add(app);
-    store_exe = app_installed.prefix + "/bin/sim";
-    loader::Loader loader(fs);
-    report_line("Store (Spack/Nix)", loader.load(store_exe));
+    auto session = builder.target(app_installed.prefix + "/bin/sim").build();
+    report_line("Store (Spack/Nix)", session.load());
   }
 
   // ---- 5. Module model (§II-E): env-mutated search, the fragile glue.
   {
-    vfs::FileSystem fs;
-    elf::install_object(fs, "/usr/tce/physics-1.0/lib/libphysics.so",
-                        elf::make_library("libphysics.so"));
-    elf::install_object(fs, "/usr/workspace/bin/sim",
-                        elf::make_executable({"libphysics.so"}));
+    auto session =
+        core::WorldBuilder()
+            .install("/usr/tce/physics-1.0/lib/libphysics.so",
+                     elf::make_library("libphysics.so"))
+            .install("/usr/workspace/bin/sim",
+                     elf::make_executable({"libphysics.so"}))
+            .target("/usr/workspace/bin/sim")
+            .build();
     pkg::modules::ModuleSystem modules;
     pkg::modules::Module mod;
     mod.name = "physics/1.0";
     mod.ld_library_path_prepend = {"/usr/tce/physics-1.0/lib"};
     modules.add(mod);
     modules.load("physics/1.0");
-    loader::Loader loader(fs);
-    report_line("Modules (loaded)",
-                loader.load("/usr/workspace/bin/sim", modules.environment()));
+    report_line("Modules (loaded)", session.load("", modules.environment()));
     modules.unload("physics/1.0");
-    loader.invalidate();
+    session.invalidate();
     report_line("Modules (unloaded)",
-                loader.load("/usr/workspace/bin/sim", modules.environment()));
+                session.load("", modules.environment()));
   }
 
   std::printf(

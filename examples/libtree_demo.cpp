@@ -10,23 +10,17 @@
 
 #include <cstdio>
 
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/libtree.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/scenarios.hpp"
+#include "depchaos/core/world.hpp"
 
 using namespace depchaos;
 
 int main() {
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_samba_scenario(fs);
+  loader::SearchConfig search;
+  search.classify_cache_hits = true;  // annotate with pure-search outcomes
+  auto session = core::WorldBuilder().search(search).samba().build();
 
-  loader::SearchConfig config;
-  config.classify_cache_hits = true;  // annotate with pure-search outcomes
-  loader::Loader loader(fs, config);
-
-  const auto report = loader.load(scenario.exe_path);
-  std::printf("$ libtree %s\n%s\n", scenario.exe_path.c_str(),
+  const auto report = session.load();
+  std::printf("$ libtree %s\n%s\n", session.default_exe().c_str(),
               shrinkwrap::render_tree(report).c_str());
 
   std::printf("the program %s — but note the 'not found (satisfied by "
@@ -35,9 +29,8 @@ int main() {
               report.success ? "loads successfully" : "FAILS to load");
 
   // Shrinkwrap removes the landmine: every path is frozen on the top level.
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  const auto wrap = session.shrinkwrap();
   std::printf("after shrinkwrap (%zu absolute needed entries):\n%s",
-              wrap.new_needed.size(),
-              shrinkwrap::libtree(fs, loader, scenario.exe_path).c_str());
+              wrap.new_needed.size(), session.libtree().c_str());
   return report.success && wrap.ok() ? 0 : 1;
 }

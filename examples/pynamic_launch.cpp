@@ -6,10 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "depchaos/launch/launch.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/pynamic.hpp"
+#include "depchaos/core/world.hpp"
 
 using namespace depchaos;
 
@@ -18,21 +15,20 @@ int main(int argc, char** argv) {
   config.num_modules = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
   config.exe_extra_bytes = 64ull << 20;
 
-  vfs::FileSystem fs;
-  fs.set_latency_model(std::make_shared<vfs::NfsModel>());
-  const auto app = workload::generate_pynamic(fs, config);
-  loader::Loader loader(fs);
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(config).nfs().build();
+  const auto& app = *builder.pynamic_info();
 
   std::printf("pynamic with %zu modules, %zu search dirs\n\n",
               app.module_paths.size(), app.search_dirs.size());
 
   const std::vector<int> ranks = {64, 256, 1024};
-  const auto normal = launch::scaling_sweep(fs, loader, app.exe_path, {}, ranks);
-  if (!shrinkwrap::shrinkwrap(fs, loader, app.exe_path).ok()) {
+  const auto normal = session.launch_sweep("", ranks);
+  if (!session.shrinkwrap().ok()) {
     std::printf("shrinkwrap failed\n");
     return 1;
   }
-  const auto wrapped = launch::scaling_sweep(fs, loader, app.exe_path, {}, ranks);
+  const auto wrapped = session.launch_sweep("", ranks);
 
   std::printf("%6s %12s %12s %9s   (meta ops/rank: %llu -> %llu)\n", "ranks",
               "normal (s)", "wrapped (s)", "speedup",

@@ -3,46 +3,42 @@
 //
 //   $ ./examples/quickstart
 //
-// Walks through the core depchaos API: vfs::FileSystem, elf::install_object,
-// loader::Loader, shrinkwrap::{libtree, shrinkwrap, verify}.
+// Walks through the core depchaos API: compose a world with
+// core::WorldBuilder, then drive it with the core::Session verbs
+// (libtree, load, shrinkwrap, verify).
 
 #include <cstdio>
 
-#include "depchaos/elf/patcher.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/libtree.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/core/world.hpp"
 
 using namespace depchaos;
 
 int main() {
-  // 1. A simulated filesystem and a store-style layout: every package in
-  //    its own prefix, wired together with RPATH entries on the executable.
-  vfs::FileSystem fs;
-  elf::install_object(fs, "/store/zlib/lib/libz.so",
-                      elf::make_library("libz.so"));
-  elf::install_object(
-      fs, "/store/hdf5/lib/libhdf5.so",
-      elf::make_library("libhdf5.so", {"libz.so"}));
-  elf::install_object(
-      fs, "/store/app/bin/sim",
-      elf::make_executable(
-          {"libhdf5.so"}, /*runpath=*/{},
-          /*rpath=*/{"/store/app/lib", "/store/hdf5/lib", "/store/zlib/lib"}));
+  // 1. A store-style layout: every package in its own prefix, wired
+  //    together with RPATH entries on the executable.
+  auto session =
+      core::WorldBuilder()
+          .install("/store/zlib/lib/libz.so", elf::make_library("libz.so"))
+          .install("/store/hdf5/lib/libhdf5.so",
+                   elf::make_library("libhdf5.so", {"libz.so"}))
+          .install("/store/app/bin/sim",
+                   elf::make_executable(
+                       {"libhdf5.so"}, /*runpath=*/{},
+                       /*rpath=*/{"/store/app/lib", "/store/hdf5/lib",
+                                  "/store/zlib/lib"}))
+          .build();
 
   // 2. Load it the way ld.so would and render the tree (libtree-style).
-  loader::Loader loader(fs);
-  std::printf("--- before shrinkwrap ---\n%s\n",
-              shrinkwrap::libtree(fs, loader, "/store/app/bin/sim").c_str());
+  std::printf("--- before shrinkwrap ---\n%s\n", session.libtree().c_str());
 
-  const auto before = loader.load("/store/app/bin/sim");
+  const auto before = session.load();
   std::printf("metadata syscalls at startup: %llu (failed probes: %llu)\n\n",
               static_cast<unsigned long long>(before.stats.metadata_calls()),
               static_cast<unsigned long long>(before.stats.failed_probes));
 
   // 3. Shrinkwrap: freeze the resolved closure into absolute DT_NEEDED
   //    entries on the executable.
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, "/store/app/bin/sim");
+  const auto wrap = session.shrinkwrap();
   std::printf("--- shrinkwrap rewrote DT_NEEDED ---\n");
   for (const auto& entry : wrap.new_needed) {
     std::printf("  needed %s\n", entry.c_str());
@@ -50,9 +46,8 @@ int main() {
 
   // 4. Load again: every dependency is one direct open; a hostile
   //    LD_LIBRARY_PATH can no longer redirect anything.
-  const auto after = loader.load(
-      "/store/app/bin/sim",
-      loader::Environment::with_library_path({"/somewhere/hostile"}));
+  const auto after = session.load(
+      "", loader::Environment::with_library_path({"/somewhere/hostile"}));
   std::printf("\n--- after shrinkwrap ---\n%s",
               shrinkwrap::render_tree(after).c_str());
   std::printf("metadata syscalls at startup: %llu (failed probes: %llu)\n",
@@ -60,7 +55,7 @@ int main() {
               static_cast<unsigned long long>(after.stats.failed_probes));
 
   // 5. Audit.
-  const auto audit = shrinkwrap::verify(fs, loader, "/store/app/bin/sim");
+  const auto audit = session.verify();
   std::printf("verify: %s\n", audit.ok ? "OK — fully frozen" : "NOT frozen");
   return audit.ok ? 0 : 1;
 }

@@ -9,10 +9,7 @@
 
 #include <cstdio>
 
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/loader/symbols.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/scenarios.hpp"
+#include "depchaos/core/world.hpp"
 
 using namespace depchaos;
 
@@ -34,25 +31,24 @@ void show_load(const char* label, const loader::LoadReport& report,
 }  // namespace
 
 int main() {
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_rocm_scenario(fs);
-  loader::Loader loader(fs);
+  core::WorldBuilder builder;
+  auto session = builder.rocm().build();
+  const auto& scenario = *builder.rocm_info();
 
   show_load("# module load rocm/4.5; ./gpu_sim     (clean environment)",
-            loader.load(scenario.exe_path, scenario.clean_env), scenario);
+            session.load("", scenario.clean_env), scenario);
 
   show_load("# module load rocm/4.3; ./gpu_sim     (stale module loaded)",
-            loader.load(scenario.exe_path, scenario.wrong_module_env),
-            scenario);
+            session.load("", scenario.wrong_module_env), scenario);
 
   std::printf("# shrinkwrap gpu_sim\n");
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  const auto wrap = session.shrinkwrap();
   for (const auto& entry : wrap.new_needed) {
     std::printf("  frozen: %s\n", entry.c_str());
   }
   std::printf("\n");
 
-  const auto fixed = loader.load(scenario.exe_path, scenario.wrong_module_env);
+  const auto fixed = session.load("", scenario.wrong_module_env);
   show_load("# module load rocm/4.3; ./gpu_sim     (wrapped binary)", fixed,
             scenario);
   return workload::rocm_versions_mixed(fixed, scenario) ? 1 : 0;

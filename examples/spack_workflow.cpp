@@ -6,9 +6,8 @@
 
 #include <cstdio>
 
-#include "depchaos/loader/loader.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/pkg/store.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 #include "depchaos/spack/concretizer.hpp"
 #include "depchaos/spack/install.hpp"
 
@@ -64,24 +63,25 @@ class Lifesim(Package):
     std::printf("]\n");
   }
 
-  // 3. Install into a store: hashed prefixes, RPATH-wired binaries.
-  vfs::FileSystem fs;
-  pkg::store::Store store(fs, "/opt/spack/store");
+  // 3. Install into a store inside a WorldBuilder's world: hashed prefixes,
+  //    RPATH-wired binaries.
+  core::WorldBuilder builder;
+  pkg::store::Store store(builder.fs(), "/opt/spack/store");
   const auto result = spack::install_dag(store, dag);
   std::printf("\ninstalled prefixes:\n");
   for (const auto& [name, prefix] : result.prefixes) {
     std::printf("  %s -> %s\n", name.c_str(), prefix.c_str());
   }
 
-  // 4. Load, then shrinkwrap the generated executable.
-  loader::Loader loader(fs);
-  const auto before = loader.load(result.exe_path);
+  // 4. Open a session on the installed world, load, then shrinkwrap.
+  auto session = builder.target(result.exe_path).build();
+  const auto before = session.load();
   std::printf("\nas-built load: %s, %llu metadata syscalls\n",
               before.success ? "ok" : "FAILED",
               static_cast<unsigned long long>(before.stats.metadata_calls()));
 
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, result.exe_path);
-  const auto after = loader.load(result.exe_path);
+  const auto wrap = session.shrinkwrap();
+  const auto after = session.load();
   std::printf("shrinkwrapped load: %s, %llu metadata syscalls (%zu absolute "
               "needed entries)\n",
               after.success ? "ok" : "FAILED",

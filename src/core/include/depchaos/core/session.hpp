@@ -1,0 +1,145 @@
+// core::Session — the unified entry point to a simulated world.
+//
+// Every experiment in the paper stands on the same four-piece rig: a
+// vfs::FileSystem holding a world, a loader::Loader with a SearchConfig and
+// a dialect policy, and a loader::Environment. Session owns that rig and
+// exposes the verbs the paper's tooling performs against it — load (ldd),
+// dlopen, shrinkwrap, verify, libtree, launch — plus batched parallel
+// resolution (load_many) for corpus-scale sweeps. Build one with
+// core::WorldBuilder (world.hpp) or from a DCWORLD1 snapshot.
+//
+//   auto session = core::WorldBuilder().emacs().build();
+//   auto before  = session.load();
+//   session.shrinkwrap();
+//   auto after   = session.load();   // deps+1 opens, Table II's right column
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depchaos/launch/launch.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/libtree.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/vfs/latency.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::core {
+
+/// Everything configurable about a Session, in one aggregate.
+struct SessionConfig {
+  loader::SearchConfig search;
+  /// Dialect policy; when null, `dialect` names a built-in policy.
+  std::shared_ptr<const loader::SearchPolicy> policy;
+  loader::Dialect dialect = loader::Dialect::Glibc;
+  /// Default process environment for every load issued by the session.
+  loader::Environment env;
+  /// Default cluster model for launch().
+  launch::ClusterConfig cluster;
+  /// Latency model installed on the filesystem (nullptr = free operations).
+  std::shared_ptr<vfs::LatencyModel> latency;
+  /// Worker threads for load_many (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+class Session {
+ public:
+  // Aliases so member names below can shadow the library namespaces.
+  using LoadReport = loader::LoadReport;
+  using WrapOptions = shrinkwrap::Options;
+  using WrapReport = shrinkwrap::WrapReport;
+  using VerifyReport = shrinkwrap::VerifyReport;
+  using TreeOptions = shrinkwrap::TreeOptions;
+  using LaunchResult = launch::LaunchResult;
+
+  /// Take ownership of a prepared world. `default_exe` (optional) is the
+  /// target every exe-taking method falls back to when passed "".
+  explicit Session(vfs::FileSystem fs, SessionConfig config = {},
+                   std::string default_exe = {});
+
+  /// Rebuild a session from a DCWORLD1 snapshot (vfs::save_world image).
+  static Session from_snapshot(std::string_view image,
+                               SessionConfig config = {});
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // ---- the rig ------------------------------------------------------------
+  vfs::FileSystem& fs() { return *fs_; }
+  const vfs::FileSystem& fs() const { return *fs_; }
+  loader::Loader& loader() { return *loader_; }
+  const loader::SearchPolicy& policy() const { return loader_->policy(); }
+  loader::Environment& env() { return config_.env; }
+  const loader::Environment& env() const { return config_.env; }
+  const SessionConfig& config() const { return config_; }
+  const std::string& default_exe() const { return default_exe_; }
+  void set_default_exe(std::string exe) { default_exe_ = std::move(exe); }
+
+  // ---- the verbs ----------------------------------------------------------
+
+  /// Simulate process startup of `exe` ("" = default target) under the
+  /// session environment, or an explicit override.
+  LoadReport load(std::string_view exe = {});
+  LoadReport load(std::string_view exe, const loader::Environment& env);
+
+  /// Resolve many independent closures in parallel on a support::ThreadPool.
+  /// Each worker runs against an isolated copy of the world (own syscall
+  /// counters, own parsed-object cache, latency model cloned at batch
+  /// start), so reports are byte-identical to sequential load() calls; the
+  /// per-load VFS stat deltas are aggregated into this session's
+  /// filesystem counters after the batch completes. Caveat: with a
+  /// STATEFUL latency model (NfsModel's attribute cache), every batch
+  /// entry observes the cache state as of batch start — back-to-back
+  /// sequential load() calls would instead warm one shared cache, so
+  /// sim_time_s can differ there; all other report fields are identical
+  /// either way. Falls back to serial when the installed latency model
+  /// cannot be cloned.
+  std::vector<LoadReport> load_many(std::span<const std::string> exes);
+
+  /// dlopen `name` from code in `caller_path`, continuing `report`.
+  loader::LoadedObject dlopen(LoadReport& report,
+                              const std::string& caller_path,
+                              const std::string& name);
+
+  /// Freeze the resolved closure into absolute DT_NEEDED entries (§IV).
+  /// Resolves under the session environment unless `options.env` is set.
+  WrapReport shrinkwrap(std::string_view exe = {});
+  WrapReport shrinkwrap(std::string_view exe, WrapOptions options);
+
+  /// Audit that a wrapped binary loads by direct open / dedup only.
+  VerifyReport verify(std::string_view exe = {});
+  VerifyReport verify(std::string_view exe, const loader::Environment& env);
+
+  /// Render the annotated dependency tree (Listing 1).
+  std::string libtree(std::string_view exe = {}, TreeOptions options = {});
+
+  /// Extrapolate an MPI launch of `ranks` processes (Fig 6).
+  LaunchResult launch(int ranks) { return launch({}, ranks); }
+  LaunchResult launch(std::string_view exe, int ranks);
+  LaunchResult launch(std::string_view exe, int ranks,
+                      const launch::ClusterConfig& cluster);
+  std::vector<LaunchResult> launch_sweep(std::string_view exe,
+                                         const std::vector<int>& rank_counts);
+
+  /// Serialize the world to a DCWORLD1 snapshot.
+  std::string save() const;
+
+  /// Drop the loader's parsed-object/ld.so caches (after patching).
+  void invalidate() { loader_->invalidate(); }
+
+ private:
+  std::string resolve_exe(std::string_view exe) const;
+
+  SessionConfig config_;
+  std::shared_ptr<const loader::SearchPolicy> policy_;
+  // Heap-held so Session stays movable while Loader keeps a stable
+  // reference to the filesystem.
+  std::unique_ptr<vfs::FileSystem> fs_;
+  std::unique_ptr<loader::Loader> loader_;
+  std::string default_exe_;
+};
+
+}  // namespace depchaos::core

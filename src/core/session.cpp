@@ -1,0 +1,171 @@
+#include "depchaos/core/session.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "depchaos/support/thread_pool.hpp"
+#include "depchaos/vfs/snapshot.hpp"
+
+namespace depchaos::core {
+
+namespace {
+
+std::shared_ptr<const loader::SearchPolicy> resolve_policy(
+    const SessionConfig& config) {
+  return config.policy ? config.policy
+                       : loader::SearchPolicy::shared(config.dialect);
+}
+
+}  // namespace
+
+Session::Session(vfs::FileSystem fs, SessionConfig config,
+                 std::string default_exe)
+    : config_(std::move(config)),
+      policy_(resolve_policy(config_)),
+      fs_(std::make_unique<vfs::FileSystem>(std::move(fs))),
+      default_exe_(std::move(default_exe)) {
+  if (config_.latency) fs_->set_latency_model(config_.latency);
+  loader_ = std::make_unique<loader::Loader>(*fs_, config_.search, policy_);
+}
+
+Session Session::from_snapshot(std::string_view image, SessionConfig config) {
+  return Session(vfs::load_world(image), std::move(config));
+}
+
+std::string Session::resolve_exe(std::string_view exe) const {
+  if (!exe.empty()) return std::string(exe);
+  if (default_exe_.empty()) {
+    throw Error("session has no default executable; pass a path");
+  }
+  return default_exe_;
+}
+
+Session::LoadReport Session::load(std::string_view exe) {
+  return load(exe, config_.env);
+}
+
+Session::LoadReport Session::load(std::string_view exe,
+                                  const loader::Environment& env) {
+  return loader_->load(resolve_exe(exe), env);
+}
+
+std::vector<Session::LoadReport> Session::load_many(
+    std::span<const std::string> exes) {
+  std::vector<LoadReport> reports(exes.size());
+  if (exes.empty()) return reports;
+
+  // Resolve "" entries against the default target up front, so serial and
+  // parallel execution see the same paths (and the same throws).
+  std::vector<std::string> paths;
+  paths.reserve(exes.size());
+  for (const auto& exe : exes) paths.push_back(resolve_exe(exe));
+
+  // Parallel execution needs per-worker latency isolation; a stateful
+  // model that cannot clone() forces the serial path.
+  if (vfs::LatencyModel* model = fs_->latency_model();
+      model && !model->clone()) {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      reports[i] = loader_->load(paths[i], config_.env);
+    }
+    return reports;
+  }
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, config_.threads ? config_.threads
+                         : std::thread::hardware_concurrency());
+  const std::size_t workers = std::min(hardware, paths.size());
+  support::ThreadPool pool(workers);
+  std::vector<std::exception_ptr> errors(workers);
+
+  // One isolated world copy per WORKER (not per entry): private syscall
+  // counters, private parsed-object cache, private latency-model state
+  // cloned from batch start. Each load's stats are a delta on its own
+  // counters, and report content does not depend on cache warmth, so every
+  // report matches a sequential load() byte for byte — see the header for
+  // the stateful-latency caveat.
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([this, &paths, &reports, &errors, w, workers] {
+      try {
+        vfs::FileSystem world(*fs_);
+        if (vfs::LatencyModel* model = fs_->latency_model()) {
+          world.set_latency_model(model->clone());
+        }
+        loader::Loader worker(world, config_.search, policy_);
+        for (std::size_t i = w; i < paths.size(); i += workers) {
+          reports[i] = worker.load(paths[i], config_.env);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  // Aggregate the per-load stat deltas into the session's accounting, the
+  // way sequential loads would have charged it — after the join, so no
+  // counter interleaving is possible.
+  for (const auto& report : reports) {
+    fs_->stats() += report.stats;
+  }
+  return reports;
+}
+
+loader::LoadedObject Session::dlopen(LoadReport& report,
+                                     const std::string& caller_path,
+                                     const std::string& name) {
+  return loader_->dlopen(report, caller_path, name, config_.env);
+}
+
+Session::WrapReport Session::shrinkwrap(std::string_view exe) {
+  return shrinkwrap(exe, WrapOptions{});
+}
+
+Session::WrapReport Session::shrinkwrap(std::string_view exe,
+                                        WrapOptions options) {
+  // An unset env (both vectors empty) inherits the session environment,
+  // matching every other verb; pass a non-empty env to override.
+  if (options.env.ld_library_path.empty() && options.env.ld_preload.empty()) {
+    options.env = config_.env;
+  }
+  return ::depchaos::shrinkwrap::shrinkwrap(*fs_, *loader_, resolve_exe(exe),
+                                            options);
+}
+
+Session::VerifyReport Session::verify(std::string_view exe) {
+  return verify(exe, config_.env);
+}
+
+Session::VerifyReport Session::verify(std::string_view exe,
+                                      const loader::Environment& env) {
+  return ::depchaos::shrinkwrap::verify(*fs_, *loader_, resolve_exe(exe), env);
+}
+
+std::string Session::libtree(std::string_view exe, TreeOptions options) {
+  return ::depchaos::shrinkwrap::libtree(*fs_, *loader_, resolve_exe(exe),
+                                         config_.env, options);
+}
+
+Session::LaunchResult Session::launch(std::string_view exe, int ranks) {
+  return launch(exe, ranks, config_.cluster);
+}
+
+Session::LaunchResult Session::launch(std::string_view exe, int ranks,
+                                      const launch::ClusterConfig& cluster) {
+  return launch::simulate_launch(*fs_, *loader_, resolve_exe(exe), config_.env,
+                                 ranks, cluster);
+}
+
+std::vector<Session::LaunchResult> Session::launch_sweep(
+    std::string_view exe, const std::vector<int>& rank_counts) {
+  return launch::scaling_sweep(*fs_, *loader_, resolve_exe(exe), config_.env,
+                               rank_counts, config_.cluster);
+}
+
+std::string Session::save() const { return vfs::save_world(*fs_); }
+
+}  // namespace depchaos::core

@@ -1,7 +1,10 @@
 // Dynamic loader simulator.
 //
 // Reproduces the search and deduplication semantics the paper analyzes
-// (§III), in two dialects:
+// (§III). The dialect-specific choices (search-phase order, dedup keys,
+// RPATH/RUNPATH melding, hwcaps, ld.so.cache use) are factored into the
+// pluggable loader::SearchPolicy interface (search_policy.hpp); the two
+// built-in policies are:
 //
 //  Glibc:
 //   * For a needed name without '/', search in order: DT_RPATH of the
@@ -37,11 +40,10 @@
 #include <vector>
 
 #include "depchaos/elf/object.hpp"
+#include "depchaos/loader/search_policy.hpp"
 #include "depchaos/vfs/vfs.hpp"
 
 namespace depchaos::loader {
-
-enum class Dialect : std::uint8_t { Glibc, Musl };
 
 /// Process environment relevant to the loader.
 struct Environment {
@@ -145,8 +147,14 @@ struct LoadReport {
 
 class Loader {
  public:
+  /// Back-compat factory-enum constructor: the dialect names one of the
+  /// built-in SearchPolicy singletons.
   explicit Loader(vfs::FileSystem& fs, SearchConfig config = {},
                   Dialect dialect = Dialect::Glibc);
+
+  /// Pluggable-policy constructor. `policy` must be non-null.
+  Loader(vfs::FileSystem& fs, SearchConfig config,
+         std::shared_ptr<const SearchPolicy> policy);
 
   /// Simulate process startup: load `exe_path` and its full closure.
   LoadReport load(const std::string& exe_path, const Environment& env = {});
@@ -158,6 +166,10 @@ class Loader {
                       const std::string& name, const Environment& env = {});
 
   const SearchConfig& config() const { return config_; }
+  /// The active dialect policy (search order, dedup keys, melding rules).
+  const SearchPolicy& policy() const { return *policy_; }
+  /// Back-compat: the factory enum this loader was built from (custom
+  /// policies map onto the dialect whose dedup semantics they follow).
   Dialect dialect() const { return dialect_; }
 
  private:
@@ -199,15 +211,22 @@ class Loader {
                        std::deque<WorkItem>& queue);
   void enqueue_needed_deque(Session& session, std::size_t index,
                             std::deque<WorkItem>& queue);
+  Resolution search_phase(SearchPhase phase, Session& session,
+                          const std::string& name, std::size_t requester_index,
+                          elf::Machine machine);
+  /// The inherited rpath chain for `requester`. `own_count` receives how
+  /// many leading entries came from the requester's own dynamic section
+  /// (they are reported HowFound::Rpath; the rest RpathAncestor).
   std::vector<std::string> effective_rpath_chain(const Session& session,
                                                  std::size_t requester_index,
-                                                 bool& first_is_own) const;
+                                                 std::size_t& own_count) const;
 
   static std::string expand_origin(std::string_view entry,
                                    std::string_view object_path);
 
   vfs::FileSystem& fs_;
   SearchConfig config_;
+  std::shared_ptr<const SearchPolicy> policy_;
   Dialect dialect_;
   // Parsed-object cache keyed by canonical path (never invalidated: loads
   // are read-only with respect to binaries; Patcher edits go through the

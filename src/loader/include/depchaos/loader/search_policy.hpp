@@ -1,0 +1,105 @@
+// Pluggable loader-dialect policy.
+//
+// The paper's §IV contrast between glibc and musl is not one switch but a
+// bundle of independent semantic choices: the order of the bare-soname
+// search phases, which dedup keys satisfy a repeated request (Fig 5's
+// soname cache), whether DT_RPATH and DT_RUNPATH are separate protocols or
+// a meld (Table I), whether hwcaps subdirectories are probed, and whether
+// an ld.so.cache short-circuits the system directories. SearchPolicy turns
+// each of those into a virtual policy point so a dialect is data, not a
+// hardcoded branch inside Loader — and new dialects (or experimental
+// hybrids) plug in without touching the BFS machinery.
+//
+// `Dialect` remains the stable back-compat factory enum: every constructor
+// that used to take a Dialect still does, routed through
+// SearchPolicy::for_dialect().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace depchaos::loader {
+
+enum class Dialect : std::uint8_t { Glibc, Musl };
+
+/// One step of the bare-soname directory search.
+enum class SearchPhase : std::uint8_t {
+  RpathChain,     // requester's DT_RPATH + inherited ancestor chain
+                  // (includes melded DT_RUNPATH under musl)
+  LdLibraryPath,  // environment override dirs
+  Runpath,        // requester's own DT_RUNPATH (separate phase: glibc only)
+  SystemPaths,    // ld.so.cache / ld.so.conf dirs / built-in defaults
+};
+
+class SearchPolicy {
+ public:
+  virtual ~SearchPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// The bare-name search phases, in the order this dialect runs them.
+  virtual std::span<const SearchPhase> phases() const = 0;
+
+  /// Fig 5 dedup: may a bare-soname request be satisfied from the
+  /// DT_SONAME of an already-loaded object? glibc yes — the behaviour
+  /// Shrinkwrap exploits; musl no — which is what breaks wrapped binaries
+  /// there (§IV). Both dialects always dedup by requested string and by
+  /// canonical path (inode).
+  virtual bool dedups_by_soname() const = 0;
+
+  /// RPATH/RUNPATH melding (§IV): when true, both propagate to
+  /// dependencies and are searched as one inherited chain (musl). When
+  /// false, only DT_RPATH propagates, and a requester carrying DT_RUNPATH
+  /// disables its whole RPATH protocol (glibc, Table I).
+  virtual bool melds_rpath_runpath() const = 0;
+
+  /// Probe glibc-hwcaps subdirectories before each plain directory.
+  virtual bool probes_hwcaps() const = 0;
+
+  /// Consult the ld.so.cache during SystemPaths (subject to
+  /// SearchConfig::use_ld_cache); musl always probes the directories.
+  virtual bool uses_ld_cache() const = 0;
+
+  // ---- factory ------------------------------------------------------------
+
+  /// Built-in policy singletons (stateless, shareable across loaders).
+  static const SearchPolicy& glibc();
+  static const SearchPolicy& musl();
+  static const SearchPolicy& for_dialect(Dialect dialect);
+
+  /// Shared-ptr aliases of the singletons for APIs that hold ownership.
+  static std::shared_ptr<const SearchPolicy> shared(Dialect dialect);
+
+  /// Best-effort inverse of for_dialect (custom policies map onto the
+  /// dialect whose dedup semantics they follow — the distinction consumers
+  /// actually branch on).
+  static Dialect dialect_of(const SearchPolicy& policy);
+};
+
+/// glibc (Table I): RPATH chain, LD_LIBRARY_PATH, RUNPATH, ld.so.cache,
+/// defaults; soname dedup; hwcaps probing.
+class GlibcPolicy : public SearchPolicy {
+ public:
+  std::string_view name() const override { return "glibc"; }
+  std::span<const SearchPhase> phases() const override;
+  bool dedups_by_soname() const override { return true; }
+  bool melds_rpath_runpath() const override { return false; }
+  bool probes_hwcaps() const override { return true; }
+  bool uses_ld_cache() const override { return true; }
+};
+
+/// musl (§IV): LD_LIBRARY_PATH first, then the melded inherited
+/// rpath/runpath chain, then system dirs; inode-only dedup; no hwcaps.
+class MuslPolicy : public SearchPolicy {
+ public:
+  std::string_view name() const override { return "musl"; }
+  std::span<const SearchPhase> phases() const override;
+  bool dedups_by_soname() const override { return false; }
+  bool melds_rpath_runpath() const override { return true; }
+  bool probes_hwcaps() const override { return false; }
+  bool uses_ld_cache() const override { return false; }
+};
+
+}  // namespace depchaos::loader

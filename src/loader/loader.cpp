@@ -67,7 +67,14 @@ const LoadedObject* LoadReport::find_loaded(
 }
 
 Loader::Loader(vfs::FileSystem& fs, SearchConfig config, Dialect dialect)
-    : fs_(fs), config_(std::move(config)), dialect_(dialect) {}
+    : Loader(fs, std::move(config), SearchPolicy::shared(dialect)) {}
+
+Loader::Loader(vfs::FileSystem& fs, SearchConfig config,
+               std::shared_ptr<const SearchPolicy> policy)
+    : fs_(fs),
+      config_(std::move(config)),
+      policy_(std::move(policy)),
+      dialect_(SearchPolicy::dialect_of(*policy_)) {}
 
 void Loader::invalidate() {
   cache_.clear();
@@ -137,7 +144,7 @@ bool Loader::try_candidate(const std::string& dir, const std::string& name,
     // keep them functional but unremarkable.
     return try_candidate("/" + dir, name, machine, out_path);
   }
-  if (dialect_ == Dialect::Glibc) {
+  if (policy_->probes_hwcaps()) {
     for (const auto& hwcap : config_.hwcaps) {
       const std::string candidate =
           vfs::normalize_path(dir + "/" + hwcap + "/" + name);
@@ -176,39 +183,34 @@ void Loader::ensure_ld_cache() {
 
 std::vector<std::string> Loader::effective_rpath_chain(
     const Session& session, std::size_t requester_index,
-    bool& first_is_own) const {
-  // Glibc: DT_RPATH of the requester, then of each ancestor up to the
-  // executable. Any object carrying DT_RUNPATH contributes nothing from its
-  // DT_RPATH (Table I), and a requester with DT_RUNPATH disables the whole
-  // chain.
+    std::size_t& own_count) const {
+  // Non-melding (glibc, Table I): DT_RPATH of the requester, then of each
+  // ancestor up to the executable. Any object carrying DT_RUNPATH
+  // contributes nothing from its DT_RPATH, and a requester with DT_RUNPATH
+  // disables the whole chain. Melding (musl, §IV): RPATH and RUNPATH of
+  // every link in the ancestry, both propagated.
+  const bool meld = policy_->melds_rpath_runpath();
   std::vector<std::string> dirs;
-  first_is_own = false;
+  own_count = 0;
   const auto& order = session.report.load_order;
   const LoadedObject& requester = order[requester_index];
   if (!requester.object) return dirs;
-  if (dialect_ == Dialect::Glibc && !requester.object->dyn.runpath.empty()) {
+  if (!meld && !requester.object->dyn.runpath.empty()) {
     return dirs;  // DT_RUNPATH present: RPATH protocol disabled
   }
   std::int64_t index = static_cast<std::int64_t>(requester_index);
   bool first = true;
-  std::size_t own_count = 0;
   while (index >= 0) {
     const LoadedObject& node = order[static_cast<std::size_t>(index)];
     if (node.object) {
       const bool has_runpath = !node.object->dyn.runpath.empty();
-      if (dialect_ == Dialect::Glibc) {
-        if (!has_runpath) {
-          for (const auto& dir : node.object->dyn.rpath) {
-            dirs.push_back(expand_origin(dir, node.path));
-            if (first) ++own_count;
-          }
-        }
-      } else {
-        // Musl melds RPATH and RUNPATH and propagates both.
+      if (meld || !has_runpath) {
         for (const auto& dir : node.object->dyn.rpath) {
           dirs.push_back(expand_origin(dir, node.path));
           if (first) ++own_count;
         }
+      }
+      if (meld) {
         for (const auto& dir : node.object->dyn.runpath) {
           dirs.push_back(expand_origin(dir, node.path));
           if (first) ++own_count;
@@ -218,7 +220,6 @@ std::vector<std::string> Loader::effective_rpath_chain(
     first = false;
     index = node.parent_index;
   }
-  first_is_own = own_count > 0;
   return dirs;
 }
 
@@ -227,7 +228,7 @@ std::optional<std::size_t> Loader::dedup_lookup(Session& session,
   if (const auto it = session.by_name.find(name); it != session.by_name.end()) {
     return it->second;
   }
-  if (dialect_ == Dialect::Glibc) {
+  if (policy_->dedups_by_soname()) {
     // glibc also satisfies requests from the DT_SONAME of anything already
     // loaded — the dedup Shrinkwrap exploits (Fig 5). Musl does not (§IV).
     if (const auto it = session.by_soname.find(name);
@@ -266,89 +267,82 @@ Loader::Resolution Loader::search(Session& session, const std::string& name,
     // Stale cache entry: fall through to the normal search.
   }
 
+  // Run the policy's phases in dialect order, e.g. glibc (Table I): RPATH
+  // chain, LD_LIBRARY_PATH, RUNPATH, ld.so.cache, defaults; musl (§IV):
+  // LD_LIBRARY_PATH, melded inherited chain, system dirs.
+  for (const SearchPhase phase : policy_->phases()) {
+    Resolution res = search_phase(phase, session, name, requester_index,
+                                  machine);
+    if (res.how != HowFound::NotFound) return res;
+  }
+  return Resolution{{}, HowFound::NotFound};
+}
+
+Loader::Resolution Loader::search_phase(SearchPhase phase, Session& session,
+                                        const std::string& name,
+                                        std::size_t requester_index,
+                                        elf::Machine machine) {
+  const LoadedObject& requester =
+      session.report.load_order[requester_index];
   std::string found;
-
-  if (dialect_ == Dialect::Musl) {
-    // Musl: LD_LIBRARY_PATH first, then the melded, inherited rpath/runpath
-    // chain, then system paths (§IV: "a meld of the two where paths are
-    // inherited by dependencies but are searched after LD_LIBRARY_PATH").
-    for (const auto& dir : session.env->ld_library_path) {
-      if (try_candidate(dir, name, machine, found)) {
-        return Resolution{found, HowFound::LdLibraryPath};
+  switch (phase) {
+    case SearchPhase::RpathChain: {
+      std::size_t own = 0;
+      const auto chain = effective_rpath_chain(session, requester_index, own);
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (try_candidate(chain[i], name, machine, found)) {
+          // Melding dialects historically label only the first own entry as
+          // the requester's rpath (musl has no RPATH/RUNPATH distinction to
+          // report); non-melding labels every own DT_RPATH entry.
+          const bool own_hit = policy_->melds_rpath_runpath()
+                                   ? (i == 0 && own > 0)
+                                   : (i < own);
+          return Resolution{found, own_hit ? HowFound::Rpath
+                                           : HowFound::RpathAncestor};
+        }
       }
+      return Resolution{{}, HowFound::NotFound};
     }
-    bool first_is_own = false;
-    const auto chain =
-        effective_rpath_chain(session, requester_index, first_is_own);
-    for (std::size_t i = 0; i < chain.size(); ++i) {
-      if (try_candidate(chain[i], name, machine, found)) {
-        return Resolution{found, (i == 0 && first_is_own)
-                                     ? HowFound::Rpath
-                                     : HowFound::RpathAncestor};
+    case SearchPhase::LdLibraryPath: {
+      for (const auto& dir : session.env->ld_library_path) {
+        if (try_candidate(dir, name, machine, found)) {
+          return Resolution{found, HowFound::LdLibraryPath};
+        }
       }
+      return Resolution{{}, HowFound::NotFound};
     }
-    for (const auto& dir : config_.ld_so_conf) {
-      if (try_candidate(dir, name, machine, found)) {
-        return Resolution{found, HowFound::LdSoConf};
+    case SearchPhase::Runpath: {
+      if (!requester.object) return Resolution{{}, HowFound::NotFound};
+      for (const auto& dir : requester.object->dyn.runpath) {
+        if (try_candidate(expand_origin(dir, requester.path), name, machine,
+                          found)) {
+          return Resolution{found, HowFound::Runpath};
+        }
       }
+      return Resolution{{}, HowFound::NotFound};
     }
-    for (const auto& dir : config_.default_paths) {
-      if (try_candidate(dir, name, machine, found)) {
-        return Resolution{found, HowFound::DefaultPath};
+    case SearchPhase::SystemPaths: {
+      if (policy_->uses_ld_cache() && config_.use_ld_cache) {
+        ensure_ld_cache();
+        if (const auto it = ld_cache_.find(name); it != ld_cache_.end()) {
+          // The cache told us where to look; the loader still open()s it.
+          if (probe_file(it->second.path, machine)) {
+            return it->second;
+          }
+        }
+        return Resolution{{}, HowFound::NotFound};
       }
-    }
-    return Resolution{{}, HowFound::NotFound};
-  }
-
-  // Glibc order (Table I): RPATH chain, LD_LIBRARY_PATH, RUNPATH,
-  // ld.so.cache, default paths.
-  {
-    bool first_is_own = false;
-    const auto chain =
-        effective_rpath_chain(session, requester_index, first_is_own);
-    std::size_t own = 0;
-    if (first_is_own && requester.object) {
-      own = requester.object->dyn.rpath.size();
-    }
-    for (std::size_t i = 0; i < chain.size(); ++i) {
-      if (try_candidate(chain[i], name, machine, found)) {
-        return Resolution{found, (first_is_own && i < own)
-                                     ? HowFound::Rpath
-                                     : HowFound::RpathAncestor};
+      for (const auto& dir : config_.ld_so_conf) {
+        if (try_candidate(dir, name, machine, found)) {
+          return Resolution{found, HowFound::LdSoConf};
+        }
       }
-    }
-  }
-  for (const auto& dir : session.env->ld_library_path) {
-    if (try_candidate(dir, name, machine, found)) {
-      return Resolution{found, HowFound::LdLibraryPath};
-    }
-  }
-  if (requester.object) {
-    for (const auto& dir : requester.object->dyn.runpath) {
-      if (try_candidate(expand_origin(dir, requester.path), name, machine,
-                        found)) {
-        return Resolution{found, HowFound::Runpath};
+      for (const auto& dir : config_.default_paths) {
+        if (try_candidate(dir, name, machine, found)) {
+          return Resolution{found, HowFound::DefaultPath};
+        }
       }
-    }
-  }
-  if (config_.use_ld_cache) {
-    ensure_ld_cache();
-    if (const auto it = ld_cache_.find(name); it != ld_cache_.end()) {
-      // The cache told us where to look; the loader still open()s the file.
-      if (probe_file(it->second.path, machine)) {
-        return it->second;
-      }
-    }
-  } else {
-    for (const auto& dir : config_.ld_so_conf) {
-      if (try_candidate(dir, name, machine, found)) {
-        return Resolution{found, HowFound::LdSoConf};
-      }
-    }
-    for (const auto& dir : config_.default_paths) {
-      if (try_candidate(dir, name, machine, found)) {
-        return Resolution{found, HowFound::DefaultPath};
-      }
+      return Resolution{{}, HowFound::NotFound};
     }
   }
   return Resolution{{}, HowFound::NotFound};
@@ -363,12 +357,9 @@ std::size_t Loader::register_object(Session& session, LoadedObject loaded) {
   if (!loaded.real_path.empty()) {
     session.by_realpath.emplace(loaded.real_path, index);
   }
-  if (loaded.object && !loaded.object->dyn.soname.empty()) {
-    if (dialect_ == Dialect::Glibc) {
-      session.by_soname.emplace(loaded.object->dyn.soname, index);
-    } else {
-      // Musl keys purely on the needed string; record nothing extra.
-    }
+  if (loaded.object && !loaded.object->dyn.soname.empty() &&
+      policy_->dedups_by_soname()) {
+    session.by_soname.emplace(loaded.object->dyn.soname, index);
   }
   order.push_back(std::move(loaded));
   return index;
@@ -548,7 +539,7 @@ LoadedObject Loader::dlopen(LoadReport& report, const std::string& caller_path,
     const auto& obj = session.report.load_order[i];
     session.by_name.emplace(obj.name, i);
     if (!obj.real_path.empty()) session.by_realpath.emplace(obj.real_path, i);
-    if (dialect_ == Dialect::Glibc && obj.object &&
+    if (policy_->dedups_by_soname() && obj.object &&
         !obj.object->dyn.soname.empty()) {
       session.by_soname.emplace(obj.object->dyn.soname, i);
     }

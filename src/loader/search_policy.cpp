@@ -1,0 +1,54 @@
+#include "depchaos/loader/search_policy.hpp"
+
+namespace depchaos::loader {
+
+namespace {
+
+constexpr SearchPhase kGlibcPhases[] = {
+    SearchPhase::RpathChain,
+    SearchPhase::LdLibraryPath,
+    SearchPhase::Runpath,
+    SearchPhase::SystemPaths,
+};
+
+constexpr SearchPhase kMuslPhases[] = {
+    SearchPhase::LdLibraryPath,
+    SearchPhase::RpathChain,  // melded rpath+runpath, inherited
+    SearchPhase::SystemPaths,
+};
+
+}  // namespace
+
+std::span<const SearchPhase> GlibcPolicy::phases() const {
+  return kGlibcPhases;
+}
+
+std::span<const SearchPhase> MuslPolicy::phases() const {
+  return kMuslPhases;
+}
+
+const SearchPolicy& SearchPolicy::glibc() {
+  static const GlibcPolicy policy;
+  return policy;
+}
+
+const SearchPolicy& SearchPolicy::musl() {
+  static const MuslPolicy policy;
+  return policy;
+}
+
+const SearchPolicy& SearchPolicy::for_dialect(Dialect dialect) {
+  return dialect == Dialect::Musl ? musl() : glibc();
+}
+
+std::shared_ptr<const SearchPolicy> SearchPolicy::shared(Dialect dialect) {
+  // Aliasing ctor onto the singletons: no ownership, no deletion.
+  return std::shared_ptr<const SearchPolicy>(std::shared_ptr<void>(),
+                                             &for_dialect(dialect));
+}
+
+Dialect SearchPolicy::dialect_of(const SearchPolicy& policy) {
+  return policy.dedups_by_soname() ? Dialect::Glibc : Dialect::Musl;
+}
+
+}  // namespace depchaos::loader

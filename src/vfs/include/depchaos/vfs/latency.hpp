@@ -33,6 +33,13 @@ class LatencyModel {
 
   virtual void clear_client_cache() {}
 
+  /// Duplicate this model (parameters AND current client-cache state) for
+  /// an isolated filesystem copy — what lets batched parallel loads charge
+  /// latency without sharing mutable cache state across threads. Models
+  /// that cannot be duplicated may return nullptr; callers needing
+  /// isolation (core::Session::load_many) then fall back to serial.
+  virtual std::shared_ptr<LatencyModel> clone() const { return nullptr; }
+
   virtual std::string name() const = 0;
 };
 
@@ -50,6 +57,9 @@ class LocalDiskModel final : public LatencyModel {
   explicit LocalDiskModel(Params params) : params_(params) {}
 
   double cost(OpKind op, bool hit, const std::string& path) override;
+  std::shared_ptr<LatencyModel> clone() const override {
+    return std::make_shared<LocalDiskModel>(*this);
+  }
   std::string name() const override { return "local-disk"; }
 
  private:
@@ -78,6 +88,9 @@ class NfsModel final : public LatencyModel {
 
   double cost(OpKind op, bool hit, const std::string& path) override;
   void clear_client_cache() override;
+  std::shared_ptr<LatencyModel> clone() const override {
+    return std::make_shared<NfsModel>(*this);
+  }
   std::string name() const override { return "nfs"; }
 
   const Params& params() const { return params_; }

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "depchaos/core/world.hpp"
+#include "depchaos/elf/patcher.hpp"
+
+namespace depchaos::core {
+namespace {
+
+using elf::make_executable;
+using elf::make_library;
+
+// Two LoadReports are "byte-identical" when every field a consumer can
+// observe matches. (No operator== on the report structs: spell it out.)
+void expect_reports_identical(const loader::LoadReport& a,
+                              const loader::LoadReport& b) {
+  EXPECT_EQ(a.success, b.success);
+  ASSERT_EQ(a.load_order.size(), b.load_order.size());
+  for (std::size_t i = 0; i < a.load_order.size(); ++i) {
+    EXPECT_EQ(a.load_order[i].name, b.load_order[i].name);
+    EXPECT_EQ(a.load_order[i].path, b.load_order[i].path);
+    EXPECT_EQ(a.load_order[i].real_path, b.load_order[i].real_path);
+    EXPECT_EQ(a.load_order[i].requested_by, b.load_order[i].requested_by);
+    EXPECT_EQ(a.load_order[i].how, b.load_order[i].how);
+    EXPECT_EQ(a.load_order[i].depth, b.load_order[i].depth);
+    EXPECT_EQ(a.load_order[i].parent_index, b.load_order[i].parent_index);
+  }
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].name, b.requests[i].name);
+    EXPECT_EQ(a.requests[i].how, b.requests[i].how);
+  }
+  ASSERT_EQ(a.missing.size(), b.missing.size());
+  EXPECT_EQ(a.stats.stat_calls, b.stats.stat_calls);
+  EXPECT_EQ(a.stats.open_calls, b.stats.open_calls);
+  EXPECT_EQ(a.stats.read_calls, b.stats.read_calls);
+  EXPECT_EQ(a.stats.readlink_calls, b.stats.readlink_calls);
+  EXPECT_EQ(a.stats.failed_probes, b.stats.failed_probes);
+  EXPECT_DOUBLE_EQ(a.stats.sim_time_s, b.stats.sim_time_s);
+  EXPECT_EQ(a.probe_log, b.probe_log);
+}
+
+// Install `count` independent little applications, each with a private lib
+// dir plus one shared system library, and return their exe paths.
+std::vector<std::string> install_fleet(WorldBuilder& builder,
+                                       std::size_t count) {
+  builder.install("/usr/lib/libcommon.so", make_library("libcommon.so"));
+  std::vector<std::string> exes;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string n = std::to_string(i);
+    builder.install("/apps/a" + n + "/lib/libpriv" + n + ".so",
+                    make_library("libpriv" + n + ".so", {"libcommon.so"}));
+    builder.install(
+        "/apps/a" + n + "/bin/app",
+        make_executable({"libpriv" + n + ".so"}, {"/apps/a" + n + "/lib"}));
+    exes.push_back("/apps/a" + n + "/bin/app");
+  }
+  return exes;
+}
+
+// ------------------------------------------------------ WorldBuilder basics
+
+TEST(WorldBuilderTest, InstallSetsDefaultTargetAndSessionLoads) {
+  auto session = WorldBuilder()
+                     .install("/l/libx.so", make_library("libx.so"))
+                     .install("/bin/app", make_executable({"libx.so"}, {"/l"}))
+                     .build();
+  EXPECT_EQ(session.default_exe(), "/bin/app");
+  const auto report = session.load();
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 2u);
+}
+
+TEST(WorldBuilderTest, ScenarioDispatchMatchesNamedGenerators) {
+  WorldBuilder by_name;
+  by_name.scenario("emacs");
+  EXPECT_TRUE(by_name.emacs_info().has_value());
+  EXPECT_FALSE(by_name.default_exe().empty());
+  EXPECT_THROW(WorldBuilder().scenario("nope"), Error);
+}
+
+TEST(WorldBuilderTest, SnapshotRoundTripPreservesWorldAndReports) {
+  workload::EmacsConfig config;
+  config.num_deps = 20;
+  config.num_dirs = 6;
+  WorldBuilder builder;
+  builder.emacs(config);
+  const std::string exe = builder.default_exe();
+  const std::string image = builder.save();
+
+  auto direct = builder.build();
+  const auto direct_report = direct.load();
+
+  // Rebuild the same world from the snapshot: same bytes back out, and the
+  // same load behaviour.
+  WorldBuilder reloaded;
+  reloaded.snapshot(image).target(exe);
+  EXPECT_EQ(reloaded.save(), image);
+  auto session = reloaded.build();
+  expect_reports_identical(direct_report, session.load());
+
+  // Session-level snapshot restore too.
+  auto from_snap = Session::from_snapshot(image);
+  expect_reports_identical(direct_report, from_snap.load(exe));
+}
+
+TEST(WorldBuilderTest, SessionSaveRoundTripsAfterMutation) {
+  auto session = WorldBuilder()
+                     .install("/l/libx.so", make_library("libx.so"))
+                     .install("/bin/app", make_executable({"libx.so"}, {"/l"}))
+                     .build();
+  ASSERT_TRUE(session.shrinkwrap().ok());
+  // The wrapped world survives a save/restore: the reloaded binary is still
+  // frozen.
+  auto restored = Session::from_snapshot(session.save());
+  EXPECT_TRUE(restored.verify("/bin/app").ok);
+}
+
+// ------------------------------------------------------------ session verbs
+
+TEST(SessionTest, LoadWithoutTargetThrows) {
+  auto session = WorldBuilder()
+                     .install("/l/libx.so", make_library("libx.so"))
+                     .build();
+  EXPECT_THROW(session.load(), Error);
+}
+
+TEST(SessionTest, ShrinkwrapVerifyLibtreeFlow) {
+  auto session = WorldBuilder()
+                     .install("/l/libx.so", make_library("libx.so"))
+                     .install("/bin/app", make_executable({"libx.so"}, {"/l"}))
+                     .build();
+  EXPECT_FALSE(session.verify().ok);  // unwrapped: found by search
+  ASSERT_TRUE(session.shrinkwrap().ok());
+  EXPECT_TRUE(session.verify().ok);
+  const std::string tree = session.libtree();
+  EXPECT_NE(tree.find("/bin/app"), std::string::npos);
+  EXPECT_NE(tree.find("/l/libx.so"), std::string::npos);
+}
+
+TEST(SessionTest, SessionEnvironmentAppliesToLoads) {
+  loader::Environment env = loader::Environment::with_library_path({"/env"});
+  auto session = WorldBuilder()
+                     .install("/env/libx.so", make_library("libx.so"))
+                     .install("/bin/app", make_executable({"libx.so"}))
+                     .environment(env)
+                     .build();
+  const auto report = session.load();
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order[1].how, loader::HowFound::LdLibraryPath);
+}
+
+TEST(SessionTest, TwoArgShrinkwrapInheritsSessionEnvWhenUnset) {
+  // The dependency is findable ONLY through the session's LD_LIBRARY_PATH:
+  // an explicit-options wrap must still resolve under it.
+  auto session =
+      WorldBuilder()
+          .install("/env/libx.so", make_library("libx.so"))
+          .install("/bin/app", make_executable({"libx.so"}))
+          .environment(loader::Environment::with_library_path({"/env"}))
+          .build();
+  Session::WrapOptions options;
+  options.clear_search_paths = false;
+  const auto wrap = session.shrinkwrap("", options);
+  EXPECT_TRUE(wrap.ok());
+  // A non-empty env in the options overrides the session's.
+  auto session2 =
+      WorldBuilder()
+          .install("/env/libx.so", make_library("libx.so"))
+          .install("/bin/app", make_executable({"libx.so"}))
+          .environment(loader::Environment::with_library_path({"/env"}))
+          .build();
+  Session::WrapOptions hostile;
+  hostile.env = loader::Environment::with_library_path({"/nowhere"});
+  EXPECT_FALSE(session2.shrinkwrap("", hostile).ok());
+}
+
+TEST(SessionTest, DlopenContinuesReport) {
+  auto session = WorldBuilder()
+                     .install("/p/libplug.so", make_library("libplug.so"))
+                     .install("/bin/app", make_executable({}))
+                     .build();
+  auto report = session.load();
+  const auto plug = session.dlopen(report, "/bin/app", "/p/libplug.so");
+  EXPECT_EQ(plug.how, loader::HowFound::AbsolutePath);
+  EXPECT_NE(report.find_loaded("/p/libplug.so"), nullptr);
+}
+
+TEST(SessionTest, LaunchUsesSessionClusterConfig) {
+  workload::PynamicConfig config;
+  config.num_modules = 10;
+  config.exe_extra_bytes = 0;
+  launch::ClusterConfig cluster;
+  cluster.init_s = 5.0;
+  auto session =
+      WorldBuilder().pynamic(config).cluster(cluster).nfs().build();
+  const auto result = session.launch(8);
+  EXPECT_TRUE(result.load_succeeded);
+  EXPECT_GE(result.total_time_s, 5.0);
+}
+
+// --------------------------------------------------------------- load_many
+
+TEST(LoadManyTest, ParallelReportsAreByteIdenticalToSerial) {
+  WorldBuilder parallel_builder;
+  const auto exes = install_fleet(parallel_builder, 12);
+  const std::string image = parallel_builder.save();
+  auto parallel_session = parallel_builder.build();
+
+  auto serial_session = Session::from_snapshot(image);
+  std::vector<loader::LoadReport> serial;
+  serial.reserve(exes.size());
+  for (const auto& exe : exes) serial.push_back(serial_session.load(exe));
+
+  const auto reports = parallel_session.load_many(exes);
+  ASSERT_EQ(reports.size(), exes.size());
+  for (std::size_t i = 0; i < exes.size(); ++i) {
+    expect_reports_identical(serial[i], reports[i]);
+  }
+}
+
+TEST(LoadManyTest, RepeatedBatchesAreDeterministic) {
+  WorldBuilder builder;
+  const auto exes = install_fleet(builder, 8);
+  auto session = builder.build();
+  const auto first = session.load_many(exes);
+  const auto second = session.load_many(exes);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_reports_identical(first[i], second[i]);
+  }
+}
+
+TEST(LoadManyTest, AggregatesStatDeltasIntoSessionCounters) {
+  WorldBuilder builder;
+  const auto exes = install_fleet(builder, 6);
+  auto session = builder.build();
+  const auto before = session.fs().stats();
+  const auto reports = session.load_many(exes);
+  const auto& after = session.fs().stats();
+  std::uint64_t opens = 0, stats = 0, failed = 0;
+  for (const auto& report : reports) {
+    opens += report.stats.open_calls;
+    stats += report.stats.stat_calls;
+    failed += report.stats.failed_probes;
+  }
+  EXPECT_EQ(after.open_calls - before.open_calls, opens);
+  EXPECT_EQ(after.stat_calls - before.stat_calls, stats);
+  EXPECT_EQ(after.failed_probes - before.failed_probes, failed);
+}
+
+TEST(LoadManyTest, WorksWithClonableLatencyModelAndChargesTime) {
+  WorldBuilder builder;
+  const auto exes = install_fleet(builder, 4);
+  auto session = builder.local_disk().build();
+  const auto reports = session.load_many(exes);
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.success);
+    EXPECT_GT(report.stats.sim_time_s, 0.0);
+  }
+}
+
+TEST(LoadManyTest, EmptyEntriesResolveToDefaultTarget) {
+  WorldBuilder builder;
+  const auto exes = install_fleet(builder, 2);
+  auto session = builder.target(exes[0]).build();
+  const std::vector<std::string> batch = {"", exes[1]};
+  const auto reports = session.load_many(batch);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].load_order[0].path, exes[0]);
+  EXPECT_EQ(reports[1].load_order[0].path, exes[1]);
+}
+
+TEST(LoadManyTest, MissingExecutableInBatchThrows) {
+  WorldBuilder builder;
+  const auto exes = install_fleet(builder, 3);
+  auto session = builder.build();
+  std::vector<std::string> batch = exes;
+  batch.emplace_back("/bin/does-not-exist");
+  EXPECT_THROW(session.load_many(batch), FsError);
+}
+
+// ----------------------------------------- dialect policies (Fig 5 dedup)
+
+// The Fig 5 layout: the executable needs two libraries by absolute path;
+// one of them transitively requests the other by bare soname.
+void install_fig5(WorldBuilder& builder) {
+  builder
+      .install("/store/libac.so", make_library("libac.so"))
+      .install("/store/libxyz.so", make_library("libxyz.so", {"libac.so"}))
+      .install("/bin/app",
+               make_executable({"/store/libac.so", "/store/libxyz.so"}));
+}
+
+TEST(SearchPolicyTest, GlibcPolicySatisfiesBareSonameFromDedupCache) {
+  WorldBuilder builder;
+  install_fig5(builder);
+  auto session =
+      builder.policy(std::make_shared<loader::GlibcPolicy>()).build();
+  const auto report = session.load();
+  ASSERT_TRUE(report.success);
+  EXPECT_EQ(report.load_order.size(), 3u);  // no duplicate libac
+  EXPECT_EQ(report.requests.back().name, "libac.so");
+  EXPECT_EQ(report.requests.back().how, loader::HowFound::Cache);
+}
+
+TEST(SearchPolicyTest, MuslPolicyDoesNotDedupBySoname) {
+  WorldBuilder builder;
+  install_fig5(builder);
+  auto session =
+      builder.policy(std::make_shared<loader::MuslPolicy>()).build();
+  const auto report = session.load();
+  EXPECT_FALSE(report.success);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0].name, "libac.so");
+}
+
+TEST(SearchPolicyTest, DialectEnumRoutesToBuiltInPolicies) {
+  EXPECT_EQ(loader::SearchPolicy::for_dialect(loader::Dialect::Glibc).name(),
+            "glibc");
+  EXPECT_EQ(loader::SearchPolicy::for_dialect(loader::Dialect::Musl).name(),
+            "musl");
+  EXPECT_EQ(loader::SearchPolicy::dialect_of(loader::SearchPolicy::glibc()),
+            loader::Dialect::Glibc);
+  EXPECT_EQ(loader::SearchPolicy::dialect_of(loader::SearchPolicy::musl()),
+            loader::Dialect::Musl);
+
+  WorldBuilder builder;
+  install_fig5(builder);
+  auto session = builder.dialect(loader::Dialect::Musl).build();
+  EXPECT_EQ(session.policy().name(), "musl");
+  EXPECT_EQ(session.loader().dialect(), loader::Dialect::Musl);
+  EXPECT_FALSE(session.load().success);
+}
+
+// A custom policy: glibc search semantics but musl's strict dedup. Proves
+// the seam is pluggable — this hybrid cannot be expressed with the enum.
+class StrictDedupGlibc : public loader::GlibcPolicy {
+ public:
+  std::string_view name() const override { return "glibc-strict-dedup"; }
+  bool dedups_by_soname() const override { return false; }
+};
+
+TEST(SearchPolicyTest, CustomHybridPolicyPlugsIn) {
+  WorldBuilder builder;
+  install_fig5(builder);
+  auto session = builder.policy(std::make_shared<StrictDedupGlibc>()).build();
+  EXPECT_EQ(session.policy().name(), "glibc-strict-dedup");
+  // Glibc search order, but the bare-soname request no longer hits the
+  // dedup cache -> the Fig 5 load breaks exactly like musl.
+  const auto report = session.load();
+  EXPECT_FALSE(report.success);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0].name, "libac.so");
+}
+
+}  // namespace
+}  // namespace depchaos::core

@@ -8,10 +8,17 @@
 //   depchaos libtree  world.dcw /apps/pynamic/bigexe
 //   depchaos ldd      world.dcw /apps/pynamic/bigexe --debug
 //   depchaos shrinkwrap world.dcw /apps/pynamic/bigexe   (rewrites world.dcw)
+//   depchaos verify   world.dcw /apps/pynamic/bigexe
 //   depchaos patchelf world.dcw /path --set-runpath /a:/b
 //   depchaos launch   world.dcw /apps/pynamic/bigexe --ranks=512
 //
-// Worldgen scenarios: pynamic, emacs, samba, rocm, paradox.
+// Worldgen scenarios: pynamic, emacs, samba, rocm, paradox, debian.
+//
+// Every subcommand is a thin shell over the core::Session façade: worldgen
+// composes a world with core::WorldBuilder and saves the snapshot; the
+// rest reopen it with Session::from_snapshot and call the matching verb
+// (load / libtree / shrinkwrap / verify / launch). No subcommand wires a
+// FileSystem or Loader by hand.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,16 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "depchaos/core/session.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
-#include "depchaos/launch/launch.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/libtree.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 #include "depchaos/support/strings.hpp"
-#include "depchaos/vfs/snapshot.hpp"
-#include "depchaos/workload/emacs.hpp"
-#include "depchaos/workload/pynamic.hpp"
-#include "depchaos/workload/scenarios.hpp"
 
 using namespace depchaos;
 
@@ -41,10 +42,11 @@ namespace {
       stderr,
       "usage:\n"
       "  depchaos worldgen <scenario> <world-file> [--modules=N]\n"
-      "      scenarios: pynamic emacs samba rocm paradox\n"
+      "      scenarios: pynamic emacs samba rocm paradox debian\n"
       "  depchaos libtree <world-file> <exe> [--paths]\n"
       "  depchaos ldd <world-file> <exe> [--debug] [--env=DIR:DIR...]\n"
       "  depchaos shrinkwrap <world-file> <exe> [--no-lift] [--audit-dlopen]\n"
+      "  depchaos verify <world-file> <exe> [--env=DIR:DIR...]\n"
       "  depchaos patchelf <world-file> <path> (--set-runpath|--set-rpath)"
       " A:B | --print\n"
       "  depchaos launch <world-file> <exe> [--ranks=N]\n");
@@ -88,41 +90,6 @@ std::string flag_value(const std::vector<std::string>& args,
   return fallback;
 }
 
-int cmd_worldgen(const std::vector<std::string>& args) {
-  if (args.size() < 2) usage();
-  const std::string& scenario = args[0];
-  const std::string& out_path = args[1];
-  vfs::FileSystem fs;
-  std::string note;
-  if (scenario == "pynamic") {
-    workload::PynamicConfig config;
-    config.num_modules = static_cast<std::size_t>(
-        std::strtoul(flag_value(args, "--modules=", "120").c_str(), nullptr,
-                     10));
-    config.exe_extra_bytes = 4u << 20;
-    const auto app = workload::generate_pynamic(fs, config);
-    note = "executable: " + app.exe_path;
-  } else if (scenario == "emacs") {
-    const auto app = workload::generate_emacs_like(fs, {});
-    note = "executable: " + app.exe_path;
-  } else if (scenario == "samba") {
-    const auto made = workload::make_samba_scenario(fs);
-    note = "executable: " + made.exe_path;
-  } else if (scenario == "rocm") {
-    const auto made = workload::make_rocm_scenario(fs);
-    note = "executable: " + made.exe_path +
-           "  (wrong env: LD_LIBRARY_PATH=" + made.bad_lib_dir + ")";
-  } else if (scenario == "paradox") {
-    const auto made = workload::make_runpath_paradox(fs);
-    note = "executable: " + made.exe_path;
-  } else {
-    usage();
-  }
-  write_file(out_path, vfs::save_world(fs));
-  std::printf("wrote %s\n%s\n", out_path.c_str(), note.c_str());
-  return 0;
-}
-
 loader::Environment env_from_args(const std::vector<std::string>& args) {
   loader::Environment env;
   const std::string dirs = flag_value(args, "--env=", "");
@@ -132,28 +99,50 @@ loader::Environment env_from_args(const std::vector<std::string>& args) {
   return env;
 }
 
+/// Reopen a saved world as a session, with per-subcommand config knobs.
+core::Session open_session(const std::vector<std::string>& args,
+                           core::SessionConfig config = {}) {
+  config.env = env_from_args(args);
+  return core::Session::from_snapshot(read_file(args[0]), std::move(config));
+}
+
+int cmd_worldgen(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  const std::string& scenario = args[0];
+  const std::string& out_path = args[1];
+  core::WorldBuilder builder;
+  if (scenario == "pynamic") {
+    workload::PynamicConfig config;
+    config.num_modules = static_cast<std::size_t>(
+        std::strtoul(flag_value(args, "--modules=", "120").c_str(), nullptr,
+                     10));
+    config.exe_extra_bytes = 4u << 20;
+    builder.pynamic(config);
+  } else {
+    builder.scenario(scenario);  // throws (-> usage-level error) on unknown
+  }
+  write_file(out_path, builder.save());
+  std::printf("wrote %s\n%s\n", out_path.c_str(), builder.note().c_str());
+  return 0;
+}
+
 int cmd_libtree(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
-  auto fs = vfs::load_world(read_file(args[0]));
-  loader::SearchConfig config;
-  config.classify_cache_hits = true;
-  loader::Loader loader(fs, config);
-  shrinkwrap::TreeOptions options;
+  core::SessionConfig config;
+  config.search.classify_cache_hits = true;
+  auto session = open_session(args, std::move(config));
+  core::Session::TreeOptions options;
   options.show_paths = has_flag(args, "--paths");
-  std::fputs(
-      shrinkwrap::libtree(fs, loader, args[1], env_from_args(args), options)
-          .c_str(),
-      stdout);
+  std::fputs(session.libtree(args[1], options).c_str(), stdout);
   return 0;
 }
 
 int cmd_ldd(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
-  auto fs = vfs::load_world(read_file(args[0]));
-  loader::SearchConfig config;
-  config.record_probes = has_flag(args, "--debug");
-  loader::Loader loader(fs, config);
-  const auto report = loader.load(args[1], env_from_args(args));
+  core::SessionConfig config;
+  config.search.record_probes = has_flag(args, "--debug");
+  auto session = open_session(args, std::move(config));
+  const auto report = session.load(args[1]);
   for (const auto& line : report.probe_log) {
     std::printf("    %s\n", line.c_str());
   }
@@ -173,13 +162,11 @@ int cmd_ldd(const std::vector<std::string>& args) {
 
 int cmd_shrinkwrap(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
-  auto fs = vfs::load_world(read_file(args[0]));
-  loader::Loader loader(fs);
-  shrinkwrap::Options options;
+  auto session = open_session(args);
+  core::Session::WrapOptions options;
   options.lift_transitive = !has_flag(args, "--no-lift");
   options.audit_dlopens = has_flag(args, "--audit-dlopen");
-  options.env = env_from_args(args);
-  const auto report = shrinkwrap::shrinkwrap(fs, loader, args[1], options);
+  const auto report = session.shrinkwrap(args[1], options);
   if (!report.ok()) {
     for (const auto& name : report.unresolved) {
       std::fprintf(stderr, "unresolved: %s\n", name.c_str());
@@ -192,15 +179,33 @@ int cmd_shrinkwrap(const std::vector<std::string>& args) {
   for (const auto& name : report.dlopen_unresolved) {
     std::printf("warning: dlopen target not found: %s\n", name.c_str());
   }
-  write_file(args[0], vfs::save_world(fs));
+  write_file(args[0], session.save());
   std::printf("rewrote %s in %s\n", args[1].c_str(), args[0].c_str());
   return 0;
 }
 
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  auto session = open_session(args);
+  const auto report = session.verify(args[1]);
+  for (const auto& name : report.non_absolute) {
+    std::printf("not absolute: %s\n", name.c_str());
+  }
+  for (const auto& name : report.searched) {
+    std::printf("found by search (not frozen): %s\n", name.c_str());
+  }
+  for (const auto& name : report.missing) {
+    std::printf("missing: %s\n", name.c_str());
+  }
+  std::printf("%s: %s\n", args[1].c_str(),
+              report.ok ? "fully shrinkwrapped" : "NOT shrinkwrapped");
+  return report.ok ? 0 : 1;
+}
+
 int cmd_patchelf(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
-  auto fs = vfs::load_world(read_file(args[0]));
-  elf::Patcher patcher(fs);
+  auto session = open_session(args);
+  elf::Patcher patcher(session.fs());
   if (has_flag(args, "--print")) {
     const auto object = patcher.read(args[1]);
     std::fputs(elf::serialize(object).c_str(), stdout);
@@ -215,20 +220,19 @@ int cmd_patchelf(const std::vector<std::string>& args) {
   if (!rpath.empty()) {
     patcher.set_rpath(args[1], support::split_nonempty(rpath, ':'));
   }
-  write_file(args[0], vfs::save_world(fs));
+  write_file(args[0], session.save());
   std::printf("patched %s\n", args[1].c_str());
   return 0;
 }
 
 int cmd_launch(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
-  auto fs = vfs::load_world(read_file(args[0]));
-  fs.set_latency_model(std::make_shared<vfs::NfsModel>());
-  loader::Loader loader(fs);
+  core::SessionConfig config;
+  config.latency = std::make_shared<vfs::NfsModel>();
+  auto session = open_session(args, std::move(config));
   const int ranks = static_cast<int>(
       std::strtol(flag_value(args, "--ranks=", "512").c_str(), nullptr, 10));
-  const auto result = launch::simulate_launch(fs, loader, args[1],
-                                              env_from_args(args), ranks);
+  const auto result = session.launch(args[1], ranks);
   std::printf("ranks=%d  meta_ops/rank=%llu  bytes/rank=%llu\n",
               result.nprocs,
               static_cast<unsigned long long>(result.meta_ops_per_rank),
@@ -249,6 +253,7 @@ int main(int argc, char** argv) {
     if (command == "libtree") return cmd_libtree(args);
     if (command == "ldd") return cmd_ldd(args);
     if (command == "shrinkwrap") return cmd_shrinkwrap(args);
+    if (command == "verify") return cmd_verify(args);
     if (command == "patchelf") return cmd_patchelf(args);
     if (command == "launch") return cmd_launch(args);
   } catch (const Error& error) {
