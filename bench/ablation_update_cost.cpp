@@ -9,6 +9,7 @@
 //           rebuilt into new prefixes (old generation stays for rollback).
 
 #include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
 #include "depchaos/pkg/bundle.hpp"
 #include "depchaos/pkg/fhs.hpp"
@@ -35,7 +36,8 @@ void print_report() {
 
   // FHS: one file.
   {
-    vfs::FileSystem fs;
+    core::WorldBuilder world;
+    vfs::FileSystem& fs = world.fs();
     pkg::fhs::Installer installer(fs);
     pkg::fhs::Package lib;
     lib.name = "libcurl";
@@ -55,7 +57,8 @@ void print_report() {
 
   // Bundles: every app re-shipped.
   {
-    vfs::FileSystem fs;
+    core::WorldBuilder world;
+    vfs::FileSystem& fs = world.fs();
     std::uint64_t rewritten = 0;
     for (std::size_t i = 0; i < kApps; ++i) {
       pkg::bundle::BundleSpec spec;
@@ -74,8 +77,8 @@ void print_report() {
 
   // Store: the rebuild cascade.
   {
-    vfs::FileSystem fs;
-    pkg::store::Store store(fs);
+    core::WorldBuilder world;
+    pkg::store::Store store(world.fs());
     pkg::store::PackageSpec curl;
     curl.name = "libcurl";
     curl.version = "7.79";
@@ -108,8 +111,8 @@ void print_report() {
 }
 
 void BM_DependentsClosure(benchmark::State& state) {
-  vfs::FileSystem fs;
-  pkg::store::Store store(fs);
+  core::WorldBuilder world;
+  pkg::store::Store store(world.fs());
   pkg::store::PackageSpec base;
   base.name = "base";
   base.version = "1";

@@ -5,9 +5,8 @@
 // the as-built vs shrinkwrapped startup cost of an Axom-scale application.
 
 #include "bench_util.hpp"
-#include "depchaos/loader/loader.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/pkg/store.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 #include "depchaos/spack/install.hpp"
 #include "depchaos/workload/spackrepo.hpp"
 
@@ -30,15 +29,15 @@ void print_report() {
   row("axom concrete closure size", std::to_string(dag.size()));
   row("axom dag_hash", dag.dag_hash("axom"));
 
-  vfs::FileSystem fs;
-  pkg::store::Store store(fs, "/spack/store");
+  core::WorldBuilder builder;
+  pkg::store::Store store(builder.fs(), "/spack/store");
   const auto installed = spack::install_dag(store, dag);
-  loader::Loader loader(fs);
-  const auto normal = loader.load(installed.exe_path);
+  auto session = builder.target(installed.exe_path).build();
+  const auto normal = session.load();
   row("as-built startup metadata syscalls",
       std::to_string(normal.stats.metadata_calls()));
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, installed.exe_path);
-  const auto wrapped = loader.load(installed.exe_path);
+  const auto wrap = session.shrinkwrap();
+  const auto wrapped = session.load();
   row("shrinkwrapped startup metadata syscalls",
       std::to_string(wrapped.stats.metadata_calls()));
   row("frozen needed entries", std::to_string(wrap.new_needed.size()));
@@ -76,8 +75,8 @@ void BM_InstallAxomDag(benchmark::State& state) {
   const spack::Concretizer concretizer(repo, options);
   const auto dag = concretizer.concretize("axom");
   for (auto _ : state) {
-    vfs::FileSystem fs;
-    pkg::store::Store store(fs, "/spack/store");
+    core::WorldBuilder builder;
+    pkg::store::Store store(builder.fs(), "/spack/store");
     benchmark::DoNotOptimize(
         spack::install_dag(store, dag).prefixes.size());
   }

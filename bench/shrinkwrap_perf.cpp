@@ -4,22 +4,17 @@
 // The asymmetry (metadata ops dominate cold NFS) reproduces here.
 
 #include "bench_util.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
-#include "depchaos/workload/pynamic.hpp"
+#include "depchaos/core/world.hpp"
 
 namespace {
 
 using namespace depchaos;
 
 double wrap_cost_seconds(std::shared_ptr<vfs::LatencyModel> latency) {
-  vfs::FileSystem fs;
-  fs.set_latency_model(std::move(latency));
-  const auto app = workload::generate_pynamic(fs, {});
-  loader::Loader loader(fs);
-  fs.clear_caches();
-  const auto report = shrinkwrap::shrinkwrap(fs, loader, app.exe_path);
-  return report.wrap_cost.sim_time_s;
+  auto session =
+      core::WorldBuilder().latency(std::move(latency)).pynamic({}).build();
+  session.fs().clear_caches();
+  return session.shrinkwrap().wrap_cost.sim_time_s;
 }
 
 void print_report() {
@@ -40,15 +35,12 @@ void BM_ShrinkwrapTool(benchmark::State& state) {
   // Wall-clock cost of the wrap operation itself on a fresh world.
   for (auto _ : state) {
     state.PauseTiming();
-    vfs::FileSystem fs;
     workload::PynamicConfig config;
     config.num_modules = static_cast<std::size_t>(state.range(0));
     config.exe_extra_bytes = 0;
-    const auto app = workload::generate_pynamic(fs, config);
-    loader::Loader loader(fs);
+    auto session = core::WorldBuilder().pynamic(config).build();
     state.ResumeTiming();
-    benchmark::DoNotOptimize(
-        shrinkwrap::shrinkwrap(fs, loader, app.exe_path).ok());
+    benchmark::DoNotOptimize(session.shrinkwrap().ok());
   }
 }
 BENCHMARK(BM_ShrinkwrapTool)
@@ -59,18 +51,15 @@ BENCHMARK(BM_ShrinkwrapTool)
     ->Iterations(3);
 
 void BM_VerifyWrapped(benchmark::State& state) {
-  vfs::FileSystem fs;
   workload::PynamicConfig config;
   config.num_modules = 300;
   config.exe_extra_bytes = 0;
-  const auto app = workload::generate_pynamic(fs, config);
-  loader::Loader loader(fs);
-  if (!shrinkwrap::shrinkwrap(fs, loader, app.exe_path).ok()) {
+  auto session = core::WorldBuilder().pynamic(config).build();
+  if (!session.shrinkwrap().ok()) {
     state.SkipWithError("wrap failed");
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        shrinkwrap::verify(fs, loader, app.exe_path).ok);
+    benchmark::DoNotOptimize(session.verify().ok);
   }
 }
 BENCHMARK(BM_VerifyWrapped)->Unit(benchmark::kMillisecond);

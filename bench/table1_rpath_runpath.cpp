@@ -8,50 +8,52 @@
 //   Propagates                  Yes     No
 
 #include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
-#include "depchaos/loader/loader.hpp"
 
 namespace {
 
 using namespace depchaos;
-using elf::install_object;
 using elf::make_executable;
 using elf::make_library;
 
 /// Probe: does a search-path entry of the given flavor win over
 /// LD_LIBRARY_PATH?
 bool beats_ld_library_path(loader::Dialect dialect, bool use_rpath) {
-  vfs::FileSystem fs;
-  install_object(fs, "/sp/libx.so", make_library("libx.so"));
-  install_object(fs, "/env/libx.so", make_library("libx.so"));
-  install_object(
-      fs, "/bin/app",
-      make_executable({"libx.so"},
-                      use_rpath ? std::vector<std::string>{}
-                                : std::vector<std::string>{"/sp"},
-                      use_rpath ? std::vector<std::string>{"/sp"}
-                                : std::vector<std::string>{}));
-  loader::Loader loader(fs, {}, dialect);
-  const auto report = loader.load(
-      "/bin/app", loader::Environment::with_library_path({"/env"}));
+  auto session =
+      core::WorldBuilder()
+          .install("/sp/libx.so", make_library("libx.so"))
+          .install("/env/libx.so", make_library("libx.so"))
+          .install("/bin/app",
+                   make_executable({"libx.so"},
+                                   use_rpath ? std::vector<std::string>{}
+                                             : std::vector<std::string>{"/sp"},
+                                   use_rpath ? std::vector<std::string>{"/sp"}
+                                             : std::vector<std::string>{}))
+          .dialect(dialect)
+          .environment(loader::Environment::with_library_path({"/env"}))
+          .build();
+  const auto report = session.load();
   return report.success && report.load_order[1].path == "/sp/libx.so";
 }
 
 /// Probe: does the executable's search path apply to a library's own
 /// dependency lookups?
 bool propagates(loader::Dialect dialect, bool use_rpath) {
-  vfs::FileSystem fs;
-  install_object(fs, "/deep/liby.so", make_library("liby.so"));
-  install_object(fs, "/l/libx.so", make_library("libx.so", {"liby.so"}));
-  install_object(
-      fs, "/bin/app",
-      make_executable({"libx.so"},
-                      use_rpath ? std::vector<std::string>{}
-                                : std::vector<std::string>{"/l", "/deep"},
-                      use_rpath ? std::vector<std::string>{"/l", "/deep"}
-                                : std::vector<std::string>{}));
-  loader::Loader loader(fs, {}, dialect);
-  return loader.load("/bin/app").success;
+  auto session =
+      core::WorldBuilder()
+          .install("/deep/liby.so", make_library("liby.so"))
+          .install("/l/libx.so", make_library("libx.so", {"liby.so"}))
+          .install(
+              "/bin/app",
+              make_executable({"libx.so"},
+                              use_rpath ? std::vector<std::string>{}
+                                        : std::vector<std::string>{"/l", "/deep"},
+                              use_rpath ? std::vector<std::string>{"/l", "/deep"}
+                                        : std::vector<std::string>{}))
+          .dialect(dialect)
+          .build();
+  return session.load().success;
 }
 
 void print_table(loader::Dialect dialect, const char* name) {

@@ -4,14 +4,21 @@
 // without touching the link.
 
 #include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/loader/symbols.hpp"
 #include "depchaos/shrinkwrap/needy.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 #include "depchaos/workload/scenarios.hpp"
 
 namespace {
 
 using namespace depchaos;
+
+/// Compose the ompstubs world and open a Session targeting its executable.
+core::Session make_session(workload::OmpScenario& scenario, bool stubs_first) {
+  core::WorldBuilder builder;
+  scenario = workload::make_ompstubs_scenario(builder.fs(), stubs_first);
+  return builder.target(scenario.exe_path).build();
+}
 
 void print_report() {
   using depchaos::bench::heading;
@@ -19,35 +26,33 @@ void print_report() {
 
   heading("Use case §V-B.2 — libomp / libompstubs");
   for (const bool stubs_first : {false, true}) {
-    vfs::FileSystem fs;
-    const auto scenario = workload::make_ompstubs_scenario(fs, stubs_first);
-    loader::Loader loader(fs);
-    const auto bind = loader::bind_symbols(loader.load(scenario.exe_path));
+    workload::OmpScenario scenario;
+    auto session = make_session(scenario, stubs_first);
+    const auto bind = loader::bind_symbols(session.load());
     const auto* provider = bind.provider_of(scenario.probe_symbol);
     row(std::string("link order ") +
             (stubs_first ? "[stubs, omp]" : "[omp, stubs]") + " binds to",
         provider ? *provider : "(unbound)");
   }
 
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_ompstubs_scenario(fs, false);
-  loader::Loader loader(fs);
-  const auto needy = shrinkwrap::make_needy(fs, loader, scenario.exe_path);
+  workload::OmpScenario scenario;
+  auto session = make_session(scenario, false);
+  const auto needy =
+      shrinkwrap::make_needy(session.fs(), session.loader(), scenario.exe_path);
   row("Needy Executables (link line)",
       needy.ok ? "linked (unexpected)"
                : "FAILS: duplicate strong symbol '" +
                      needy.link.duplicate_strong.front() + "' (paper's flaw)");
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  const auto wrap = session.shrinkwrap();
   row("Shrinkwrap", wrap.ok() ? "succeeds, user order preserved" : "failed");
-  const auto bind = loader::bind_symbols(loader.load(scenario.exe_path));
+  const auto bind = loader::bind_symbols(session.load());
   row("wrapped binary binds to", *bind.provider_of(scenario.probe_symbol));
 }
 
 void BM_OmpBindSymbols(benchmark::State& state) {
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_ompstubs_scenario(fs, false);
-  loader::Loader loader(fs);
-  const auto report = loader.load(scenario.exe_path);
+  workload::OmpScenario scenario;
+  auto session = make_session(scenario, false);
+  const auto report = session.load();
   for (auto _ : state) {
     benchmark::DoNotOptimize(loader::bind_symbols(report).bindings.size());
   }

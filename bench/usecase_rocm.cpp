@@ -4,33 +4,36 @@
 // freezes the 4.5 resolution and the wrong module becomes harmless.
 
 #include "bench_util.hpp"
-#include "depchaos/loader/loader.hpp"
-#include "depchaos/shrinkwrap/libtree.hpp"
-#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/core/world.hpp"
 #include "depchaos/workload/scenarios.hpp"
 
 namespace {
 
 using namespace depchaos;
 
+/// Compose the ROCm world and open a Session targeting its executable.
+core::Session make_session(workload::RocmScenario& scenario) {
+  core::WorldBuilder builder;
+  scenario = workload::make_rocm_scenario(builder.fs());
+  return builder.target(scenario.exe_path).build();
+}
+
 void print_report() {
   using depchaos::bench::heading;
   using depchaos::bench::row;
 
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_rocm_scenario(fs);
-  loader::Loader loader(fs);
+  workload::RocmScenario scenario;
+  auto session = make_session(scenario);
 
   heading("Use case §V-B.1 — ROCm version mixing");
   {
-    const auto clean = loader.load(scenario.exe_path, scenario.clean_env);
+    const auto clean = session.load("", scenario.clean_env);
     row("clean env, unwrapped",
         workload::rocm_versions_mixed(clean, scenario) ? "MIXED (bug)"
                                                        : "consistent 4.5");
   }
   {
-    const auto broken =
-        loader.load(scenario.exe_path, scenario.wrong_module_env);
+    const auto broken = session.load("", scenario.wrong_module_env);
     row("rocm/4.3 module loaded, unwrapped",
         workload::rocm_versions_mixed(broken, scenario)
             ? "MIXED 4.5+4.3 -> segfault (paper's failure)"
@@ -42,11 +45,10 @@ void print_report() {
       }
     }
   }
-  const auto wrap = shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path);
+  const auto wrap = session.shrinkwrap();
   row("shrinkwrap", wrap.ok() ? "applied" : "FAILED");
   {
-    const auto fixed =
-        loader.load(scenario.exe_path, scenario.wrong_module_env);
+    const auto fixed = session.load("", scenario.wrong_module_env);
     row("rocm/4.3 module loaded, wrapped",
         workload::rocm_versions_mixed(fixed, scenario)
             ? "still mixed (unexpected)"
@@ -55,26 +57,24 @@ void print_report() {
 }
 
 void BM_RocmLoadUnwrapped(benchmark::State& state) {
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_rocm_scenario(fs);
-  loader::Loader loader(fs);
+  workload::RocmScenario scenario;
+  auto session = make_session(scenario);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        loader.load(scenario.exe_path, scenario.wrong_module_env).success);
+        session.load("", scenario.wrong_module_env).success);
   }
 }
 BENCHMARK(BM_RocmLoadUnwrapped)->Unit(benchmark::kMicrosecond);
 
 void BM_RocmLoadWrapped(benchmark::State& state) {
-  vfs::FileSystem fs;
-  const auto scenario = workload::make_rocm_scenario(fs);
-  loader::Loader loader(fs);
-  if (!shrinkwrap::shrinkwrap(fs, loader, scenario.exe_path).ok()) {
+  workload::RocmScenario scenario;
+  auto session = make_session(scenario);
+  if (!session.shrinkwrap().ok()) {
     state.SkipWithError("wrap failed");
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        loader.load(scenario.exe_path, scenario.wrong_module_env).success);
+        session.load("", scenario.wrong_module_env).success);
   }
 }
 BENCHMARK(BM_RocmLoadWrapped)->Unit(benchmark::kMicrosecond);

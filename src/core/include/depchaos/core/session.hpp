@@ -67,6 +67,18 @@ class Session {
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
 
+  /// O(1) copy-on-write fork: a child session over a forked world
+  /// (vfs::FileSystem::fork — shared immutable base, private overlay),
+  /// with the same search config, dialect policy, environment, and default
+  /// target; a per-view latency model (cloned at fork time when the model
+  /// supports it); FRESH syscall counters; and the parent's parsed-object /
+  /// ld.so caches adopted (safe: parsed objects are immutable and the
+  /// worlds are identical at the fork point). Mutations on either side —
+  /// installs, patches, shrinkwrap — never leak across the boundary, which
+  /// makes forks the primitive for what-if experiments and per-worker
+  /// isolation in load_many.
+  Session fork();
+
   // ---- the rig ------------------------------------------------------------
   vfs::FileSystem& fs() { return *fs_; }
   const vfs::FileSystem& fs() const { return *fs_; }
@@ -86,9 +98,10 @@ class Session {
   LoadReport load(std::string_view exe, const loader::Environment& env);
 
   /// Resolve many independent closures in parallel on a support::ThreadPool.
-  /// Each worker runs against an isolated copy of the world (own syscall
-  /// counters, own parsed-object cache, latency model cloned at batch
-  /// start), so reports are byte-identical to sequential load() calls; the
+  /// Each worker runs against an isolated O(1) copy-on-write fork of the
+  /// world (own syscall counters, own parsed-object cache, latency model
+  /// cloned at batch start) — per-worker setup cost is independent of
+  /// world size, so reports are byte-identical to sequential load() calls; the
   /// per-load VFS stat deltas are aggregated into this session's
   /// filesystem counters after the batch completes. Caveat: with a
   /// STATEFUL latency model (NfsModel's attribute cache), every batch
@@ -115,6 +128,22 @@ class Session {
 
   /// Render the annotated dependency tree (Listing 1).
   std::string libtree(std::string_view exe = {}, TreeOptions options = {});
+
+  /// What-if shrinkwrap (§IV workflow without commitment): wrap `exe`
+  /// inside a fork and report the effect — before/after trees, their diff,
+  /// and before/after load reports — WITHOUT mutating this session's
+  /// world. Only this session's syscall counters move (the baseline load
+  /// is charged here like any other load() verb).
+  struct WhatIfReport {
+    WrapReport wrap;          // the wrap as applied inside the fork
+    LoadReport before;        // load in the untouched base world
+    LoadReport after;         // load in the wrapped fork
+    std::string before_tree;  // libtree of the base
+    std::string after_tree;   // libtree of the fork
+    std::string tree_diff;    // line diff base -> fork
+  };
+  WhatIfReport whatif(std::string_view exe = {}, WrapOptions options = {},
+                      TreeOptions tree = {});
 
   /// Extrapolate an MPI launch of `ranks` processes (Fig 6).
   LaunchResult launch(int ranks) { return launch({}, ranks); }

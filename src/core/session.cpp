@@ -34,6 +34,34 @@ Session Session::from_snapshot(std::string_view image, SessionConfig config) {
   return Session(vfs::load_world(image), std::move(config));
 }
 
+Session Session::fork() {
+  SessionConfig config = config_;
+  // The forked filesystem carries its own per-view latency model (cloned
+  // by FileSystem::fork); a non-null config.latency would overwrite it in
+  // the constructor with the parent's shared instance.
+  config.latency.reset();
+  Session child(fs_->fork(), std::move(config), default_exe_);
+  child.loader_->adopt_caches(*loader_);
+  return child;
+}
+
+Session::WhatIfReport Session::whatif(std::string_view exe,
+                                      WrapOptions options, TreeOptions tree) {
+  const std::string target = resolve_exe(exe);
+  WhatIfReport report;
+  // libtree() is load() + render_tree(); render from the reports we keep
+  // anyway instead of resolving each closure twice.
+  report.before = load(target);
+  report.before_tree = ::depchaos::shrinkwrap::render_tree(report.before, tree);
+  Session sandbox = fork();
+  report.wrap = sandbox.shrinkwrap(target, std::move(options));
+  report.after = sandbox.load(target);
+  report.after_tree = ::depchaos::shrinkwrap::render_tree(report.after, tree);
+  report.tree_diff =
+      ::depchaos::shrinkwrap::tree_diff(report.before_tree, report.after_tree);
+  return report;
+}
+
 std::string Session::resolve_exe(std::string_view exe) const {
   if (!exe.empty()) return std::string(exe);
   if (default_exe_.empty()) {
@@ -62,37 +90,42 @@ std::vector<Session::LoadReport> Session::load_many(
   paths.reserve(exes.size());
   for (const auto& exe : exes) paths.push_back(resolve_exe(exe));
 
+  const std::size_t hardware = std::max<std::size_t>(
+      1, config_.threads ? config_.threads
+                         : std::thread::hardware_concurrency());
+  const std::size_t workers = std::min(hardware, paths.size());
+
+  // One isolated world FORK per worker (not per entry): an O(1)
+  // copy-on-write view with private syscall counters, a private
+  // parsed-object cache, and private latency-model state cloned from
+  // batch start by fork(). Loads never write, so no worker pays a single
+  // byte of world copy; each load's stats are a delta on its own counters,
+  // and report content does not depend on cache warmth, so every report
+  // matches a sequential load() byte for byte — see the header for the
+  // stateful-latency caveat. Forks are taken on this thread (fork mutates
+  // the parent once, freezing its overlay) before any worker runs.
+  std::vector<vfs::FileSystem> worlds;
+  worlds.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) worlds.push_back(fs_->fork());
+
   // Parallel execution needs per-worker latency isolation; a stateful
-  // model that cannot clone() forces the serial path.
+  // model that cannot clone() forces the serial path. fork() falls back to
+  // SHARING such a model, so probe the first fork instead of constructing
+  // a throwaway clone of the model's state.
   if (vfs::LatencyModel* model = fs_->latency_model();
-      model && !model->clone()) {
+      model && worlds.front().latency_model() == model) {
     for (std::size_t i = 0; i < paths.size(); ++i) {
       reports[i] = loader_->load(paths[i], config_.env);
     }
     return reports;
   }
 
-  const std::size_t hardware = std::max<std::size_t>(
-      1, config_.threads ? config_.threads
-                         : std::thread::hardware_concurrency());
-  const std::size_t workers = std::min(hardware, paths.size());
   support::ThreadPool pool(workers);
   std::vector<std::exception_ptr> errors(workers);
-
-  // One isolated world copy per WORKER (not per entry): private syscall
-  // counters, private parsed-object cache, private latency-model state
-  // cloned from batch start. Each load's stats are a delta on its own
-  // counters, and report content does not depend on cache warmth, so every
-  // report matches a sequential load() byte for byte — see the header for
-  // the stateful-latency caveat.
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([this, &paths, &reports, &errors, w, workers] {
+    pool.submit([this, &paths, &reports, &errors, &worlds, w, workers] {
       try {
-        vfs::FileSystem world(*fs_);
-        if (vfs::LatencyModel* model = fs_->latency_model()) {
-          world.set_latency_model(model->clone());
-        }
-        loader::Loader worker(world, config_.search, policy_);
+        loader::Loader worker(worlds[w], config_.search, policy_);
         for (std::size_t i = w; i < paths.size(); i += workers) {
           reports[i] = worker.load(paths[i], config_.env);
         }

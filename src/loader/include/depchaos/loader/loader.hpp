@@ -242,6 +242,14 @@ class Loader {
  public:
   /// Drop parsed-object and ld.so caches (after patching binaries).
   void invalidate();
+
+  /// Seed this loader's parsed-object and ld.so caches from another loader
+  /// whose filesystem is identical to ours — the fork boundary in
+  /// core::Session::fork(). Safe because parsed objects are immutable
+  /// shared_ptr<const> values and a freshly forked world is byte-identical
+  /// to its parent; after either side patches binaries, the usual
+  /// invalidate() convention applies to that side's loader only.
+  void adopt_caches(const Loader& other);
 };
 
 }  // namespace depchaos::loader

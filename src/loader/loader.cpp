@@ -82,6 +82,12 @@ void Loader::invalidate() {
   ld_cache_built_ = false;
 }
 
+void Loader::adopt_caches(const Loader& other) {
+  cache_ = other.cache_;
+  ld_cache_ = other.ld_cache_;
+  ld_cache_built_ = other.ld_cache_built_;
+}
+
 std::string Loader::expand_origin(std::string_view entry,
                                   std::string_view object_path) {
   if (entry.find("$ORIGIN") == std::string_view::npos &&

@@ -26,4 +26,10 @@ std::string libtree(vfs::FileSystem& fs, loader::Loader& loader,
 std::string render_tree(const loader::LoadReport& report,
                         const TreeOptions& options = {});
 
+/// Line-oriented diff of two rendered trees (LCS-based): unchanged lines
+/// prefixed "  ", removed "- ", added "+ ". Drives the what-if workflow:
+/// shrinkwrap inside a Session::fork(), then diff the fork's tree against
+/// the untouched base world's.
+std::string tree_diff(const std::string& before, const std::string& after);
+
 }  // namespace depchaos::shrinkwrap

@@ -1,7 +1,10 @@
 #include "depchaos/shrinkwrap/libtree.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
+
+#include "depchaos/support/strings.hpp"
 
 namespace depchaos::shrinkwrap {
 
@@ -75,6 +78,42 @@ std::string libtree(vfs::FileSystem& fs, loader::Loader& loader,
   (void)fs;
   const loader::LoadReport report = loader.load(exe_path, env);
   return render_tree(report, options);
+}
+
+std::string tree_diff(const std::string& before, const std::string& after) {
+  const auto a = support::split(before, '\n');
+  const auto b = support::split(after, '\n');
+  // Classic LCS table; rendered trees are small (one line per request edge).
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::vector<std::size_t>> lcs(n + 1,
+                                            std::vector<std::size_t>(m + 1, 0));
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      lcs[i][j] = a[i] == b[j] ? lcs[i + 1][j + 1] + 1
+                               : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+  std::string out;
+  std::size_t i = 0, j = 0;
+  const auto emit = [&out](const char* prefix, const std::string& line) {
+    if (line.empty()) return;  // trailing newline artifact
+    out += prefix;
+    out += line;
+    out += '\n';
+  };
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      emit("  ", a[i]);
+      ++i, ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      emit("- ", a[i++]);
+    } else {
+      emit("+ ", b[j++]);
+    }
+  }
+  while (i < n) emit("- ", a[i++]);
+  while (j < m) emit("+ ", b[j++]);
+  return out;
 }
 
 }  // namespace depchaos::shrinkwrap

@@ -1,10 +1,24 @@
-// In-memory POSIX-style filesystem with syscall accounting.
+// In-memory POSIX-style filesystem with syscall accounting and layered
+// copy-on-write storage.
 //
 // This is the substrate every packaging model in the paper is built on:
 // FHS trees, bundled AppDirs, Nix/Spack stores, module directories. The
 // loader simulator issues stat()/open() calls against it exactly the way
 // ld.so probes candidate paths, and the per-operation counters + latency
 // model produce the numbers behind Table II and Fig 6.
+//
+// Storage model: a FileSystem is a *view* over a chain of immutable,
+// reference-counted base layers plus one private mutable overlay. fork()
+// freezes the overlay into the chain and returns an O(1) writable sibling
+// view; node lookups fall through overlay -> base layers, and every
+// mutation lands in the forking view's own overlay (a shadowed directory
+// copy with an entry absent IS the whiteout record — directory children
+// lists are authoritative, so removals and renames need no separate
+// tombstones). Inode numbers, symlink hop limits, syscall counters, and
+// latency models are all per-view: a forked-then-mutated world is
+// observably byte-identical to a deep-copied-then-mutated one, which is
+// what lets core::Session::load_many hand every worker a private world
+// without paying O(world size) per worker.
 //
 // Conventions:
 //  * Paths are absolute, '/'-separated; "." and ".." are normalized away.
@@ -76,6 +90,27 @@ std::string basename(std::string_view path);
 class FileSystem {
  public:
   FileSystem();
+
+  /// Deep copy: flattens the layer chain into a fresh single-layer world.
+  /// The O(world) path — prefer fork() when the copy is read-mostly. The
+  /// latency model pointer is SHARED by a copy (matching the historical
+  /// copy semantics); callers needing isolated latency state re-install a
+  /// clone, or use fork() which clones automatically.
+  FileSystem(const FileSystem& other);
+  FileSystem& operator=(const FileSystem& other);
+  FileSystem(FileSystem&&) = default;
+  FileSystem& operator=(FileSystem&&) = default;
+
+  /// O(1) copy-on-write fork: freeze this view's overlay into the shared
+  /// immutable chain and return a sibling view over the same layers.
+  /// Subsequent mutations on either side are private to that side. The
+  /// child gets the same inode numbering a deep copy would (so post-fork
+  /// node allocations are byte-identical either way), zeroed syscall
+  /// counters, and its own latency model: a clone of this view's model
+  /// when the model supports clone(), else the shared pointer (callers
+  /// needing thread isolation with an uncloneable model must not fork
+  /// across threads — core::Session::load_many guards this).
+  FileSystem fork();
 
   // ----- setup (uncounted) -------------------------------------------------
 
@@ -165,6 +200,19 @@ class FileSystem {
   void set_counting(bool enabled) { counting_ = enabled; }
   bool counting() const { return counting_; }
 
+  // ----- storage introspection (fork cost accounting) ----------------------
+
+  /// Number of storage layers backing this view, counting the private
+  /// overlay: 1 for a flat (never-forked, freshly built or snapshot-loaded)
+  /// world, one more per frozen fork generation beneath it.
+  std::size_t layer_depth() const;
+
+  /// Approximate heap bytes held PRIVATELY by this view (overlay nodes and
+  /// shadow copies; shared base layers excluded). A fresh fork owns ~0; a
+  /// deep copy owns the whole world — the ratio is the CoW win that
+  /// bench/fork_scaling gates on.
+  std::uint64_t owned_bytes() const;
+
  private:
   struct Node {
     NodeType type = NodeType::Regular;
@@ -172,10 +220,31 @@ class FileSystem {
     std::vector<std::pair<std::string, InodeNum>> children;
     FileData data;            // Regular
     std::string link_target;  // Symlink
-    bool alive = true;
 
     InodeNum find_child(const std::string& name) const;
   };
+
+  /// One frozen fork generation. `nodes` holds inodes [start,
+  /// start+nodes.size()) appended during that generation; `shadowed` holds
+  /// CoW copies of older inodes the generation mutated (including the
+  /// directory copies that act as whiteouts).
+  struct Layer {
+    std::shared_ptr<const Layer> parent;
+    InodeNum start = 0;
+    std::vector<Node> nodes;
+    std::unordered_map<InodeNum, Node> shadowed;
+  };
+
+  // Read access to an inode, falling through overlay -> base chain.
+  const Node& node(InodeNum ino) const;
+  // Write access: returns the overlay's copy, creating the CoW shadow on
+  // first touch of a base-layer inode. The returned reference is
+  // invalidated by the next new_node()/mutable_node() call.
+  Node& mutable_node(InodeNum ino);
+  // One-past-the-end inode number (the next new_node() index).
+  InodeNum end_ino() const { return top_start_ + top_nodes_.size(); }
+  // Freeze the private overlay into the immutable chain (fork prologue).
+  void freeze_top();
 
   // Resolve `path` to an inode. If follow_final is false the last component
   // is not dereferenced when it is a symlink. Returns 0 (invalid) on miss.
@@ -193,7 +262,15 @@ class FileSystem {
   void charge(OpKind op, bool hit, const std::string& path);
   void remove_subtree(InodeNum ino);
 
-  std::vector<Node> nodes_;  // nodes_[0] unused; 1 = root
+  // Immutable shared layers (null for a never-forked world) ...
+  std::shared_ptr<const Layer> base_;
+  // ... plus the private mutable overlay: inodes >= top_start_ live in
+  // top_nodes_ (top_nodes_[0] is the unused slot 0 / root 1 pair in a flat
+  // world); older inodes this view mutated live in top_shadow_.
+  InodeNum top_start_ = 0;
+  std::vector<Node> top_nodes_;
+  std::unordered_map<InodeNum, Node> top_shadow_;
+
   std::size_t live_inodes_ = 0;
   SyscallStats stats_;
   std::shared_ptr<LatencyModel> latency_;

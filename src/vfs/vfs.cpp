@@ -64,16 +64,117 @@ InodeNum FileSystem::Node::find_child(const std::string& name) const {
 }
 
 FileSystem::FileSystem() {
-  nodes_.resize(2);
-  nodes_[1].type = NodeType::Directory;
+  top_nodes_.resize(2);  // [0] unused; [1] = root
+  top_nodes_[1].type = NodeType::Directory;
   live_inodes_ = 1;
 }
 
+FileSystem::FileSystem(const FileSystem& other) {
+  // Flatten the chain: the copy is a fresh single-layer world with the same
+  // inode numbering (dead nodes included, so post-copy allocations match).
+  const InodeNum end = other.end_ino();
+  top_nodes_.reserve(end);
+  for (InodeNum i = 0; i < end; ++i) top_nodes_.push_back(other.node(i));
+  live_inodes_ = other.live_inodes_;
+  stats_ = other.stats_;
+  latency_ = other.latency_;
+  counting_ = other.counting_;
+}
+
+FileSystem& FileSystem::operator=(const FileSystem& other) {
+  if (this != &other) {
+    FileSystem copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void FileSystem::freeze_top() {
+  if (base_ && top_nodes_.empty() && top_shadow_.empty()) return;
+  auto layer = std::make_shared<Layer>();
+  layer->parent = std::move(base_);
+  layer->start = top_start_;
+  layer->nodes = std::move(top_nodes_);
+  layer->shadowed = std::move(top_shadow_);
+  top_start_ = layer->start + layer->nodes.size();
+  top_nodes_.clear();
+  top_shadow_.clear();
+  base_ = std::move(layer);
+}
+
+FileSystem FileSystem::fork() {
+  freeze_top();
+  FileSystem child;
+  child.top_nodes_.clear();  // drop the default-constructed root
+  child.base_ = base_;
+  child.top_start_ = top_start_;
+  child.live_inodes_ = live_inodes_;
+  child.counting_ = counting_;
+  if (latency_) {
+    auto clone = latency_->clone();
+    child.latency_ = clone ? std::move(clone) : latency_;
+  }
+  return child;
+}
+
+const FileSystem::Node& FileSystem::node(InodeNum ino) const {
+  if (ino >= top_start_) return top_nodes_[ino - top_start_];
+  if (const auto it = top_shadow_.find(ino); it != top_shadow_.end()) {
+    return it->second;
+  }
+  for (const Layer* layer = base_.get(); layer != nullptr;
+       layer = layer->parent.get()) {
+    if (ino >= layer->start) return layer->nodes[ino - layer->start];
+    if (const auto it = layer->shadowed.find(ino);
+        it != layer->shadowed.end()) {
+      return it->second;
+    }
+  }
+  throw FsError("invalid inode");  // unreachable for allocated inode numbers
+}
+
+FileSystem::Node& FileSystem::mutable_node(InodeNum ino) {
+  if (ino >= top_start_) return top_nodes_[ino - top_start_];
+  const auto it = top_shadow_.find(ino);
+  if (it != top_shadow_.end()) return it->second;
+  // First write to a base-layer inode: make the CoW shadow copy.
+  return top_shadow_.emplace(ino, node(ino)).first->second;
+}
+
+std::size_t FileSystem::layer_depth() const {
+  std::size_t depth = 1;  // the private overlay
+  for (const Layer* layer = base_.get(); layer != nullptr;
+       layer = layer->parent.get()) {
+    ++depth;
+  }
+  return depth;
+}
+
+std::uint64_t FileSystem::owned_bytes() const {
+  const auto bytes_of = [](const Node& n) {
+    std::uint64_t total = sizeof(Node);
+    total += n.data.bytes.size();
+    total += n.link_target.size();
+    for (const auto& [name, ino] : n.children) {
+      (void)ino;
+      total += sizeof(std::pair<std::string, InodeNum>) + name.size();
+    }
+    return total;
+  };
+  std::uint64_t total = 0;
+  for (const Node& n : top_nodes_) total += bytes_of(n);
+  for (const auto& [ino, n] : top_shadow_) {
+    (void)ino;
+    total += bytes_of(n) + sizeof(InodeNum);
+  }
+  return total;
+}
+
 InodeNum FileSystem::new_node(NodeType type) {
-  nodes_.emplace_back();
-  nodes_.back().type = type;
+  top_nodes_.emplace_back();
+  top_nodes_.back().type = type;
   ++live_inodes_;
-  return nodes_.size() - 1;
+  return end_ino() - 1;
 }
 
 void FileSystem::charge(OpKind op, bool hit, const std::string& path) {
@@ -104,18 +205,18 @@ InodeNum FileSystem::resolve_components(const std::vector<std::string>& comps,
   InodeNum cur = 1;
   std::vector<std::string> canon;
   for (std::size_t i = 0; i < comps.size(); ++i) {
-    const Node& node = nodes_[cur];
-    if (node.type != NodeType::Directory) return 0;
-    const InodeNum child = node.find_child(comps[i]);
+    const Node& cur_node = node(cur);
+    if (cur_node.type != NodeType::Directory) return 0;
+    const InodeNum child = cur_node.find_child(comps[i]);
     if (child == 0) return 0;
     const bool is_final = (i + 1 == comps.size());
-    if (nodes_[child].type == NodeType::Symlink && (follow_final || !is_final)) {
+    if (node(child).type == NodeType::Symlink && (follow_final || !is_final)) {
       if (++hops > kMaxSymlinkHops) {
         throw FsError("too many levels of symbolic links");
       }
       // Build the target path: absolute targets restart from root; relative
       // targets are resolved against the link's directory.
-      std::string target = nodes_[child].link_target;
+      std::string target = node(child).link_target;
       std::string base;
       if (!target.empty() && target.front() == '/') {
         base = target;
@@ -160,7 +261,7 @@ InodeNum FileSystem::parent_of(const std::string& norm, bool create) {
   const std::string dir = dirname(norm);
   InodeNum ino = resolve(dir, /*follow_final=*/true);
   if (ino != 0) {
-    if (nodes_[ino].type != NodeType::Directory) {
+    if (node(ino).type != NodeType::Directory) {
       throw FsError("not a directory: " + dir);
     }
     return ino;
@@ -180,17 +281,17 @@ void FileSystem::mkdir_p(std::string_view path) {
   for (const auto& comp : support::split_nonempty(norm, '/')) {
     prefix += '/';
     prefix += comp;
-    InodeNum child = nodes_[cur].find_child(comp);
+    InodeNum child = node(cur).find_child(comp);
     if (child == 0) {
       child = new_node(NodeType::Directory);
-      nodes_[cur].children.emplace_back(comp, child);
-    } else if (nodes_[child].type == NodeType::Symlink) {
+      mutable_node(cur).children.emplace_back(comp, child);
+    } else if (node(child).type == NodeType::Symlink) {
       // Follow symlinked intermediate directories.
       child = resolve(prefix, /*follow_final=*/true);
-      if (child == 0 || nodes_[child].type != NodeType::Directory) {
+      if (child == 0 || node(child).type != NodeType::Directory) {
         throw FsError("not a directory (through symlink): " + prefix);
       }
-    } else if (nodes_[child].type != NodeType::Directory) {
+    } else if (node(child).type != NodeType::Directory) {
       throw FsError("not a directory: " + prefix);
     }
     cur = child;
@@ -202,8 +303,8 @@ void FileSystem::write_file(std::string_view path, FileData data) {
   if (norm == "/") throw FsError("cannot write to /");
   const InodeNum parent = parent_of(norm, /*create=*/true);
   const std::string name = basename(norm);
-  InodeNum child = nodes_[parent].find_child(name);
-  if (child != 0 && nodes_[child].type == NodeType::Symlink) {
+  InodeNum child = node(parent).find_child(name);
+  if (child != 0 && node(child).type == NodeType::Symlink) {
     // Writing through a symlink targets the link's destination.
     std::string canonical;
     const InodeNum target = resolve(norm, true, &canonical);
@@ -215,31 +316,34 @@ void FileSystem::write_file(std::string_view path, FileData data) {
   }
   if (child == 0) {
     child = new_node(NodeType::Regular);
-    nodes_[parent].children.emplace_back(name, child);
-  } else if (nodes_[child].type == NodeType::Directory) {
+    mutable_node(parent).children.emplace_back(name, child);
+  } else if (node(child).type == NodeType::Directory) {
     throw FsError("is a directory: " + norm);
   }
-  nodes_[child].data = std::move(data);
+  mutable_node(child).data = std::move(data);
 }
 
 void FileSystem::symlink(std::string_view target, std::string_view linkpath) {
   const std::string norm = normalize_path(linkpath);
   const InodeNum parent = parent_of(norm, /*create=*/true);
   const std::string name = basename(norm);
-  if (nodes_[parent].find_child(name) != 0) {
+  if (node(parent).find_child(name) != 0) {
     throw FsError("already exists: " + norm);
   }
   const InodeNum child = new_node(NodeType::Symlink);
-  nodes_[child].link_target = std::string(target);
-  nodes_[parent].children.emplace_back(name, child);
+  mutable_node(child).link_target = std::string(target);
+  mutable_node(parent).children.emplace_back(name, child);
 }
 
 void FileSystem::remove_subtree(InodeNum ino) {
-  for (const auto& [name, child] : nodes_[ino].children) {
+  // Bookkeeping only: once detached from its parent the subtree is
+  // unreachable, so the nodes themselves are left untouched — on a forked
+  // view, writing them would force pointless CoW copies of every node in
+  // the doomed subtree.
+  for (const auto& [name, child] : node(ino).children) {
+    (void)name;
     remove_subtree(child);
   }
-  nodes_[ino].children.clear();
-  nodes_[ino].alive = false;
   --live_inodes_;
 }
 
@@ -249,17 +353,16 @@ void FileSystem::remove(std::string_view path, bool recursive) {
   const InodeNum parent = resolve(dirname(norm), true);
   if (parent == 0) throw FsError("no such path: " + norm);
   const std::string name = basename(norm);
-  auto& children = nodes_[parent].children;
-  const auto it = std::find_if(children.begin(), children.end(),
-                               [&](const auto& p) { return p.first == name; });
-  if (it == children.end()) throw FsError("no such path: " + norm);
-  const InodeNum ino = it->second;
-  if (nodes_[ino].type == NodeType::Directory &&
-      !nodes_[ino].children.empty() && !recursive) {
+  const InodeNum ino = node(parent).find_child(name);
+  if (ino == 0) throw FsError("no such path: " + norm);
+  if (node(ino).type == NodeType::Directory && !node(ino).children.empty() &&
+      !recursive) {
     throw FsError("directory not empty: " + norm);
   }
   remove_subtree(ino);
-  children.erase(it);
+  auto& children = mutable_node(parent).children;
+  children.erase(std::find_if(children.begin(), children.end(),
+                              [&](const auto& p) { return p.first == name; }));
 }
 
 void FileSystem::rename(std::string_view from, std::string_view to) {
@@ -267,23 +370,28 @@ void FileSystem::rename(std::string_view from, std::string_view to) {
   const std::string norm_to = normalize_path(to);
   const InodeNum from_parent = resolve(dirname(norm_from), true);
   if (from_parent == 0) throw FsError("no such path: " + norm_from);
-  auto& from_children = nodes_[from_parent].children;
   const std::string from_name = basename(norm_from);
-  const auto it =
-      std::find_if(from_children.begin(), from_children.end(),
-                   [&](const auto& p) { return p.first == from_name; });
-  if (it == from_children.end()) throw FsError("no such path: " + norm_from);
-  const InodeNum moving = it->second;
-  from_children.erase(it);
+  InodeNum moving = 0;
+  {
+    auto& from_children = mutable_node(from_parent).children;
+    const auto it =
+        std::find_if(from_children.begin(), from_children.end(),
+                     [&](const auto& p) { return p.first == from_name; });
+    if (it == from_children.end()) {
+      throw FsError("no such path: " + norm_from);
+    }
+    moving = it->second;
+    from_children.erase(it);
+  }  // reference dropped: parent_of below may allocate nodes
 
   const InodeNum to_parent = parent_of(norm_to, /*create=*/true);
   const std::string to_name = basename(norm_to);
-  auto& to_children = nodes_[to_parent].children;
+  auto& to_children = mutable_node(to_parent).children;
   const auto existing =
       std::find_if(to_children.begin(), to_children.end(),
                    [&](const auto& p) { return p.first == to_name; });
   if (existing != to_children.end()) {
-    if (nodes_[existing->second].type == NodeType::Directory) {
+    if (node(existing->second).type == NodeType::Directory) {
       throw FsError("rename over directory: " + norm_to);
     }
     remove_subtree(existing->second);
@@ -303,12 +411,16 @@ bool FileSystem::exists(std::string_view path) const {
 std::vector<std::string> FileSystem::list_dir(std::string_view path) const {
   const InodeNum ino = resolve(path, true);
   if (ino == 0) throw FsError("no such directory: " + std::string(path));
-  if (nodes_[ino].type != NodeType::Directory) {
+  const Node& dir = node(ino);
+  if (dir.type != NodeType::Directory) {
     throw FsError("not a directory: " + std::string(path));
   }
   std::vector<std::string> out;
-  out.reserve(nodes_[ino].children.size());
-  for (const auto& [name, child] : nodes_[ino].children) out.push_back(name);
+  out.reserve(dir.children.size());
+  for (const auto& [name, child] : dir.children) {
+    (void)child;
+    out.push_back(name);
+  }
   return out;
 }
 
@@ -329,8 +441,8 @@ const FileData* FileSystem::peek(std::string_view path) const {
   } catch (const FsError&) {
     return nullptr;
   }
-  if (ino == 0 || nodes_[ino].type != NodeType::Regular) return nullptr;
-  return &nodes_[ino].data;
+  if (ino == 0 || node(ino).type != NodeType::Regular) return nullptr;
+  return &node(ino).data;
 }
 
 std::optional<NodeType> FileSystem::peek_type(std::string_view path,
@@ -342,7 +454,7 @@ std::optional<NodeType> FileSystem::peek_type(std::string_view path,
     return std::nullopt;
   }
   if (ino == 0) return std::nullopt;
-  return nodes_[ino].type;
+  return node(ino).type;
 }
 
 std::optional<std::string> FileSystem::peek_link_target(
@@ -353,8 +465,8 @@ std::optional<std::string> FileSystem::peek_link_target(
   } catch (const FsError&) {
     return std::nullopt;
   }
-  if (ino == 0 || nodes_[ino].type != NodeType::Symlink) return std::nullopt;
-  return nodes_[ino].link_target;
+  if (ino == 0 || node(ino).type != NodeType::Symlink) return std::nullopt;
+  return node(ino).link_target;
 }
 
 std::uint64_t FileSystem::disk_usage(std::string_view path) const {
@@ -369,14 +481,15 @@ std::uint64_t FileSystem::disk_usage(std::string_view path) const {
   std::uint64_t total = 0;
   std::vector<InodeNum> stack{ino};
   while (!stack.empty()) {
-    const InodeNum node = stack.back();
+    const Node& cur = node(stack.back());
     stack.pop_back();
-    switch (nodes_[node].type) {
+    switch (cur.type) {
       case NodeType::Regular:
-        total += nodes_[node].data.size();
+        total += cur.data.size();
         break;
       case NodeType::Directory:
-        for (const auto& [name, child] : nodes_[node].children) {
+        for (const auto& [name, child] : cur.children) {
+          (void)name;
           stack.push_back(child);
         }
         break;
@@ -397,9 +510,8 @@ std::optional<Stat> FileSystem::stat(std::string_view path) {
   }
   charge(OpKind::Stat, ino != 0, norm);
   if (ino == 0) return std::nullopt;
-  const Node& node = nodes_[ino];
-  return Stat{ino, node.type,
-              node.type == NodeType::Regular ? node.data.size() : 0};
+  const Node& n = node(ino);
+  return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
 }
 
 std::optional<Stat> FileSystem::lstat(std::string_view path) {
@@ -412,9 +524,8 @@ std::optional<Stat> FileSystem::lstat(std::string_view path) {
   }
   charge(OpKind::Stat, ino != 0, norm);
   if (ino == 0) return std::nullopt;
-  const Node& node = nodes_[ino];
-  return Stat{ino, node.type,
-              node.type == NodeType::Regular ? node.data.size() : 0};
+  const Node& n = node(ino);
+  return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
 }
 
 const FileData* FileSystem::open(std::string_view path) {
@@ -425,10 +536,10 @@ const FileData* FileSystem::open(std::string_view path) {
   } catch (const FsError&) {
     ino = 0;
   }
-  const bool hit = ino != 0 && nodes_[ino].type == NodeType::Regular;
+  const bool hit = ino != 0 && node(ino).type == NodeType::Regular;
   charge(OpKind::Open, hit, norm);
   if (!hit) return nullptr;
-  return &nodes_[ino].data;
+  return &node(ino).data;
 }
 
 void FileSystem::count_read(std::string_view path) {

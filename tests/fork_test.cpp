@@ -1,0 +1,423 @@
+// Copy-on-write world forks: vfs::FileSystem::fork(), core::Session::fork(),
+// and the what-if workflow built on them.
+//
+// The load-bearing property: a forked-then-mutated world is OBSERVABLY
+// byte-identical to a deep-copied-then-mutated world — same stat/open/
+// readlink answers, same readdir ordering, same inode numbers, same
+// errors — while allocating none of the deep copy's bytes up front.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "depchaos/core/world.hpp"
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/rng.hpp"
+#include "depchaos/vfs/snapshot.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::vfs {
+namespace {
+
+using core::Session;
+using core::WorldBuilder;
+using elf::make_executable;
+using elf::make_library;
+
+// ------------------------------------------------------------ fingerprint
+
+void fingerprint_tree(FileSystem& fs, const std::string& path,
+                      std::string& out) {
+  const auto lst = fs.lstat(path);
+  ASSERT_TRUE(lst.has_value()) << path;
+  out += path + " ino=" + std::to_string(lst->ino) +
+         " type=" + std::to_string(static_cast<int>(lst->type)) +
+         " size=" + std::to_string(lst->size);
+  if (lst->type == NodeType::Symlink) {
+    out += " -> " + fs.peek_link_target(path).value_or("?");
+    const auto followed = fs.stat(path);
+    out += followed ? " resolves ino=" + std::to_string(followed->ino)
+                    : std::string(" dangling");
+    out += " realpath=" + fs.realpath(path).value_or("(none)");
+  }
+  if (lst->type == NodeType::Regular) {
+    const FileData* data = fs.peek(path);
+    out += " bytes=" + (data ? data->bytes : std::string("?"));
+  }
+  out += '\n';
+  if (lst->type == NodeType::Directory) {
+    for (const auto& name : fs.list_dir(path)) {
+      fingerprint_tree(fs, path == "/" ? "/" + name : path + "/" + name, out);
+    }
+  }
+}
+
+/// Every observable read-path fact about the world, in deterministic
+/// (readdir) order. Counting is suspended so fingerprinting two views
+/// cannot make their own counters diverge.
+std::string fingerprint(FileSystem& fs) {
+  const bool was_counting = fs.counting();
+  fs.set_counting(false);
+  std::string out = "inodes=" + std::to_string(fs.inode_count()) +
+                    " du=" + std::to_string(fs.disk_usage("/")) + "\n";
+  fingerprint_tree(fs, "/", out);
+  fs.set_counting(was_counting);
+  return out;
+}
+
+// ----------------------------------------------------------- vfs basics
+
+TEST(FsForkTest, ForkSeesBaseAndIsolatesWrites) {
+  FileSystem base;
+  base.write_file("/usr/lib/libx.so", "x1");
+  base.symlink("libx.so", "/usr/lib/libx.so.1");
+
+  FileSystem child = base.fork();
+  EXPECT_EQ(child.peek("/usr/lib/libx.so")->bytes, "x1");
+  EXPECT_EQ(*child.peek_link_target("/usr/lib/libx.so.1"), "libx.so");
+
+  child.write_file("/usr/lib/liby.so", "y");
+  child.write_file("/usr/lib/libx.so", "x2");
+  EXPECT_EQ(child.peek("/usr/lib/libx.so")->bytes, "x2");
+  EXPECT_TRUE(child.exists("/usr/lib/liby.so"));
+  // The base never sees the fork's writes...
+  EXPECT_EQ(base.peek("/usr/lib/libx.so")->bytes, "x1");
+  EXPECT_FALSE(base.exists("/usr/lib/liby.so"));
+  // ...and vice versa.
+  base.write_file("/usr/lib/libz.so", "z");
+  EXPECT_FALSE(child.exists("/usr/lib/libz.so"));
+}
+
+TEST(FsForkTest, RemovalsAndRenamesAreWhiteoutsNotLeaks) {
+  FileSystem base;
+  base.write_file("/a/one", "1");
+  base.write_file("/a/two", "2");
+  base.write_file("/a/three", "3");
+
+  FileSystem child = base.fork();
+  child.remove("/a/two");
+  child.rename("/a/three", "/b/three");
+  EXPECT_FALSE(child.exists("/a/two"));
+  EXPECT_FALSE(child.exists("/a/three"));
+  EXPECT_EQ(child.peek("/b/three")->bytes, "3");
+  EXPECT_EQ(child.list_dir("/a"), (std::vector<std::string>{"one"}));
+  // Whiteouts are private to the fork.
+  EXPECT_EQ(base.list_dir("/a"),
+            (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_FALSE(base.exists("/b"));
+}
+
+TEST(FsForkTest, ForkIsO1AndLayerDepthTracksGenerations) {
+  FileSystem base;
+  for (int i = 0; i < 200; ++i) {
+    base.write_file("/data/file" + std::to_string(i),
+                    std::string(256, 'a' + (i % 26)));
+  }
+  EXPECT_EQ(base.layer_depth(), 1u);
+
+  const FileSystem deep(base);
+  FileSystem child = base.fork();
+  EXPECT_EQ(base.layer_depth(), 2u);
+  EXPECT_EQ(child.layer_depth(), 2u);
+  EXPECT_EQ(deep.layer_depth(), 1u);
+  // A fresh fork owns nothing; the deep copy owns the whole world.
+  EXPECT_EQ(child.owned_bytes(), 0u);
+  EXPECT_GT(deep.owned_bytes(), 200u * 256u);
+
+  FileSystem grandchild = child.fork();
+  EXPECT_EQ(grandchild.layer_depth(), 2u);  // child had no private writes
+  child.write_file("/data/file0", "mutated");
+  FileSystem after_write = child.fork();
+  EXPECT_EQ(after_write.layer_depth(), 3u);
+}
+
+TEST(FsForkTest, ForkClonesLatencyModelPerView) {
+  FileSystem base;
+  base.set_latency_model(std::make_shared<NfsModel>());
+  base.write_file("/f", "x");
+  FileSystem child = base.fork();
+  ASSERT_NE(child.latency_model(), nullptr);
+  EXPECT_NE(child.latency_model(), base.latency_model());
+  // Fresh per-view counters.
+  base.stat("/f");
+  EXPECT_EQ(base.stats().stat_calls, 1u);
+  EXPECT_EQ(child.stats().stat_calls, 0u);
+}
+
+// ----------------------------------------- fork vs deep copy, propertywise
+
+/// Apply `op` to both filesystems; they must agree on success or on the
+/// exact error.
+template <typename F>
+void apply_both(FileSystem& a, FileSystem& b, F&& op) {
+  std::string err_a = "(ok)", err_b = "(ok)";
+  try {
+    op(a);
+  } catch (const FsError& e) {
+    err_a = e.what();
+  }
+  try {
+    op(b);
+  } catch (const FsError& e) {
+    err_b = e.what();
+  }
+  ASSERT_EQ(err_a, err_b);
+}
+
+TEST(FsForkTest, PropertyForkedMutationsMatchDeepCopiedMutations) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xc0ffeeull}) {
+    support::Rng rng(seed);
+
+    // A seeded base world with depth, links, and clutter.
+    FileSystem base;
+    std::vector<std::string> pool;
+    for (int i = 0; i < 40; ++i) {
+      const std::string dir = "/d" + std::to_string(rng.below(6));
+      const std::string file =
+          dir + "/f" + std::to_string(rng.below(30));
+      base.write_file(file, "seed" + std::to_string(i));
+      pool.push_back(file);
+      pool.push_back(dir);
+    }
+    for (int i = 0; i < 8; ++i) {
+      const std::string link = "/links/l" + std::to_string(i);
+      try {
+        base.symlink(pool[rng.below(pool.size())], link);
+        pool.push_back(link);
+      } catch (const FsError&) {
+      }
+    }
+
+    FileSystem deep(base);
+    FileSystem forked = base.fork();
+    const std::string base_before = fingerprint(base);
+
+    // Identical random mutation traffic against both views.
+    for (int step = 0; step < 120; ++step) {
+      const std::string fresh =
+          "/d" + std::to_string(rng.below(8)) + "/n" +
+          std::to_string(rng.below(40));
+      const std::string victim = pool[rng.below(pool.size())];
+      const std::string target = pool[rng.below(pool.size())];
+      switch (rng.below(6)) {
+        case 0:
+          apply_both(deep, forked, [&](FileSystem& fs) {
+            fs.write_file(fresh, "step" + std::to_string(step));
+          });
+          pool.push_back(fresh);
+          break;
+        case 1:
+          apply_both(deep, forked, [&](FileSystem& fs) {
+            fs.write_file(victim, "over" + std::to_string(step));
+          });
+          break;
+        case 2:
+          apply_both(deep, forked,
+                     [&](FileSystem& fs) { fs.mkdir_p(fresh + "/sub"); });
+          pool.push_back(fresh + "/sub");
+          break;
+        case 3:
+          apply_both(deep, forked,
+                     [&](FileSystem& fs) { fs.symlink(target, fresh); });
+          pool.push_back(fresh);
+          break;
+        case 4:
+          apply_both(deep, forked, [&](FileSystem& fs) {
+            fs.remove(victim, /*recursive=*/true);
+          });
+          break;
+        case 5:
+          apply_both(deep, forked,
+                     [&](FileSystem& fs) { fs.rename(victim, fresh); });
+          pool.push_back(fresh);
+          break;
+      }
+    }
+
+    // Every read path agrees — paths, types, sizes, bytes, link targets,
+    // readdir ordering, AND inode numbers.
+    EXPECT_EQ(fingerprint(deep), fingerprint(forked)) << "seed " << seed;
+    // The shared base never moved.
+    EXPECT_EQ(fingerprint(base), base_before) << "seed " << seed;
+  }
+}
+
+TEST(FsForkTest, SnapshotRoundTripCollapsesLayers) {
+  FileSystem base;
+  base.write_file("/usr/lib/libx.so", "x");
+  base.symlink("libx.so", "/usr/lib/libx.so.1");
+  FileSystem child = base.fork();
+  child.write_file("/usr/lib/liby.so", "y");
+  child.remove("/usr/lib/libx.so.1");
+  FileSystem grandchild = child.fork();
+  grandchild.write_file("/etc/ld.so.conf", "/usr/lib");
+  ASSERT_GE(grandchild.layer_depth(), 3u);
+
+  const std::string image = save_world(grandchild);
+  FileSystem reloaded = load_world(image);
+  EXPECT_EQ(reloaded.layer_depth(), 1u);  // flat again
+  // Same observable world (inode numbers may legitimately differ after a
+  // collapse — dead nodes are gone — so compare the path-addressed facts).
+  EXPECT_EQ(save_world(reloaded), image);
+  EXPECT_TRUE(reloaded.exists("/usr/lib/liby.so"));
+  EXPECT_FALSE(reloaded.exists("/usr/lib/libx.so.1"));
+}
+
+}  // namespace
+}  // namespace depchaos::vfs
+
+// ------------------------------------------------------- Session::fork()
+
+namespace depchaos::core {
+namespace {
+
+using elf::make_executable;
+using elf::make_library;
+
+void expect_reports_identical(const loader::LoadReport& a,
+                              const loader::LoadReport& b) {
+  EXPECT_EQ(a.success, b.success);
+  ASSERT_EQ(a.load_order.size(), b.load_order.size());
+  for (std::size_t i = 0; i < a.load_order.size(); ++i) {
+    EXPECT_EQ(a.load_order[i].path, b.load_order[i].path);
+    EXPECT_EQ(a.load_order[i].how, b.load_order[i].how);
+  }
+  EXPECT_EQ(a.stats.stat_calls, b.stats.stat_calls);
+  EXPECT_EQ(a.stats.open_calls, b.stats.open_calls);
+  EXPECT_EQ(a.stats.failed_probes, b.stats.failed_probes);
+  EXPECT_DOUBLE_EQ(a.stats.sim_time_s, b.stats.sim_time_s);
+}
+
+WorldBuilder small_world() {
+  WorldBuilder builder;
+  workload::EmacsConfig config;
+  config.num_deps = 12;
+  config.num_dirs = 5;
+  builder.emacs(config);
+  return builder;
+}
+
+TEST(SessionForkTest, ChildLoadsMatchParentAndCountersStartFresh) {
+  auto parent = small_world().build();
+  const auto parent_report = parent.load();
+  auto child = parent.fork();
+  EXPECT_EQ(child.default_exe(), parent.default_exe());
+  EXPECT_EQ(child.fs().stats().stat_calls, 0u);
+  EXPECT_EQ(child.fs().stats().open_calls, 0u);
+  const auto child_report = child.load();
+  expect_reports_identical(parent_report, child_report);
+}
+
+TEST(SessionForkTest, ChildMutationsNeverLeakIntoParent) {
+  auto parent = small_world().build();
+  const std::string before = parent.save();
+  const auto unwrapped = parent.load();
+
+  auto child = parent.fork();
+  ASSERT_TRUE(child.shrinkwrap().ok());
+  const auto wrapped = child.load();
+  EXPECT_LT(wrapped.stats.metadata_calls(), unwrapped.stats.metadata_calls());
+
+  // The parent's world bytes and load behaviour are untouched.
+  EXPECT_EQ(parent.save(), before);
+  const auto parent_again = parent.load();
+  expect_reports_identical(unwrapped, parent_again);
+}
+
+TEST(SessionForkTest, SiblingForksAreMutuallyIsolated) {
+  auto parent = small_world().build();
+  auto a = parent.fork();
+  auto b = parent.fork();
+  a.fs().write_file("/only/in/a", "a");
+  b.fs().write_file("/only/in/b", "b");
+  EXPECT_TRUE(a.fs().exists("/only/in/a"));
+  EXPECT_FALSE(a.fs().exists("/only/in/b"));
+  EXPECT_TRUE(b.fs().exists("/only/in/b"));
+  EXPECT_FALSE(b.fs().exists("/only/in/a"));
+  EXPECT_FALSE(parent.fs().exists("/only/in/a"));
+  EXPECT_FALSE(parent.fs().exists("/only/in/b"));
+}
+
+TEST(SessionForkTest, ForkClonesStatefulLatencyModel) {
+  auto parent = small_world().nfs().build();
+  auto child = parent.fork();
+  ASSERT_NE(child.fs().latency_model(), nullptr);
+  EXPECT_NE(child.fs().latency_model(), parent.fs().latency_model());
+  const auto report = child.load();
+  EXPECT_GT(report.stats.sim_time_s, 0.0);
+}
+
+// A stateful model whose base-class clone() returns nullptr: load_many must
+// detect the shared pointer on the probe fork and fall back to serial.
+struct UncloneableModel final : vfs::LatencyModel {
+  double cost(vfs::OpKind, bool, const std::string&) override { return 1e-6; }
+  std::string name() const override { return "uncloneable"; }
+};
+
+TEST(SessionForkTest, LoadManyFallsBackToSerialWithUncloneableModel) {
+  auto builder = small_world();
+  builder.latency(std::make_shared<UncloneableModel>());
+  auto session = builder.build();
+  const std::vector<std::string> exes(3, session.default_exe());
+  const auto reports = session.load_many(exes);
+  ASSERT_EQ(reports.size(), exes.size());
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.success);
+    EXPECT_GT(report.stats.sim_time_s, 0.0);
+  }
+}
+
+TEST(SessionForkTest, LoadManyAfterForkStaysByteIdentical) {
+  WorldBuilder builder;
+  builder.install("/usr/lib/libcommon.so", make_library("libcommon.so"));
+  std::vector<std::string> exes;
+  for (int i = 0; i < 6; ++i) {
+    const std::string n = std::to_string(i);
+    builder.install("/apps/a" + n + "/lib/libp" + n + ".so",
+                    make_library("libp" + n + ".so", {"libcommon.so"}));
+    builder.install(
+        "/apps/a" + n + "/bin/app",
+        make_executable({"libp" + n + ".so"}, {"/apps/a" + n + "/lib"}));
+    exes.push_back("/apps/a" + n + "/bin/app");
+  }
+  auto session = builder.build();
+  auto child = session.fork();  // load_many through a forked session
+
+  std::vector<loader::LoadReport> serial;
+  for (const auto& exe : exes) serial.push_back(session.load(exe));
+  const auto parallel = child.load_many(exes);
+  ASSERT_EQ(parallel.size(), exes.size());
+  for (std::size_t i = 0; i < exes.size(); ++i) {
+    expect_reports_identical(serial[i], parallel[i]);
+  }
+}
+
+// ------------------------------------------------------------- what-if
+
+TEST(WhatIfTest, ReportsWrapEffectWithoutMutatingTheWorld) {
+  auto session = small_world().build();
+  const std::string before = session.save();
+  const auto report = session.whatif();
+  EXPECT_TRUE(report.wrap.ok());
+  EXPECT_LT(report.after.stats.metadata_calls(),
+            report.before.stats.metadata_calls());
+  EXPECT_NE(report.before_tree, report.after_tree);
+  EXPECT_NE(report.tree_diff.find("+ "), std::string::npos);
+  EXPECT_NE(report.tree_diff.find("- "), std::string::npos);
+  // The session's world is byte-identical afterwards.
+  EXPECT_EQ(session.save(), before);
+  // And the wrap really did NOT apply here: loading is still search-based.
+  const auto still_unwrapped = session.load();
+  EXPECT_EQ(still_unwrapped.stats.metadata_calls(),
+            report.before.stats.metadata_calls());
+}
+
+TEST(WhatIfTest, TreeDiffMarksChangedLines) {
+  const std::string diff = shrinkwrap::tree_diff("a\nb\nc\n", "a\nx\nc\n");
+  EXPECT_EQ(diff, "  a\n- b\n+ x\n  c\n");
+  EXPECT_EQ(shrinkwrap::tree_diff("same\n", "same\n"), "  same\n");
+}
+
+}  // namespace
+}  // namespace depchaos::core

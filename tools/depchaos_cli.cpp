@@ -8,6 +8,7 @@
 //   depchaos libtree  world.dcw /apps/pynamic/bigexe
 //   depchaos ldd      world.dcw /apps/pynamic/bigexe --debug
 //   depchaos shrinkwrap world.dcw /apps/pynamic/bigexe   (rewrites world.dcw)
+//   depchaos whatif   world.dcw /apps/pynamic/bigexe   (fork; no rewrite)
 //   depchaos verify   world.dcw /apps/pynamic/bigexe
 //   depchaos patchelf world.dcw /path --set-runpath /a:/b
 //   depchaos launch   world.dcw /apps/pynamic/bigexe --ranks=512
@@ -46,6 +47,9 @@ namespace {
       "  depchaos libtree <world-file> <exe> [--paths]\n"
       "  depchaos ldd <world-file> <exe> [--debug] [--env=DIR:DIR...]\n"
       "  depchaos shrinkwrap <world-file> <exe> [--no-lift] [--audit-dlopen]\n"
+      "  depchaos whatif <world-file> <exe> [--paths] [--audit-dlopen]\n"
+      "      (shrinkwrap inside a CoW fork; prints the libtree diff;\n"
+      "       never rewrites the world file)\n"
       "  depchaos verify <world-file> <exe> [--env=DIR:DIR...]\n"
       "  depchaos patchelf <world-file> <path> (--set-runpath|--set-rpath)"
       " A:B | --print\n"
@@ -184,6 +188,36 @@ int cmd_shrinkwrap(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_whatif(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  core::SessionConfig config;
+  config.search.classify_cache_hits = true;  // libtree-grade annotations
+  auto session = open_session(args, std::move(config));
+  core::Session::WrapOptions options;
+  options.audit_dlopens = has_flag(args, "--audit-dlopen");
+  core::Session::TreeOptions tree;
+  tree.show_paths = has_flag(args, "--paths");
+  const auto report = session.whatif(args[1], options, tree);
+  if (!report.wrap.ok()) {
+    for (const auto& name : report.wrap.unresolved) {
+      std::fprintf(stderr, "unresolved: %s\n", name.c_str());
+    }
+    return 1;
+  }
+  std::printf("--- %s (as is)\n+++ %s (shrinkwrapped, in a fork)\n",
+              args[1].c_str(), args[1].c_str());
+  std::fputs(report.tree_diff.c_str(), stdout);
+  std::printf("\nwould freeze %zu needed entries\n",
+              report.wrap.new_needed.size());
+  std::printf("metadata syscalls: %llu -> %llu\n",
+              static_cast<unsigned long long>(
+                  report.before.stats.metadata_calls()),
+              static_cast<unsigned long long>(
+                  report.after.stats.metadata_calls()));
+  std::printf("%s left untouched\n", args[0].c_str());
+  return 0;
+}
+
 int cmd_verify(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
   auto session = open_session(args);
@@ -253,6 +287,7 @@ int main(int argc, char** argv) {
     if (command == "libtree") return cmd_libtree(args);
     if (command == "ldd") return cmd_ldd(args);
     if (command == "shrinkwrap") return cmd_shrinkwrap(args);
+    if (command == "whatif") return cmd_whatif(args);
     if (command == "verify") return cmd_verify(args);
     if (command == "patchelf") return cmd_patchelf(args);
     if (command == "launch") return cmd_launch(args);
