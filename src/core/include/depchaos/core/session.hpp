@@ -72,8 +72,11 @@ class Session {
   /// with the same search config, dialect policy, environment, and default
   /// target; a per-view latency model (cloned at fork time when the model
   /// supports it); FRESH syscall counters; and the parent's parsed-object /
-  /// ld.so caches adopted (safe: parsed objects are immutable and the
-  /// worlds are identical at the fork point). Mutations on either side —
+  /// ld.so caches adopted (safe: parsed objects are immutable, keyed by
+  /// PathId in the interner the fork family shares, and the worlds are
+  /// identical at the fork point). The support::PathTable is inherited
+  /// too — append-only with lock-free id reads, so a forked fleet interns
+  /// every probed path exactly once fleet-wide. Mutations on either side —
   /// installs, patches, shrinkwrap — never leak across the boundary, which
   /// makes forks the primitive for what-if experiments and per-worker
   /// isolation in load_many.

@@ -52,11 +52,13 @@ Session::WhatIfReport Session::whatif(std::string_view exe,
   // libtree() is load() + render_tree(); render from the reports we keep
   // anyway instead of resolving each closure twice.
   report.before = load(target);
-  report.before_tree = ::depchaos::shrinkwrap::render_tree(report.before, tree);
+  report.before_tree =
+      ::depchaos::shrinkwrap::render_tree(report.before, tree, fs_->paths());
   Session sandbox = fork();
   report.wrap = sandbox.shrinkwrap(target, std::move(options));
   report.after = sandbox.load(target);
-  report.after_tree = ::depchaos::shrinkwrap::render_tree(report.after, tree);
+  report.after_tree =
+      ::depchaos::shrinkwrap::render_tree(report.after, tree, fs_->paths());
   report.tree_diff =
       ::depchaos::shrinkwrap::tree_diff(report.before_tree, report.after_tree);
   return report;

@@ -34,6 +34,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -176,6 +177,17 @@ class Loader {
   struct Resolution {
     std::string path;
     HowFound how = HowFound::NotFound;
+    /// Interned id of `path` when the resolver produced one (probe reuse);
+    /// kNone for paths carried through verbatim (app cache, preloads).
+    support::PathId id = support::PathTable::kNone;
+  };
+
+  /// Outcome of a batched directory sweep: which search dir accepted the
+  /// candidate (index into the swept dir list) and the candidate's id.
+  struct DirProbe {
+    std::size_t dir = vfs::FileSystem::npos;
+    support::PathId id = support::PathTable::kNone;
+    bool found() const { return dir != vfs::FileSystem::npos; }
   };
 
   // Pending BFS work item: `needed` entry requested by load_order[req_index].
@@ -187,10 +199,11 @@ class Loader {
   // Per-load mutable state.
   struct Session {
     LoadReport report;
-    // Dedup indices into report.load_order.
+    // Dedup indices into report.load_order. Names and sonames are request
+    // strings; the inode-proxy map is keyed by interned canonical PathId.
     std::unordered_map<std::string, std::size_t> by_name;      // request str
     std::unordered_map<std::string, std::size_t> by_soname;    // DT_SONAME
-    std::unordered_map<std::string, std::size_t> by_realpath;  // inode proxy
+    std::unordered_map<support::PathId, std::size_t> by_realpath;
     // Parsed per-application loader cache ("" when absent/disabled).
     std::unordered_map<std::string, std::string> app_cache;
     const Environment* env = nullptr;
@@ -202,8 +215,24 @@ class Loader {
                                           const std::string& name) const;
   Resolution search(Session& session, const std::string& name,
                     std::size_t requester_index);
-  bool try_candidate(const std::string& dir, const std::string& name,
-                     elf::Machine machine, std::string& out_path);
+  /// Intern a search directory: absolute dirs directly, relative dirs (a
+  /// historic security hole) resolved against / — functional but
+  /// unremarkable, as before.
+  support::PathId intern_dir(std::string_view dir) const;
+  /// Sweep `dirs` for `name`, hwcaps subdirectories before each plain dir,
+  /// as ONE batched VFS probe call — candidates are (dir id, name) steps in
+  /// the interner, never string concatenation.
+  DirProbe probe_dirs(std::span<const support::PathId> dirs,
+                      const std::string& name, elf::Machine machine);
+  /// Shared probe verdict: ELF magic + architecture checks with LD_DEBUG
+  /// style logging. `data` is the already-opened candidate (null = ENOENT).
+  bool classify_probe(const std::string& path, const vfs::FileData* data,
+                      elf::Machine machine);
+  /// Single ELF-validity probe of one candidate. `log_as` overrides the
+  /// probe-log spelling (paths carried verbatim from caches/preloads keep
+  /// their original bytes); by default the interned string is logged.
+  bool probe_file(support::PathId id, elf::Machine machine,
+                  const std::string* log_as = nullptr);
   bool probe_file(const std::string& path, elf::Machine machine);
   void ensure_ld_cache();
   std::size_t register_object(Session& session, LoadedObject loaded);
@@ -214,28 +243,41 @@ class Loader {
   Resolution search_phase(SearchPhase phase, Session& session,
                           const std::string& name, std::size_t requester_index,
                           elf::Machine machine);
-  /// The inherited rpath chain for `requester`. `own_count` receives how
-  /// many leading entries came from the requester's own dynamic section
-  /// (they are reported HowFound::Rpath; the rest RpathAncestor).
-  std::vector<std::string> effective_rpath_chain(const Session& session,
-                                                 std::size_t requester_index,
-                                                 std::size_t& own_count) const;
+  /// The inherited rpath chain for `requester`, as interned dir ids.
+  /// `own_count` receives how many leading entries came from the
+  /// requester's own dynamic section (they are reported HowFound::Rpath;
+  /// the rest RpathAncestor).
+  std::vector<support::PathId> effective_rpath_chain(
+      const Session& session, std::size_t requester_index,
+      std::size_t& own_count) const;
 
-  static std::string expand_origin(std::string_view entry,
-                                   std::string_view object_path);
+  /// Expand $ORIGIN/${ORIGIN} in one pass. Returns `entry` itself when
+  /// there is nothing to expand (no allocation — the common case), else a
+  /// view of `storage` holding the expansion.
+  static std::string_view expand_origin(std::string_view entry,
+                                        std::string_view object_path,
+                                        std::string& storage);
 
   vfs::FileSystem& fs_;
+  // The world's interner (shared across the whole fork family); candidate
+  // construction, closure keys, and the parsed-object cache all speak ids.
+  std::shared_ptr<support::PathTable> paths_;
   SearchConfig config_;
   std::shared_ptr<const SearchPolicy> policy_;
   Dialect dialect_;
-  // Parsed-object cache keyed by canonical path (never invalidated: loads
-  // are read-only with respect to binaries; Patcher edits go through the
-  // VFS, so tests that patch then reload construct a fresh Loader or call
-  // invalidate()).
-  std::unordered_map<std::string, std::shared_ptr<const elf::Object>> cache_;
+  // Parsed-object cache keyed by canonical PathId (never invalidated:
+  // loads are read-only with respect to binaries; Patcher edits go through
+  // the VFS, so tests that patch then reload construct a fresh Loader or
+  // call invalidate()).
+  std::unordered_map<support::PathId, std::shared_ptr<const elf::Object>>
+      cache_;
   // ld.so.cache: name -> (path, from ld_so_conf or default).
   std::unordered_map<std::string, Resolution> ld_cache_;
   bool ld_cache_built_ = false;
+  // Scratch for probe_dirs (reused so the per-soname sweep allocates only
+  // on high-water growth).
+  std::vector<support::PathId> scratch_candidates_;
+  std::vector<std::size_t> scratch_candidate_dir_;
   // Active probe log during a load() (null when record_probes is off).
   std::vector<std::string>* probe_log_ = nullptr;
 

@@ -72,6 +72,7 @@ Loader::Loader(vfs::FileSystem& fs, SearchConfig config, Dialect dialect)
 Loader::Loader(vfs::FileSystem& fs, SearchConfig config,
                std::shared_ptr<const SearchPolicy> policy)
     : fs_(fs),
+      paths_(fs.path_table()),
       config_(std::move(config)),
       policy_(std::move(policy)),
       dialect_(SearchPolicy::dialect_of(*policy_)) {}
@@ -88,24 +89,49 @@ void Loader::adopt_caches(const Loader& other) {
   ld_cache_built_ = other.ld_cache_built_;
 }
 
-std::string Loader::expand_origin(std::string_view entry,
-                                  std::string_view object_path) {
-  if (entry.find("$ORIGIN") == std::string_view::npos &&
-      entry.find("${ORIGIN}") == std::string_view::npos) {
-    return std::string(entry);
+std::string_view Loader::expand_origin(std::string_view entry,
+                                       std::string_view object_path,
+                                       std::string& storage) {
+  // Single pass over the entry: both spellings are recognized at each '$'
+  // (they cannot overlap), the origin is computed only when a token
+  // actually matches, and an entry without one is returned as-is — no
+  // allocation on the overwhelmingly common no-DST path.
+  std::string origin;
+  bool expanding = false;
+  std::size_t copied = 0;  // start of the not-yet-copied tail
+  for (std::size_t pos = entry.find('$'); pos != std::string_view::npos;
+       pos = entry.find('$', pos + 1)) {
+    const std::string_view rest = entry.substr(pos);
+    std::size_t token = 0;
+    if (rest.starts_with("${ORIGIN}")) {
+      token = 9;
+    } else if (rest.starts_with("$ORIGIN")) {
+      token = 7;
+    } else {
+      continue;
+    }
+    if (!expanding) {
+      expanding = true;
+      storage.clear();
+      origin = vfs::dirname(object_path);
+    }
+    storage += entry.substr(copied, pos - copied);
+    storage += origin;
+    copied = pos + token;
   }
-  const std::string origin = vfs::dirname(object_path);
-  std::string out = support::replace_all(entry, "${ORIGIN}", origin);
-  out = support::replace_all(out, "$ORIGIN", origin);
-  return out;
+  if (!expanding) return entry;
+  storage += entry.substr(copied);
+  return storage;
 }
 
 std::shared_ptr<const elf::Object> Loader::fetch_object(
     const std::string& path, bool count_read) {
-  const auto canonical = fs_.realpath(path);
-  const std::string key = canonical.value_or(path);
+  const support::PathId id = fs_.intern(path);
+  const support::PathId canonical = fs_.resolve_canonical(id);
+  const support::PathId key =
+      canonical != support::PathTable::kNone ? canonical : id;
   if (const auto it = cache_.find(key); it != cache_.end()) {
-    if (count_read) fs_.count_read(path);
+    if (count_read) fs_.count_read(id);
     return it->second;
   }
   const vfs::FileData* data = fs_.peek(path);
@@ -113,12 +139,12 @@ std::shared_ptr<const elf::Object> Loader::fetch_object(
   if (!elf::looks_like_self(data->bytes)) return nullptr;
   auto object = std::make_shared<const elf::Object>(elf::parse(data->bytes));
   cache_.emplace(key, object);
-  if (count_read) fs_.count_read(path);
+  if (count_read) fs_.count_read(id);
   return object;
 }
 
-bool Loader::probe_file(const std::string& path, elf::Machine machine) {
-  const vfs::FileData* data = fs_.open(path);  // counted probe
+bool Loader::classify_probe(const std::string& path,
+                            const vfs::FileData* data, elf::Machine machine) {
   if (data == nullptr) {
     if (probe_log_) probe_log_->push_back("trying " + path + " ... ENOENT");
     return false;
@@ -143,29 +169,56 @@ bool Loader::probe_file(const std::string& path, elf::Machine machine) {
   return true;
 }
 
-bool Loader::try_candidate(const std::string& dir, const std::string& name,
-                           elf::Machine machine, std::string& out_path) {
+bool Loader::probe_file(support::PathId id, elf::Machine machine,
+                        const std::string* log_as) {
+  const vfs::FileData* data = fs_.open(id);  // counted probe
+  return classify_probe(log_as != nullptr ? *log_as : paths_->str(id), data,
+                        machine);
+}
+
+bool Loader::probe_file(const std::string& path, elf::Machine machine) {
+  // Keeps the caller's spelling in the probe log (app-cache and preload
+  // paths travel verbatim); interning normalizes for the probe itself.
+  return probe_file(fs_.intern(path), machine, &path);
+}
+
+support::PathId Loader::intern_dir(std::string_view dir) const {
   if (dir.empty() || dir.front() != '/') {
-    // Relative search dirs (a historic security hole) resolve against /;
-    // keep them functional but unremarkable.
-    return try_candidate("/" + dir, name, machine, out_path);
+    return paths_->intern_under(support::PathTable::kRoot, dir);
   }
-  if (policy_->probes_hwcaps()) {
-    for (const auto& hwcap : config_.hwcaps) {
-      const std::string candidate =
-          vfs::normalize_path(dir + "/" + hwcap + "/" + name);
-      if (probe_file(candidate, machine)) {
-        out_path = candidate;
-        return true;
+  return paths_->intern(dir);
+}
+
+Loader::DirProbe Loader::probe_dirs(std::span<const support::PathId> dirs,
+                                    const std::string& name,
+                                    elf::Machine machine) {
+  // Lay out every candidate for this soname — hwcaps subdirectories before
+  // each plain dir, in dir order — then hand the whole sweep to the VFS as
+  // one batched call. Each attempt is charged exactly like a standalone
+  // open(2) probe, so counters and latency are byte-identical to the old
+  // dir-by-dir loop.
+  auto& candidates = scratch_candidates_;
+  auto& candidate_dir = scratch_candidate_dir_;
+  candidates.clear();
+  candidate_dir.clear();
+  const bool hwcaps = policy_->probes_hwcaps();
+  for (std::size_t d = 0; d < dirs.size(); ++d) {
+    if (hwcaps) {
+      for (const auto& hwcap : config_.hwcaps) {
+        candidates.push_back(
+            paths_->child(paths_->intern_under(dirs[d], hwcap), name));
+        candidate_dir.push_back(d);
       }
     }
+    candidates.push_back(paths_->child(dirs[d], name));
+    candidate_dir.push_back(d);
   }
-  const std::string candidate = vfs::normalize_path(dir + "/" + name);
-  if (probe_file(candidate, machine)) {
-    out_path = candidate;
-    return true;
-  }
-  return false;
+  const std::size_t hit = fs_.open_first(
+      candidates, [&](std::size_t i, const vfs::FileData* data) {
+        return classify_probe(paths_->str(candidates[i]), data, machine);
+      });
+  if (hit == vfs::FileSystem::npos) return DirProbe{};
+  return DirProbe{candidate_dir[hit], candidates[hit]};
 }
 
 void Loader::ensure_ld_cache() {
@@ -175,10 +228,12 @@ void Loader::ensure_ld_cache() {
   auto scan = [&](const std::vector<std::string>& dirs, HowFound how) {
     for (const auto& dir : dirs) {
       if (!fs_.exists(dir)) continue;
+      const support::PathId dir_id = intern_dir(dir);
       for (const auto& name : fs_.list_dir(dir)) {
         const std::string path = dir + "/" + name;
         if (!ld_cache_.contains(name)) {
-          ld_cache_.emplace(name, Resolution{path, how});
+          ld_cache_.emplace(name,
+                            Resolution{path, how, paths_->child(dir_id, name)});
         }
       }
     }
@@ -187,16 +242,18 @@ void Loader::ensure_ld_cache() {
   scan(config_.default_paths, HowFound::DefaultPath);
 }
 
-std::vector<std::string> Loader::effective_rpath_chain(
+std::vector<support::PathId> Loader::effective_rpath_chain(
     const Session& session, std::size_t requester_index,
     std::size_t& own_count) const {
   // Non-melding (glibc, Table I): DT_RPATH of the requester, then of each
   // ancestor up to the executable. Any object carrying DT_RUNPATH
   // contributes nothing from its DT_RPATH, and a requester with DT_RUNPATH
   // disables the whole chain. Melding (musl, §IV): RPATH and RUNPATH of
-  // every link in the ancestry, both propagated.
+  // every link in the ancestry, both propagated. Entries come back as
+  // interned dir ids — $ORIGIN expansion is the only string work left, and
+  // only for entries that actually carry a DST.
   const bool meld = policy_->melds_rpath_runpath();
-  std::vector<std::string> dirs;
+  std::vector<support::PathId> dirs;
   own_count = 0;
   const auto& order = session.report.load_order;
   const LoadedObject& requester = order[requester_index];
@@ -206,19 +263,20 @@ std::vector<std::string> Loader::effective_rpath_chain(
   }
   std::int64_t index = static_cast<std::int64_t>(requester_index);
   bool first = true;
+  std::string storage;
   while (index >= 0) {
     const LoadedObject& node = order[static_cast<std::size_t>(index)];
     if (node.object) {
       const bool has_runpath = !node.object->dyn.runpath.empty();
       if (meld || !has_runpath) {
         for (const auto& dir : node.object->dyn.rpath) {
-          dirs.push_back(expand_origin(dir, node.path));
+          dirs.push_back(intern_dir(expand_origin(dir, node.path, storage)));
           if (first) ++own_count;
         }
       }
       if (meld) {
         for (const auto& dir : node.object->dyn.runpath) {
-          dirs.push_back(expand_origin(dir, node.path));
+          dirs.push_back(intern_dir(expand_origin(dir, node.path, storage)));
           if (first) ++own_count;
         }
       }
@@ -254,10 +312,18 @@ Loader::Resolution Loader::search(Session& session, const std::string& name,
 
   // Needed entries containing '/' are used as-is (after DST expansion).
   if (name.find('/') != std::string::npos) {
-    std::string path = expand_origin(name, requester.path);
-    if (!path.empty() && path.front() == '/') {
-      path = vfs::normalize_path(path);
+    std::string storage;
+    const std::string_view expanded =
+        expand_origin(name, requester.path, storage);
+    if (!expanded.empty() && expanded.front() == '/') {
+      const support::PathId id = paths_->intern(expanded);
+      if (probe_file(id, machine)) {
+        return Resolution{paths_->str(id), HowFound::AbsolutePath, id};
+      }
+      return Resolution{{}, HowFound::NotFound};
     }
+    // Relative entry with '/': probing throws like open() always has.
+    std::string path(expanded);
     if (probe_file(path, machine)) {
       return Resolution{path, HowFound::AbsolutePath};
     }
@@ -290,65 +356,75 @@ Loader::Resolution Loader::search_phase(SearchPhase phase, Session& session,
                                         elf::Machine machine) {
   const LoadedObject& requester =
       session.report.load_order[requester_index];
-  std::string found;
+  // Each phase lays out its full candidate sweep and issues it as one
+  // batched probe call; the accepting dir index maps back to the
+  // phase-specific HowFound label.
   switch (phase) {
     case SearchPhase::RpathChain: {
       std::size_t own = 0;
       const auto chain = effective_rpath_chain(session, requester_index, own);
-      for (std::size_t i = 0; i < chain.size(); ++i) {
-        if (try_candidate(chain[i], name, machine, found)) {
-          // Melding dialects historically label only the first own entry as
-          // the requester's rpath (musl has no RPATH/RUNPATH distinction to
-          // report); non-melding labels every own DT_RPATH entry.
-          const bool own_hit = policy_->melds_rpath_runpath()
-                                   ? (i == 0 && own > 0)
-                                   : (i < own);
-          return Resolution{found, own_hit ? HowFound::Rpath
-                                           : HowFound::RpathAncestor};
-        }
-      }
-      return Resolution{{}, HowFound::NotFound};
+      const DirProbe hit = probe_dirs(chain, name, machine);
+      if (!hit.found()) return Resolution{{}, HowFound::NotFound};
+      // Melding dialects historically label only the first own entry as
+      // the requester's rpath (musl has no RPATH/RUNPATH distinction to
+      // report); non-melding labels every own DT_RPATH entry.
+      const bool own_hit = policy_->melds_rpath_runpath()
+                               ? (hit.dir == 0 && own > 0)
+                               : (hit.dir < own);
+      return Resolution{paths_->str(hit.id),
+                        own_hit ? HowFound::Rpath : HowFound::RpathAncestor,
+                        hit.id};
     }
     case SearchPhase::LdLibraryPath: {
+      std::vector<support::PathId> dirs;
+      dirs.reserve(session.env->ld_library_path.size());
       for (const auto& dir : session.env->ld_library_path) {
-        if (try_candidate(dir, name, machine, found)) {
-          return Resolution{found, HowFound::LdLibraryPath};
-        }
+        dirs.push_back(intern_dir(dir));
       }
-      return Resolution{{}, HowFound::NotFound};
+      const DirProbe hit = probe_dirs(dirs, name, machine);
+      if (!hit.found()) return Resolution{{}, HowFound::NotFound};
+      return Resolution{paths_->str(hit.id), HowFound::LdLibraryPath, hit.id};
     }
     case SearchPhase::Runpath: {
       if (!requester.object) return Resolution{{}, HowFound::NotFound};
+      std::vector<support::PathId> dirs;
+      dirs.reserve(requester.object->dyn.runpath.size());
+      std::string storage;
       for (const auto& dir : requester.object->dyn.runpath) {
-        if (try_candidate(expand_origin(dir, requester.path), name, machine,
-                          found)) {
-          return Resolution{found, HowFound::Runpath};
-        }
+        dirs.push_back(intern_dir(expand_origin(dir, requester.path, storage)));
       }
-      return Resolution{{}, HowFound::NotFound};
+      const DirProbe hit = probe_dirs(dirs, name, machine);
+      if (!hit.found()) return Resolution{{}, HowFound::NotFound};
+      return Resolution{paths_->str(hit.id), HowFound::Runpath, hit.id};
     }
     case SearchPhase::SystemPaths: {
       if (policy_->uses_ld_cache() && config_.use_ld_cache) {
         ensure_ld_cache();
         if (const auto it = ld_cache_.find(name); it != ld_cache_.end()) {
           // The cache told us where to look; the loader still open()s it.
-          if (probe_file(it->second.path, machine)) {
+          if (probe_file(it->second.id, machine, &it->second.path)) {
             return it->second;
           }
         }
         return Resolution{{}, HowFound::NotFound};
       }
+      // No cache: sweep ld.so.conf dirs then the trusted defaults as one
+      // batch; the boundary index decides the label.
+      std::vector<support::PathId> dirs;
+      dirs.reserve(config_.ld_so_conf.size() + config_.default_paths.size());
       for (const auto& dir : config_.ld_so_conf) {
-        if (try_candidate(dir, name, machine, found)) {
-          return Resolution{found, HowFound::LdSoConf};
-        }
+        dirs.push_back(intern_dir(dir));
       }
       for (const auto& dir : config_.default_paths) {
-        if (try_candidate(dir, name, machine, found)) {
-          return Resolution{found, HowFound::DefaultPath};
-        }
+        dirs.push_back(intern_dir(dir));
       }
-      return Resolution{{}, HowFound::NotFound};
+      const DirProbe hit = probe_dirs(dirs, name, machine);
+      if (!hit.found()) return Resolution{{}, HowFound::NotFound};
+      return Resolution{paths_->str(hit.id),
+                        hit.dir < config_.ld_so_conf.size()
+                            ? HowFound::LdSoConf
+                            : HowFound::DefaultPath,
+                        hit.id};
     }
   }
   return Resolution{{}, HowFound::NotFound};
@@ -361,7 +437,7 @@ std::size_t Loader::register_object(Session& session, LoadedObject loaded) {
   // requested string and by canonical path (the inode proxy).
   session.by_name.emplace(loaded.name, index);
   if (!loaded.real_path.empty()) {
-    session.by_realpath.emplace(loaded.real_path, index);
+    session.by_realpath.emplace(fs_.intern(loaded.real_path), index);
   }
   if (loaded.object && !loaded.object->dyn.soname.empty() &&
       policy_->dedups_by_soname()) {
@@ -507,7 +583,7 @@ void Loader::process_request(Session& session, const WorkItem& item,
 
   // Post-resolution inode dedup (both dialects; this is how musl avoids
   // double-loading a file reached via two different strings).
-  if (const auto it = session.by_realpath.find(request.real_path);
+  if (const auto it = session.by_realpath.find(fs_.intern(request.real_path));
       it != session.by_realpath.end()) {
     const LoadedObject& original = session.report.load_order[it->second];
     request.how = HowFound::Cache;
@@ -544,7 +620,9 @@ LoadedObject Loader::dlopen(LoadReport& report, const std::string& caller_path,
   for (std::size_t i = 0; i < session.report.load_order.size(); ++i) {
     const auto& obj = session.report.load_order[i];
     session.by_name.emplace(obj.name, i);
-    if (!obj.real_path.empty()) session.by_realpath.emplace(obj.real_path, i);
+    if (!obj.real_path.empty()) {
+      session.by_realpath.emplace(fs_.intern(obj.real_path), i);
+    }
     if (policy_->dedups_by_soname() && obj.object &&
         !obj.object->dyn.soname.empty()) {
       session.by_soname.emplace(obj.object->dyn.soname, i);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "depchaos/loader/loader.hpp"
+#include "depchaos/support/path_table.hpp"
 
 namespace depchaos::shrinkwrap {
 
@@ -22,9 +23,15 @@ std::string libtree(vfs::FileSystem& fs, loader::Loader& loader,
                     const loader::Environment& env = {},
                     const TreeOptions& options = {});
 
-/// Render from an existing report (avoids a second load).
+/// Render from an existing report (avoids a second load). The overload
+/// taking a PathTable keys the requester buckets in the caller's interner
+/// (pass the world's — Session and libtree() do); the table-less overload
+/// builds a short-lived local one.
 std::string render_tree(const loader::LoadReport& report,
                         const TreeOptions& options = {});
+std::string render_tree(const loader::LoadReport& report,
+                        const TreeOptions& options,
+                        support::PathTable& paths);
 
 /// Line-oriented diff of two rendered trees (LCS-based): unchanged lines
 /// prefixed "  ", removed "- ", added "+ ". Drives the what-if workflow:

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "depchaos/support/path_table.hpp"
 #include "depchaos/support/strings.hpp"
 
 namespace depchaos::shrinkwrap {
@@ -13,13 +14,25 @@ namespace {
 struct TreeBuilder {
   const loader::LoadReport& report;
   const TreeOptions& options;
-  // requester path -> indices into report.requests, in request order.
-  std::unordered_map<std::string, std::vector<std::size_t>> children;
+  // Requester-path PathId -> indices into report.requests, in request
+  // order: the recursion walks ids, usually of the world's own interner
+  // (paths already interned by the load). Non-path requesters
+  // ("LD_PRELOAD", "") share the kNone bucket, which the render walk
+  // never visits.
+  support::PathTable& paths;
+  std::unordered_map<support::PathId, std::vector<std::size_t>> children;
   std::string out;
 
-  void render(const std::string& requester_path, int depth) {
+  support::PathId key_of(const std::string& requester) {
+    if (requester.empty() || requester.front() != '/') {
+      return support::PathTable::kNone;
+    }
+    return paths.intern(requester);
+  }
+
+  void render(support::PathId requester, int depth) {
     if (options.max_depth >= 0 && depth > options.max_depth) return;
-    const auto it = children.find(requester_path);
+    const auto it = children.find(requester);
     if (it == children.end()) return;
     for (const std::size_t index : it->second) {
       const auto& request = report.requests[index];
@@ -50,7 +63,7 @@ struct TreeBuilder {
       // hits terminate (their subtree was rendered where it loaded).
       if (request.how != loader::HowFound::Cache &&
           request.how != loader::HowFound::NotFound) {
-        render(request.path, depth + 1);
+        render(key_of(request.path), depth + 1);
       }
     }
   }
@@ -59,25 +72,32 @@ struct TreeBuilder {
 }  // namespace
 
 std::string render_tree(const loader::LoadReport& report,
-                        const TreeOptions& options) {
+                        const TreeOptions& options,
+                        support::PathTable& paths) {
   if (report.load_order.empty()) return "(empty load)\n";
-  TreeBuilder builder{report, options, {}, {}};
+  TreeBuilder builder{report, options, paths};
   for (std::size_t i = 0; i < report.requests.size(); ++i) {
-    builder.children[report.requests[i].requested_by].push_back(i);
+    builder.children[builder.key_of(report.requests[i].requested_by)]
+        .push_back(i);
   }
   const auto& root = report.load_order.front();
   builder.out = root.path + "\n";
-  builder.render(root.path, 1);
+  builder.render(builder.key_of(root.path), 1);
   return builder.out;
+}
+
+std::string render_tree(const loader::LoadReport& report,
+                        const TreeOptions& options) {
+  support::PathTable local;
+  return render_tree(report, options, local);
 }
 
 std::string libtree(vfs::FileSystem& fs, loader::Loader& loader,
                     const std::string& exe_path,
                     const loader::Environment& env,
                     const TreeOptions& options) {
-  (void)fs;
   const loader::LoadReport report = loader.load(exe_path, env);
-  return render_tree(report, options);
+  return render_tree(report, options, fs.paths());
 }
 
 std::string tree_diff(const std::string& before, const std::string& after) {

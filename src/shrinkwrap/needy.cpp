@@ -1,8 +1,10 @@
 #include "depchaos/shrinkwrap/needy.hpp"
 
-#include <set>
+#include <algorithm>
+#include <unordered_set>
 
 #include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/path_table.hpp"
 
 namespace depchaos::shrinkwrap {
 
@@ -13,9 +15,12 @@ NeedyReport make_needy(vfs::FileSystem& fs, loader::Loader& loader,
   const loader::LoadReport load = loader.load(exe_path, env);
   if (!load.success) return report;
 
+  // Closure dirs are deduped by interned PathId; the RUNPATH list is still
+  // emitted in sorted-string order, as before.
   std::vector<std::string> closure_paths;
   std::vector<std::string> sonames;
-  std::set<std::string> dirs_seen;
+  support::PathTable& paths = fs.paths();
+  std::unordered_set<support::PathId> dirs_seen;
   for (std::size_t i = 1; i < load.load_order.size(); ++i) {
     const auto& obj = load.load_order[i];
     if (obj.how == loader::HowFound::Preload) continue;
@@ -23,7 +28,7 @@ NeedyReport make_needy(vfs::FileSystem& fs, loader::Loader& loader,
     sonames.push_back(obj.object && !obj.object->dyn.soname.empty()
                           ? obj.object->dyn.soname
                           : vfs::basename(obj.path));
-    dirs_seen.insert(vfs::dirname(obj.path));
+    dirs_seen.insert(paths.parent(paths.intern(obj.path)));
   }
 
   // The link line: the executable plus every closure library. Duplicate
@@ -35,7 +40,11 @@ NeedyReport make_needy(vfs::FileSystem& fs, loader::Loader& loader,
 
   elf::Patcher patcher(fs);
   patcher.set_needed(exe_path, sonames);
-  report.search_dirs.assign(dirs_seen.begin(), dirs_seen.end());
+  report.search_dirs.reserve(dirs_seen.size());
+  for (const support::PathId dir : dirs_seen) {
+    report.search_dirs.push_back(paths.str(dir));
+  }
+  std::sort(report.search_dirs.begin(), report.search_dirs.end());
   patcher.set_runpath(exe_path, report.search_dirs);
   patcher.set_rpath(exe_path, {});
   loader.invalidate();

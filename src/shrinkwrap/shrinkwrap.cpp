@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
+#include <unordered_set>
 
 #include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/path_table.hpp"
 #include "depchaos/support/strings.hpp"
 
 namespace depchaos::shrinkwrap {
@@ -139,14 +140,18 @@ WrapReport shrinkwrap(vfs::FileSystem& fs, loader::Loader& loader,
 
   // Build the new needed list: the binary's own entries first, in the order
   // the user linked them (§V-B.2: "it preserves the order the user set"),
-  // then the lifted transitive dependencies in BFS order.
+  // then the lifted transitive dependencies in BFS order. Dedup is by
+  // interned PathId — path identity, not spelling.
   std::vector<std::string> new_needed;
-  std::set<std::string> seen_paths;
+  std::unordered_set<support::PathId> seen_paths;
+  support::PathTable& paths = fs.paths();
   auto push_path = [&](const std::string& path) {
-    if (seen_paths.insert(path).second) new_needed.push_back(path);
+    const support::PathId id =
+        (!path.empty() && path.front() == '/')
+            ? paths.intern(path)
+            : paths.intern_under(support::PathTable::kRoot, path);
+    if (seen_paths.insert(id).second) new_needed.push_back(path);
   };
-  std::set<std::string> first_level(exe.dyn.needed.begin(),
-                                    exe.dyn.needed.end());
   for (const auto& entry : exe.dyn.needed) {
     const auto it = report.resolved.find(entry);
     if (it != report.resolved.end()) {

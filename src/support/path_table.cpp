@@ -1,0 +1,114 @@
+#include "depchaos/support/path_table.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace depchaos::support {
+
+PathTable::PathTable()
+    : chunks_(new std::atomic<Entry*>[kMaxChunks]()) {
+  // Slot 0 is the kNone sentinel; slot 1 the root. Both live in chunk 0.
+  auto* chunk = new Entry[kChunkSize];
+  chunk[kRoot].parent = kRoot;
+  chunk[kRoot].name_len = 1;
+  chunk[kRoot].full = "/";
+  chunks_[0].store(chunk, std::memory_order_release);
+  count_.store(2, std::memory_order_release);
+}
+
+PathTable::~PathTable() {
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+PathId PathTable::find_child(PathId dir, std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(ChildKeyView{dir, name});
+  return it == index_.end() ? kNone : it->second;
+}
+
+PathId PathTable::intern_child(PathId dir, std::string_view name) {
+  std::unique_lock lock(mutex_);
+  const auto it = index_.find(ChildKeyView{dir, name});
+  if (it != index_.end()) return it->second;
+
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  if (id >= kMaxChunks * kChunkSize) {
+    throw std::length_error("PathTable full");
+  }
+  const std::size_t chunk_index = id >> kChunkBits;
+  Entry* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize];
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  const Entry& parent = entry(dir);
+  Entry& e = chunk[id & (kChunkSize - 1)];
+  e.parent = dir;
+  e.depth = parent.depth + 1;
+  e.name_len = static_cast<std::uint32_t>(name.size());
+  e.full.reserve(parent.full.size() + 1 + name.size());
+  if (dir != kRoot) e.full = parent.full;
+  e.full += '/';
+  e.full += name;
+  // Publish the entry before the id becomes reachable via size()/index_.
+  count_.store(id + 1, std::memory_order_release);
+  index_.emplace(ChildKey{dir, std::string(name)}, id);
+  return id;
+}
+
+PathId PathTable::child(PathId dir, std::string_view name) {
+  if (name.empty() || name == ".") return dir;
+  if (name == "..") return parent(dir);
+  if (const PathId hit = find_child(dir, name); hit != kNone) return hit;
+  return intern_child(dir, name);
+}
+
+PathId PathTable::intern_under(PathId base, std::string_view relative) {
+  PathId cur = base;
+  std::size_t pos = 0;
+  if (!relative.empty() && relative.front() == '/') cur = kRoot;
+  while (pos < relative.size()) {
+    while (pos < relative.size() && relative[pos] == '/') ++pos;
+    std::size_t end = pos;
+    while (end < relative.size() && relative[end] != '/') ++end;
+    if (end > pos) cur = child(cur, relative.substr(pos, end - pos));
+    pos = end;
+  }
+  return cur;
+}
+
+PathId PathTable::intern(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    throw std::invalid_argument("PathTable::intern: path must be absolute: '" +
+                                std::string(path) + "'");
+  }
+  return intern_under(kRoot, path);
+}
+
+PathId PathTable::lookup(std::string_view path) const {
+  if (path.empty() || path.front() != '/') return kNone;
+  PathId cur = kRoot;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') ++pos;
+    std::size_t end = pos;
+    while (end < path.size() && path[end] != '/') ++end;
+    if (end > pos) {
+      const std::string_view comp = path.substr(pos, end - pos);
+      if (comp == ".") {
+        // keep cur
+      } else if (comp == "..") {
+        cur = parent(cur);
+      } else {
+        cur = find_child(cur, comp);
+        if (cur == kNone) return kNone;
+      }
+    }
+    pos = end;
+  }
+  return cur;
+}
+
+}  // namespace depchaos::support

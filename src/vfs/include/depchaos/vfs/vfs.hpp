@@ -20,6 +20,18 @@
 // what lets core::Session::load_many hand every worker a private world
 // without paying O(world size) per worker.
 //
+// Resolution model: every path is interned once into a support::PathTable
+// shared by the whole fork family (append-only, so forked fleets reuse one
+// table), and the walk runs over interned component ids — no per-probe
+// splitting or re-normalization. Each view memoizes walk results in a
+// private positive/negative dentry cache so repeated probes of the same
+// directories (the loader's candidate storm) skip the overlay -> base
+// chain entirely; the cache is dropped on any mutation and at fork
+// boundaries. collapse() flattens a long fork chain back into a single
+// layer (inode numbers and observable content preserved, so cached
+// dentries stay valid); fork() does it automatically past a configurable
+// layer-depth threshold.
+//
 // Conventions:
 //  * Paths are absolute, '/'-separated; "." and ".." are normalized away.
 //  * Symlinks store a (possibly relative) target string, resolved lazily
@@ -32,17 +44,20 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "depchaos/support/error.hpp"
+#include "depchaos/support/path_table.hpp"
 #include "depchaos/vfs/latency.hpp"
 
 namespace depchaos::vfs {
 
 using InodeNum = std::uint64_t;
+using support::PathId;
 
 enum class NodeType : std::uint8_t { Regular, Directory, Symlink };
 
@@ -167,15 +182,61 @@ class FileSystem {
 
   /// stat(2): follow symlinks, count one metadata op (plus readlink costs).
   std::optional<Stat> stat(std::string_view path);
+  std::optional<Stat> stat(PathId id);
 
   /// lstat(2): do not follow the final symlink.
   std::optional<Stat> lstat(std::string_view path);
+  std::optional<Stat> lstat(PathId id);
 
   /// openat(2) + contents: returns file data if `path` names a regular file.
   const FileData* open(std::string_view path);
+  const FileData* open(PathId id);
+
+  /// Batched counted probe — the loader's candidate storm as ONE call.
+  /// Opens candidates in order, charging exactly one open(2) per attempt
+  /// (identical counters and latency to individual open() calls), invoking
+  /// `visit(index, data)` for each — data is null for a missing or
+  /// non-regular path — until `visit` returns true. Returns the accepting
+  /// index, or npos when every candidate was visited without acceptance.
+  /// Templated so the per-sweep visitor stays a direct, allocation-free
+  /// call (this IS the hot path the interner exists for).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  template <typename Visit>
+  std::size_t open_first(std::span<const PathId> candidates, Visit&& visit) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const FileData* data = open(candidates[i]);
+      if (visit(i, data)) return i;
+    }
+    return npos;
+  }
 
   /// Read after open: counted separately (data vs metadata traffic).
   void count_read(std::string_view path);
+  void count_read(PathId id);
+
+  // ----- interned paths -----------------------------------------------------
+
+  /// The interner shared by this view's whole fork family. Callers may
+  /// intern paths eagerly (loader search dirs, shrinkwrap closure keys) and
+  /// use the PathId overloads above to probe without rebuilding strings.
+  support::PathTable& paths() const { return *paths_; }
+  const std::shared_ptr<support::PathTable>& path_table() const {
+    return paths_;
+  }
+
+  /// Intern an absolute path, throwing FsError (like normalize_path) when
+  /// it is not absolute. str(id) of the result is the normalized path.
+  PathId intern(std::string_view path) const;
+
+  /// Uncounted interned resolution: canonical (symlink-free) PathId of
+  /// `id`, or kNone when the path does not exist. The interned realpath.
+  PathId resolve_canonical(PathId id) const;
+
+  /// Enable/disable the per-view dentry cache (enabled by default). Used
+  /// by tests and bench/loader_hotpath to measure the cache's effect;
+  /// disabling also drops the current entries.
+  void set_dentry_cache(bool enabled);
+  bool dentry_cache_enabled() const { return dentry_enabled_; }
 
   // ----- accounting ---------------------------------------------------------
 
@@ -213,7 +274,28 @@ class FileSystem {
   /// bench/fork_scaling gates on.
   std::uint64_t owned_bytes() const;
 
+  /// Flatten the layer chain into a single private layer. Inode numbers,
+  /// directory order, and every observable read answer are preserved (this
+  /// is the deep-copy ctor's flattening applied in place), so cached
+  /// dentries remain valid; the cost is O(world) time and owned bytes —
+  /// after a collapse this view no longer shares storage with its fork
+  /// family. Long fork chains (overlay-on-overlay-on-…) pay a per-lookup
+  /// chain walk; collapsing trades one flatten for flat lookups.
+  void collapse();
+
+  /// Auto-collapse policy: when a fork() would hand back a child whose
+  /// layer_depth() exceeds `threshold`, the CHILD is collapsed on the spot
+  /// (the parent view keeps its chain — fork() stays O(1) for the caller).
+  /// 0 disables. Inherited by forks. Default: 64.
+  void set_auto_collapse(std::size_t threshold) { auto_collapse_ = threshold; }
+  std::size_t auto_collapse() const { return auto_collapse_; }
+
  private:
+  // Uninitialized shell for fork(): no root node, no interner allocation
+  // (fork() wires in the family's shared table).
+  struct ForkTag {};
+  explicit FileSystem(ForkTag) {}
+
   struct Node {
     NodeType type = NodeType::Regular;
     // Directory children, insertion-ordered for deterministic listings.
@@ -221,7 +303,7 @@ class FileSystem {
     FileData data;            // Regular
     std::string link_target;  // Symlink
 
-    InodeNum find_child(const std::string& name) const;
+    InodeNum find_child(std::string_view name) const;
   };
 
   /// One frozen fork generation. `nodes` holds inodes [start,
@@ -251,9 +333,16 @@ class FileSystem {
   InodeNum resolve(std::string_view path, bool follow_final,
                    std::string* canonical = nullptr) const;
 
-  InodeNum resolve_components(const std::vector<std::string>& comps,
-                              bool follow_final, int& hops,
-                              std::string* canonical) const;
+  // The interned walk behind every lookup: resolve `id` by stepping its
+  // component chain against the node store, expanding symlinks with a
+  // Linux-style hop budget shared across the whole resolution. On success
+  // `canonical` (when non-null) receives the symlink-free PathId. Results
+  // — positive and negative — are memoized in the per-view dentry cache
+  // keyed by (id, follow_final); a cached entry replays the hop count its
+  // walk consumed so ELOOP behaviour is byte-identical with or without
+  // the cache.
+  InodeNum resolve_id(PathId id, bool follow_final, int& hops,
+                      PathId* canonical) const;
 
   // Parent directory inode of `path`, creating it if `create`.
   InodeNum parent_of(const std::string& norm, bool create);
@@ -275,6 +364,28 @@ class FileSystem {
   SyscallStats stats_;
   std::shared_ptr<LatencyModel> latency_;
   bool counting_ = true;
+
+  // Interner shared by the whole fork family (deep copies join it too —
+  // the table is world-independent).
+  std::shared_ptr<support::PathTable> paths_;
+
+  /// One memoized walk result. `hops` is the symlink-hop budget the walk
+  /// consumed, replayed into the caller's counter on a cache hit.
+  struct Dentry {
+    InodeNum ino = 0;        // 0 = negative entry (path does not exist)
+    PathId canonical = support::PathTable::kNone;
+    int hops = 0;
+  };
+  static std::uint64_t dentry_key(PathId id, bool follow) {
+    return (std::uint64_t{id} << 1) | (follow ? 1u : 0u);
+  }
+  // Per-view and private: cleared on any mutation (mutable_node — the
+  // single choke point every structural change goes through — drops it
+  // BEFORE handing out the write reference) and at fork boundaries.
+  // Mutable because resolution memoizes inside const read paths.
+  mutable std::unordered_map<std::uint64_t, Dentry> dentry_;
+  bool dentry_enabled_ = true;
+  std::size_t auto_collapse_ = 64;
 };
 
 }  // namespace depchaos::vfs

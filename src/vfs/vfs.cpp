@@ -56,14 +56,15 @@ std::string basename(std::string_view path) {
   return norm.substr(norm.rfind('/') + 1);
 }
 
-InodeNum FileSystem::Node::find_child(const std::string& name) const {
+InodeNum FileSystem::Node::find_child(std::string_view name) const {
   for (const auto& [child_name, ino] : children) {
     if (child_name == name) return ino;
   }
   return 0;
 }
 
-FileSystem::FileSystem() {
+FileSystem::FileSystem()
+    : paths_(std::make_shared<support::PathTable>()) {
   top_nodes_.resize(2);  // [0] unused; [1] = root
   top_nodes_[1].type = NodeType::Directory;
   live_inodes_ = 1;
@@ -79,6 +80,11 @@ FileSystem::FileSystem(const FileSystem& other) {
   stats_ = other.stats_;
   latency_ = other.latency_;
   counting_ = other.counting_;
+  // The interner is world-independent, so the copy joins the family table;
+  // the dentry cache is a per-view memo and starts cold.
+  paths_ = other.paths_;
+  dentry_enabled_ = other.dentry_enabled_;
+  auto_collapse_ = other.auto_collapse_;
 }
 
 FileSystem& FileSystem::operator=(const FileSystem& other) {
@@ -104,17 +110,39 @@ void FileSystem::freeze_top() {
 
 FileSystem FileSystem::fork() {
   freeze_top();
-  FileSystem child;
-  child.top_nodes_.clear();  // drop the default-constructed root
+  dentry_.clear();  // fork boundary: both sides restart cold
+  FileSystem child{ForkTag{}};
   child.base_ = base_;
   child.top_start_ = top_start_;
   child.live_inodes_ = live_inodes_;
   child.counting_ = counting_;
+  child.paths_ = paths_;  // one interner per fork family
+  child.dentry_enabled_ = dentry_enabled_;
+  child.auto_collapse_ = auto_collapse_;
   if (latency_) {
     auto clone = latency_->clone();
     child.latency_ = clone ? std::move(clone) : latency_;
   }
+  // Layer compaction: past the threshold the chain walk under every cache
+  // miss starts to dominate, so flatten the CHILD (the view that carries
+  // the chain forward); the parent stays O(1) as fork() promises.
+  if (auto_collapse_ != 0 && child.layer_depth() > auto_collapse_) {
+    child.collapse();
+  }
   return child;
+}
+
+void FileSystem::collapse() {
+  if (!base_) return;  // already flat
+  const InodeNum end = end_ino();
+  std::vector<Node> flat;
+  flat.reserve(end);
+  for (InodeNum i = 0; i < end; ++i) flat.push_back(node(i));
+  top_nodes_ = std::move(flat);
+  top_shadow_.clear();
+  top_start_ = 0;
+  base_.reset();
+  // Cached dentries survive: inode numbers and content are unchanged.
 }
 
 const FileSystem::Node& FileSystem::node(InodeNum ino) const {
@@ -134,6 +162,10 @@ const FileSystem::Node& FileSystem::node(InodeNum ino) const {
 }
 
 FileSystem::Node& FileSystem::mutable_node(InodeNum ino) {
+  // Every structural change flows through here, so this is the dentry
+  // cache's single invalidation point: drop the memo BEFORE handing out
+  // the write reference (resolution after the write starts cold).
+  dentry_.clear();
   if (ino >= top_start_) return top_nodes_[ino - top_start_];
   const auto it = top_shadow_.find(ino);
   if (it != top_shadow_.end()) return it->second;
@@ -199,62 +231,101 @@ void FileSystem::charge(OpKind op, bool hit, const std::string& path) {
   if (latency_) stats_.sim_time_s += latency_->cost(op, hit, path);
 }
 
-InodeNum FileSystem::resolve_components(const std::vector<std::string>& comps,
-                                        bool follow_final, int& hops,
-                                        std::string* canonical) const {
-  InodeNum cur = 1;
-  std::vector<std::string> canon;
-  for (std::size_t i = 0; i < comps.size(); ++i) {
-    const Node& cur_node = node(cur);
-    if (cur_node.type != NodeType::Directory) return 0;
-    const InodeNum child = cur_node.find_child(comps[i]);
-    if (child == 0) return 0;
-    const bool is_final = (i + 1 == comps.size());
-    if (node(child).type == NodeType::Symlink && (follow_final || !is_final)) {
-      if (++hops > kMaxSymlinkHops) {
+InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
+                                PathId* canonical) const {
+  using support::PathTable;
+  if (id == PathTable::kRoot) {
+    if (canonical) *canonical = PathTable::kRoot;
+    return 1;
+  }
+  const std::uint64_t key = dentry_key(id, follow_final);
+  if (dentry_enabled_) {
+    if (const auto it = dentry_.find(key); it != dentry_.end()) {
+      // Replay the hop budget the memoized walk consumed so a resolution
+      // that would have tripped ELOOP still trips it through the cache.
+      hops += it->second.hops;
+      if (hops > kMaxSymlinkHops) {
         throw FsError("too many levels of symbolic links");
       }
-      // Build the target path: absolute targets restart from root; relative
-      // targets are resolved against the link's directory.
-      std::string target = node(child).link_target;
-      std::string base;
-      if (!target.empty() && target.front() == '/') {
-        base = target;
+      if (canonical) *canonical = it->second.canonical;
+      return it->second.ino;
+    }
+  }
+  const int hops_before = hops;
+  InodeNum result = 0;
+  PathId result_canon = PathTable::kNone;
+
+  // Resolve the parent directory first (intermediate symlinks are always
+  // followed), then take one component step. The recursion memoizes every
+  // prefix, so a directory probed once is never chain-walked again until
+  // the next mutation.
+  PathId dir_canon = PathTable::kNone;
+  const InodeNum dir_ino =
+      resolve_id(paths_->parent(id), /*follow_final=*/true, hops, &dir_canon);
+  if (dir_ino != 0 && node(dir_ino).type == NodeType::Directory) {
+    const InodeNum child = node(dir_ino).find_child(paths_->name(id));
+    if (child != 0) {
+      if (node(child).type == NodeType::Symlink && follow_final) {
+        if (++hops > kMaxSymlinkHops) {
+          throw FsError("too many levels of symbolic links");
+        }
+        // Absolute targets restart from the root; relative targets resolve
+        // lexically against the link's (canonical) directory — exactly
+        // normalize_path(dir + "/" + target), without building the string.
+        const std::string& target = node(child).link_target;
+        const PathId target_id =
+            (!target.empty() && target.front() == '/')
+                ? paths_->intern(target)
+                : paths_->intern_under(dir_canon, target);
+        result = resolve_id(target_id, /*follow_final=*/true, hops,
+                            &result_canon);
       } else {
-        base = "/";
-        for (const auto& comp : canon) base += comp + "/";
-        base += target;
+        result = child;
+        result_canon = paths_->child(dir_canon, paths_->name(id));
       }
-      std::string rest = normalize_path(base);
-      for (std::size_t j = i + 1; j < comps.size(); ++j) {
-        rest += '/';
-        rest += comps[j];
-      }
-      const auto rest_comps =
-          support::split_nonempty(normalize_path(rest), '/');
-      return resolve_components(rest_comps, follow_final, hops, canonical);
     }
-    canon.push_back(comps[i]);
-    cur = child;
   }
-  if (canonical) {
-    *canonical = "/";
-    for (std::size_t i = 0; i < canon.size(); ++i) {
-      if (i) *canonical += '/';
-      *canonical += canon[i];
-    }
-    if (canon.empty()) *canonical = "/";
-    else if ((*canonical)[0] != '/') *canonical = "/" + *canonical;
+  if (dentry_enabled_) {
+    dentry_.emplace(key, Dentry{result, result_canon, hops - hops_before});
   }
-  return cur;
+  if (canonical) *canonical = result_canon;
+  return result;
+}
+
+PathId FileSystem::intern(std::string_view path) const {
+  if (path.empty() || path.front() != '/') {
+    throw FsError("path must be absolute: '" + std::string(path) + "'");
+  }
+  return paths_->intern(path);
 }
 
 InodeNum FileSystem::resolve(std::string_view path, bool follow_final,
                              std::string* canonical) const {
-  const std::string norm = normalize_path(path);
-  const auto comps = support::split_nonempty(norm, '/');
+  const PathId id = intern(path);
   int hops = 0;
-  return resolve_components(comps, follow_final, hops, canonical);
+  PathId canon_id = support::PathTable::kNone;
+  const InodeNum ino =
+      resolve_id(id, follow_final, hops, canonical ? &canon_id : nullptr);
+  if (canonical && ino != 0) *canonical = paths_->str(canon_id);
+  return ino;
+}
+
+PathId FileSystem::resolve_canonical(PathId id) const {
+  int hops = 0;
+  PathId canon = support::PathTable::kNone;
+  try {
+    if (resolve_id(id, /*follow_final=*/true, hops, &canon) == 0) {
+      return support::PathTable::kNone;
+    }
+  } catch (const FsError&) {
+    return support::PathTable::kNone;
+  }
+  return canon;
+}
+
+void FileSystem::set_dentry_cache(bool enabled) {
+  dentry_enabled_ = enabled;
+  dentry_.clear();
 }
 
 InodeNum FileSystem::parent_of(const std::string& norm, bool create) {
@@ -501,49 +572,65 @@ std::uint64_t FileSystem::disk_usage(std::string_view path) const {
 }
 
 std::optional<Stat> FileSystem::stat(std::string_view path) {
-  const std::string norm = normalize_path(path);
+  return stat(intern(path));
+}
+
+std::optional<Stat> FileSystem::stat(PathId id) {
   InodeNum ino = 0;
   try {
-    ino = resolve(norm, true);
+    int hops = 0;
+    ino = resolve_id(id, /*follow_final=*/true, hops, nullptr);
   } catch (const FsError&) {
     ino = 0;
   }
-  charge(OpKind::Stat, ino != 0, norm);
+  charge(OpKind::Stat, ino != 0, paths_->str(id));
   if (ino == 0) return std::nullopt;
   const Node& n = node(ino);
   return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
 }
 
 std::optional<Stat> FileSystem::lstat(std::string_view path) {
-  const std::string norm = normalize_path(path);
+  return lstat(intern(path));
+}
+
+std::optional<Stat> FileSystem::lstat(PathId id) {
   InodeNum ino = 0;
   try {
-    ino = resolve(norm, false);
+    int hops = 0;
+    ino = resolve_id(id, /*follow_final=*/false, hops, nullptr);
   } catch (const FsError&) {
     ino = 0;
   }
-  charge(OpKind::Stat, ino != 0, norm);
+  charge(OpKind::Stat, ino != 0, paths_->str(id));
   if (ino == 0) return std::nullopt;
   const Node& n = node(ino);
   return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
 }
 
 const FileData* FileSystem::open(std::string_view path) {
-  const std::string norm = normalize_path(path);
+  return open(intern(path));
+}
+
+const FileData* FileSystem::open(PathId id) {
   InodeNum ino = 0;
   try {
-    ino = resolve(norm, true);
+    int hops = 0;
+    ino = resolve_id(id, /*follow_final=*/true, hops, nullptr);
   } catch (const FsError&) {
     ino = 0;
   }
   const bool hit = ino != 0 && node(ino).type == NodeType::Regular;
-  charge(OpKind::Open, hit, norm);
+  charge(OpKind::Open, hit, paths_->str(id));
   if (!hit) return nullptr;
   return &node(ino).data;
 }
 
 void FileSystem::count_read(std::string_view path) {
-  charge(OpKind::Read, true, normalize_path(path));
+  count_read(intern(path));
+}
+
+void FileSystem::count_read(PathId id) {
+  charge(OpKind::Read, true, paths_->str(id));
 }
 
 }  // namespace depchaos::vfs

@@ -243,6 +243,132 @@ TEST(FsForkTest, PropertyForkedMutationsMatchDeepCopiedMutations) {
   }
 }
 
+// ------------------------------------------------------ layer compaction
+
+TEST(FsForkTest, CollapseFlattensPreservingObservables) {
+  FileSystem base;
+  base.write_file("/usr/lib/libx.so", "x");
+  base.symlink("libx.so", "/usr/lib/libx.so.1");
+  FileSystem child = base.fork();
+  child.write_file("/usr/lib/liby.so", "y");
+  child.remove("/usr/lib/libx.so.1");
+  FileSystem grandchild = child.fork();
+  grandchild.write_file("/etc/ld.so.conf", "/usr/lib");
+  ASSERT_GE(grandchild.layer_depth(), 3u);
+
+  const std::string before = fingerprint(grandchild);
+  grandchild.collapse();
+  EXPECT_EQ(grandchild.layer_depth(), 1u);
+  // Same inodes, same bytes, same readdir order, same errors — collapse
+  // changes where nodes live, never what resolution observes.
+  EXPECT_EQ(fingerprint(grandchild), before);
+  // A collapsed view owns its whole world.
+  EXPECT_GT(grandchild.owned_bytes(), 0u);
+  // Collapse is idempotent.
+  grandchild.collapse();
+  EXPECT_EQ(fingerprint(grandchild), before);
+  // The rest of the family is untouched.
+  EXPECT_TRUE(child.exists("/usr/lib/liby.so"));
+  EXPECT_FALSE(child.exists("/etc/ld.so.conf"));
+}
+
+TEST(FsForkTest, AutoCollapseBoundsChainDepth) {
+  FileSystem fs;
+  fs.write_file("/f", "seed");
+  fs.set_auto_collapse(3);
+  // Each generation mutates (so fork really freezes a new layer) and
+  // replaces the view with its child, the way long what-if chains do.
+  for (int generation = 0; generation < 10; ++generation) {
+    fs.write_file("/g" + std::to_string(generation), "x");
+    fs = fs.fork();
+    EXPECT_LE(fs.layer_depth(), 3u) << "generation " << generation;
+  }
+  for (int generation = 0; generation < 10; ++generation) {
+    EXPECT_TRUE(fs.exists("/g" + std::to_string(generation)));
+  }
+  // Threshold 0 disables: depth grows again.
+  fs.set_auto_collapse(0);
+  const std::size_t depth = fs.layer_depth();
+  fs.write_file("/more", "x");
+  fs = fs.fork();
+  EXPECT_GT(fs.layer_depth(), depth);
+}
+
+TEST(FsForkTest, PropertyCollapseEquivalentToNoCollapse) {
+  // The dentry cache and compaction interact (collapse preserves cached
+  // inode numbers; fork drops the cache), so the equivalence is checked
+  // under randomized mutation traffic WITH periodic re-forking: view A
+  // never compacts, view B auto-collapses at a tiny threshold and gets
+  // explicit collapse() calls sprinkled in.
+  for (const std::uint64_t seed : {3ull, 77ull, 0xbeefull}) {
+    support::Rng rng(seed);
+    FileSystem base;
+    std::vector<std::string> pool;
+    for (int i = 0; i < 30; ++i) {
+      const std::string file = "/d" + std::to_string(rng.below(5)) + "/f" +
+                               std::to_string(rng.below(20));
+      base.write_file(file, "seed" + std::to_string(i));
+      pool.push_back(file);
+    }
+    for (int i = 0; i < 6; ++i) {
+      try {
+        const std::string link = "/links/l" + std::to_string(i);
+        base.symlink(pool[rng.below(pool.size())], link);
+        pool.push_back(link);
+      } catch (const FsError&) {
+      }
+    }
+
+    FileSystem plain = base.fork();
+    FileSystem compacted = base.fork();
+    plain.set_auto_collapse(0);
+    compacted.set_auto_collapse(2);
+
+    for (int step = 0; step < 100; ++step) {
+      const std::string fresh = "/d" + std::to_string(rng.below(6)) + "/n" +
+                                std::to_string(rng.below(30));
+      const std::string victim = pool[rng.below(pool.size())];
+      switch (rng.below(6)) {
+        case 0:
+          apply_both(plain, compacted, [&](FileSystem& fs) {
+            fs.write_file(fresh, "step" + std::to_string(step));
+          });
+          pool.push_back(fresh);
+          break;
+        case 1:
+          apply_both(plain, compacted, [&](FileSystem& fs) {
+            fs.remove(victim, /*recursive=*/true);
+          });
+          break;
+        case 2:
+          apply_both(plain, compacted,
+                     [&](FileSystem& fs) { fs.rename(victim, fresh); });
+          pool.push_back(fresh);
+          break;
+        case 3:
+          apply_both(plain, compacted,
+                     [&](FileSystem& fs) { fs.symlink(victim, fresh); });
+          pool.push_back(fresh);
+          break;
+        case 4:
+          // Deepen both chains; only B's bounded by auto-collapse.
+          plain = plain.fork();
+          compacted = compacted.fork();
+          break;
+        case 5:
+          if (rng.below(2) == 0) compacted.collapse();
+          break;
+      }
+      if (step % 25 == 0) {
+        ASSERT_EQ(fingerprint(plain), fingerprint(compacted))
+            << "seed " << seed << " step " << step;
+      }
+    }
+    EXPECT_EQ(fingerprint(plain), fingerprint(compacted)) << "seed " << seed;
+    EXPECT_LE(compacted.layer_depth(), 2u);  // the bound held
+  }
+}
+
 TEST(FsForkTest, SnapshotRoundTripCollapsesLayers) {
   FileSystem base;
   base.write_file("/usr/lib/libx.so", "x");
@@ -302,6 +428,9 @@ TEST(SessionForkTest, ChildLoadsMatchParentAndCountersStartFresh) {
   auto parent = small_world().build();
   const auto parent_report = parent.load();
   auto child = parent.fork();
+  // One interner per fork family: forked fleets share one PathTable, so a
+  // path probed anywhere is interned exactly once fleet-wide.
+  EXPECT_EQ(child.fs().path_table().get(), parent.fs().path_table().get());
   EXPECT_EQ(child.default_exe(), parent.default_exe());
   EXPECT_EQ(child.fs().stats().stat_calls, 0u);
   EXPECT_EQ(child.fs().stats().open_calls, 0u);

@@ -3,7 +3,10 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "depchaos/support/path_table.hpp"
 #include "depchaos/support/rng.hpp"
 #include "depchaos/support/sha256.hpp"
 #include "depchaos/support/strings.hpp"
@@ -167,6 +170,112 @@ TEST(Strings, ReplaceAll) {
             "/app/lib:/app");
   EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
   EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+// ------------------------------------------------------------ path table
+
+TEST(PathTable, RootIsPreinterned) {
+  PathTable table;
+  EXPECT_EQ(table.intern("/"), PathTable::kRoot);
+  EXPECT_EQ(table.str(PathTable::kRoot), "/");
+  EXPECT_EQ(table.name(PathTable::kRoot), "/");
+  EXPECT_EQ(table.parent(PathTable::kRoot), PathTable::kRoot);
+  EXPECT_EQ(table.depth(PathTable::kRoot), 0u);
+}
+
+TEST(PathTable, InternIsStableAndNormalizing) {
+  PathTable table;
+  const PathId a = table.intern("/usr/lib/libx.so");
+  EXPECT_EQ(table.intern("/usr/lib/libx.so"), a);
+  EXPECT_EQ(table.intern("//usr//lib/./libx.so"), a);
+  EXPECT_EQ(table.intern("/usr/lib/sub/../libx.so"), a);
+  EXPECT_EQ(table.str(a), "/usr/lib/libx.so");
+  EXPECT_EQ(table.name(a), "libx.so");
+  EXPECT_EQ(table.depth(a), 3u);
+  EXPECT_EQ(table.str(table.parent(a)), "/usr/lib");
+}
+
+TEST(PathTable, InternRejectsNonAbsolute) {
+  PathTable table;
+  EXPECT_THROW(table.intern(""), std::invalid_argument);
+  EXPECT_THROW(table.intern("usr/lib"), std::invalid_argument);
+}
+
+TEST(PathTable, DotDotClampsAtRoot) {
+  PathTable table;
+  EXPECT_EQ(table.intern("/.."), PathTable::kRoot);
+  EXPECT_EQ(table.intern("/../../a"), table.intern("/a"));
+  EXPECT_EQ(table.child(PathTable::kRoot, ".."), PathTable::kRoot);
+}
+
+TEST(PathTable, ChildSteps) {
+  PathTable table;
+  const PathId usr = table.intern("/usr");
+  EXPECT_EQ(table.child(usr, "lib"), table.intern("/usr/lib"));
+  EXPECT_EQ(table.child(usr, "."), usr);
+  EXPECT_EQ(table.child(usr, ""), usr);
+  EXPECT_EQ(table.child(usr, ".."), PathTable::kRoot);
+}
+
+TEST(PathTable, InternUnderResolvesRelative) {
+  PathTable table;
+  const PathId dir = table.intern("/opt/app/lib");
+  EXPECT_EQ(table.intern_under(dir, "libz.so"),
+            table.intern("/opt/app/lib/libz.so"));
+  EXPECT_EQ(table.intern_under(dir, "../share/x"),
+            table.intern("/opt/app/share/x"));
+  EXPECT_EQ(table.intern_under(dir, "./a/./b"),
+            table.intern("/opt/app/lib/a/b"));
+  EXPECT_EQ(table.intern_under(dir, ""), dir);
+  // Absolute relatives restart from the root, ignoring the base.
+  EXPECT_EQ(table.intern_under(dir, "/etc/ld.so.conf"),
+            table.intern("/etc/ld.so.conf"));
+}
+
+TEST(PathTable, LookupNeverAllocates) {
+  PathTable table;
+  EXPECT_EQ(table.lookup("/not/yet/interned"), PathTable::kNone);
+  const std::size_t before = table.size();
+  EXPECT_EQ(table.lookup("/still/not/interned"), PathTable::kNone);
+  EXPECT_EQ(table.size(), before);
+  const PathId id = table.intern("/now/interned");
+  EXPECT_EQ(table.lookup("/now/interned"), id);
+  EXPECT_EQ(table.lookup("//now//./interned"), id);
+}
+
+TEST(PathTable, NameIsSpanOfFullString) {
+  PathTable table;
+  const PathId id = table.intern("/a/b/component");
+  const std::string_view name = table.name(id);
+  const std::string& full = table.str(id);
+  // The span aliases the stored string — no separate allocation.
+  EXPECT_GE(name.data(), full.data());
+  EXPECT_EQ(name.data() + name.size(), full.data() + full.size());
+  EXPECT_EQ(name, "component");
+}
+
+TEST(PathTable, ConcurrentInternIsConsistent) {
+  PathTable table;
+  constexpr int kThreads = 8;
+  constexpr int kPaths = 200;
+  std::vector<std::vector<PathId>> ids(kThreads,
+                                       std::vector<PathId>(kPaths));
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.submit([&table, &ids, t] {
+        for (int i = 0; i < kPaths; ++i) {
+          // Every thread interns the same path set (plus reads back
+          // already-published entries) — ids must agree across threads.
+          ids[t][i] = table.intern("/shared/dir" + std::to_string(i % 20) +
+                                   "/file" + std::to_string(i));
+          EXPECT_FALSE(table.str(ids[t][i]).empty());
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t], ids[0]);
 }
 
 // ----------------------------------------------------------- thread pool

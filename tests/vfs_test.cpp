@@ -19,6 +19,47 @@ TEST(Paths, NormalizeRejectsRelative) {
   EXPECT_THROW(normalize_path(""), FsError);
 }
 
+TEST(Paths, NormalizeDotDotPastRootClampsAtRoot) {
+  EXPECT_EQ(normalize_path("/../.."), "/");
+  EXPECT_EQ(normalize_path("/../a"), "/a");
+  EXPECT_EQ(normalize_path("/a/../../../b"), "/b");
+  EXPECT_EQ(normalize_path("/../../../../usr/lib"), "/usr/lib");
+}
+
+TEST(Paths, NormalizeTrailingSlashes) {
+  EXPECT_EQ(normalize_path("/a/b/"), "/a/b");
+  EXPECT_EQ(normalize_path("/a/b///"), "/a/b");
+  EXPECT_EQ(normalize_path("//"), "/");
+  EXPECT_EQ(normalize_path("/a/../"), "/");
+}
+
+TEST(Paths, NormalizeRepeatedSlashes) {
+  EXPECT_EQ(normalize_path("//a////b//c"), "/a/b/c");
+  EXPECT_EQ(normalize_path("///"), "/");
+  EXPECT_EQ(normalize_path("//usr//..//lib"), "/lib");
+}
+
+TEST(Paths, NormalizeLoneDot) {
+  EXPECT_EQ(normalize_path("/."), "/");
+  EXPECT_EQ(normalize_path("/./"), "/");
+  EXPECT_EQ(normalize_path("/././."), "/");
+  EXPECT_EQ(normalize_path("/a/./b"), "/a/b");
+  EXPECT_EQ(normalize_path("/a/."), "/a");
+}
+
+// The interner must agree with normalize_path byte-for-byte: charged
+// syscall strings come from PathTable::str now.
+TEST(Paths, InternMatchesNormalizePath) {
+  FileSystem fs;
+  for (const char* path :
+       {"/a//b/./c/../d", "/", "/..", "/a/", "/../..", "/a/../../../b",
+        "//a////b//c", "/././.", "/a/./b", "/usr/lib/libx.so"}) {
+    EXPECT_EQ(fs.paths().str(fs.intern(path)), normalize_path(path)) << path;
+  }
+  EXPECT_THROW(fs.intern("relative/path"), FsError);
+  EXPECT_THROW(fs.intern(""), FsError);
+}
+
 TEST(Paths, DirnameBasename) {
   EXPECT_EQ(dirname("/a/b/c"), "/a/b");
   EXPECT_EQ(dirname("/a"), "/");
@@ -347,6 +388,67 @@ TEST(Latency, ServerRoundTripsTracked) {
   (void)fs.stat("/f");
   (void)fs.stat("/f");
   EXPECT_EQ(nfs->server_round_trips(), 1u);
+}
+
+// ----------------------------------------------------------- dentry cache
+
+TEST(Vfs, DentryCacheIsObservablyTransparent) {
+  FileSystem fs;
+  fs.write_file("/usr/lib/libx.so", std::string("x"));
+  fs.symlink("libx.so", "/usr/lib/libx.so.1");
+  fs.symlink("/usr/lib", "/lib64x");
+  fs.symlink("loop_b", "/loops/loop_a");
+  fs.symlink("loop_a", "/loops/loop_b");
+  FileSystem uncached(fs);  // deep copy: identical world and counters
+  uncached.set_dentry_cache(false);
+  ASSERT_TRUE(fs.dentry_cache_enabled());
+  ASSERT_FALSE(uncached.dentry_cache_enabled());
+
+  const std::vector<std::string> probes = {
+      "/usr/lib/libx.so",  "/usr/lib/libx.so.1", "/lib64x/libx.so.1",
+      "/usr/lib/missing",  "/loops/loop_a",      "/nope/deep/path",
+      "/lib64x/../lib64x/libx.so"};
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& probe : probes) {
+      const auto a = fs.stat(probe);
+      const auto b = uncached.stat(probe);
+      ASSERT_EQ(a.has_value(), b.has_value()) << probe;
+      if (a.has_value()) {
+        EXPECT_EQ(a->ino, b->ino) << probe;
+        EXPECT_EQ(a->size, b->size) << probe;
+      }
+      EXPECT_EQ(fs.realpath(probe), uncached.realpath(probe)) << probe;
+      EXPECT_EQ(fs.open(probe) != nullptr, uncached.open(probe) != nullptr);
+    }
+  }
+  // Byte-identical accounting either way.
+  EXPECT_EQ(fs.stats().stat_calls, uncached.stats().stat_calls);
+  EXPECT_EQ(fs.stats().open_calls, uncached.stats().open_calls);
+  EXPECT_EQ(fs.stats().failed_probes, uncached.stats().failed_probes);
+}
+
+TEST(Vfs, DentryCacheInvalidatedByMutations) {
+  FileSystem fs;
+  fs.write_file("/usr/lib/libx.so", std::string("x"));
+  // Warm the cache with positive and negative entries.
+  EXPECT_TRUE(fs.stat("/usr/lib/libx.so").has_value());
+  EXPECT_FALSE(fs.stat("/usr/lib/libnew.so").has_value());
+  // Creation flips a cached negative...
+  fs.write_file("/usr/lib/libnew.so", std::string("n"));
+  EXPECT_TRUE(fs.stat("/usr/lib/libnew.so").has_value());
+  // ...removal flips a cached positive...
+  fs.remove("/usr/lib/libx.so");
+  EXPECT_FALSE(fs.stat("/usr/lib/libx.so").has_value());
+  // ...and rename flips both sides at once.
+  fs.rename("/usr/lib/libnew.so", "/usr/lib/libx.so");
+  EXPECT_TRUE(fs.stat("/usr/lib/libx.so").has_value());
+  EXPECT_FALSE(fs.stat("/usr/lib/libnew.so").has_value());
+  // Symlink retargeting through remove+recreate is also visible.
+  fs.symlink("libx.so", "/usr/lib/liblink.so");
+  EXPECT_EQ(fs.realpath("/usr/lib/liblink.so"), "/usr/lib/libx.so");
+  fs.remove("/usr/lib/liblink.so");
+  fs.symlink("/elsewhere", "/usr/lib/liblink.so");
+  EXPECT_FALSE(fs.stat("/usr/lib/liblink.so").has_value());  // dangling now
 }
 
 }  // namespace
