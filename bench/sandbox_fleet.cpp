@@ -1,0 +1,234 @@
+// Sandbox fleets: container views over one host world, persisted as
+// snapshot v2 (DCWORLD2, base + per-view deltas).
+//
+// The deployment-substrate story behind the paper's chaos: a cluster
+// schedules N jobs, each in its own mount namespace — the squashfs app
+// image bound read-only behind a writable per-job overlay, the leaky host
+// /usr/lib masked away, per-job scratch — all CoW forks of one host
+// world. Persisting that fleet used to cost N full DCWORLD1 images;
+// save_fleet stores the base and the shared app image once plus each
+// view's layer delta, so the fleet saves in O(base + Σ delta).
+//
+// Acceptance gates (exit non-zero on regression):
+//  * the v2 image is ≥10x smaller than N full v1 images for a 64-fork
+//    fleet, and stays within O(base + Σ delta) (bounded per-view bytes);
+//  * load_fleet restores every view bit-identically (save_world bytes);
+//  * the container failure modes reproduce: the host library leaks under
+//    the unmasked stacking and masking fixes the load.
+//
+// DEPCHAOS_SMOKE=1 shrinks the host world (the fleet stays at 64).
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
+#include "depchaos/vfs/snapshot.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+constexpr std::size_t kFleet = 64;
+
+bool smoke_mode() { return std::getenv("DEPCHAOS_SMOKE") != nullptr; }
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct FleetRig {
+  core::Session host;
+  workload::ContainerLeakScenario scenario;
+  std::vector<core::Session> jobs;
+};
+
+core::Session make_host_session(workload::ContainerLeakScenario& scenario) {
+  workload::InstalledSystemConfig config;
+  if (smoke_mode()) {
+    config.num_binaries = 200;
+    config.num_shared_objects = 120;
+  }
+  core::WorldBuilder builder;
+  builder.debian(config);
+  scenario = workload::make_container_leak_scenario(builder.fs());
+  core::SessionConfig session_config;
+  session_config.search = scenario.search;
+  builder.search(session_config.search);
+  return builder.build();
+}
+
+core::Session::SandboxSpec job_spec(
+    const workload::ContainerLeakScenario& scenario, bool masked) {
+  core::Session::SandboxSpec spec;
+  spec.image = scenario.image;
+  spec.image_mount = scenario.image_mount;
+  spec.exe = scenario.exe;
+  spec.writable_image_overlay = true;
+  if (masked) spec.mask = {scenario.host_lib_dir};
+  spec.scratch = {"/tmp/job"};
+  return spec;
+}
+
+FleetRig make_fleet() {
+  workload::ContainerLeakScenario scenario;
+  core::Session host = make_host_session(scenario);
+  FleetRig rig{std::move(host), std::move(scenario), {}};
+  rig.jobs.reserve(kFleet);
+  const auto spec = job_spec(rig.scenario, /*masked=*/true);
+  for (std::size_t j = 0; j < kFleet; ++j) {
+    core::Session job = rig.host.sandbox(spec);
+    // Per-job divergence in the overlay: a config write and a scratch log.
+    job.fs().write_file(rig.scenario.image_mount + "/etc/job.conf",
+                        "job " + std::to_string(j));
+    job.fs().write_file("/tmp/job/rank", std::to_string(j));
+    rig.jobs.push_back(std::move(job));
+  }
+  return rig;
+}
+
+int print_report() {
+  using depchaos::bench::fmt;
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+
+  heading("Container scenario — wrong library under a specific mount stacking");
+  workload::ContainerLeakScenario scenario;
+  core::Session host = make_host_session(scenario);
+  core::Session leaking = host.sandbox(job_spec(scenario, /*masked=*/false));
+  const auto leaky_report = leaking.load();
+  const bool leaked = leaky_report.success &&
+                      workload::container_host_leaked(leaky_report, scenario);
+  row("host copy leaks through unmasked " + scenario.host_lib_dir,
+      leaked ? "yes (wrong library bound)" : "NO — REGRESSION");
+  core::Session fixed = host.sandbox(job_spec(scenario, /*masked=*/true));
+  const auto fixed_report = fixed.load();
+  const bool mask_fixes =
+      fixed_report.success &&
+      !workload::container_host_leaked(fixed_report, scenario);
+  row("masking the host dir fixes the load",
+      mask_fixes ? "yes (image copy bound)" : "NO — REGRESSION");
+
+  heading("Fleet persistence — snapshot v2 vs per-view full images");
+  FleetRig rig = make_fleet();
+  const std::string base_v1 = vfs::save_world(rig.host.fs());
+  const std::string image_v1 = vfs::save_world(*rig.scenario.image);
+
+  auto start = std::chrono::steady_clock::now();
+  std::size_t v1_total = 0;
+  std::vector<std::string> v1_images;
+  v1_images.reserve(rig.jobs.size());
+  for (const auto& job : rig.jobs) {
+    v1_images.push_back(vfs::save_world(job.fs()));
+    v1_total += v1_images.back().size();
+  }
+  const double v1_seconds = seconds_since(start);
+
+  std::vector<const vfs::FileSystem*> views;
+  views.reserve(rig.jobs.size());
+  for (const auto& job : rig.jobs) views.push_back(&job.fs());
+  start = std::chrono::steady_clock::now();
+  const std::string v2 = vfs::save_fleet(rig.host.fs(), views);
+  const double v2_seconds = seconds_since(start);
+
+  row("fleet size", std::to_string(kFleet) + " sandboxes");
+  row("host world (v1)", fmt(base_v1.size() / 1024.0, 1) + " KiB");
+  row("app image (v1)", fmt(image_v1.size() / 1024.0, 1) + " KiB");
+  row("v1: N full images", fmt(v1_total / 1024.0, 1) + " KiB in " +
+                               fmt(v1_seconds * 1e3, 1) + " ms");
+  row("v2: base + deltas", fmt(v2.size() / 1024.0, 1) + " KiB in " +
+                               fmt(v2_seconds * 1e3, 1) + " ms");
+  const double shrink =
+      v2.empty() ? 0.0 : static_cast<double>(v1_total) / v2.size();
+  row("v2 shrink factor", fmt(shrink, 1) + "x");
+  const std::size_t overhead =
+      v2.size() > base_v1.size() + image_v1.size()
+          ? v2.size() - base_v1.size() - image_v1.size()
+          : 0;
+  row("per-view delta bytes", fmt(overhead / double(kFleet), 1) + " B");
+
+  start = std::chrono::steady_clock::now();
+  auto fleet = vfs::load_fleet(v2);
+  const double load_seconds = seconds_since(start);
+  row("load_fleet", fmt(load_seconds * 1e3, 1) + " ms");
+  bool bit_identical = fleet.views.size() == rig.jobs.size();
+  for (std::size_t j = 0; bit_identical && j < fleet.views.size(); ++j) {
+    bit_identical = vfs::save_world(fleet.views[j]) == v1_images[j];
+  }
+  row("views restore bit-identically",
+      bit_identical ? "yes" : "NO — REGRESSION");
+
+  heading("acceptance gates");
+  const bool gate_shrink = shrink >= 10.0;
+  row("v2 >= 10x smaller than N full images",
+      gate_shrink ? "PASS (" + fmt(shrink, 1) + "x)" : "FAIL");
+  // O(base + sum-of-delta): the image costs base + app once, plus a
+  // bounded per-view delta (mount lines, overlay/scratch writes, the host
+  // mountpoint mkdirs) — NOT another copy of the world per view.
+  const bool gate_delta =
+      v2.size() < (base_v1.size() + image_v1.size()) * 3 / 2 +
+                      kFleet * 8192;
+  row("v2 within O(base + sum-of-delta) bound",
+      gate_delta ? "PASS" : "FAIL");
+  row("bit-identical restore gate",
+      bit_identical ? "PASS" : "FAIL");
+  const bool scenario_ok = leaked && mask_fixes;
+  row("container scenario gate", scenario_ok ? "PASS" : "FAIL");
+  return (gate_shrink && gate_delta && bit_identical && scenario_ok) ? 0 : 1;
+}
+
+void BM_SandboxCreate(benchmark::State& state) {
+  workload::ContainerLeakScenario scenario;
+  core::Session host = make_host_session(scenario);
+  const auto spec = job_spec(scenario, /*masked=*/true);
+  for (auto _ : state) {
+    core::Session job = host.sandbox(spec);
+    benchmark::DoNotOptimize(job.fs().inode_count());
+  }
+}
+BENCHMARK(BM_SandboxCreate)->Unit(benchmark::kMicrosecond);
+
+void BM_FleetSaveV2(benchmark::State& state) {
+  FleetRig rig = make_fleet();
+  std::vector<const vfs::FileSystem*> views;
+  for (const auto& job : rig.jobs) views.push_back(&job.fs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vfs::save_fleet(rig.host.fs(), views).size());
+  }
+}
+BENCHMARK(BM_FleetSaveV2)->Unit(benchmark::kMillisecond);
+
+void BM_FleetSaveV1PerView(benchmark::State& state) {
+  FleetRig rig = make_fleet();
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& job : rig.jobs) total += vfs::save_world(job.fs()).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_FleetSaveV1PerView)->Unit(benchmark::kMillisecond);
+
+void BM_FleetLoad(benchmark::State& state) {
+  FleetRig rig = make_fleet();
+  std::vector<const vfs::FileSystem*> views;
+  for (const auto& job : rig.jobs) views.push_back(&job.fs());
+  const std::string v2 = vfs::save_fleet(rig.host.fs(), views);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vfs::load_fleet(v2).views.size());
+  }
+}
+BENCHMARK(BM_FleetLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int failures = print_report();
+  const int bench_rc = depchaos::bench::run_benchmarks(argc, argv);
+  return failures ? failures : bench_rc;
+}

@@ -60,7 +60,8 @@ class Session {
   explicit Session(vfs::FileSystem fs, SessionConfig config = {},
                    std::string default_exe = {});
 
-  /// Rebuild a session from a DCWORLD1 snapshot (vfs::save_world image).
+  /// Rebuild a session from a DCWORLD1 snapshot (vfs::save_world image) or
+  /// a DCWORLD2 fleet image (first view when present, else the base).
   static Session from_snapshot(std::string_view image,
                                SessionConfig config = {});
 
@@ -81,6 +82,38 @@ class Session {
   /// makes forks the primitive for what-if experiments and per-worker
   /// isolation in load_many.
   Session fork();
+
+  /// What Session::sandbox assembles on top of a fork — a container-style
+  /// per-job view: the app image bound read-only (optionally behind a
+  /// writable per-job overlay), host directories masked away, fresh
+  /// scratch space. The host world is never touched; a fleet of sandboxes
+  /// shares the host AND the image, so each one costs O(delta).
+  struct SandboxSpec {
+    /// Read-only squashfs-style application image (see
+    /// WorldBuilder::build_image), mounted at `image_mount`. Null = no
+    /// image (mask/scratch-only sandbox).
+    std::shared_ptr<vfs::FileSystem> image;
+    std::string image_mount = "/app";
+    /// Mount the image behind a writable per-job overlay (overlayfs upper
+    /// layer) instead of read-only; divergence stays in this sandbox.
+    bool writable_image_overlay = false;
+    /// Host directories hidden behind empty read-only tmpfs — the
+    /// container "mask" idiom that keeps host libraries from leaking into
+    /// the job's library search.
+    std::vector<std::string> mask;
+    /// Fresh writable scratch mounts (per-job /tmp and friends).
+    std::vector<std::string> scratch;
+    /// Default executable inside the sandbox ("" keeps the parent's).
+    std::string exe;
+  };
+
+  /// Build a per-job container view: fork this session and assemble the
+  /// mount namespace from `spec`. The sandbox starts with COLD loader
+  /// caches — its ld.so.cache must be rebuilt from the sandbox namespace;
+  /// resolving against the host's cache is precisely the class of bug the
+  /// container scenarios model. Loads, shrinkwraps, and patches inside
+  /// the sandbox never leak into this session's world.
+  Session sandbox(const SandboxSpec& spec);
 
   // ---- the rig ------------------------------------------------------------
   vfs::FileSystem& fs() { return *fs_; }
@@ -164,6 +197,10 @@ class Session {
 
  private:
   std::string resolve_exe(std::string_view exe) const;
+  /// fork() with or without adopting this loader's caches — sandbox()
+  /// skips the adoption since its namespace surgery would invalidate the
+  /// copies anyway.
+  Session fork_internal(bool adopt_caches);
 
   SessionConfig config_;
   std::shared_ptr<const loader::SearchPolicy> policy_;

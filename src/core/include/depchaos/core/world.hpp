@@ -101,6 +101,12 @@ class WorldBuilder {
   /// Open a Session on the composed world (consumes the builder's world).
   Session build();
 
+  /// Freeze the composed world into a shared read-only application image
+  /// (consumes the builder's world) for vfs::FileSystem::mount_image /
+  /// Session::sandbox. Paths inside the image are image-root relative;
+  /// use $ORIGIN-style search paths so the image works at any mountpoint.
+  std::shared_ptr<vfs::FileSystem> build_image();
+
  private:
   vfs::FileSystem fs_;
   SessionConfig config_;

@@ -31,17 +31,50 @@ Session::Session(vfs::FileSystem fs, SessionConfig config,
 }
 
 Session Session::from_snapshot(std::string_view image, SessionConfig config) {
+  if (vfs::is_fleet_image(image)) {
+    auto fleet = vfs::load_fleet(image);
+    vfs::FileSystem fs = fleet.views.empty()
+                             ? std::move(fleet.base)
+                             : std::move(fleet.views.front());
+    return Session(std::move(fs), std::move(config));
+  }
   return Session(vfs::load_world(image), std::move(config));
 }
 
-Session Session::fork() {
+Session Session::sandbox(const SandboxSpec& spec) {
+  // No cache adoption: the namespace surgery below would stale the host's
+  // parsed-object / ld.so caches, so the sandbox starts cold and rebuilds
+  // its own lazily — resolving against the HOST's ld.so.cache is precisely
+  // the class of bug the container scenarios model.
+  Session child = fork_internal(/*adopt_caches=*/false);
+  vfs::FileSystem& cfs = child.fs();
+  if (spec.image) {
+    if (spec.writable_image_overlay) {
+      cfs.mount_overlay(spec.image_mount, spec.image);
+    } else {
+      cfs.mount_image(spec.image_mount, spec.image);
+    }
+  }
+  for (const auto& dir : spec.mask) {
+    cfs.mount_tmpfs(dir, /*read_only=*/true);
+  }
+  for (const auto& dir : spec.scratch) {
+    cfs.mount_tmpfs(dir, /*read_only=*/false);
+  }
+  if (!spec.exe.empty()) child.set_default_exe(spec.exe);
+  return child;
+}
+
+Session Session::fork() { return fork_internal(/*adopt_caches=*/true); }
+
+Session Session::fork_internal(bool adopt_caches) {
   SessionConfig config = config_;
   // The forked filesystem carries its own per-view latency model (cloned
   // by FileSystem::fork); a non-null config.latency would overwrite it in
   // the constructor with the parent's shared instance.
   config.latency.reset();
   Session child(fs_->fork(), std::move(config), default_exe_);
-  child.loader_->adopt_caches(*loader_);
+  if (adopt_caches) child.loader_->adopt_caches(*loader_);
   return child;
 }
 
@@ -128,6 +161,13 @@ std::vector<Session::LoadReport> Session::load_many(
     pool.submit([this, &paths, &reports, &errors, &worlds, w, workers] {
       try {
         loader::Loader worker(worlds[w], config_.search, policy_);
+        // Adopt the parent loader's parsed-object and ld.so caches instead
+        // of rescanning ld.so.cache per worker: the forked world is
+        // byte-identical at this point, parsed objects are immutable, and
+        // cache warmth never shows in counters (fetch_object charges the
+        // read either way) — so reports stay byte-identical to sequential
+        // loads while the per-worker warmup cost drops to a map copy.
+        worker.adopt_caches(*loader_);
         for (std::size_t i = w; i < paths.size(); i += workers) {
           reports[i] = worker.load(paths[i], config_.env);
         }

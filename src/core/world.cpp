@@ -131,4 +131,8 @@ Session WorldBuilder::build() {
   return Session(std::move(fs_), std::move(config_), std::move(default_exe_));
 }
 
+std::shared_ptr<vfs::FileSystem> WorldBuilder::build_image() {
+  return std::make_shared<vfs::FileSystem>(std::move(fs_));
+}
+
 }  // namespace depchaos::core

@@ -18,6 +18,13 @@
 // moves published entries, and id-indexed reads (str/name/parent/depth)
 // are lock-free. String-keyed lookups take a shared lock; only a
 // first-ever interning of a new path takes the exclusive lock.
+//
+// Growth bound: adversarial workloads (randomized probe storms) intern
+// every miss, so the table supports an optional byte budget
+// (set_byte_budget). Past the cap, interning a NEW path returns kNone
+// instead of allocating — already-interned paths keep resolving — and the
+// resolution layers (vfs::FileSystem, loader candidate probes) fall back
+// to uncached string walks, trading speed for bounded memory.
 #pragma once
 
 #include <array>
@@ -47,7 +54,8 @@ class PathTable {
 
   /// Intern an absolute path, normalizing lexically ('.'/'..'/'//', with
   /// '..' clamped at the root like vfs::normalize_path). Throws
-  /// std::invalid_argument when `path` is empty or not absolute.
+  /// std::invalid_argument when `path` is empty or not absolute. Returns
+  /// kNone when the path is new and the byte budget is exhausted.
   PathId intern(std::string_view path);
 
   /// Intern `relative` resolved lexically against the interned directory
@@ -55,13 +63,29 @@ class PathTable {
   /// intern(str(base) + "/" + relative). `relative` may contain '/', '.'
   /// and '..' components (".." climbs parent links, clamped at the root)
   /// and may also be absolute, in which case `base` is ignored. An empty
-  /// `relative` returns `base`.
+  /// `relative` returns `base`. Returns kNone past the byte budget.
   PathId intern_under(PathId base, std::string_view relative);
 
   /// Single-component step: the id of `name` inside directory `dir`.
   /// "." returns `dir`, ".." its parent (root clamps to root), "" returns
-  /// `dir`. `name` must not contain '/'.
+  /// `dir`. `name` must not contain '/'. Returns kNone when `name` is new
+  /// under `dir` and the byte budget is exhausted.
   PathId child(PathId dir, std::string_view name);
+
+  /// Optional growth cap: once bytes_used() would exceed the budget,
+  /// intern/intern_under/child return kNone for paths not already in the
+  /// table (existing ids keep resolving). 0 = unlimited (the default).
+  void set_byte_budget(std::size_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t byte_budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate heap bytes held by entries and the child index.
+  std::size_t bytes_used() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
   /// The id a path is already interned under, or kNone. Never allocates.
   PathId lookup(std::string_view path) const;
@@ -153,6 +177,8 @@ class PathTable {
 
   std::unique_ptr<std::atomic<Entry*>[]> chunks_;
   std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> budget_{0};
 
   mutable std::shared_mutex mutex_;
   std::unordered_map<ChildKey, PathId, ChildHash, ChildEq> index_;

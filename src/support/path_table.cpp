@@ -5,6 +5,15 @@
 
 namespace depchaos::support {
 
+namespace {
+// Approximate per-entry heap footprint: the Entry itself, its full-path
+// string, and the child-index key + hash-node overhead. Deliberately
+// coarse — the budget bounds order-of-magnitude growth, not exact bytes.
+std::size_t entry_cost(std::size_t full_len, std::size_t name_len) {
+  return sizeof(void*) * 8 + full_len + 2 * name_len + 48;
+}
+}  // namespace
+
 PathTable::PathTable()
     : chunks_(new std::atomic<Entry*>[kMaxChunks]()) {
   // Slot 0 is the kNone sentinel; slot 1 the root. Both live in chunk 0.
@@ -14,6 +23,7 @@ PathTable::PathTable()
   chunk[kRoot].full = "/";
   chunks_[0].store(chunk, std::memory_order_release);
   count_.store(2, std::memory_order_release);
+  bytes_.store(entry_cost(1, 1), std::memory_order_relaxed);
 }
 
 PathTable::~PathTable() {
@@ -37,24 +47,31 @@ PathId PathTable::intern_child(PathId dir, std::string_view name) {
   if (id >= kMaxChunks * kChunkSize) {
     throw std::length_error("PathTable full");
   }
+  const Entry& parent_entry = entry(dir);
+  const std::size_t cost =
+      entry_cost(parent_entry.full.size() + 1 + name.size(), name.size());
+  if (const std::size_t budget = budget_.load(std::memory_order_relaxed);
+      budget != 0 && bytes_.load(std::memory_order_relaxed) + cost > budget) {
+    return kNone;  // budget exhausted: caller falls back to string walks
+  }
   const std::size_t chunk_index = id >> kChunkBits;
   Entry* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
   if (chunk == nullptr) {
     chunk = new Entry[kChunkSize];
     chunks_[chunk_index].store(chunk, std::memory_order_release);
   }
-  const Entry& parent = entry(dir);
   Entry& e = chunk[id & (kChunkSize - 1)];
   e.parent = dir;
-  e.depth = parent.depth + 1;
+  e.depth = parent_entry.depth + 1;
   e.name_len = static_cast<std::uint32_t>(name.size());
-  e.full.reserve(parent.full.size() + 1 + name.size());
-  if (dir != kRoot) e.full = parent.full;
+  e.full.reserve(parent_entry.full.size() + 1 + name.size());
+  if (dir != kRoot) e.full = parent_entry.full;
   e.full += '/';
   e.full += name;
   // Publish the entry before the id becomes reachable via size()/index_.
   count_.store(id + 1, std::memory_order_release);
   index_.emplace(ChildKey{dir, std::string(name)}, id);
+  bytes_.fetch_add(cost, std::memory_order_relaxed);
   return id;
 }
 
@@ -73,7 +90,10 @@ PathId PathTable::intern_under(PathId base, std::string_view relative) {
     while (pos < relative.size() && relative[pos] == '/') ++pos;
     std::size_t end = pos;
     while (end < relative.size() && relative[end] != '/') ++end;
-    if (end > pos) cur = child(cur, relative.substr(pos, end - pos));
+    if (end > pos) {
+      cur = child(cur, relative.substr(pos, end - pos));
+      if (cur == kNone) return kNone;  // byte budget exhausted
+    }
     pos = end;
   }
   return cur;

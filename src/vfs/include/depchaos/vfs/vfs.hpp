@@ -26,11 +26,34 @@
 // splitting or re-normalization. Each view memoizes walk results in a
 // private positive/negative dentry cache so repeated probes of the same
 // directories (the loader's candidate storm) skip the overlay -> base
-// chain entirely; the cache is dropped on any mutation and at fork
-// boundaries. collapse() flattens a long fork chain back into a single
-// layer (inode numbers and observable content preserved, so cached
-// dentries stay valid); fork() does it automatically past a configurable
-// layer-depth threshold.
+// chain entirely; the cache is dropped on any mutation. At a fork
+// boundary the memo is frozen into an immutable shared snapshot both
+// sides keep consulting (positive entries only — content is identical at
+// the fork point), so a forked fleet starts warm; the first mutation on a
+// side drops that side's snapshot reference (copy-on-invalidate).
+// collapse() flattens a long fork chain back into a single layer (inode
+// numbers and observable content preserved, so cached dentries stay
+// valid); fork() does it automatically past a configurable layer-depth
+// threshold. When the shared PathTable carries a byte budget and it is
+// exhausted, resolution transparently falls back to uncached string
+// walks — identical answers and syscall charges, no new interning.
+//
+// Mount model: a view optionally composes MOUNTED filesystems under its
+// path namespace, real mount-table style. Each mount attaches another
+// FileSystem (a read-only squashfs-like image, a CoW overlay forked from
+// an image, a fresh tmpfs, or a bind of a subtree of another world) at a
+// canonical mountpoint directory; resolution — including the PathId fast
+// path and the dentry cache — crosses mount boundaries transparently, so
+// the loader and shrinkwrap layers need no mount awareness. Composed
+// inode numbers carry the mount index in their top 16 bits; absolute
+// symlink targets inside a mounted image resolve in the COMPOSED
+// namespace (what a process inside the container observes). Mounted
+// backings must not carry mounts of their own (one level, like a kernel
+// mount table over block devices), and must not be mutated behind the
+// composed view's back. fork() of a composed view shares read-only
+// backings and CoW-forks writable ones, which is what makes per-job
+// sandbox fleets (core::Session::sandbox) O(delta) to create and — via
+// vfs::save_fleet — O(delta) to persist.
 //
 // Conventions:
 //  * Paths are absolute, '/'-separated; "." and ".." are normalized away.
@@ -98,6 +121,23 @@ struct SyscallStats {
 /// lexically. Throws FsError if `path` is not absolute.
 std::string normalize_path(std::string_view path);
 
+/// What kind of filesystem a mount table entry attaches (MountInfo/mount).
+enum class MountKind : std::uint8_t {
+  Image,    // read-only squashfs-style application image
+  Overlay,  // writable CoW overlay forked from a shared lower image
+  Tmpfs,    // fresh scratch (read-only tmpfs = masking a host dir)
+  Bind,     // subtree of another world re-rooted at the mountpoint
+};
+
+std::string_view mount_kind_name(MountKind kind);
+
+/// One row of FileSystem::mounts() — the `mount(8)`-style listing.
+struct MountInfo {
+  std::string point;  // canonical mountpoint
+  MountKind kind = MountKind::Image;
+  bool read_only = false;
+};
+
 /// Lexical dirname/basename of a normalized absolute path.
 std::string dirname(std::string_view path);
 std::string basename(std::string_view path);
@@ -126,6 +166,52 @@ class FileSystem {
   /// needing thread isolation with an uncloneable model must not fork
   /// across threads — core::Session::load_many guards this).
   FileSystem fork();
+
+  // ----- mount table (uncounted namespace surgery) -------------------------
+  //
+  // Mount operations model container assembly (squashfs app images,
+  // overlayfs stacks, tmpfs masks, bind mounts), not process startup, so
+  // like the setup APIs they are uncounted. Every operation drops the
+  // dentry memo (the namespace changed). The mountpoint directory is
+  // created (mkdir -p style) when missing; mounts stack — the latest
+  // mount at a point wins, umount() peels it off again.
+
+  /// Low-level mount: attach `backing` at `point`. `backing` must not have
+  /// mounts of its own and must not be mutated directly afterwards;
+  /// `lower` (overlays only) records the shared image the backing was
+  /// forked from so vfs::save_fleet can persist the delta. `source` is the
+  /// directory inside `backing` that becomes the mount root (bind mounts;
+  /// "/" for whole-filesystem mounts).
+  void mount(std::string_view point, std::shared_ptr<FileSystem> backing,
+             MountKind kind, bool read_only,
+             std::shared_ptr<FileSystem> lower = nullptr,
+             std::string_view source = "/");
+
+  /// Read-only squashfs-style image mount; the image is shared, never
+  /// copied, so a fleet of views mounting it costs O(1) each.
+  void mount_image(std::string_view point, std::shared_ptr<FileSystem> image);
+
+  /// Writable overlay whose lower layer is `lower`: the backing is a CoW
+  /// fork of the image, so per-view divergence stays in the view.
+  void mount_overlay(std::string_view point,
+                     const std::shared_ptr<FileSystem>& lower);
+
+  /// Fresh scratch filesystem; read_only=true is the container "mask a
+  /// host directory" idiom (an empty dir shadows whatever was beneath).
+  void mount_tmpfs(std::string_view point, bool read_only = false);
+
+  /// Re-root `source_path` of `source_fs` at `point` (default read-only).
+  void mount_bind(std::string_view point,
+                  std::shared_ptr<FileSystem> source_fs,
+                  std::string_view source_path, bool read_only = true);
+
+  /// Peel off the topmost mount at `point`. Throws FsError when nothing is
+  /// mounted there.
+  void umount(std::string_view point);
+
+  /// Active mounts in mount order (the `mount(8)` listing).
+  std::vector<MountInfo> mounts() const;
+  bool has_mounts() const { return !mount_at_.empty(); }
 
   // ----- setup (uncounted) -------------------------------------------------
 
@@ -158,8 +244,10 @@ class FileSystem {
   /// Resolve all symlinks; returns canonical path or nullopt. Uncounted.
   std::optional<std::string> realpath(std::string_view path) const;
 
-  /// Total inode count (Dependency Views cost accounting, §III-D1).
-  std::size_t inode_count() const { return live_inodes_; }
+  /// Total inode count across the composed namespace (Dependency Views
+  /// cost accounting, §III-D1): this view's own storage plus every active
+  /// mounted backing's.
+  std::size_t inode_count() const;
 
   /// Uncounted file access for tooling (package managers, patchers) that
   /// does not represent process-startup syscall traffic.
@@ -226,6 +314,9 @@ class FileSystem {
 
   /// Intern an absolute path, throwing FsError (like normalize_path) when
   /// it is not absolute. str(id) of the result is the normalized path.
+  /// Returns kNone (never throws) for a NEW path once the table's byte
+  /// budget is exhausted — the string-taking operations then fall back to
+  /// uncached walks with identical answers and charges.
   PathId intern(std::string_view path) const;
 
   /// Uncounted interned resolution: canonical (symlink-free) PathId of
@@ -291,6 +382,11 @@ class FileSystem {
   std::size_t auto_collapse() const { return auto_collapse_; }
 
  private:
+  // Raw storage access for the DCWORLD2 snapshot codec (snapshot.cpp):
+  // layer-chain introspection for O(delta) fleet saves and direct overlay
+  // grafts on load.
+  friend struct SnapshotAccess;
+
   // Uninitialized shell for fork(): no root node, no interner allocation
   // (fork() wires in the family's shared table).
   struct ForkTag {};
@@ -317,21 +413,86 @@ class FileSystem {
     std::unordered_map<InodeNum, Node> shadowed;
   };
 
-  // Read access to an inode, falling through overlay -> base chain.
+  /// One mount table entry. Inactive entries (umounted) stay in the
+  /// vector so mount indices — baked into composed inode numbers — remain
+  /// stable.
+  struct Mount {
+    PathId point = support::PathTable::kNone;  // canonical mountpoint
+    MountKind kind = MountKind::Image;
+    bool read_only = false;
+    bool active = true;
+    std::shared_ptr<FileSystem> backing;
+    std::shared_ptr<FileSystem> lower;  // overlays: the shared image below
+    InodeNum source_root = 1;           // binds: entry inode inside backing
+  };
+
+  // Composed inode numbers: mount index (0 = this view's own storage,
+  // i+1 = mounts_[i]) in the top 16 bits, backing-local inode below.
+  static constexpr int kMountShift = 48;
+  static constexpr InodeNum kMountMask = InodeNum{0xffff} << kMountShift;
+  static std::uint16_t mount_index(InodeNum ino) {
+    return static_cast<std::uint16_t>(ino >> kMountShift);
+  }
+  static InodeNum local_ino(InodeNum ino) { return ino & ~kMountMask; }
+  static InodeNum tag(std::uint16_t mount, InodeNum local) {
+    return (InodeNum{mount} << kMountShift) | local;
+  }
+  /// Re-tag a backing-local child inode with its directory's mount bits.
+  static InodeNum tag_like(InodeNum context, InodeNum local) {
+    return (context & kMountMask) | local;
+  }
+
+  // Read access to a composed inode: route to the owning backing, falling
+  // through its overlay -> base chain.
   const Node& node(InodeNum ino) const;
-  // Write access: returns the overlay's copy, creating the CoW shadow on
-  // first touch of a base-layer inode. The returned reference is
-  // invalidated by the next new_node()/mutable_node() call.
+  const Node& node_local(InodeNum ino) const;
+  // Write access: returns the owning store's copy, creating the CoW shadow
+  // on first touch of a base-layer inode, enforcing mount read-only flags,
+  // and dropping this view's dentry memo. The returned reference is
+  // invalidated by the next new_node_at()/mutable_node() call.
   Node& mutable_node(InodeNum ino);
-  // One-past-the-end inode number (the next new_node() index).
+  Node& mutable_node_local(InodeNum ino);
+  // One-past-the-end inode number (the next local allocation index).
   InodeNum end_ino() const { return top_start_ + top_nodes_.size(); }
   // Freeze the private overlay into the immutable chain (fork prologue).
   void freeze_top();
+
+  /// Tagged child lookup: `name` inside directory `dir`, 0 on miss.
+  InodeNum child_of(InodeNum dir, std::string_view name) const;
+  /// Root of the topmost active mount at canonical path `canon`, or 0.
+  InodeNum mount_root_at(PathId canon) const;
+  /// The namespace root: "/" itself, honoring a mount over "/".
+  InodeNum root_ino() const;
+  /// The mount owning `ino`, or null for this view's own storage.
+  Mount* mount_of(InodeNum ino);
+  void ensure_writable(InodeNum ino) const;
+  /// Throw "mount point busy" when an active mountpoint sits at or under
+  /// canonical path `canon` (rmdir/rename of a mount ancestor is EBUSY).
+  void ensure_no_mount_under(const std::string& canon,
+                             const std::string& display) const;
 
   // Resolve `path` to an inode. If follow_final is false the last component
   // is not dereferenced when it is a symlink. Returns 0 (invalid) on miss.
   InodeNum resolve(std::string_view path, bool follow_final,
                    std::string* canonical = nullptr) const;
+
+  // Uncached string walk: the budget-exhausted fallback. `norm` must be a
+  // normalized absolute path; answers (inode, canonical string, symlink
+  // hop consumption, ELOOP throws, mount crossings) are identical to the
+  // interned walk, but nothing is interned or memoized.
+  InodeNum resolve_str(std::string_view norm, bool follow_final, int& hops,
+                       std::string* canonical) const;
+  // resolve_id's escape hatch when a table op inside the walk hits the
+  // byte budget: one uncached string walk of str(id). The canonical comes
+  // back as an id only when the canonical path happens to be interned
+  // already (lookup never allocates).
+  InodeNum resolve_fallback(PathId id, bool follow_final, int& hops,
+                            PathId* canonical) const;
+  // The string-overload fallback shared by stat/lstat/open/count_read:
+  // normalize + uncached walk, FsError (ELOOP) counting as a miss;
+  // `norm_out` receives the normalized path for charging.
+  InodeNum resolve_uncached(std::string_view path, bool follow_final,
+                            std::string* norm_out) const;
 
   // The interned walk behind every lookup: resolve `id` by stepping its
   // component chain against the node store, expanding symlinks with a
@@ -347,7 +508,13 @@ class FileSystem {
   // Parent directory inode of `path`, creating it if `create`.
   InodeNum parent_of(const std::string& norm, bool create);
 
-  InodeNum new_node(NodeType type);
+  /// Allocate a node in the same store as mount index `mount`; returns the
+  /// tagged composed inode.
+  InodeNum new_node_at(std::uint16_t mount, NodeType type);
+  InodeNum new_node_local(NodeType type);
+  /// Allocate + link a child named `name` under directory `dir` (same
+  /// store as `dir`); returns the tagged child.
+  InodeNum create_child(InodeNum dir, std::string_view name, NodeType type);
   void charge(OpKind op, bool hit, const std::string& path);
   void remove_subtree(InodeNum ino);
 
@@ -379,13 +546,29 @@ class FileSystem {
   static std::uint64_t dentry_key(PathId id, bool follow) {
     return (std::uint64_t{id} << 1) | (follow ? 1u : 0u);
   }
-  // Per-view and private: cleared on any mutation (mutable_node — the
-  // single choke point every structural change goes through — drops it
-  // BEFORE handing out the write reference) and at fork boundaries.
-  // Mutable because resolution memoizes inside const read paths.
-  mutable std::unordered_map<std::uint64_t, Dentry> dentry_;
+  using DentryMap = std::unordered_map<std::uint64_t, Dentry>;
+  // Two-level memo. `dentry_` is per-view and private: new walk results
+  // land here. `dentry_shared_` is an immutable snapshot frozen at the
+  // last fork boundary, consulted for POSITIVE entries only — every view
+  // sharing it has identical content for those paths until it mutates.
+  // Invalidation (mutable_node — the single choke point every structural
+  // change goes through — and mount-table surgery) drops the private map
+  // AND this view's snapshot reference (copy-on-invalidate: siblings keep
+  // theirs). Mutable because resolution memoizes inside const read paths.
+  mutable DentryMap dentry_;
+  std::shared_ptr<const DentryMap> dentry_shared_;
+  void invalidate_dentries() {
+    dentry_.clear();
+    dentry_shared_.reset();
+  }
   bool dentry_enabled_ = true;
   std::size_t auto_collapse_ = 64;
+
+  // The mount table (empty for ordinary worlds; every operation above is
+  // zero-overhead then). `mount_at_` maps a canonical mountpoint PathId to
+  // the stack of mounts at that point, topmost last.
+  std::vector<Mount> mounts_;
+  std::unordered_map<PathId, std::vector<std::uint16_t>> mount_at_;
 };
 
 }  // namespace depchaos::vfs

@@ -9,6 +9,21 @@ namespace depchaos::vfs {
 
 namespace {
 constexpr int kMaxSymlinkHops = 40;  // Linux ELOOP limit
+constexpr support::PathId kNoPath = support::PathTable::kNone;
+}  // namespace
+
+std::string_view mount_kind_name(MountKind kind) {
+  switch (kind) {
+    case MountKind::Image:
+      return "image";
+    case MountKind::Overlay:
+      return "overlay";
+    case MountKind::Tmpfs:
+      return "tmpfs";
+    case MountKind::Bind:
+      return "bind";
+  }
+  return "?";
 }
 
 SyscallStats& SyscallStats::operator+=(const SyscallStats& other) {
@@ -75,7 +90,7 @@ FileSystem::FileSystem(const FileSystem& other) {
   // inode numbering (dead nodes included, so post-copy allocations match).
   const InodeNum end = other.end_ino();
   top_nodes_.reserve(end);
-  for (InodeNum i = 0; i < end; ++i) top_nodes_.push_back(other.node(i));
+  for (InodeNum i = 0; i < end; ++i) top_nodes_.push_back(other.node_local(i));
   live_inodes_ = other.live_inodes_;
   stats_ = other.stats_;
   latency_ = other.latency_;
@@ -85,6 +100,17 @@ FileSystem::FileSystem(const FileSystem& other) {
   paths_ = other.paths_;
   dentry_enabled_ = other.dentry_enabled_;
   auto_collapse_ = other.auto_collapse_;
+  // Mount table: immutable backings are shared (never copied); writable
+  // backings get the same deep-copy treatment as the host storage.
+  mounts_.reserve(other.mounts_.size());
+  for (const Mount& m : other.mounts_) {
+    Mount copy = m;
+    if (m.active && !m.read_only && m.backing) {
+      copy.backing = std::make_shared<FileSystem>(*m.backing);
+    }
+    mounts_.push_back(std::move(copy));
+  }
+  mount_at_ = other.mount_at_;
 }
 
 FileSystem& FileSystem::operator=(const FileSystem& other) {
@@ -110,7 +136,6 @@ void FileSystem::freeze_top() {
 
 FileSystem FileSystem::fork() {
   freeze_top();
-  dentry_.clear();  // fork boundary: both sides restart cold
   FileSystem child{ForkTag{}};
   child.base_ = base_;
   child.top_start_ = top_start_;
@@ -123,6 +148,33 @@ FileSystem FileSystem::fork() {
     auto clone = latency_->clone();
     child.latency_ = clone ? std::move(clone) : latency_;
   }
+  // Dentry warm start: freeze the memo into an immutable snapshot both
+  // sides keep consulting (content is identical at the fork point, so
+  // every entry stays valid until a side mutates — which drops only that
+  // side's snapshot reference). Each side's private map restarts empty so
+  // concurrent forked workers never write a shared structure.
+  if (dentry_enabled_) {
+    if (!dentry_.empty()) {
+      if (dentry_shared_ && !dentry_shared_->empty()) {
+        dentry_.insert(dentry_shared_->begin(), dentry_shared_->end());
+      }
+      dentry_shared_ = std::make_shared<const DentryMap>(std::move(dentry_));
+      dentry_ = DentryMap{};
+    }
+    child.dentry_shared_ = dentry_shared_;
+  }
+  // Mount table: share read-only backings, CoW-fork writable ones so
+  // per-view divergence stays in the view. Mount indices — baked into
+  // tagged inode numbers, including the warm dentries — are preserved.
+  child.mounts_.reserve(mounts_.size());
+  for (Mount& m : mounts_) {
+    Mount copy = m;
+    if (m.active && !m.read_only && m.backing) {
+      copy.backing = std::make_shared<FileSystem>(m.backing->fork());
+    }
+    child.mounts_.push_back(std::move(copy));
+  }
+  child.mount_at_ = mount_at_;
   // Layer compaction: past the threshold the chain walk under every cache
   // miss starts to dominate, so flatten the CHILD (the view that carries
   // the chain forward); the parent stays O(1) as fork() promises.
@@ -137,7 +189,7 @@ void FileSystem::collapse() {
   const InodeNum end = end_ino();
   std::vector<Node> flat;
   flat.reserve(end);
-  for (InodeNum i = 0; i < end; ++i) flat.push_back(node(i));
+  for (InodeNum i = 0; i < end; ++i) flat.push_back(node_local(i));
   top_nodes_ = std::move(flat);
   top_shadow_.clear();
   top_start_ = 0;
@@ -146,6 +198,13 @@ void FileSystem::collapse() {
 }
 
 const FileSystem::Node& FileSystem::node(InodeNum ino) const {
+  if (const std::uint16_t m = mount_index(ino)) {
+    return mounts_[m - 1].backing->node_local(local_ino(ino));
+  }
+  return node_local(ino);
+}
+
+const FileSystem::Node& FileSystem::node_local(InodeNum ino) const {
   if (ino >= top_start_) return top_nodes_[ino - top_start_];
   if (const auto it = top_shadow_.find(ino); it != top_shadow_.end()) {
     return it->second;
@@ -163,14 +222,87 @@ const FileSystem::Node& FileSystem::node(InodeNum ino) const {
 
 FileSystem::Node& FileSystem::mutable_node(InodeNum ino) {
   // Every structural change flows through here, so this is the dentry
-  // cache's single invalidation point: drop the memo BEFORE handing out
-  // the write reference (resolution after the write starts cold).
-  dentry_.clear();
+  // cache's single invalidation point: drop the memo — the private map AND
+  // this view's reference to the fork-shared snapshot (siblings keep
+  // theirs: copy-on-invalidate) — BEFORE handing out the write reference.
+  invalidate_dentries();
+  if (const std::uint16_t m = mount_index(ino)) {
+    Mount& mnt = mounts_[m - 1];
+    if (mnt.read_only) {
+      throw FsError("read-only file system: mount at " +
+                    paths_->str(mnt.point));
+    }
+    return mnt.backing->mutable_node_local(local_ino(ino));
+  }
+  return mutable_node_local(ino);
+}
+
+FileSystem::Node& FileSystem::mutable_node_local(InodeNum ino) {
+  invalidate_dentries();  // the store's own memo, when used standalone
   if (ino >= top_start_) return top_nodes_[ino - top_start_];
   const auto it = top_shadow_.find(ino);
   if (it != top_shadow_.end()) return it->second;
   // First write to a base-layer inode: make the CoW shadow copy.
-  return top_shadow_.emplace(ino, node(ino)).first->second;
+  return top_shadow_.emplace(ino, node_local(ino)).first->second;
+}
+
+void FileSystem::ensure_writable(InodeNum ino) const {
+  if (const std::uint16_t m = mount_index(ino)) {
+    const Mount& mnt = mounts_[m - 1];
+    if (mnt.read_only) {
+      throw FsError("read-only file system: mount at " +
+                    paths_->str(mnt.point));
+    }
+  }
+}
+
+void FileSystem::ensure_no_mount_under(const std::string& canon,
+                                       const std::string& display) const {
+  if (!has_mounts()) return;
+  // Detaching a mountpoint — or any ancestor of one — would leave the
+  // mount attached to a path that no longer resolves: EBUSY.
+  const std::string prefix = canon + '/';
+  for (const Mount& m : mounts_) {
+    if (!m.active) continue;
+    const std::string& point = paths_->str(m.point);
+    if (point == canon || point.starts_with(prefix)) {
+      throw FsError("mount point busy: " + display);
+    }
+  }
+}
+
+InodeNum FileSystem::child_of(InodeNum dir, std::string_view name) const {
+  const InodeNum local = node(dir).find_child(name);
+  return local == 0 ? 0 : tag_like(dir, local);
+}
+
+InodeNum FileSystem::mount_root_at(PathId canon) const {
+  if (mount_at_.empty() || canon == kNoPath) return 0;
+  const auto it = mount_at_.find(canon);
+  if (it == mount_at_.end() || it->second.empty()) return 0;
+  const std::uint16_t index = it->second.back();
+  return tag(static_cast<std::uint16_t>(index + 1),
+             mounts_[index].source_root);
+}
+
+InodeNum FileSystem::root_ino() const {
+  if (const InodeNum mroot = mount_root_at(support::PathTable::kRoot)) {
+    return mroot;
+  }
+  return 1;
+}
+
+FileSystem::Mount* FileSystem::mount_of(InodeNum ino) {
+  const std::uint16_t m = mount_index(ino);
+  return m == 0 ? nullptr : &mounts_[m - 1];
+}
+
+std::size_t FileSystem::inode_count() const {
+  std::size_t total = live_inodes_;
+  for (const Mount& m : mounts_) {
+    if (m.active && m.backing) total += m.backing->live_inodes_;
+  }
+  return total;
 }
 
 std::size_t FileSystem::layer_depth() const {
@@ -199,14 +331,37 @@ std::uint64_t FileSystem::owned_bytes() const {
     (void)ino;
     total += bytes_of(n) + sizeof(InodeNum);
   }
+  // Writable mount backings are this view's private divergence too;
+  // shared read-only images cost a view nothing.
+  for (const Mount& m : mounts_) {
+    if (m.active && !m.read_only && m.backing) total += m.backing->owned_bytes();
+  }
   return total;
 }
 
-InodeNum FileSystem::new_node(NodeType type) {
+InodeNum FileSystem::new_node_local(NodeType type) {
   top_nodes_.emplace_back();
   top_nodes_.back().type = type;
   ++live_inodes_;
   return end_ino() - 1;
+}
+
+InodeNum FileSystem::new_node_at(std::uint16_t mount, NodeType type) {
+  if (mount == 0) return new_node_local(type);
+  Mount& mnt = mounts_[mount - 1];
+  if (mnt.read_only) {
+    throw FsError("read-only file system: mount at " +
+                  paths_->str(mnt.point));
+  }
+  return tag(mount, mnt.backing->new_node_local(type));
+}
+
+InodeNum FileSystem::create_child(InodeNum dir, std::string_view name,
+                                  NodeType type) {
+  ensure_writable(dir);
+  const InodeNum child = new_node_at(mount_index(dir), type);
+  mutable_node(dir).children.emplace_back(std::string(name), local_ino(child));
+  return child;
 }
 
 void FileSystem::charge(OpKind op, bool hit, const std::string& path) {
@@ -234,21 +389,38 @@ void FileSystem::charge(OpKind op, bool hit, const std::string& path) {
 InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
                                 PathId* canonical) const {
   using support::PathTable;
+  if (id == PathTable::kNone) {
+    // "No path" — reachable through the public PathId overloads when a
+    // caller forwards a budget-refused intern(); a clean miss, not UB.
+    if (canonical) *canonical = PathTable::kNone;
+    return 0;
+  }
   if (id == PathTable::kRoot) {
     if (canonical) *canonical = PathTable::kRoot;
-    return 1;
+    return root_ino();
   }
   const std::uint64_t key = dentry_key(id, follow_final);
   if (dentry_enabled_) {
+    const Dentry* hit = nullptr;
     if (const auto it = dentry_.find(key); it != dentry_.end()) {
+      hit = &it->second;
+    } else if (dentry_shared_) {
+      // The fork-shared snapshot serves POSITIVE entries only; negative
+      // results are re-walked and memoized privately.
+      if (const auto sit = dentry_shared_->find(key);
+          sit != dentry_shared_->end() && sit->second.ino != 0) {
+        hit = &sit->second;
+      }
+    }
+    if (hit != nullptr) {
       // Replay the hop budget the memoized walk consumed so a resolution
       // that would have tripped ELOOP still trips it through the cache.
-      hops += it->second.hops;
+      hops += hit->hops;
       if (hops > kMaxSymlinkHops) {
         throw FsError("too many levels of symbolic links");
       }
-      if (canonical) *canonical = it->second.canonical;
-      return it->second.ino;
+      if (canonical) *canonical = hit->canonical;
+      return hit->ino;
     }
   }
   const int hops_before = hops;
@@ -262,8 +434,14 @@ InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
   PathId dir_canon = PathTable::kNone;
   const InodeNum dir_ino =
       resolve_id(paths_->parent(id), /*follow_final=*/true, hops, &dir_canon);
+  if (dir_ino != 0 && dir_canon == PathTable::kNone) {
+    // A nested walk hit the interner byte budget and lost the canonical
+    // chain: finish with one uncached string walk of the full path.
+    hops = hops_before;
+    return resolve_fallback(id, follow_final, hops, canonical);
+  }
   if (dir_ino != 0 && node(dir_ino).type == NodeType::Directory) {
-    const InodeNum child = node(dir_ino).find_child(paths_->name(id));
+    const InodeNum child = child_of(dir_ino, paths_->name(id));
     if (child != 0) {
       if (node(child).type == NodeType::Symlink && follow_final) {
         if (++hops > kMaxSymlinkHops) {
@@ -277,11 +455,24 @@ InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
             (!target.empty() && target.front() == '/')
                 ? paths_->intern(target)
                 : paths_->intern_under(dir_canon, target);
+        if (target_id == PathTable::kNone) {  // byte budget exhausted
+          hops = hops_before;
+          return resolve_fallback(id, follow_final, hops, canonical);
+        }
         result = resolve_id(target_id, /*follow_final=*/true, hops,
                             &result_canon);
       } else {
         result = child;
         result_canon = paths_->child(dir_canon, paths_->name(id));
+        if (result_canon == PathTable::kNone) {  // byte budget exhausted
+          hops = hops_before;
+          return resolve_fallback(id, follow_final, hops, canonical);
+        }
+        // Crossing a mount boundary: the topmost mounted root replaces
+        // the underlying directory its mount now shadows.
+        if (const InodeNum mroot = mount_root_at(result_canon)) {
+          result = mroot;
+        }
       }
     }
   }
@@ -290,6 +481,73 @@ InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
   }
   if (canonical) *canonical = result_canon;
   return result;
+}
+
+InodeNum FileSystem::resolve_uncached(std::string_view path, bool follow_final,
+                                      std::string* norm_out) const {
+  std::string norm = normalize_path(path);
+  InodeNum ino = 0;
+  try {
+    int hops = 0;
+    ino = resolve_str(norm, follow_final, hops, nullptr);
+  } catch (const FsError&) {
+    ino = 0;  // symlink loop counts as a miss, like the interned walk
+  }
+  if (norm_out) *norm_out = std::move(norm);
+  return ino;
+}
+
+InodeNum FileSystem::resolve_fallback(PathId id, bool follow_final, int& hops,
+                                      PathId* canonical) const {
+  std::string canon;
+  const InodeNum ino =
+      resolve_str(paths_->str(id), follow_final, hops, &canon);
+  if (canonical) {
+    *canonical = ino != 0 ? paths_->lookup(canon) : kNoPath;
+  }
+  return ino;
+}
+
+InodeNum FileSystem::resolve_str(std::string_view norm, bool follow_final,
+                                 int& hops, std::string* canonical) const {
+  InodeNum cur = root_ino();
+  std::string canon = "/";
+  std::size_t pos = 1;
+  while (pos < norm.size()) {
+    std::size_t end = norm.find('/', pos);
+    if (end == std::string_view::npos) end = norm.size();
+    const std::string_view comp = norm.substr(pos, end - pos);
+    const bool last = end == norm.size();
+    pos = end + 1;
+    if (comp.empty()) continue;
+    if (node(cur).type != NodeType::Directory) return 0;
+    InodeNum child = child_of(cur, comp);
+    if (child == 0) return 0;
+    std::string child_canon = canon.size() == 1
+                                  ? '/' + std::string(comp)
+                                  : canon + '/' + std::string(comp);
+    if (node(child).type == NodeType::Symlink && (follow_final || !last)) {
+      if (++hops > kMaxSymlinkHops) {
+        throw FsError("too many levels of symbolic links");
+      }
+      const std::string& target = node(child).link_target;
+      const std::string full = normalize_path(
+          !target.empty() && target.front() == '/' ? std::string(target)
+                                                   : canon + '/' + target);
+      std::string sub_canon;
+      child = resolve_str(full, /*follow_final=*/true, hops, &sub_canon);
+      if (child == 0) return 0;
+      child_canon = std::move(sub_canon);
+    } else if (has_mounts()) {
+      if (const InodeNum mroot = mount_root_at(paths_->lookup(child_canon))) {
+        child = mroot;
+      }
+    }
+    cur = child;
+    canon = std::move(child_canon);
+  }
+  if (canonical) *canonical = std::move(canon);
+  return cur;
 }
 
 PathId FileSystem::intern(std::string_view path) const {
@@ -303,30 +561,154 @@ InodeNum FileSystem::resolve(std::string_view path, bool follow_final,
                              std::string* canonical) const {
   const PathId id = intern(path);
   int hops = 0;
-  PathId canon_id = support::PathTable::kNone;
+  if (id == kNoPath) {  // interner byte budget exhausted: uncached walk
+    return resolve_str(normalize_path(path), follow_final, hops, canonical);
+  }
+  PathId canon_id = kNoPath;
   const InodeNum ino =
       resolve_id(id, follow_final, hops, canonical ? &canon_id : nullptr);
-  if (canonical && ino != 0) *canonical = paths_->str(canon_id);
+  if (canonical && ino != 0) {
+    if (canon_id != kNoPath) {
+      *canonical = paths_->str(canon_id);
+    } else {
+      // The walk fell back past the byte budget and lost the canonical
+      // id; recompute the string with one more uncached walk.
+      int rehops = 0;
+      resolve_str(paths_->str(id), follow_final, rehops, canonical);
+    }
+  }
   return ino;
 }
 
 PathId FileSystem::resolve_canonical(PathId id) const {
   int hops = 0;
-  PathId canon = support::PathTable::kNone;
+  PathId canon = kNoPath;
+  InodeNum ino = 0;
   try {
-    if (resolve_id(id, /*follow_final=*/true, hops, &canon) == 0) {
-      return support::PathTable::kNone;
-    }
+    ino = resolve_id(id, /*follow_final=*/true, hops, &canon);
   } catch (const FsError&) {
-    return support::PathTable::kNone;
+    return kNoPath;
+  }
+  if (ino == 0) return kNoPath;
+  if (canon == kNoPath) {
+    // Budget fallback: canonical string via an uncached walk, then a
+    // non-allocating lookup (kNone when that path was never interned).
+    std::string canon_str;
+    int rehops = 0;
+    try {
+      if (resolve_str(paths_->str(id), true, rehops, &canon_str) == 0) {
+        return kNoPath;
+      }
+    } catch (const FsError&) {
+      return kNoPath;
+    }
+    return paths_->lookup(canon_str);
   }
   return canon;
 }
 
 void FileSystem::set_dentry_cache(bool enabled) {
   dentry_enabled_ = enabled;
-  dentry_.clear();
+  invalidate_dentries();
 }
+
+// ----- mount table ---------------------------------------------------------
+
+void FileSystem::mount(std::string_view point,
+                       std::shared_ptr<FileSystem> backing, MountKind kind,
+                       bool read_only, std::shared_ptr<FileSystem> lower,
+                       std::string_view source) {
+  if (!backing) throw FsError("mount: null backing filesystem");
+  if (backing.get() == this) {
+    throw FsError("mount: cannot mount a view into itself");
+  }
+  if (backing->has_mounts()) {
+    throw FsError("mount: nested mount tables are not supported");
+  }
+  if (mounts_.size() >= 0xfffe) throw FsError("mount: table full");
+  const std::string norm = normalize_path(point);
+  mkdir_p(norm);  // the mountpoint directory must exist
+  std::string canon_str;
+  if (resolve(norm, /*follow_final=*/true, &canon_str) == 0) {
+    throw FsError("mount: cannot resolve mountpoint: " + norm);
+  }
+  const PathId canon = paths_->intern(canon_str);
+  if (canon == kNoPath) {
+    throw FsError("mount: path-table byte budget exhausted at " + norm);
+  }
+  Mount m;
+  m.point = canon;
+  m.kind = kind;
+  m.read_only = read_only;
+  m.lower = std::move(lower);
+  if (kind == MountKind::Bind) {
+    const std::string src = normalize_path(source);
+    const InodeNum src_ino = backing->resolve(src, /*follow_final=*/true);
+    if (src_ino == 0 ||
+        backing->node(src_ino).type != NodeType::Directory) {
+      throw FsError("mount: bind source is not a directory: " + src);
+    }
+    m.source_root = src_ino;
+  }
+  m.backing = std::move(backing);
+  mounts_.push_back(std::move(m));
+  mount_at_[canon].push_back(static_cast<std::uint16_t>(mounts_.size() - 1));
+  invalidate_dentries();  // the namespace changed
+}
+
+void FileSystem::mount_image(std::string_view point,
+                             std::shared_ptr<FileSystem> image) {
+  mount(point, std::move(image), MountKind::Image, /*read_only=*/true);
+}
+
+void FileSystem::mount_overlay(std::string_view point,
+                               const std::shared_ptr<FileSystem>& lower) {
+  // The writable upper layer is a CoW fork of the shared image; `lower`
+  // rides along so vfs::save_fleet can persist the per-view delta.
+  auto upper = std::make_shared<FileSystem>(lower->fork());
+  mount(point, std::move(upper), MountKind::Overlay, /*read_only=*/false,
+        lower);
+}
+
+void FileSystem::mount_tmpfs(std::string_view point, bool read_only) {
+  mount(point, std::make_shared<FileSystem>(), MountKind::Tmpfs, read_only);
+}
+
+void FileSystem::mount_bind(std::string_view point,
+                            std::shared_ptr<FileSystem> source_fs,
+                            std::string_view source_path, bool read_only) {
+  mount(point, std::move(source_fs), MountKind::Bind, read_only, nullptr,
+        source_path);
+}
+
+void FileSystem::umount(std::string_view point) {
+  const std::string norm = normalize_path(point);
+  std::string canon_str;
+  if (resolve(norm, /*follow_final=*/true, &canon_str) == 0) {
+    throw FsError("umount: no such path: " + norm);
+  }
+  const PathId canon = paths_->lookup(canon_str);
+  const auto it =
+      canon != kNoPath ? mount_at_.find(canon) : mount_at_.end();
+  if (it == mount_at_.end() || it->second.empty()) {
+    throw FsError("umount: not a mountpoint: " + norm);
+  }
+  mounts_[it->second.back()].active = false;
+  it->second.pop_back();
+  if (it->second.empty()) mount_at_.erase(it);
+  invalidate_dentries();
+}
+
+std::vector<MountInfo> FileSystem::mounts() const {
+  std::vector<MountInfo> out;
+  for (const Mount& m : mounts_) {
+    if (!m.active) continue;
+    out.push_back(MountInfo{paths_->str(m.point), m.kind, m.read_only});
+  }
+  return out;
+}
+
+// ----- setup ---------------------------------------------------------------
 
 InodeNum FileSystem::parent_of(const std::string& norm, bool create) {
   const std::string dir = dirname(norm);
@@ -347,25 +729,34 @@ InodeNum FileSystem::parent_of(const std::string& norm, bool create) {
 void FileSystem::mkdir_p(std::string_view path) {
   const std::string norm = normalize_path(path);
   if (norm == "/") return;
-  InodeNum cur = 1;
+  InodeNum cur = root_ino();
   std::string prefix;
   for (const auto& comp : support::split_nonempty(norm, '/')) {
     prefix += '/';
     prefix += comp;
-    InodeNum child = node(cur).find_child(comp);
-    if (child == 0) {
-      child = new_node(NodeType::Directory);
-      mutable_node(cur).children.emplace_back(comp, child);
-    } else if (node(child).type == NodeType::Symlink) {
-      // Follow symlinked intermediate directories.
-      child = resolve(prefix, /*follow_final=*/true);
-      if (child == 0 || node(child).type != NodeType::Directory) {
+    // resolve() handles symlinked intermediates, mount crossings, and the
+    // interner byte budget uniformly; setup traffic is uncounted anyway.
+    const InodeNum next = resolve(prefix, /*follow_final=*/true);
+    if (next == 0) {
+      if (node(cur).type != NodeType::Directory) {
+        throw FsError("not a directory: " + prefix);
+      }
+      if (child_of(cur, comp) != 0) {
+        // Exists but does not resolve: a dangling symlink in the way.
         throw FsError("not a directory (through symlink): " + prefix);
       }
-    } else if (node(child).type != NodeType::Directory) {
+      cur = create_child(cur, comp, NodeType::Directory);
+    } else if (node(next).type != NodeType::Directory) {
+      if (node(cur).type == NodeType::Directory) {
+        if (const InodeNum direct = child_of(cur, comp);
+            direct != 0 && node(direct).type == NodeType::Symlink) {
+          throw FsError("not a directory (through symlink): " + prefix);
+        }
+      }
       throw FsError("not a directory: " + prefix);
+    } else {
+      cur = next;
     }
-    cur = child;
   }
 }
 
@@ -374,7 +765,7 @@ void FileSystem::write_file(std::string_view path, FileData data) {
   if (norm == "/") throw FsError("cannot write to /");
   const InodeNum parent = parent_of(norm, /*create=*/true);
   const std::string name = basename(norm);
-  InodeNum child = node(parent).find_child(name);
+  InodeNum child = child_of(parent, name);
   if (child != 0 && node(child).type == NodeType::Symlink) {
     // Writing through a symlink targets the link's destination.
     std::string canonical;
@@ -386,8 +777,7 @@ void FileSystem::write_file(std::string_view path, FileData data) {
     }
   }
   if (child == 0) {
-    child = new_node(NodeType::Regular);
-    mutable_node(parent).children.emplace_back(name, child);
+    child = create_child(parent, name, NodeType::Regular);
   } else if (node(child).type == NodeType::Directory) {
     throw FsError("is a directory: " + norm);
   }
@@ -398,12 +788,11 @@ void FileSystem::symlink(std::string_view target, std::string_view linkpath) {
   const std::string norm = normalize_path(linkpath);
   const InodeNum parent = parent_of(norm, /*create=*/true);
   const std::string name = basename(norm);
-  if (node(parent).find_child(name) != 0) {
+  if (child_of(parent, name) != 0) {
     throw FsError("already exists: " + norm);
   }
-  const InodeNum child = new_node(NodeType::Symlink);
+  const InodeNum child = create_child(parent, name, NodeType::Symlink);
   mutable_node(child).link_target = std::string(target);
-  mutable_node(parent).children.emplace_back(name, child);
 }
 
 void FileSystem::remove_subtree(InodeNum ino) {
@@ -413,23 +802,33 @@ void FileSystem::remove_subtree(InodeNum ino) {
   // the doomed subtree.
   for (const auto& [name, child] : node(ino).children) {
     (void)name;
-    remove_subtree(child);
+    remove_subtree(tag_like(ino, child));
   }
-  --live_inodes_;
+  if (const std::uint16_t m = mount_index(ino)) {
+    --mounts_[m - 1].backing->live_inodes_;
+  } else {
+    --live_inodes_;
+  }
 }
 
 void FileSystem::remove(std::string_view path, bool recursive) {
   const std::string norm = normalize_path(path);
   if (norm == "/") throw FsError("cannot remove /");
-  const InodeNum parent = resolve(dirname(norm), true);
+  std::string canon_dir;
+  const InodeNum parent = resolve(dirname(norm), true, &canon_dir);
   if (parent == 0) throw FsError("no such path: " + norm);
   const std::string name = basename(norm);
-  const InodeNum ino = node(parent).find_child(name);
+  if (has_mounts()) {
+    ensure_no_mount_under(
+        canon_dir == "/" ? '/' + name : canon_dir + '/' + name, norm);
+  }
+  const InodeNum ino = child_of(parent, name);
   if (ino == 0) throw FsError("no such path: " + norm);
   if (node(ino).type == NodeType::Directory && !node(ino).children.empty() &&
       !recursive) {
     throw FsError("directory not empty: " + norm);
   }
+  ensure_writable(parent);
   remove_subtree(ino);
   auto& children = mutable_node(parent).children;
   children.erase(std::find_if(children.begin(), children.end(),
@@ -439,36 +838,63 @@ void FileSystem::remove(std::string_view path, bool recursive) {
 void FileSystem::rename(std::string_view from, std::string_view to) {
   const std::string norm_from = normalize_path(from);
   const std::string norm_to = normalize_path(to);
-  const InodeNum from_parent = resolve(dirname(norm_from), true);
+  std::string canon_from_dir;
+  const InodeNum from_parent =
+      resolve(dirname(norm_from), true, &canon_from_dir);
   if (from_parent == 0) throw FsError("no such path: " + norm_from);
   const std::string from_name = basename(norm_from);
-  InodeNum moving = 0;
+  const InodeNum moving = child_of(from_parent, from_name);
+  if (moving == 0) throw FsError("no such path: " + norm_from);
+  if (has_mounts()) {
+    ensure_no_mount_under(canon_from_dir == "/"
+                              ? '/' + from_name
+                              : canon_from_dir + '/' + from_name,
+                          norm_from);
+  }
+  const InodeNum to_parent = parent_of(norm_to, /*create=*/true);
+  if (mount_index(from_parent) != mount_index(to_parent)) {
+    // rename(2) across filesystems fails EXDEV; mounts are separate stores.
+    throw FsError("cross-mount rename: " + norm_from + " -> " + norm_to);
+  }
+  if (node(moving).type == NodeType::Directory) {
+    // Moving a directory underneath itself would orphan the whole subtree
+    // (POSIX EINVAL). Checked by inode, so symlink aliases can't evade it.
+    std::vector<InodeNum> stack{moving};
+    while (!stack.empty()) {
+      const InodeNum cur = stack.back();
+      stack.pop_back();
+      if (cur == to_parent) {
+        throw FsError("cannot move a directory into itself: " + norm_from +
+                      " -> " + norm_to);
+      }
+      for (const auto& [name, child] : node(cur).children) {
+        (void)name;
+        stack.push_back(tag_like(cur, child));
+      }
+    }
+  }
   {
     auto& from_children = mutable_node(from_parent).children;
     const auto it =
         std::find_if(from_children.begin(), from_children.end(),
                      [&](const auto& p) { return p.first == from_name; });
-    if (it == from_children.end()) {
-      throw FsError("no such path: " + norm_from);
-    }
-    moving = it->second;
     from_children.erase(it);
-  }  // reference dropped: parent_of below may allocate nodes
+  }  // reference dropped: mutable_node below may shadow-copy other nodes
 
-  const InodeNum to_parent = parent_of(norm_to, /*create=*/true);
   const std::string to_name = basename(norm_to);
   auto& to_children = mutable_node(to_parent).children;
   const auto existing =
       std::find_if(to_children.begin(), to_children.end(),
                    [&](const auto& p) { return p.first == to_name; });
   if (existing != to_children.end()) {
-    if (node(existing->second).type == NodeType::Directory) {
+    if (node(tag_like(to_parent, existing->second)).type ==
+        NodeType::Directory) {
       throw FsError("rename over directory: " + norm_to);
     }
-    remove_subtree(existing->second);
+    remove_subtree(tag_like(to_parent, existing->second));
     to_children.erase(existing);
   }
-  to_children.emplace_back(to_name, moving);
+  to_children.emplace_back(to_name, local_ino(moving));
 }
 
 bool FileSystem::exists(std::string_view path) const {
@@ -552,8 +978,9 @@ std::uint64_t FileSystem::disk_usage(std::string_view path) const {
   std::uint64_t total = 0;
   std::vector<InodeNum> stack{ino};
   while (!stack.empty()) {
-    const Node& cur = node(stack.back());
+    const InodeNum cur_ino = stack.back();
     stack.pop_back();
+    const Node& cur = node(cur_ino);
     switch (cur.type) {
       case NodeType::Regular:
         total += cur.data.size();
@@ -561,7 +988,7 @@ std::uint64_t FileSystem::disk_usage(std::string_view path) const {
       case NodeType::Directory:
         for (const auto& [name, child] : cur.children) {
           (void)name;
-          stack.push_back(child);
+          stack.push_back(tag_like(cur_ino, child));
         }
         break;
       case NodeType::Symlink:
@@ -572,7 +999,15 @@ std::uint64_t FileSystem::disk_usage(std::string_view path) const {
 }
 
 std::optional<Stat> FileSystem::stat(std::string_view path) {
-  return stat(intern(path));
+  const PathId id = intern(path);
+  if (id != kNoPath) return stat(id);
+  // Interner byte budget exhausted: uncached walk, identical charge.
+  std::string norm;
+  const InodeNum ino = resolve_uncached(path, /*follow_final=*/true, &norm);
+  charge(OpKind::Stat, ino != 0, norm);
+  if (ino == 0) return std::nullopt;
+  const Node& n = node(ino);
+  return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
 }
 
 std::optional<Stat> FileSystem::stat(PathId id) {
@@ -590,7 +1025,14 @@ std::optional<Stat> FileSystem::stat(PathId id) {
 }
 
 std::optional<Stat> FileSystem::lstat(std::string_view path) {
-  return lstat(intern(path));
+  const PathId id = intern(path);
+  if (id != kNoPath) return lstat(id);
+  std::string norm;
+  const InodeNum ino = resolve_uncached(path, /*follow_final=*/false, &norm);
+  charge(OpKind::Stat, ino != 0, norm);
+  if (ino == 0) return std::nullopt;
+  const Node& n = node(ino);
+  return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
 }
 
 std::optional<Stat> FileSystem::lstat(PathId id) {
@@ -608,7 +1050,14 @@ std::optional<Stat> FileSystem::lstat(PathId id) {
 }
 
 const FileData* FileSystem::open(std::string_view path) {
-  return open(intern(path));
+  const PathId id = intern(path);
+  if (id != kNoPath) return open(id);
+  std::string norm;
+  const InodeNum ino = resolve_uncached(path, /*follow_final=*/true, &norm);
+  const bool hit = ino != 0 && node(ino).type == NodeType::Regular;
+  charge(OpKind::Open, hit, norm);
+  if (!hit) return nullptr;
+  return &node(ino).data;
 }
 
 const FileData* FileSystem::open(PathId id) {
@@ -626,7 +1075,12 @@ const FileData* FileSystem::open(PathId id) {
 }
 
 void FileSystem::count_read(std::string_view path) {
-  count_read(intern(path));
+  const PathId id = intern(path);
+  if (id != kNoPath) {
+    count_read(id);
+    return;
+  }
+  charge(OpKind::Read, true, normalize_path(path));
 }
 
 void FileSystem::count_read(PathId id) {

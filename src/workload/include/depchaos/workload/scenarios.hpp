@@ -13,8 +13,14 @@
 //    dirA/liba.so AND dirB/libb.so.
 //  * Qt plugin trap (§III-A): dlopen from inside a library sees RPATH
 //    ancestry but not the executable's RUNPATH.
+//  * Container mount-stacking failures (deployment substrate, §V): a host
+//    library leaking through an unmasked /usr/lib into a containerized
+//    app's search, and a stale squashfs image shadowing a patched host
+//    library. Both are driven through vfs mount tables /
+//    core::Session::sandbox.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -95,5 +101,53 @@ struct QtPluginScenario {
 /// `use_rpath` selects whether the application uses RPATH (plugin found via
 /// ancestor propagation) or RUNPATH (plugin NOT found from the dlopen).
 QtPluginScenario make_qt_plugin_scenario(vfs::FileSystem& fs, bool use_rpath);
+
+/// Host library leaking through an unmasked host dir into a container.
+///
+/// The image ships /bin/tool (RUNPATH "$ORIGIN/../lib", so it works at any
+/// mountpoint), /lib/libapp.so — built WITHOUT search paths, the classic
+/// culprit — and /lib/libdeps.so. The host carries an OLD copy of
+/// libdeps.so in /usr/lib, and the container's ld.so.conf lists the host
+/// dir before the app dir. The leak needs a specific mount stacking: image
+/// mounted, host dir visible. Masking `host_lib_dir` with an empty tmpfs
+/// (SandboxSpec::mask) fixes the load — the cache then resolves to the
+/// image's copy.
+struct ContainerLeakScenario {
+  std::shared_ptr<vfs::FileSystem> image;
+  std::string image_mount;      // /app
+  std::string exe;              // /app/bin/tool in the composed namespace
+  std::string host_lib_dir;     // /usr/lib — mask this to fix the leak
+  std::string leak_soname;      // libdeps.so
+  std::string image_marker;     // symbol only the image's copy defines
+  std::string host_marker;      // symbol only the host's stale copy defines
+  loader::SearchConfig search;  // container ld.so.conf: host dir, app dir
+};
+
+ContainerLeakScenario make_container_leak_scenario(vfs::FileSystem& host);
+
+/// True when the load bound the HOST's copy of the leak soname — the
+/// wrong-library condition the masking fixes.
+bool container_host_leaked(const loader::LoadReport& report,
+                           const ContainerLeakScenario& scenario);
+
+/// Stale squashfs image shadowing an updated host library: the host's
+/// /usr/lib copy of the bundled library has been patched, but the app
+/// image still carries (and its RUNPATH prefers) the old one. Remounting
+/// the rebuilt `fresh_image` is the fix.
+struct StaleImageScenario {
+  std::shared_ptr<vfs::FileSystem> stale_image;
+  std::shared_ptr<vfs::FileSystem> fresh_image;
+  std::string image_mount;  // /app
+  std::string exe;          // /app/bin/tool
+  std::string lib_soname;   // libtls.so
+  std::string stale_marker;
+  std::string fresh_marker;
+};
+
+StaleImageScenario make_stale_image_scenario(vfs::FileSystem& host);
+
+/// True when the load bound the stale bundled copy instead of a fresh one.
+bool stale_library_loaded(const loader::LoadReport& report,
+                          const StaleImageScenario& scenario);
 
 }  // namespace depchaos::workload

@@ -184,6 +184,97 @@ void set_paradox_search_order(vfs::FileSystem& fs,
   patcher.set_runpath(scenario.exe_path, dirs);
 }
 
+namespace {
+
+/// The shared app-image layout: tool -> libapp -> libdeps, with $ORIGIN
+/// search paths so the image works wherever it is mounted.
+/// `bundled_runpath` decides whether libapp prefers its bundled sibling
+/// (AppDir style — what lets a stale image shadow a patched host copy) or
+/// carries no search paths at all (the classic culprit that lets a host
+/// library leak in through the system search).
+std::shared_ptr<vfs::FileSystem> make_app_image(const std::string& deps_marker,
+                                                bool bundled_runpath) {
+  auto image = std::make_shared<vfs::FileSystem>();
+  elf::Object deps = elf::make_library("libdeps.so");
+  deps.symbols.push_back(
+      elf::Symbol{deps_marker, elf::SymbolBinding::Global, true});
+  elf::install_object(*image, "/lib/libdeps.so", deps);
+  elf::install_object(
+      *image, "/lib/libapp.so",
+      elf::make_library("libapp.so", {"libdeps.so"},
+                        bundled_runpath ? std::vector<std::string>{"$ORIGIN"}
+                                        : std::vector<std::string>{}));
+  elf::install_object(
+      *image, "/bin/tool",
+      elf::make_executable({"libapp.so"}, /*runpath=*/{"$ORIGIN/../lib"}));
+  return image;
+}
+
+const elf::Object* find_object(const loader::LoadReport& report,
+                               std::string_view soname) {
+  const auto* loaded = report.find_loaded(soname);
+  return loaded != nullptr ? loaded->object.get() : nullptr;
+}
+
+}  // namespace
+
+ContainerLeakScenario make_container_leak_scenario(vfs::FileSystem& host) {
+  ContainerLeakScenario scenario;
+  scenario.image_mount = "/app";
+  scenario.exe = "/app/bin/tool";
+  scenario.host_lib_dir = "/usr/lib";
+  scenario.leak_soname = "libdeps.so";
+  scenario.image_marker = "libdeps_image_v2";
+  scenario.host_marker = "libdeps_host_v1";
+  scenario.image = make_app_image(scenario.image_marker,
+                                  /*bundled_runpath=*/false);
+
+  // The host's stale system copy — same soname, older symbol surface.
+  elf::Object stale = elf::make_library("libdeps.so");
+  stale.symbols.push_back(
+      elf::Symbol{scenario.host_marker, elf::SymbolBinding::Global, true});
+  elf::install_object(host, scenario.host_lib_dir + "/libdeps.so", stale);
+
+  // Container ld.so.conf: the host dir is listed (and scanned) before the
+  // app dir — the misconfiguration the mask has to paper over.
+  scenario.search.ld_so_conf = {scenario.host_lib_dir,
+                                scenario.image_mount + "/lib"};
+  return scenario;
+}
+
+bool container_host_leaked(const loader::LoadReport& report,
+                           const ContainerLeakScenario& scenario) {
+  const elf::Object* deps = find_object(report, scenario.leak_soname);
+  return deps != nullptr && deps->defines_strong(scenario.host_marker);
+}
+
+StaleImageScenario make_stale_image_scenario(vfs::FileSystem& host) {
+  StaleImageScenario scenario;
+  scenario.image_mount = "/app";
+  scenario.exe = "/app/bin/tool";
+  scenario.lib_soname = "libdeps.so";
+  scenario.stale_marker = "libdeps_vulnerable_v1";
+  scenario.fresh_marker = "libdeps_patched_v2";
+  scenario.stale_image =
+      make_app_image(scenario.stale_marker, /*bundled_runpath=*/true);
+  scenario.fresh_image =
+      make_app_image(scenario.fresh_marker, /*bundled_runpath=*/true);
+
+  // The host's system copy has already been patched — but the image's
+  // $ORIGIN runpath shadows it for anything inside the container.
+  elf::Object patched = elf::make_library("libdeps.so");
+  patched.symbols.push_back(
+      elf::Symbol{scenario.fresh_marker, elf::SymbolBinding::Global, true});
+  elf::install_object(host, "/usr/lib/libdeps.so", patched);
+  return scenario;
+}
+
+bool stale_library_loaded(const loader::LoadReport& report,
+                          const StaleImageScenario& scenario) {
+  const elf::Object* deps = find_object(report, scenario.lib_soname);
+  return deps != nullptr && deps->defines_strong(scenario.stale_marker);
+}
+
 QtPluginScenario make_qt_plugin_scenario(vfs::FileSystem& fs, bool use_rpath) {
   QtPluginScenario scenario;
   const std::string qt_dir = "/opt/qt/lib";

@@ -542,6 +542,109 @@ TEST(WhatIfTest, ReportsWrapEffectWithoutMutatingTheWorld) {
             report.before.stats.metadata_calls());
 }
 
+// -------------------------------------------- dentry warm start on fork
+
+/// Random probe mix against pre-existing and never-probed paths.
+std::string warm_storm(vfs::FileSystem& fs, std::uint64_t seed, int rounds) {
+  support::Rng rng(seed);
+  std::string out;
+  for (int i = 0; i < rounds; ++i) {
+    const std::string path = "/w/d" + std::to_string(rng.below(6)) + "/f" +
+                             std::to_string(rng.below(20));
+    switch (rng.below(3)) {
+      case 0: {
+        const auto st = fs.stat(path);
+        out += st ? std::to_string(st->ino) : std::string("-");
+        break;
+      }
+      case 1:
+        out += fs.exists(path) ? "+" : "-";
+        break;
+      default:
+        out += fs.realpath(path).value_or("-");
+        break;
+    }
+    out += ';';
+  }
+  out += "stat=" + std::to_string(fs.stats().stat_calls) +
+         " fail=" + std::to_string(fs.stats().failed_probes);
+  return out;
+}
+
+TEST(DentryWarmStart, ForkedChildAnswersLikeAColdDeepCopy) {
+  vfs::FileSystem parent;
+  support::Rng rng(7);
+  for (int d = 0; d < 6; ++d) {
+    for (int f = 0; f < 12; ++f) {
+      const std::string dir = "/w/d" + std::to_string(d);
+      if (rng.chance(0.2)) {
+        parent.symlink("f" + std::to_string((f + 1) % 12),
+                       dir + "/f" + std::to_string(f));
+      } else {
+        parent.write_file(dir + "/f" + std::to_string(f), "data");
+      }
+    }
+  }
+  // Warm the parent's memo — positive and negative entries.
+  warm_storm(parent, 1, 300);
+  parent.reset_stats();
+
+  // The property: a warm-started fork is OBSERVABLY identical to a cold
+  // deep copy — same answers, same counters — for identical probes.
+  vfs::FileSystem cold(parent);
+  cold.reset_stats();
+  vfs::FileSystem child = parent.fork();
+  EXPECT_EQ(warm_storm(child, 2, 500), warm_storm(cold, 2, 500));
+
+  // And the parent keeps its warmth across the fork with the same
+  // transparency.
+  vfs::FileSystem cold2(parent);
+  parent.reset_stats();
+  cold2.reset_stats();
+  EXPECT_EQ(warm_storm(parent, 3, 500), warm_storm(cold2, 3, 500));
+}
+
+TEST(DentryWarmStart, CopyOnInvalidateIsPerView) {
+  vfs::FileSystem parent;
+  parent.write_file("/a/b/one", "1");
+  parent.write_file("/a/b/two", "2");
+  EXPECT_TRUE(parent.exists("/a/b/one"));  // warm
+  vfs::FileSystem child = parent.fork();
+  EXPECT_TRUE(child.exists("/a/b/one"));  // served warm
+
+  // Child mutates: ITS snapshot reference drops; answers adjust.
+  child.remove("/a/b/one");
+  EXPECT_FALSE(child.exists("/a/b/one"));
+  // Siblings and the parent keep the shared snapshot AND the old truth.
+  EXPECT_TRUE(parent.exists("/a/b/one"));
+  vfs::FileSystem sibling = parent.fork();
+  EXPECT_TRUE(sibling.exists("/a/b/one"));
+}
+
+TEST(DentryWarmStart, SymlinkLoopHopsReplayThroughTheSnapshot) {
+  vfs::FileSystem parent;
+  parent.symlink("/loop/b", "/loop/a");
+  parent.symlink("/loop/a", "/loop/b");
+  parent.write_file("/ok/file", "x");
+  EXPECT_FALSE(parent.exists("/loop/a"));  // ELOOP memoized as negative-ish
+  EXPECT_TRUE(parent.exists("/ok/file"));
+  vfs::FileSystem child = parent.fork();
+  // Behaviour must replay identically through the warm snapshot.
+  EXPECT_FALSE(child.exists("/loop/a"));
+  EXPECT_THROW(child.list_dir("/loop/a"), FsError);
+  EXPECT_TRUE(child.exists("/ok/file"));
+}
+
+TEST(DentryWarmStart, DisabledCacheStaysDisabledAcrossFork) {
+  vfs::FileSystem parent;
+  parent.write_file("/x/y", "z");
+  parent.set_dentry_cache(false);
+  EXPECT_TRUE(parent.exists("/x/y"));
+  vfs::FileSystem child = parent.fork();
+  EXPECT_FALSE(child.dentry_cache_enabled());
+  EXPECT_TRUE(child.exists("/x/y"));
+}
+
 TEST(WhatIfTest, TreeDiffMarksChangedLines) {
   const std::string diff = shrinkwrap::tree_diff("a\nb\nc\n", "a\nx\nc\n");
   EXPECT_EQ(diff, "  a\n- b\n+ x\n  c\n");

@@ -1,0 +1,470 @@
+// Mount-table VFS: composing read-only images, overlays, tmpfs masks, and
+// bind mounts under one path namespace, with resolution (PathId fast path
+// and dentry cache included) crossing mount boundaries transparently.
+//
+// Also covers the PathTable byte budget: past the cap, resolution falls
+// back to uncached string walks that must answer — and charge — exactly
+// like the interned walk.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/loader/loader.hpp"
+#include "depchaos/shrinkwrap/libtree.hpp"
+#include "depchaos/shrinkwrap/needy.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/support/rng.hpp"
+#include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::vfs {
+namespace {
+
+std::shared_ptr<FileSystem> small_image() {
+  auto image = std::make_shared<FileSystem>();
+  image->write_file("/lib/libimg.so", std::string("image library"));
+  image->write_file("/etc/release", std::string("image v1"));
+  image->symlink("libimg.so", "/lib/libalias.so");
+  return image;
+}
+
+TEST(Mount, ImageMountShadowsHostAndIsSharedReadOnly) {
+  FileSystem host;
+  host.write_file("/app/native.txt", std::string("host content"));
+  host.write_file("/usr/lib/libhost.so", std::string("host lib"));
+
+  auto image = small_image();
+  host.mount_image("/app", image);
+
+  // The mounted root replaces the host directory beneath it.
+  EXPECT_TRUE(host.exists("/app/lib/libimg.so"));
+  EXPECT_FALSE(host.exists("/app/native.txt"));
+  EXPECT_EQ(host.peek("/app/lib/libimg.so")->bytes, "image library");
+  // Relative symlinks inside the image resolve inside the image.
+  EXPECT_EQ(host.peek("/app/lib/libalias.so")->bytes, "image library");
+  // Read-only end to end.
+  EXPECT_THROW(host.write_file("/app/lib/new.so", std::string("x")), FsError);
+  EXPECT_THROW(host.remove("/app/etc/release"), FsError);
+  // The image itself never saw a write.
+  EXPECT_FALSE(image->exists("/native.txt"));
+
+  host.umount("/app");
+  EXPECT_TRUE(host.exists("/app/native.txt"));
+  EXPECT_FALSE(host.exists("/app/lib/libimg.so"));
+}
+
+TEST(Mount, MountpointListingComesFromTheImage) {
+  FileSystem host;
+  host.mkdir_p("/app/old");
+  host.mount_image("/app", small_image());
+  const auto names = host.list_dir("/app");
+  EXPECT_EQ(names, (std::vector<std::string>{"lib", "etc"}));
+}
+
+TEST(Mount, TmpfsMaskHidesHostDirectory) {
+  FileSystem host;
+  host.write_file("/usr/lib/libleaky.so", std::string("host"));
+  host.mount_tmpfs("/usr/lib", /*read_only=*/true);
+  EXPECT_FALSE(host.exists("/usr/lib/libleaky.so"));
+  EXPECT_TRUE(host.list_dir("/usr/lib").empty());
+  EXPECT_THROW(host.write_file("/usr/lib/x", std::string("y")), FsError);
+  host.umount("/usr/lib");
+  EXPECT_TRUE(host.exists("/usr/lib/libleaky.so"));
+}
+
+TEST(Mount, WritableTmpfsScratch) {
+  FileSystem host;
+  host.mount_tmpfs("/tmp");
+  host.write_file("/tmp/job/scratch.dat", std::string("per-job"));
+  EXPECT_EQ(host.peek("/tmp/job/scratch.dat")->bytes, "per-job");
+  host.umount("/tmp");
+  EXPECT_FALSE(host.exists("/tmp/job/scratch.dat"));
+}
+
+TEST(Mount, OverlayDivergesWithoutTouchingTheImage) {
+  auto image = small_image();
+  FileSystem job_a;
+  FileSystem job_b;
+  job_a.mount_overlay("/app", image);
+  job_b.mount_overlay("/app", image);
+
+  job_a.write_file("/app/etc/override.conf", std::string("A"));
+  job_a.write_file("/app/etc/release", std::string("patched by A"));
+
+  EXPECT_EQ(job_a.peek("/app/etc/release")->bytes, "patched by A");
+  EXPECT_EQ(job_b.peek("/app/etc/release")->bytes, "image v1");
+  EXPECT_FALSE(job_b.exists("/app/etc/override.conf"));
+  EXPECT_EQ(image->peek("/etc/release")->bytes, "image v1");
+}
+
+TEST(Mount, BindReRootsASubtree) {
+  auto source = std::make_shared<FileSystem>();
+  source->write_file("/data/sets/one.bin", std::string("1"));
+  FileSystem host;
+  host.mount_bind("/mnt/input", source, "/data");
+  EXPECT_EQ(host.peek("/mnt/input/sets/one.bin")->bytes, "1");
+  EXPECT_THROW(host.write_file("/mnt/input/x", std::string("y")), FsError);
+}
+
+TEST(Mount, StackingLastMountWinsAndUmountPeels) {
+  FileSystem host;
+  host.write_file("/app/host.txt", std::string("host"));
+  host.mount_image("/app", small_image());
+  host.mount_tmpfs("/app", /*read_only=*/true);
+  EXPECT_TRUE(host.list_dir("/app").empty());
+  host.umount("/app");
+  EXPECT_TRUE(host.exists("/app/lib/libimg.so"));
+  host.umount("/app");
+  EXPECT_TRUE(host.exists("/app/host.txt"));
+  EXPECT_THROW(host.umount("/app"), FsError);
+}
+
+TEST(Mount, AbsoluteSymlinkInsideImageResolvesInComposedNamespace) {
+  // What a process inside the container observes: the image's absolute
+  // symlink escapes into the composed (host+mounts) namespace — the
+  // substrate of the host-leak container scenario.
+  auto image = std::make_shared<FileSystem>();
+  image->symlink("/usr/lib/libhost.so", "/lib/libescape.so");
+  FileSystem host;
+  host.write_file("/usr/lib/libhost.so", std::string("host bytes"));
+  host.mount_image("/app", image);
+  EXPECT_EQ(host.peek("/app/lib/libescape.so")->bytes, "host bytes");
+  EXPECT_EQ(host.realpath("/app/lib/libescape.so").value(),
+            "/usr/lib/libhost.so");
+  // Mask the host dir: the escape now dangles.
+  host.mount_tmpfs("/usr/lib", /*read_only=*/true);
+  EXPECT_FALSE(host.exists("/app/lib/libescape.so"));
+}
+
+TEST(Mount, SymlinkOnHostPointingIntoMountCrosses) {
+  FileSystem host;
+  host.mount_image("/app", small_image());
+  host.symlink("/app/lib/libimg.so", "/usr/lib/libvia.so");
+  EXPECT_EQ(host.peek("/usr/lib/libvia.so")->bytes, "image library");
+  const auto st = host.stat("/usr/lib/libvia.so");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->type, NodeType::Regular);
+}
+
+TEST(Mount, MountpointReachedThroughSymlinkAliasCrosses) {
+  FileSystem host;
+  host.mkdir_p("/opt/apps");
+  host.symlink("/opt/apps", "/apps");
+  host.mount_image("/opt/apps/tool", small_image());
+  // Probing via the alias still lands inside the mount: mounts attach to
+  // canonical paths.
+  EXPECT_TRUE(host.exists("/apps/tool/lib/libimg.so"));
+}
+
+TEST(Mount, CrossMountRenameAndRemoveGuards) {
+  FileSystem host;
+  host.write_file("/home/a.txt", std::string("a"));
+  host.mount_tmpfs("/scratch");
+  EXPECT_THROW(host.rename("/home/a.txt", "/scratch/a.txt"), FsError);
+  host.mount_image("/app", small_image());
+  EXPECT_THROW(host.remove("/app", /*recursive=*/true), FsError);  // busy
+  // Removing an ANCESTOR of a mountpoint is just as busy: it would leave
+  // the mount attached to a path that no longer resolves.
+  host.mount_tmpfs("/deep/nested/scratch");
+  EXPECT_THROW(host.remove("/deep", /*recursive=*/true), FsError);
+  host.umount("/deep/nested/scratch");
+  host.remove("/deep", /*recursive=*/true);  // fine once detached
+  EXPECT_FALSE(host.exists("/deep"));
+}
+
+TEST(Mount, RenameIntoOwnSubtreeIsRejected) {
+  FileSystem fs;
+  fs.write_file("/a/b/keep.txt", std::string("precious"));
+  EXPECT_THROW(fs.rename("/a", "/a/b/c"), FsError);  // POSIX EINVAL
+  EXPECT_THROW(fs.rename("/a", "/a/b"), FsError);
+  // Nothing was lost or detached.
+  EXPECT_EQ(fs.peek("/a/b/keep.txt")->bytes, "precious");
+  EXPECT_EQ(fs.list_dir("/"), (std::vector<std::string>{"a"}));
+  // Sibling moves still work.
+  fs.rename("/a/b/keep.txt", "/a/kept.txt");
+  EXPECT_EQ(fs.peek("/a/kept.txt")->bytes, "precious");
+}
+
+TEST(Mount, StatReportsDistinctInodesAcrossMounts) {
+  FileSystem host;
+  host.write_file("/usr/lib/libx.so", std::string("host"));
+  host.mount_image("/app", small_image());
+  const auto host_st = host.stat("/usr/lib/libx.so");
+  const auto img_st = host.stat("/app/lib/libimg.so");
+  ASSERT_TRUE(host_st && img_st);
+  EXPECT_NE(host_st->ino, img_st->ino);
+  // The composed namespace counts the mounted backing's inodes too.
+  FileSystem bare;
+  bare.write_file("/usr/lib/libx.so", std::string("host"));
+  bare.mkdir_p("/app");
+  EXPECT_GT(host.inode_count(), bare.inode_count());
+}
+
+TEST(Mount, CountersChargeLikeOrdinaryProbes) {
+  FileSystem host;
+  host.mount_image("/app", small_image());
+  host.reset_stats();
+  EXPECT_NE(host.open("/app/lib/libimg.so"), nullptr);
+  EXPECT_EQ(host.open("/app/lib/missing.so"), nullptr);
+  EXPECT_EQ(host.stats().open_calls, 2u);
+  EXPECT_EQ(host.stats().failed_probes, 1u);
+}
+
+TEST(Mount, ForkSharesImagesAndForksOverlays) {
+  auto image = small_image();
+  FileSystem parent;
+  parent.mount_overlay("/app", image);
+  parent.mount_image("/ro", image);
+  parent.write_file("/app/etc/parent.conf", std::string("p"));
+
+  FileSystem child = parent.fork();
+  child.write_file("/app/etc/child.conf", std::string("c"));
+  parent.write_file("/app/etc/parent2.conf", std::string("p2"));
+
+  EXPECT_TRUE(parent.exists("/app/etc/parent2.conf"));
+  EXPECT_FALSE(parent.exists("/app/etc/child.conf"));
+  EXPECT_TRUE(child.exists("/app/etc/child.conf"));
+  EXPECT_FALSE(child.exists("/app/etc/parent2.conf"));
+  EXPECT_TRUE(child.exists("/app/etc/parent.conf"));  // pre-fork divergence
+  EXPECT_TRUE(child.exists("/ro/lib/libimg.so"));     // shared image
+  EXPECT_FALSE(image->exists("/etc/parent.conf"));
+}
+
+TEST(Mount, DentryWarmStartSurvivesMountsAcrossFork) {
+  FileSystem host;
+  host.write_file("/usr/lib/libx.so", std::string("x"));
+  host.mount_image("/app", small_image());
+  // Warm the parent's memo through the mount boundary.
+  EXPECT_TRUE(host.exists("/app/lib/libimg.so"));
+  EXPECT_TRUE(host.exists("/usr/lib/libx.so"));
+  FileSystem child = host.fork();
+  // Same answers through the inherited snapshot; then diverge and check
+  // invalidation stays per view.
+  EXPECT_EQ(child.peek("/app/lib/libimg.so")->bytes, "image library");
+  child.umount("/app");
+  EXPECT_FALSE(child.exists("/app/lib/libimg.so"));
+  EXPECT_TRUE(host.exists("/app/lib/libimg.so"));
+}
+
+TEST(Mount, NestedMountTablesRejected) {
+  FileSystem host;
+  auto composed = std::make_shared<FileSystem>();
+  composed->mount_tmpfs("/tmp");
+  EXPECT_THROW(host.mount_image("/app", composed), FsError);
+}
+
+TEST(Mount, SaveWorldFlattensTheComposedNamespace) {
+  // v1 snapshots stay the lowest common denominator: the composed view
+  // serializes as one tree (see snapshot_test for v2 fleet round-trips).
+  FileSystem host;
+  host.write_file("/usr/lib/libhost.so", std::string("h"));
+  host.mount_image("/app", small_image());
+  // Exercised via exists(): no counted traffic, mounts crossed.
+  EXPECT_TRUE(host.exists("/app/etc/release"));
+}
+
+// --------------------------------------------------- PathTable byte budget
+
+/// Deterministic probe storm over hits, misses, symlinks, and dirs.
+template <typename Fs>
+std::string probe_fingerprint(Fs& fs, std::uint64_t seed, int rounds) {
+  support::Rng rng(seed);
+  const std::vector<std::string> stems = {
+      "/usr/lib",  "/opt/app/lib", "/data", "/via",  "/loop",
+      "/usr/miss", "/opt/missing", "/deep/a/b/c"};
+  std::string out;
+  for (int i = 0; i < rounds; ++i) {
+    const std::string path = stems[rng.below(stems.size())] + "/lib" +
+                             std::to_string(rng.below(40)) + ".so";
+    switch (rng.below(4)) {
+      case 0: {
+        const auto st = fs.stat(path);
+        out += st ? "s" + std::to_string(st->size) : std::string("s-");
+        break;
+      }
+      case 1:
+        out += fs.open(path) != nullptr ? "o+" : "o-";
+        break;
+      case 2:
+        out += fs.exists(path) ? "e+" : "e-";
+        break;
+      default:
+        out += "r" + fs.realpath(path).value_or("-");
+        break;
+    }
+  }
+  out += "|stat=" + std::to_string(fs.stats().stat_calls) +
+         ",open=" + std::to_string(fs.stats().open_calls) +
+         ",fail=" + std::to_string(fs.stats().failed_probes);
+  return out;
+}
+
+void build_budget_world(FileSystem& fs) {
+  for (int i = 0; i < 40; i += 2) {
+    fs.write_file("/usr/lib/lib" + std::to_string(i) + ".so",
+                  std::string("bytes") + std::to_string(i));
+    fs.symlink("/usr/lib/lib" + std::to_string(i) + ".so",
+               "/via/lib" + std::to_string(i) + ".so");
+  }
+  for (int i = 0; i < 40; i += 3) {
+    fs.write_file("/opt/app/lib/lib" + std::to_string(i) + ".so",
+                  std::string("opt") + std::to_string(i));
+  }
+  fs.symlink("self", "/loop/self");  // relative self-loop under /loop
+  fs.mkdir_p("/deep/a/b/c");
+}
+
+TEST(PathBudget, ExhaustedTableFallsBackWithIdenticalAnswers) {
+  FileSystem cached;
+  FileSystem capped;
+  build_budget_world(cached);
+  build_budget_world(capped);
+  // Freeze the capped table where it stands: every NEW path now takes the
+  // uncached string-walk fallback; already-interned paths keep their ids.
+  capped.paths().set_byte_budget(capped.paths().bytes_used());
+  const std::size_t frozen = capped.paths().size();
+
+  EXPECT_EQ(probe_fingerprint(cached, 99, 400),
+            probe_fingerprint(capped, 99, 400));
+  EXPECT_EQ(capped.paths().size(), frozen) << "budgeted table still grew";
+  EXPECT_GT(cached.paths().size(), frozen) << "storm should intern new paths";
+}
+
+TEST(PathBudget, ExhaustedTableStillResolvesMounts) {
+  FileSystem host;
+  host.write_file("/usr/lib/libhost.so", std::string("host"));
+  host.mount_image("/app", small_image());
+  host.paths().set_byte_budget(host.paths().bytes_used());
+  // These paths were never interned: pure string-walk, crossing the mount.
+  EXPECT_EQ(host.peek("/app/lib/libimg.so")->bytes, "image library");
+  EXPECT_EQ(host.peek("/app/lib/libalias.so")->bytes, "image library");
+  EXPECT_FALSE(host.exists("/app/lib/zzz.so"));
+}
+
+TEST(PathBudget, LoaderSearchSurvivesExhaustion) {
+  // Same closure, budget on vs off: byte-identical reports and counters.
+  const auto build = [](FileSystem& fs) {
+    elf::install_object(fs, "/lib64/libc.so.6", elf::make_library("libc.so.6"));
+    elf::install_object(
+        fs, "/opt/lib/libdep.so",
+        elf::make_library("libdep.so", {"libc.so.6"}));
+    elf::install_object(
+        fs, "/bin/app",
+        elf::make_executable({"libdep.so", "libc.so.6", "libmissing.so"},
+                             /*runpath=*/{"/opt/lib", "/opt/none"}));
+  };
+  FileSystem plain;
+  FileSystem capped;
+  build(plain);
+  build(capped);
+  capped.paths().set_byte_budget(capped.paths().bytes_used());
+
+  loader::SearchConfig config;
+  config.use_ld_cache = false;  // force directory sweeps (the hot path)
+  config.record_probes = true;
+  loader::Loader a(plain, config);
+  loader::Loader b(capped, config);
+  const auto ra = a.load("/bin/app");
+  const auto rb = b.load("/bin/app");
+  EXPECT_EQ(ra.success, rb.success);
+  ASSERT_EQ(ra.load_order.size(), rb.load_order.size());
+  for (std::size_t i = 0; i < ra.load_order.size(); ++i) {
+    EXPECT_EQ(ra.load_order[i].path, rb.load_order[i].path) << i;
+    EXPECT_EQ(ra.load_order[i].how, rb.load_order[i].how) << i;
+    EXPECT_EQ(ra.load_order[i].real_path, rb.load_order[i].real_path) << i;
+  }
+  EXPECT_EQ(ra.missing.size(), rb.missing.size());
+  EXPECT_EQ(ra.stats.open_calls, rb.stats.open_calls);
+  EXPECT_EQ(ra.stats.failed_probes, rb.stats.failed_probes);
+  EXPECT_EQ(ra.probe_log, rb.probe_log);
+}
+
+TEST(PathBudget, ShrinkwrapLibtreeNeedySurviveExhaustion) {
+  // The shrinkwrap layer keys its dedup sets and requester buckets by
+  // PathId; past the byte budget those interns refuse, and the layer must
+  // fall back to string keys with identical output — never collapse
+  // distinct paths into the shared kNone bucket.
+  const auto build = [](FileSystem& fs) {
+    elf::install_object(fs, "/lib/liba.so", elf::make_library("liba.so"));
+    elf::install_object(fs, "/opt/libb.so",
+                        elf::make_library("libb.so", {"liba.so"}));
+    elf::install_object(
+        fs, "/bin/app",
+        elf::make_executable({"libb.so", "liba.so"},
+                             /*runpath=*/{"/opt", "/lib"}));
+  };
+  // Exhaust the budget BEFORE building, so nothing is ever interned and
+  // every layer runs in fallback mode end to end.
+  const auto capped_world = [&]() {
+    FileSystem fs;
+    fs.paths().set_byte_budget(fs.paths().bytes_used());
+    build(fs);
+    return fs;
+  };
+
+  FileSystem plain;
+  build(plain);
+  {
+    FileSystem capped = capped_world();
+    loader::Loader pl(plain), cl(capped);
+    EXPECT_EQ(shrinkwrap::libtree(plain, pl, "/bin/app", {}, {}),
+              shrinkwrap::libtree(capped, cl, "/bin/app", {}, {}));
+    const auto wrapped_plain = shrinkwrap::shrinkwrap(plain, pl, "/bin/app");
+    const auto wrapped_capped = shrinkwrap::shrinkwrap(capped, cl, "/bin/app");
+    ASSERT_TRUE(wrapped_plain.ok() && wrapped_capped.ok());
+    EXPECT_EQ(wrapped_plain.new_needed, wrapped_capped.new_needed);
+  }
+  {
+    FileSystem plain2;
+    build(plain2);
+    FileSystem capped2 = capped_world();
+    loader::Loader pl(plain2), cl(capped2);
+    const auto needy_plain = shrinkwrap::make_needy(plain2, pl, "/bin/app");
+    const auto needy_capped = shrinkwrap::make_needy(capped2, cl, "/bin/app");
+    ASSERT_TRUE(needy_plain.ok && needy_capped.ok);
+    EXPECT_EQ(needy_plain.search_dirs, needy_capped.search_dirs);
+    EXPECT_EQ(needy_plain.lifted, needy_capped.lifted);
+  }
+}
+
+TEST(Mount, RenamingAMountpointOrItsAncestorIsBusy) {
+  FileSystem host;
+  host.write_file("/data/file", std::string("x"));
+  host.mount_tmpfs("/data/scratch/job");
+  EXPECT_THROW(host.rename("/data", "/elsewhere"), FsError);
+  EXPECT_THROW(host.rename("/data/scratch", "/elsewhere"), FsError);
+  host.umount("/data/scratch/job");
+  host.rename("/data", "/elsewhere");  // fine once detached
+  EXPECT_TRUE(host.exists("/elsewhere/file"));
+}
+
+TEST(PathBudget, StatWithRefusedIdIsACleanMiss) {
+  FileSystem fs;
+  fs.write_file("/x/y", std::string("z"));
+  fs.paths().set_byte_budget(fs.paths().bytes_used());
+  const support::PathId refused = fs.paths().intern("/never/seen");
+  ASSERT_EQ(refused, support::PathTable::kNone);
+  // Forwarding the refused id into the PathId overloads must miss cleanly.
+  EXPECT_FALSE(fs.stat(refused).has_value());
+  EXPECT_FALSE(fs.lstat(refused).has_value());
+  EXPECT_EQ(fs.open(refused), nullptr);
+}
+
+TEST(PathBudget, BudgetIsAdjustableAndReportsUsage) {
+  FileSystem fs;
+  EXPECT_EQ(fs.paths().byte_budget(), 0u);
+  const std::size_t used = fs.paths().bytes_used();
+  EXPECT_GT(used, 0u);
+  fs.paths().set_byte_budget(used + 1);
+  EXPECT_EQ(fs.paths().intern("/much/too/long/for/the/budget"),
+            support::PathTable::kNone);
+  fs.paths().set_byte_budget(0);  // unlimited again
+  EXPECT_NE(fs.paths().intern("/much/too/long/for/the/budget"),
+            support::PathTable::kNone);
+}
+
+}  // namespace
+}  // namespace depchaos::vfs

@@ -12,8 +12,18 @@
 //   depchaos verify   world.dcw /apps/pynamic/bigexe
 //   depchaos patchelf world.dcw /path --set-runpath /a:/b
 //   depchaos launch   world.dcw /apps/pynamic/bigexe --ranks=512
+//   depchaos sandbox  host.dcw app.dcw /app/bin/tool --mask=/usr/lib \
+//                     --overlay --save-fleet=fleet.dcw2
+//   depchaos mount    fleet.dcw2                      (mount(8)-style list)
 //
 // Worldgen scenarios: pynamic, emacs, samba, rocm, paradox, debian.
+//
+// World files may be DCWORLD1 single-tree images or DCWORLD2 fleet images
+// (base + per-view deltas + mount tables); fleet images open on their
+// first view. `sandbox` assembles a container view — the app image
+// mounted read-only (or behind a writable overlay with --overlay), host
+// dirs masked by tmpfs — runs an ldd-style load inside it, and can
+// persist host+sandbox as a v2 fleet without ever rewriting the inputs.
 //
 // Every subcommand is a thin shell over the core::Session façade: worldgen
 // composes a world with core::WorldBuilder and saves the snapshot; the
@@ -33,6 +43,7 @@
 #include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
 #include "depchaos/support/strings.hpp"
+#include "depchaos/vfs/snapshot.hpp"
 
 using namespace depchaos;
 
@@ -53,7 +64,17 @@ namespace {
       "  depchaos verify <world-file> <exe> [--env=DIR:DIR...]\n"
       "  depchaos patchelf <world-file> <path> (--set-runpath|--set-rpath)"
       " A:B | --print\n"
-      "  depchaos launch <world-file> <exe> [--ranks=N]\n");
+      "  depchaos launch <world-file> <exe> [--ranks=N]\n"
+      "  depchaos sandbox <host-world> <image-world> <exe> [--mount=/app]\n"
+      "      [--mask=DIR:DIR...] [--overlay] [--conf=DIR:DIR...]\n"
+      "      [--env=DIR:DIR...] [--save-fleet=FILE]\n"
+      "      (container view over a CoW fork: image mounted read-only, or\n"
+      "       behind a writable overlay with --overlay; host dirs masked;\n"
+      "       never rewrites the inputs. Like mount(2), a mask needs its\n"
+      "       mountpoint dir to exist or be creatable — masking a dir\n"
+      "       absent from a read-only image root requires --overlay)\n"
+      "  depchaos mount <world-file>\n"
+      "      (mount table of a fleet image's first view)\n");
   std::exit(2);
 }
 
@@ -259,6 +280,81 @@ int cmd_patchelf(const std::vector<std::string>& args) {
   return 0;
 }
 
+std::vector<std::string> split_flag(const std::vector<std::string>& args,
+                                    std::string_view prefix) {
+  return support::split_nonempty(flag_value(args, prefix, ""), ':');
+}
+
+int cmd_sandbox(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage();
+  // The host session carries the container's ld.so.conf (--conf) and env.
+  core::SessionConfig config;
+  config.search.ld_so_conf = split_flag(args, "--conf=");
+  config.env = env_from_args(args);
+  auto host = core::Session::from_snapshot(read_file(args[0]),
+                                           std::move(config));
+
+  core::Session::SandboxSpec spec;
+  {
+    auto image_fleet = vfs::load_fleet(read_file(args[1]));
+    spec.image = std::make_shared<vfs::FileSystem>(
+        image_fleet.views.empty() ? std::move(image_fleet.base)
+                                  : std::move(image_fleet.views.front()));
+  }
+  spec.image_mount = flag_value(args, "--mount=", "/app");
+  spec.writable_image_overlay = has_flag(args, "--overlay");
+  spec.mask = split_flag(args, "--mask=");
+  spec.exe = args[2];
+  auto job = host.sandbox(spec);
+
+  for (const auto& info : job.fs().mounts()) {
+    std::printf("%s on %s (%s)\n",
+                std::string(vfs::mount_kind_name(info.kind)).c_str(),
+                info.point.c_str(), info.read_only ? "ro" : "rw");
+  }
+  const auto report = job.load();
+  for (std::size_t i = 1; i < report.load_order.size(); ++i) {
+    const auto& obj = report.load_order[i];
+    std::printf("\t%s => %s (%s)\n", obj.name.c_str(), obj.path.c_str(),
+                std::string(loader::how_found_name(obj.how)).c_str());
+  }
+  for (const auto& missing : report.missing) {
+    std::printf("\t%s => not found\n", missing.name.c_str());
+  }
+  std::printf("%llu metadata syscalls, %llu failed probes\n",
+              static_cast<unsigned long long>(report.stats.metadata_calls()),
+              static_cast<unsigned long long>(report.stats.failed_probes));
+
+  const std::string fleet_out = flag_value(args, "--save-fleet=", "");
+  if (!fleet_out.empty()) {
+    const std::vector<const vfs::FileSystem*> views = {&job.fs()};
+    write_file(fleet_out, vfs::save_fleet(host.fs(), views));
+    std::printf("wrote fleet %s (host + 1 sandbox, v2 deltas)\n",
+                fleet_out.c_str());
+  }
+  return report.success ? 0 : 1;
+}
+
+int cmd_mount(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  auto fleet = vfs::load_fleet(read_file(args[0]));
+  if (fleet.views.empty()) {
+    std::printf("no mounts (flat world)\n");
+    return 0;
+  }
+  const auto mounts = fleet.views.front().mounts();
+  if (mounts.empty()) {
+    std::printf("no mounts\n");
+    return 0;
+  }
+  for (const auto& info : mounts) {
+    std::printf("%s on %s (%s)\n",
+                std::string(vfs::mount_kind_name(info.kind)).c_str(),
+                info.point.c_str(), info.read_only ? "ro" : "rw");
+  }
+  return 0;
+}
+
 int cmd_launch(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
   core::SessionConfig config;
@@ -291,6 +387,8 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(args);
     if (command == "patchelf") return cmd_patchelf(args);
     if (command == "launch") return cmd_launch(args);
+    if (command == "sandbox") return cmd_sandbox(args);
+    if (command == "mount") return cmd_mount(args);
   } catch (const Error& error) {
     std::fprintf(stderr, "depchaos: %s\n", error.what());
     return 1;
