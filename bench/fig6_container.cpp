@@ -1,0 +1,239 @@
+// Fig 6 in three substrates: bare host, containerized (rootfs image +
+// per-rank CoW overlay), and containerized with the app SHRINKWRAPPED
+// INSIDE the image.
+//
+// The paper's headline sweep measures the per-rank metadata storm; this
+// bench re-runs it with every rank inside its own container sandbox —
+// the regime where image mounts, overlays, and masks change *which*
+// metadata ops a rank issues. Because resolution crosses mounts
+// transparently and the image is the container's own rootfs, the
+// containerized op stream must match the bare one op for op, and the
+// shrinkwrap reduction must survive the move into the container.
+//
+// Acceptance gates (exit non-zero on regression):
+//  * the containerized shrinkwrap sweep preserves the bare-host op-count
+//    reduction ratio within 5% (it is exact today);
+//  * per-rank sandbox setup is O(1) via CoW fork — a fresh sandbox owns
+//    <1% of the image's bytes (no image copies);
+//  * bare-host numbers are internally byte-identical: the sweep's
+//    measure-once extrapolation equals per-rank re-measurement bit for
+//    bit (the cross-branch identity is diffed via BENCH_*.json);
+//  * the shared/overlay split tiles the measured total, with zero
+//    overlay ops for homogeneous ranks.
+//
+// DEPCHAOS_SMOKE=1 shrinks the app (the sweep stays at 512..2048 ranks).
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
+#include "depchaos/workload/scenarios.hpp"
+
+namespace {
+
+using namespace depchaos;
+
+bool smoke_mode() { return std::getenv("DEPCHAOS_SMOKE") != nullptr; }
+
+workload::PynamicConfig app_config() {
+  workload::PynamicConfig config;
+  if (smoke_mode()) {
+    config.num_modules = 120;
+    config.exe_extra_bytes = 8ull << 20;
+  }
+  return config;
+}
+
+core::SandboxSpec container_spec(
+    const workload::ContainerLaunchScenario& scenario, bool wrapped) {
+  core::SandboxSpec spec;
+  spec.image = wrapped ? scenario.wrapped_image : scenario.image;
+  spec.image_mount = scenario.image_mount;  // "/": the container's rootfs
+  spec.writable_image_overlay = true;       // per-rank CoW overlay
+  spec.exe = scenario.exe;
+  return spec;
+}
+
+int print_report() {
+  using depchaos::bench::fmt;
+  using depchaos::bench::heading;
+  using depchaos::bench::row;
+
+  const std::vector<int> ranks = {512, 1024, 2048};
+  const auto config = app_config();
+
+  // ---- substrate 1: bare host (the paper's Fig 6, measure-once sweep) ----
+  core::WorldBuilder builder;
+  auto bare = builder.pynamic(config).nfs().build();
+  const auto bare_normal = bare.launch_sweep("", ranks);
+  // Byte-identity gate: extrapolating one measurement across the sweep
+  // equals re-measuring at every rank count, bit for bit.
+  bool sweep_identical = true;
+  {
+    auto probe = core::WorldBuilder().pynamic(config).nfs().build();
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      const auto single = probe.launch("", ranks[i]);
+      sweep_identical = sweep_identical &&
+                        single.meta_ops_per_rank ==
+                            bare_normal[i].meta_ops_per_rank &&
+                        single.bytes_per_rank == bare_normal[i].bytes_per_rank &&
+                        single.total_time_s == bare_normal[i].total_time_s;
+    }
+  }
+  if (!bare.shrinkwrap().ok()) {
+    std::fprintf(stderr, "bare shrinkwrap failed\n");
+    return 1;
+  }
+  const auto bare_wrapped = bare.launch_sweep("", ranks);
+
+  // ---- substrates 2+3: containerized, bare image vs wrapped image --------
+  const auto scenario = workload::make_container_launch_scenario(config);
+  auto host = core::WorldBuilder().nfs().build();
+  const auto spec_normal = container_spec(scenario, /*wrapped=*/false);
+  const auto spec_wrapped = container_spec(scenario, /*wrapped=*/true);
+  std::vector<core::Session::LaunchResult> cont_normal, cont_wrapped;
+  for (const int r : ranks) {
+    cont_normal.push_back(host.launch_fleet(spec_normal, r));
+    cont_wrapped.push_back(host.launch_fleet(spec_wrapped, r));
+  }
+
+  heading("Fig 6 containerized — Pynamic in three substrates");
+  row("modules / needed entries",
+      std::to_string(scenario.app.module_paths.size()));
+  row("meta ops per rank (bare normal)",
+      std::to_string(bare_normal[0].meta_ops_per_rank));
+  row("meta ops per rank (bare wrapped)",
+      std::to_string(bare_wrapped[0].meta_ops_per_rank));
+  row("meta ops per rank (container normal)",
+      std::to_string(cont_normal[0].meta_ops_per_rank));
+  row("meta ops per rank (container wrapped)",
+      std::to_string(cont_wrapped[0].meta_ops_per_rank));
+  row("shared-image ops per rank (container normal)",
+      std::to_string(cont_normal[0].shared_meta_ops_per_rank));
+  row("per-rank overlay ops (container normal)",
+      std::to_string(cont_normal[0].overlay_meta_ops_per_rank));
+
+  std::printf(
+      "\n  %6s %12s %12s %14s %14s\n", "ranks", "bare (s)", "wrapped (s)",
+      "container (s)", "cont+wrap (s)");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    std::printf("  %6d %12.1f %12.1f %14.1f %14.1f\n", ranks[i],
+                bare_normal[i].total_time_s, bare_wrapped[i].total_time_s,
+                cont_normal[i].total_time_s, cont_wrapped[i].total_time_s);
+    depchaos::bench::capture(
+        "ranks=" + std::to_string(ranks[i]),
+        fmt(bare_normal[i].total_time_s, 1) + "s bare / " +
+            fmt(bare_wrapped[i].total_time_s, 1) + "s wrapped / " +
+            fmt(cont_normal[i].total_time_s, 1) + "s container / " +
+            fmt(cont_wrapped[i].total_time_s, 1) + "s container+wrap");
+  }
+
+  // Spindle and pre-staging applied to the containerized UNWRAPPED app:
+  // both absorb only the shared-image part of the storm.
+  {
+    launch::FleetConfig spindle;
+    spindle.cluster = host.config().cluster;
+    spindle.cluster.spindle_broadcast = true;
+    launch::FleetConfig staged;
+    staged.cluster = host.config().cluster;
+    staged.prestaged_image = true;
+    const auto s = host.launch_fleet(spec_normal, "", 2048, spindle);
+    const auto p = host.launch_fleet(spec_normal, "", 2048, staged);
+    row("container normal @2048 + spindle broadcast",
+        fmt(s.total_time_s, 1) + " s");
+    row("container normal @2048 + pre-staged image",
+        fmt(p.total_time_s, 1) + " s");
+  }
+
+  heading("acceptance gates");
+  const double bare_ratio =
+      static_cast<double>(bare_normal[0].meta_ops_per_rank) /
+      static_cast<double>(bare_wrapped[0].meta_ops_per_rank);
+  const double cont_ratio =
+      static_cast<double>(cont_normal[0].meta_ops_per_rank) /
+      static_cast<double>(cont_wrapped[0].meta_ops_per_rank);
+  const double drift = cont_ratio / bare_ratio - 1.0;
+  const bool gate_ratio = drift < 0.05 && drift > -0.05;
+  row("bare op reduction", fmt(bare_ratio, 1) + "x");
+  row("containerized op reduction", fmt(cont_ratio, 1) + "x");
+  row("containerized shrinkwrap preserves reduction (<5% drift)",
+      gate_ratio ? "PASS (" + fmt(drift * 100, 2) + "%)" : "FAIL");
+
+  // O(1) sandbox setup: a fresh per-rank sandbox owns no image bytes.
+  auto job = host.sandbox(spec_normal);
+  const std::uint64_t owned = job.fs().owned_bytes();
+  const std::uint64_t image_bytes = scenario.image->disk_usage("/");
+  const bool gate_fork = owned * 100 < image_bytes;
+  row("sandbox owned bytes vs image",
+      fmt(static_cast<double>(owned) / 1024.0, 1) + " KiB vs " +
+          fmt(static_cast<double>(image_bytes) / (1 << 20), 1) + " MiB");
+  row("per-rank setup is O(1) CoW fork (no image copy)",
+      gate_fork ? "PASS" : "FAIL");
+
+  row("bare sweep byte-identical to per-rank re-measurement",
+      sweep_identical ? "PASS" : "FAIL");
+
+  const bool gate_split =
+      cont_normal[0].shared_meta_ops_per_rank +
+              cont_normal[0].overlay_meta_ops_per_rank ==
+          cont_normal[0].meta_ops_per_rank &&
+      cont_normal[0].overlay_meta_ops_per_rank == 0 &&
+      cont_wrapped[0].shared_meta_ops_per_rank +
+              cont_wrapped[0].overlay_meta_ops_per_rank ==
+          cont_wrapped[0].meta_ops_per_rank;
+  row("shared/overlay split tiles the measured total",
+      gate_split ? "PASS" : "FAIL");
+
+  bool loads_ok = true;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    loads_ok = loads_ok && bare_normal[i].load_succeeded &&
+               bare_wrapped[i].load_succeeded &&
+               cont_normal[i].load_succeeded &&
+               cont_wrapped[i].load_succeeded &&
+               cont_wrapped[i].total_time_s < cont_normal[i].total_time_s;
+  }
+  row("all substrates load; wrapped container beats normal",
+      loads_ok ? "PASS" : "FAIL");
+
+  return (gate_ratio && gate_fork && sweep_identical && gate_split &&
+          loads_ok)
+             ? 0
+             : 1;
+}
+
+void BM_SandboxCreatePerRank(benchmark::State& state) {
+  const auto scenario = workload::make_container_launch_scenario(app_config());
+  auto host = core::WorldBuilder().nfs().build();
+  const auto spec = container_spec(scenario, /*wrapped=*/false);
+  for (auto _ : state) {
+    auto job = host.sandbox(spec);
+    benchmark::DoNotOptimize(job.fs().inode_count());
+  }
+}
+BENCHMARK(BM_SandboxCreatePerRank)->Unit(benchmark::kMicrosecond);
+
+void BM_ContainerColdLaunch(benchmark::State& state) {
+  const auto scenario = workload::make_container_launch_scenario(app_config());
+  auto host = core::WorldBuilder().nfs().build();
+  const auto spec = container_spec(scenario, state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        host.launch_fleet(spec, 512).meta_ops_per_rank);
+  }
+}
+BENCHMARK(BM_ContainerColdLaunch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int failures = print_report();
+  const int bench_rc = depchaos::bench::run_benchmarks(argc, argv);
+  return failures ? failures : bench_rc;
+}

@@ -29,6 +29,34 @@
 
 namespace depchaos::core {
 
+/// What Session::sandbox assembles on top of a fork — a container-style
+/// per-job view: the app image bound read-only (optionally behind a
+/// writable per-job overlay), host directories masked away, fresh
+/// scratch space. The host world is never touched; a fleet of sandboxes
+/// shares the host AND the image, so each one costs O(delta). Lives at
+/// namespace scope (not nested in Session) so launch::simulate_fleet_launch
+/// can take it with only a forward declaration; Session::SandboxSpec
+/// remains a valid spelling.
+struct SandboxSpec {
+  /// Read-only squashfs-style application image (see
+  /// WorldBuilder::build_image), mounted at `image_mount`. Null = no
+  /// image (mask/scratch-only sandbox).
+  std::shared_ptr<vfs::FileSystem> image;
+  /// Mountpoint; "/" mounts the image as the container's own rootfs.
+  std::string image_mount = "/app";
+  /// Mount the image behind a writable per-job overlay (overlayfs upper
+  /// layer) instead of read-only; divergence stays in this sandbox.
+  bool writable_image_overlay = false;
+  /// Host directories hidden behind empty read-only tmpfs — the
+  /// container "mask" idiom that keeps host libraries from leaking into
+  /// the job's library search.
+  std::vector<std::string> mask;
+  /// Fresh writable scratch mounts (per-job /tmp and friends).
+  std::vector<std::string> scratch;
+  /// Default executable inside the sandbox ("" keeps the parent's).
+  std::string exe;
+};
+
 /// Everything configurable about a Session, in one aggregate.
 struct SessionConfig {
   loader::SearchConfig search;
@@ -83,29 +111,8 @@ class Session {
   /// isolation in load_many.
   Session fork();
 
-  /// What Session::sandbox assembles on top of a fork — a container-style
-  /// per-job view: the app image bound read-only (optionally behind a
-  /// writable per-job overlay), host directories masked away, fresh
-  /// scratch space. The host world is never touched; a fleet of sandboxes
-  /// shares the host AND the image, so each one costs O(delta).
-  struct SandboxSpec {
-    /// Read-only squashfs-style application image (see
-    /// WorldBuilder::build_image), mounted at `image_mount`. Null = no
-    /// image (mask/scratch-only sandbox).
-    std::shared_ptr<vfs::FileSystem> image;
-    std::string image_mount = "/app";
-    /// Mount the image behind a writable per-job overlay (overlayfs upper
-    /// layer) instead of read-only; divergence stays in this sandbox.
-    bool writable_image_overlay = false;
-    /// Host directories hidden behind empty read-only tmpfs — the
-    /// container "mask" idiom that keeps host libraries from leaking into
-    /// the job's library search.
-    std::vector<std::string> mask;
-    /// Fresh writable scratch mounts (per-job /tmp and friends).
-    std::vector<std::string> scratch;
-    /// Default executable inside the sandbox ("" keeps the parent's).
-    std::string exe;
-  };
+  /// Compatibility spelling for the namespace-scope SandboxSpec above.
+  using SandboxSpec = core::SandboxSpec;
 
   /// Build a per-job container view: fork this session and assemble the
   /// mount namespace from `spec`. The sandbox starts with COLD loader
@@ -188,6 +195,16 @@ class Session {
                       const launch::ClusterConfig& cluster);
   std::vector<LaunchResult> launch_sweep(std::string_view exe,
                                          const std::vector<int>& rank_counts);
+
+  /// Containerized launch (launch::simulate_fleet_launch): assemble a
+  /// per-rank sandbox from `spec` over this session's world, measure the
+  /// op stream a rank issues inside it — shared-image vs per-rank overlay
+  /// metadata split — and extrapolate the P-rank fleet. The two-argument
+  /// form uses the session's cluster model and the homogeneity fast path
+  /// (one sandboxed rank measured, replicated across the fleet).
+  LaunchResult launch_fleet(const SandboxSpec& spec, int ranks);
+  LaunchResult launch_fleet(const SandboxSpec& spec, std::string_view exe,
+                            int ranks, const launch::FleetConfig& config);
 
   /// Serialize the world to a DCWORLD1 snapshot.
   std::string save() const;

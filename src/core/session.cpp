@@ -241,6 +241,20 @@ std::vector<Session::LaunchResult> Session::launch_sweep(
                                rank_counts, config_.cluster);
 }
 
+Session::LaunchResult Session::launch_fleet(const SandboxSpec& spec,
+                                            int ranks) {
+  launch::FleetConfig config;
+  config.cluster = config_.cluster;
+  return launch_fleet(spec, {}, ranks, config);
+}
+
+Session::LaunchResult Session::launch_fleet(const SandboxSpec& spec,
+                                            std::string_view exe, int ranks,
+                                            const launch::FleetConfig& config) {
+  return launch::simulate_fleet_launch(*this, spec, std::string(exe), ranks,
+                                       config);
+}
+
 std::string Session::save() const { return vfs::save_world(*fs_); }
 
 }  // namespace depchaos::core

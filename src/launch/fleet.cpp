@@ -1,0 +1,165 @@
+// Containerized launch storms (§V-A on the container substrate).
+//
+// A fleet launch replays the loader inside a PER-RANK sandbox: the app
+// image mounted (optionally behind a per-rank CoW overlay), host dirs
+// masked, per-rank scratch. The sandbox changes *which* metadata ops a
+// rank issues — image mounts redirect probes, masks turn leaks into
+// misses, overlays add rank-private paths — and the measurement splits
+// the stream into shared-image ops (identical across ranks: servable
+// once, amenable to a Spindle broadcast or image pre-staging) and
+// per-rank overlay ops (divergence only that rank can resolve).
+//
+// Sandbox setup is O(1) per rank: Session::sandbox forks the host world
+// copy-on-write and mounts the shared image without copying a byte of it
+// (gated by bench/fig6_container.cpp). When ranks are homogeneous (no
+// rank_setup hook) ONE sandboxed rank is measured and replicated — the
+// fast path that keeps a 2048-rank sweep at a single loader replay.
+
+#include <algorithm>
+#include <cmath>
+
+#include "depchaos/core/session.hpp"
+#include "depchaos/launch/launch.hpp"
+
+namespace depchaos::launch {
+
+namespace {
+
+/// Measure one sandboxed rank with shared/overlay attribution installed.
+RankMeasurement measure_sandboxed_rank(core::Session& rank_session,
+                                       const std::string& exe_path) {
+  vfs::FileSystem& fs = rank_session.fs();
+  vfs::FileSystem::MetaBreakdown split;
+  fs.set_meta_breakdown(&split);
+  fs.clear_caches();
+  const loader::LoadReport report = rank_session.load(exe_path);
+  fs.set_meta_breakdown(nullptr);
+
+  RankMeasurement rank;
+  rank.load_succeeded = report.success;
+  rank.meta_ops = report.stats.metadata_calls();
+  rank.classified = true;
+  rank.shared_meta_ops = split.shared_ops;
+  rank.overlay_meta_ops = split.private_ops;
+  for (const auto& obj : report.load_order) {
+    const vfs::FileData* data = fs.peek(obj.path);
+    if (data == nullptr) continue;
+    rank.bytes += data->size();
+    if (fs.served_shared(obj.path).value_or(true)) {
+      rank.shared_bytes += data->size();
+    } else {
+      rank.overlay_bytes += data->size();
+    }
+  }
+  return rank;
+}
+
+/// The split-aware op -> seconds conversion. The shared part can be
+/// absorbed (pre-staged image: node-local rates; Spindle: one resolver +
+/// log-tree relay); the overlay part is rank-private and always pays the
+/// storm exponent.
+void extrapolate_fleet(LaunchResult& result, double shared_ops,
+                       double overlay_ops, double shared_bytes,
+                       double overlay_bytes, const FleetConfig& config) {
+  const ClusterConfig& cluster = config.cluster;
+  const int p = result.nprocs;
+
+  double shared_data_s;
+  double shared_meta_s;
+  if (config.prestaged_image) {
+    shared_data_s = shared_bytes / cluster.local_stage_bandwidth_bytes_s;
+    shared_meta_s = shared_ops * cluster.local_meta_op_cost_s;
+  } else if (cluster.spindle_broadcast) {
+    shared_data_s = storm_data_seconds(shared_bytes, p, cluster);
+    shared_meta_s = spindle_meta_seconds(shared_ops, p, cluster);
+  } else {
+    shared_data_s = storm_data_seconds(shared_bytes, p, cluster);
+    shared_meta_s = storm_meta_seconds(shared_ops, p, cluster);
+  }
+  result.data_time_s =
+      shared_data_s + storm_data_seconds(overlay_bytes, p, cluster);
+  result.meta_time_s =
+      shared_meta_s + storm_meta_seconds(overlay_ops, p, cluster);
+  result.total_time_s =
+      cluster.init_s + result.data_time_s + result.meta_time_s;
+}
+
+}  // namespace
+
+LaunchResult simulate_fleet_launch(core::Session& session,
+                                   const core::SandboxSpec& spec,
+                                   const std::string& exe_path, int nprocs,
+                                   const FleetConfig& config) {
+  LaunchResult result;
+  result.nprocs = nprocs;
+  result.sandboxed = true;
+  result.load_succeeded = true;
+
+  // Homogeneity fast path: identical ranks issue identical op streams, so
+  // one sandboxed rank stands in for the fleet. A rank_setup hook means
+  // per-rank divergence — every rank gets its own sandbox and measurement.
+  const bool homogeneous = !config.rank_setup;
+  const int measured = homogeneous ? 1 : std::max(1, nprocs);
+  result.ranks_measured = measured;
+
+  RankMeasurement first;
+  std::uint64_t total_meta = 0, total_bytes = 0;
+  std::uint64_t total_shared_meta = 0, total_overlay_meta = 0;
+  std::uint64_t total_shared_bytes = 0, total_overlay_bytes = 0;
+  for (int r = 0; r < measured; ++r) {
+    core::Session rank_session = session.sandbox(spec);
+    if (config.rank_setup) config.rank_setup(rank_session, r);
+    const RankMeasurement rank = measure_sandboxed_rank(rank_session, exe_path);
+    if (r == 0) first = rank;
+    result.load_succeeded = result.load_succeeded && rank.load_succeeded;
+    total_meta += rank.meta_ops;
+    total_bytes += rank.bytes;
+    total_shared_meta += rank.shared_meta_ops;
+    total_overlay_meta += rank.overlay_meta_ops;
+    total_shared_bytes += rank.shared_bytes;
+    total_overlay_bytes += rank.overlay_bytes;
+  }
+
+  const std::uint64_t ranks = static_cast<std::uint64_t>(std::max(1, nprocs));
+  if (homogeneous) {
+    result.meta_ops_per_rank = first.meta_ops;
+    result.bytes_per_rank = first.bytes;
+    result.shared_meta_ops_per_rank = first.shared_meta_ops;
+    result.overlay_meta_ops_per_rank = first.overlay_meta_ops;
+    result.shared_bytes_per_rank = first.shared_bytes;
+    result.overlay_bytes_per_rank = first.overlay_bytes;
+    result.fleet_meta_ops = first.meta_ops * ranks;
+    result.fleet_bytes = first.bytes * ranks;
+    result.fleet_shared_meta_ops = first.shared_meta_ops * ranks;
+    result.fleet_overlay_meta_ops = first.overlay_meta_ops * ranks;
+    extrapolate_fleet(result, static_cast<double>(first.shared_meta_ops),
+                      static_cast<double>(first.overlay_meta_ops),
+                      static_cast<double>(first.shared_bytes),
+                      static_cast<double>(first.overlay_bytes), config);
+  } else {
+    // Heterogeneous ranks: totals are exact sums; the *_per_rank fields
+    // are floor-averages of the SPLIT, summed so the tiling invariant
+    // (shared + overlay == total) holds by construction; timing uses the
+    // true (double) means.
+    result.shared_meta_ops_per_rank = total_shared_meta / ranks;
+    result.overlay_meta_ops_per_rank = total_overlay_meta / ranks;
+    result.meta_ops_per_rank =
+        result.shared_meta_ops_per_rank + result.overlay_meta_ops_per_rank;
+    result.shared_bytes_per_rank = total_shared_bytes / ranks;
+    result.overlay_bytes_per_rank = total_overlay_bytes / ranks;
+    result.bytes_per_rank =
+        result.shared_bytes_per_rank + result.overlay_bytes_per_rank;
+    result.fleet_meta_ops = total_meta;
+    result.fleet_bytes = total_bytes;
+    result.fleet_shared_meta_ops = total_shared_meta;
+    result.fleet_overlay_meta_ops = total_overlay_meta;
+    const double n = static_cast<double>(ranks);
+    extrapolate_fleet(result, static_cast<double>(total_shared_meta) / n,
+                      static_cast<double>(total_overlay_meta) / n,
+                      static_cast<double>(total_shared_bytes) / n,
+                      static_cast<double>(total_overlay_bytes) / n, config);
+  }
+  return result;
+}
+
+}  // namespace depchaos::launch

@@ -20,14 +20,29 @@
 // the analytic part. That is exactly the paper's causal chain: Shrinkwrap
 // wins Fig 6 because it shrinks the measured per-rank op count ~450×, not
 // because the model treats it specially.
+//
+// Containerized launches (simulate_fleet_launch) run the same measurement
+// INSIDE a per-rank sandbox — the app image mounted behind a per-rank CoW
+// overlay, host dirs masked — and split the measured stream into
+// shared-image metadata (identical across ranks, servable once, the part a
+// Spindle-style broadcast or image pre-staging can absorb) and per-rank
+// overlay metadata (rank-private divergence that every rank must resolve
+// itself). Mounts, overlays, and masks change *which* ops a rank issues,
+// not just how many — that is the container cold-start regime.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "depchaos/loader/loader.hpp"
 #include "depchaos/vfs/vfs.hpp"
+
+namespace depchaos::core {
+class Session;
+struct SandboxSpec;
+}  // namespace depchaos::core
 
 namespace depchaos::launch {
 
@@ -45,8 +60,14 @@ struct ClusterConfig {
   /// Spindle-style broadcast (Frings et al. [25], mentioned in §V-A as a
   /// complement to Shrinkwrap): ONE rank performs the metadata resolution
   /// and broadcasts results over the interconnect tree, so the metadata
-  /// phase stops scaling with P (log-factor relay cost instead).
+  /// phase stops scaling with P (log-factor relay cost instead). In a
+  /// containerized launch only the SHARED-substrate ops broadcast; per-rank
+  /// overlay ops are private state no other rank can relay.
   bool spindle_broadcast = false;
+  /// Node-local rates for a pre-staged image (FleetConfig::prestaged_image):
+  /// shared-substrate traffic served from node-local storage, no storm.
+  double local_meta_op_cost_s = 0.2e-6;
+  double local_stage_bandwidth_bytes_s = 500.0e6;
 };
 
 struct LaunchResult {
@@ -57,7 +78,65 @@ struct LaunchResult {
   double data_time_s = 0;
   double meta_time_s = 0;
   double total_time_s = 0;
+
+  // ---- containerized breakdown (simulate_fleet_launch; zero for bare) ----
+  /// Ops/bytes served by substrate identical across the fleet (read-only
+  /// image mounts, masks, content below the sandbox fork point): servable
+  /// once, Spindle/broadcast-amenable. Failed probes count as shared — a
+  /// negative answer is the same for every rank.
+  std::uint64_t shared_meta_ops_per_rank = 0;
+  std::uint64_t shared_bytes_per_rank = 0;
+  /// Ops/bytes touching per-rank divergence (overlay upper writes, scratch
+  /// tmpfs): inherently rank-private, immune to broadcast or pre-staging.
+  std::uint64_t overlay_meta_ops_per_rank = 0;
+  std::uint64_t overlay_bytes_per_rank = 0;
+  /// Fleet totals. Under the homogeneity fast path these are exactly
+  /// per-rank × nprocs; with a rank_setup hook they are the measured sums
+  /// (the *_per_rank fields above are then floor-averages of the split,
+  /// summed so shared + overlay == the per-rank total by construction).
+  std::uint64_t fleet_meta_ops = 0;
+  std::uint64_t fleet_bytes = 0;
+  std::uint64_t fleet_shared_meta_ops = 0;
+  std::uint64_t fleet_overlay_meta_ops = 0;
+  /// Ranks actually measured: 1 for bare launches and under the fleet
+  /// homogeneity fast path, nprocs with a rank_setup hook.
+  int ranks_measured = 0;
+  bool sandboxed = false;
 };
+
+/// One rank's measured cold-cache load — independent of the rank count, so
+/// a sweep measures once and extrapolates (scaling_sweep).
+struct RankMeasurement {
+  bool load_succeeded = false;
+  std::uint64_t meta_ops = 0;
+  std::uint64_t bytes = 0;
+  /// Shared/overlay attribution (sandboxed measurement only; `classified`
+  /// false for bare-host measurements, where the split is not meaningful).
+  bool classified = false;
+  std::uint64_t shared_meta_ops = 0;
+  std::uint64_t overlay_meta_ops = 0;
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t overlay_bytes = 0;
+};
+
+/// Replay one rank's load (cold client caches) against the filesystem and
+/// record its metadata op stream and staged bytes.
+RankMeasurement measure_rank(vfs::FileSystem& fs, loader::Loader& loader,
+                             const std::string& exe_path,
+                             const loader::Environment& env);
+
+/// The calibrated op/byte -> seconds conversions, shared by the bare
+/// (extrapolate) and containerized (simulate_fleet_launch) models so the
+/// two can never drift apart.
+double storm_meta_seconds(double ops, int nprocs, const ClusterConfig&);
+double spindle_meta_seconds(double ops, int nprocs, const ClusterConfig&);
+double storm_data_seconds(double bytes, int nprocs, const ClusterConfig&);
+
+/// Convert a measured rank into the P-rank analytic extrapolation. Pure
+/// arithmetic — extrapolating one measurement across a sweep is
+/// byte-identical to re-measuring at every rank count.
+LaunchResult extrapolate(const RankMeasurement& rank, int nprocs,
+                         const ClusterConfig& config);
 
 /// Measure one rank's load (cold client caches) and extrapolate to P ranks.
 LaunchResult simulate_launch(vfs::FileSystem& fs, loader::Loader& loader,
@@ -65,12 +144,44 @@ LaunchResult simulate_launch(vfs::FileSystem& fs, loader::Loader& loader,
                              const loader::Environment& env, int nprocs,
                              const ClusterConfig& config = {});
 
-/// Fig 6 helper: run the same binary across a rank sweep.
+/// Fig 6 helper: run the same binary across a rank sweep. The rank-1 op
+/// stream is measured ONCE and extrapolated to every entry (the counters a
+/// load produces do not depend on cache warmth, so this is byte-identical
+/// to re-measuring per entry — asserted in tests/launch_test.cpp).
 std::vector<LaunchResult> scaling_sweep(vfs::FileSystem& fs,
                                         loader::Loader& loader,
                                         const std::string& exe_path,
                                         const loader::Environment& env,
                                         const std::vector<int>& rank_counts,
                                         const ClusterConfig& config = {});
+
+/// Knobs for a containerized fleet launch.
+struct FleetConfig {
+  ClusterConfig cluster;
+  /// Per-rank divergence hook, applied to rank r's sandbox before its
+  /// measurement (rank-private config writes, shadowing libraries, ...).
+  /// Null = ranks are homogeneous: the fast path measures ONE sandboxed
+  /// rank and replicates it; non-null = every rank gets its own sandbox
+  /// and its own measured load (O(nprocs) loader replays).
+  std::function<void(core::Session&, int rank)> rank_setup;
+  /// The image was broadcast/staged to node-local storage before launch:
+  /// shared-substrate metadata and bytes are served at the cluster's
+  /// node-local rates with no storm contention; only per-rank overlay
+  /// traffic still hits the shared filesystem. (Takes precedence over
+  /// spindle_broadcast for the shared part — local beats relayed.)
+  bool prestaged_image = false;
+};
+
+/// Containerized Fig 6: assemble a per-rank sandbox from `spec` (image
+/// mount + per-rank CoW overlay + masks) over `session`'s world, measure
+/// the op stream a rank issues INSIDE it, split shared-image vs per-rank
+/// overlay metadata, and extrapolate the P-rank launch. `exe_path` ""
+/// falls back to the sandbox default (SandboxSpec::exe, then the
+/// session's). Sandbox setup is O(1) per rank via CoW fork — no image
+/// copies (gated by bench/fig6_container.cpp).
+LaunchResult simulate_fleet_launch(core::Session& session,
+                                   const core::SandboxSpec& spec,
+                                   const std::string& exe_path, int nprocs,
+                                   const FleetConfig& config = {});
 
 }  // namespace depchaos::launch

@@ -1,44 +1,71 @@
 #include "depchaos/launch/launch.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace depchaos::launch {
+
+RankMeasurement measure_rank(vfs::FileSystem& fs, loader::Loader& loader,
+                             const std::string& exe_path,
+                             const loader::Environment& env) {
+  RankMeasurement rank;
+  // Cold start: drop whatever the latency model cached client-side.
+  fs.clear_caches();
+  const loader::LoadReport report = loader.load(exe_path, env);
+  rank.load_succeeded = report.success;
+  rank.meta_ops = report.stats.metadata_calls();
+  for (const auto& obj : report.load_order) {
+    if (const auto* data = fs.peek(obj.path)) rank.bytes += data->size();
+  }
+  return rank;
+}
+
+double storm_meta_seconds(double ops, int nprocs,
+                          const ClusterConfig& config) {
+  return ops * config.meta_op_cost_s *
+         std::pow(static_cast<double>(nprocs), config.meta_exponent);
+}
+
+double spindle_meta_seconds(double ops, int nprocs,
+                            const ClusterConfig& config) {
+  // One resolver rank + a log2(P) relay down the broadcast tree.
+  return ops * config.meta_op_cost_s *
+         (1.0 +
+          std::log2(std::max(1.0, static_cast<double>(nprocs))) * 0.1);
+}
+
+double storm_data_seconds(double bytes, int nprocs,
+                          const ClusterConfig& config) {
+  return (bytes / config.stage_bandwidth_bytes_s) *
+         std::pow(static_cast<double>(nprocs), config.data_exponent);
+}
+
+LaunchResult extrapolate(const RankMeasurement& rank, int nprocs,
+                         const ClusterConfig& config) {
+  LaunchResult result;
+  result.nprocs = nprocs;
+  result.load_succeeded = rank.load_succeeded;
+  result.meta_ops_per_rank = rank.meta_ops;
+  result.bytes_per_rank = rank.bytes;
+  result.ranks_measured = 1;
+
+  result.data_time_s =
+      storm_data_seconds(static_cast<double>(rank.bytes), nprocs, config);
+  result.meta_time_s =
+      config.spindle_broadcast
+          ? spindle_meta_seconds(static_cast<double>(rank.meta_ops), nprocs,
+                                 config)
+          : storm_meta_seconds(static_cast<double>(rank.meta_ops), nprocs,
+                               config);
+  result.total_time_s = config.init_s + result.data_time_s + result.meta_time_s;
+  return result;
+}
 
 LaunchResult simulate_launch(vfs::FileSystem& fs, loader::Loader& loader,
                              const std::string& exe_path,
                              const loader::Environment& env, int nprocs,
                              const ClusterConfig& config) {
-  LaunchResult result;
-  result.nprocs = nprocs;
-
-  // Cold start: drop whatever the latency model cached client-side.
-  fs.clear_caches();
-  const loader::LoadReport report = loader.load(exe_path, env);
-  result.load_succeeded = report.success;
-  result.meta_ops_per_rank = report.stats.metadata_calls();
-
-  std::uint64_t bytes = 0;
-  for (const auto& obj : report.load_order) {
-    if (const auto* data = fs.peek(obj.path)) bytes += data->size();
-  }
-  result.bytes_per_rank = bytes;
-
-  const double p = static_cast<double>(nprocs);
-  result.data_time_s = (static_cast<double>(bytes) /
-                        config.stage_bandwidth_bytes_s) *
-                       std::pow(p, config.data_exponent);
-  if (config.spindle_broadcast) {
-    // One resolver rank + a log2(P) relay down the broadcast tree.
-    result.meta_time_s = static_cast<double>(result.meta_ops_per_rank) *
-                         config.meta_op_cost_s *
-                         (1.0 + std::log2(std::max(1.0, p)) * 0.1);
-  } else {
-    result.meta_time_s = static_cast<double>(result.meta_ops_per_rank) *
-                         config.meta_op_cost_s *
-                         std::pow(p, config.meta_exponent);
-  }
-  result.total_time_s = config.init_s + result.data_time_s + result.meta_time_s;
-  return result;
+  return extrapolate(measure_rank(fs, loader, exe_path, env), nprocs, config);
 }
 
 std::vector<LaunchResult> scaling_sweep(vfs::FileSystem& fs,
@@ -49,8 +76,12 @@ std::vector<LaunchResult> scaling_sweep(vfs::FileSystem& fs,
                                         const ClusterConfig& config) {
   std::vector<LaunchResult> out;
   out.reserve(rank_counts.size());
+  if (rank_counts.empty()) return out;
+  // The measured op stream is rank-count independent (and load counters do
+  // not depend on cache warmth), so one loader replay serves every entry.
+  const RankMeasurement rank = measure_rank(fs, loader, exe_path, env);
   for (const int ranks : rank_counts) {
-    out.push_back(simulate_launch(fs, loader, exe_path, env, ranks, config));
+    out.push_back(extrapolate(rank, ranks, config));
   }
   return out;
 }

@@ -329,6 +329,48 @@ class FileSystem {
   void set_dentry_cache(bool enabled);
   bool dentry_cache_enabled() const { return dentry_enabled_; }
 
+  /// Dentry snapshot generations: at a fork boundary the warm-start
+  /// snapshot normally merges every prior generation's walk results, so a
+  /// long fork chain can carry entries for paths nothing resolves anymore.
+  /// Past `cap` merged entries the snapshot is instead REBUILT from the
+  /// current generation alone — the entries walked or re-hit since the
+  /// last fork (shared-snapshot hits are promoted into the private map
+  /// precisely so a rebuild keeps the still-hot paths). The cache stays
+  /// transparent either way: a shed entry is simply re-walked. A single
+  /// generation larger than the cap is kept whole (the cap bounds
+  /// cross-generation accumulation, not one generation's working set).
+  /// 0 = uncapped. Inherited by forks and copies. Default: 1 << 16.
+  void set_dentry_snapshot_cap(std::size_t cap) { dentry_snapshot_cap_ = cap; }
+  std::size_t dentry_snapshot_cap() const { return dentry_snapshot_cap_; }
+  /// Entries currently frozen in the fork-shared snapshot (test hook).
+  std::size_t dentry_snapshot_entries() const {
+    return dentry_shared_ ? dentry_shared_->size() : 0;
+  }
+
+  // ----- fleet-launch op attribution ---------------------------------------
+
+  /// Shared-vs-private split of the counted metadata ops issued while a
+  /// sink is installed (launch::simulate_fleet_launch). "Shared" = served
+  /// by substrate identical across a sandbox fleet: read-only mounts
+  /// (images, masks, RO binds), content below the last fork boundary of a
+  /// writable mount or of this view's own storage, and failed probes (a
+  /// negative answer is the same for every rank, broadcast-amenable).
+  /// "Private" = per-view divergence: nodes created or CoW-shadowed since
+  /// the last fork (overlay upper writes, scratch tmpfs contents).
+  struct MetaBreakdown {
+    std::uint64_t shared_ops = 0;
+    std::uint64_t private_ops = 0;
+  };
+  /// Install (nullptr removes) the attribution sink. Purely additive
+  /// accounting — counters, latency charges, and answers are untouched.
+  /// Not inherited by fork() or copies; the caller owns the sink lifetime.
+  void set_meta_breakdown(MetaBreakdown* sink) { breakdown_ = sink; }
+
+  /// Uncounted one-path classification under the same rules: true =
+  /// shared substrate, false = per-view divergence, nullopt = the path
+  /// does not resolve.
+  std::optional<bool> served_shared(std::string_view path) const;
+
   // ----- accounting ---------------------------------------------------------
 
   SyscallStats& stats() { return stats_; }
@@ -515,8 +557,18 @@ class FileSystem {
   /// Allocate + link a child named `name` under directory `dir` (same
   /// store as `dir`); returns the tagged child.
   InodeNum create_child(InodeNum dir, std::string_view name, NodeType type);
-  void charge(OpKind op, bool hit, const std::string& path);
+  /// `ino` (the resolved composed inode, 0 on a miss) feeds the optional
+  /// fleet-launch attribution sink; counters and latency ignore it.
+  void charge(OpKind op, bool hit, const std::string& path, InodeNum ino = 0);
   void remove_subtree(InodeNum ino);
+
+  /// Attribution helpers (fleet-launch accounting): is local inode `ino`
+  /// part of this store's private top overlay (created or CoW-shadowed
+  /// since the last fork/freeze) rather than the shared frozen chain?
+  bool node_is_private_local(InodeNum ino) const {
+    return ino >= top_start_ || top_shadow_.count(ino) != 0;
+  }
+  bool op_is_shared(InodeNum ino) const;
 
   // Immutable shared layers (null for a never-forked world) ...
   std::shared_ptr<const Layer> base_;
@@ -557,12 +609,20 @@ class FileSystem {
   // theirs). Mutable because resolution memoizes inside const read paths.
   mutable DentryMap dentry_;
   std::shared_ptr<const DentryMap> dentry_shared_;
+  // Keys present in BOTH maps this generation (capped mode only):
+  // promoted positive hits plus re-walked shared negatives. The fork
+  // merge subtracts them to size the true union exactly.
+  mutable std::size_t dentry_dup_ = 0;
   void invalidate_dentries() {
     dentry_.clear();
     dentry_shared_.reset();
+    dentry_dup_ = 0;
   }
   bool dentry_enabled_ = true;
   std::size_t auto_collapse_ = 64;
+  std::size_t dentry_snapshot_cap_ = 1 << 16;
+  // Fleet-launch attribution sink (set_meta_breakdown); never inherited.
+  MetaBreakdown* breakdown_ = nullptr;
 
   // The mount table (empty for ordinary worlds; every operation above is
   // zero-overhead then). `mount_at_` maps a canonical mountpoint PathId to

@@ -100,6 +100,7 @@ FileSystem::FileSystem(const FileSystem& other) {
   paths_ = other.paths_;
   dentry_enabled_ = other.dentry_enabled_;
   auto_collapse_ = other.auto_collapse_;
+  dentry_snapshot_cap_ = other.dentry_snapshot_cap_;
   // Mount table: immutable backings are shared (never copied); writable
   // backings get the same deep-copy treatment as the host storage.
   mounts_.reserve(other.mounts_.size());
@@ -144,6 +145,7 @@ FileSystem FileSystem::fork() {
   child.paths_ = paths_;  // one interner per fork family
   child.dentry_enabled_ = dentry_enabled_;
   child.auto_collapse_ = auto_collapse_;
+  child.dentry_snapshot_cap_ = dentry_snapshot_cap_;
   if (latency_) {
     auto clone = latency_->clone();
     child.latency_ = clone ? std::move(clone) : latency_;
@@ -155,11 +157,25 @@ FileSystem FileSystem::fork() {
   // concurrent forked workers never write a shared structure.
   if (dentry_enabled_) {
     if (!dentry_.empty()) {
-      if (dentry_shared_ && !dentry_shared_->empty()) {
+      // Snapshot generations: merging every generation forever lets a long
+      // fork chain carry dead entries. Past the cap, rebuild age-based —
+      // only this generation's entries (fresh walks plus promoted shared
+      // hits, i.e. everything actually touched since the last fork)
+      // survive; untouched carry-overs are shed and simply re-walked on
+      // demand.
+      // Keys living in BOTH maps (promoted hits, re-walked negatives)
+      // are subtracted so the merged size is the exact union and a
+      // working set under the cap never rebuilds.
+      const std::size_t carried =
+          dentry_shared_ ? dentry_shared_->size() : 0;
+      const std::size_t merged = dentry_.size() + carried - dentry_dup_;
+      if (carried != 0 &&
+          (dentry_snapshot_cap_ == 0 || merged <= dentry_snapshot_cap_)) {
         dentry_.insert(dentry_shared_->begin(), dentry_shared_->end());
       }
       dentry_shared_ = std::make_shared<const DentryMap>(std::move(dentry_));
       dentry_ = DentryMap{};
+      dentry_dup_ = 0;
     }
     child.dentry_shared_ = dentry_shared_;
   }
@@ -364,8 +380,37 @@ InodeNum FileSystem::create_child(InodeNum dir, std::string_view name,
   return child;
 }
 
-void FileSystem::charge(OpKind op, bool hit, const std::string& path) {
+bool FileSystem::op_is_shared(InodeNum ino) const {
+  const std::uint16_t m = mount_index(ino);
+  if (m == 0) return !node_is_private_local(ino);
+  const Mount& mnt = mounts_[m - 1];
+  // Read-only mounts (images, masks, RO binds) are fleet-wide by
+  // construction; inside a writable mount the fork boundary of its backing
+  // separates the shared lower image from per-view divergence.
+  if (mnt.read_only) return true;
+  return !mnt.backing->node_is_private_local(local_ino(ino));
+}
+
+std::optional<bool> FileSystem::served_shared(std::string_view path) const {
+  InodeNum ino = 0;
+  try {
+    ino = resolve(path, /*follow_final=*/true);
+  } catch (const FsError&) {
+    return std::nullopt;
+  }
+  if (ino == 0) return std::nullopt;
+  return op_is_shared(ino);
+}
+
+void FileSystem::charge(OpKind op, bool hit, const std::string& path,
+                        InodeNum ino) {
   if (!counting_) return;
+  if (breakdown_ != nullptr && (op == OpKind::Stat || op == OpKind::Open)) {
+    // Failed probes are shared — a negative answer (missing path OR
+    // open of a non-regular node) is the same for every rank.
+    const bool shared = !hit || op_is_shared(ino);
+    ++(shared ? breakdown_->shared_ops : breakdown_->private_ops);
+  }
   switch (op) {
     case OpKind::Stat:
       ++stats_.stat_calls;
@@ -400,6 +445,7 @@ InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
     return root_ino();
   }
   const std::uint64_t key = dentry_key(id, follow_final);
+  bool key_in_snapshot = false;  // re-walked negative: lives in both maps
   if (dentry_enabled_) {
     const Dentry* hit = nullptr;
     if (const auto it = dentry_.find(key); it != dentry_.end()) {
@@ -408,8 +454,22 @@ InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
       // The fork-shared snapshot serves POSITIVE entries only; negative
       // results are re-walked and memoized privately.
       if (const auto sit = dentry_shared_->find(key);
-          sit != dentry_shared_->end() && sit->second.ino != 0) {
-        hit = &sit->second;
+          sit != dentry_shared_->end()) {
+        if (sit->second.ino != 0) {
+          hit = &sit->second;
+          // Recency for the snapshot cap: a served entry is young.
+          // Promote it into the private map so an age-based rebuild at
+          // the next fork keeps the paths this generation touched, not
+          // only the ones it re-walked. (`hit` stays valid: it points
+          // into the shared map.) Pointless when uncapped — fork merges
+          // everything anyway.
+          if (dentry_snapshot_cap_ != 0 &&
+              dentry_.emplace(key, sit->second).second) {
+            ++dentry_dup_;
+          }
+        } else {
+          key_in_snapshot = true;
+        }
       }
     }
     if (hit != nullptr) {
@@ -477,7 +537,13 @@ InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
     }
   }
   if (dentry_enabled_) {
-    dentry_.emplace(key, Dentry{result, result_canon, hops - hops_before});
+    const bool inserted =
+        dentry_.emplace(key, Dentry{result, result_canon, hops - hops_before})
+            .second;
+    // A re-walked shared-snapshot negative now sits in both maps too.
+    if (inserted && key_in_snapshot && dentry_snapshot_cap_ != 0) {
+      ++dentry_dup_;
+    }
   }
   if (canonical) *canonical = result_canon;
   return result;
@@ -1004,7 +1070,7 @@ std::optional<Stat> FileSystem::stat(std::string_view path) {
   // Interner byte budget exhausted: uncached walk, identical charge.
   std::string norm;
   const InodeNum ino = resolve_uncached(path, /*follow_final=*/true, &norm);
-  charge(OpKind::Stat, ino != 0, norm);
+  charge(OpKind::Stat, ino != 0, norm, ino);
   if (ino == 0) return std::nullopt;
   const Node& n = node(ino);
   return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
@@ -1018,7 +1084,7 @@ std::optional<Stat> FileSystem::stat(PathId id) {
   } catch (const FsError&) {
     ino = 0;
   }
-  charge(OpKind::Stat, ino != 0, paths_->str(id));
+  charge(OpKind::Stat, ino != 0, paths_->str(id), ino);
   if (ino == 0) return std::nullopt;
   const Node& n = node(ino);
   return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
@@ -1029,7 +1095,7 @@ std::optional<Stat> FileSystem::lstat(std::string_view path) {
   if (id != kNoPath) return lstat(id);
   std::string norm;
   const InodeNum ino = resolve_uncached(path, /*follow_final=*/false, &norm);
-  charge(OpKind::Stat, ino != 0, norm);
+  charge(OpKind::Stat, ino != 0, norm, ino);
   if (ino == 0) return std::nullopt;
   const Node& n = node(ino);
   return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
@@ -1043,7 +1109,7 @@ std::optional<Stat> FileSystem::lstat(PathId id) {
   } catch (const FsError&) {
     ino = 0;
   }
-  charge(OpKind::Stat, ino != 0, paths_->str(id));
+  charge(OpKind::Stat, ino != 0, paths_->str(id), ino);
   if (ino == 0) return std::nullopt;
   const Node& n = node(ino);
   return Stat{ino, n.type, n.type == NodeType::Regular ? n.data.size() : 0};
@@ -1055,7 +1121,7 @@ const FileData* FileSystem::open(std::string_view path) {
   std::string norm;
   const InodeNum ino = resolve_uncached(path, /*follow_final=*/true, &norm);
   const bool hit = ino != 0 && node(ino).type == NodeType::Regular;
-  charge(OpKind::Open, hit, norm);
+  charge(OpKind::Open, hit, norm, ino);
   if (!hit) return nullptr;
   return &node(ino).data;
 }
@@ -1069,7 +1135,7 @@ const FileData* FileSystem::open(PathId id) {
     ino = 0;
   }
   const bool hit = ino != 0 && node(ino).type == NodeType::Regular;
-  charge(OpKind::Open, hit, paths_->str(id));
+  charge(OpKind::Open, hit, paths_->str(id), ino);
   if (!hit) return nullptr;
   return &node(ino).data;
 }

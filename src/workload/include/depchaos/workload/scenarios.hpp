@@ -26,6 +26,7 @@
 
 #include "depchaos/loader/loader.hpp"
 #include "depchaos/vfs/vfs.hpp"
+#include "depchaos/workload/pynamic.hpp"
 
 namespace depchaos::workload {
 
@@ -129,6 +130,31 @@ ContainerLeakScenario make_container_leak_scenario(vfs::FileSystem& host);
 /// wrong-library condition the masking fixes.
 bool container_host_leaked(const loader::LoadReport& report,
                            const ContainerLeakScenario& scenario);
+
+/// Containerized Fig 6 substrate (§V-A brought to the container world):
+/// the Pynamic-style app frozen into a read-only rootfs image, once as
+/// built and once SHRINKWRAPPED INSIDE THE IMAGE before freezing — the
+/// three-substrate launch sweep (bare host / image / image + shrinkwrap)
+/// runs the same binary over all of them. The image is its own rootfs
+/// (image_mount "/", the squashfs-container idiom), so the absolute paths
+/// generation bakes in — RPATH directories and frozen DT_NEEDED entries
+/// alike — resolve identically bare and containerized; per-rank sandboxes
+/// stack a CoW overlay on it (SandboxSpec::writable_image_overlay), which
+/// models the cold-start storm: every rank replays the image's metadata
+/// stream, and only overlay divergence is truly rank-private.
+struct ContainerLaunchScenario {
+  std::shared_ptr<vfs::FileSystem> image;          // the app as built
+  std::shared_ptr<vfs::FileSystem> wrapped_image;  // shrinkwrapped, frozen
+  std::string image_mount;  // "/" — the container's own rootfs
+  std::string exe;          // same path on the host and in the container
+  /// Generation record of the bare app (module list, search dirs).
+  PynamicApp app;
+};
+
+/// Build the twin images. `config.root` must be chosen so the app's paths
+/// do not collide with host content when mounted at "/".
+ContainerLaunchScenario make_container_launch_scenario(
+    const PynamicConfig& config = {});
 
 /// Stale squashfs image shadowing an updated host library: the host's
 /// /usr/lib copy of the bundled library has been patched, but the app

@@ -1,6 +1,7 @@
 #include "depchaos/workload/scenarios.hpp"
 
 #include "depchaos/elf/patcher.hpp"
+#include "depchaos/shrinkwrap/shrinkwrap.hpp"
 
 namespace depchaos::workload {
 
@@ -246,6 +247,33 @@ bool container_host_leaked(const loader::LoadReport& report,
                            const ContainerLeakScenario& scenario) {
   const elf::Object* deps = find_object(report, scenario.leak_soname);
   return deps != nullptr && deps->defines_strong(scenario.host_marker);
+}
+
+ContainerLaunchScenario make_container_launch_scenario(
+    const PynamicConfig& config) {
+  ContainerLaunchScenario scenario;
+  scenario.image_mount = "/";  // the image is the container's own rootfs
+  {
+    vfs::FileSystem world;
+    scenario.app = generate_pynamic(world, config);
+    scenario.exe = scenario.app.exe_path;
+    scenario.image = std::make_shared<vfs::FileSystem>(std::move(world));
+  }
+  {
+    // Same deterministic generation, then shrinkwrap IN the image world:
+    // the frozen absolute DT_NEEDED entries are valid wherever this rootfs
+    // is mounted as "/".
+    vfs::FileSystem world;
+    (void)generate_pynamic(world, config);
+    loader::Loader loader(world);
+    if (!shrinkwrap::shrinkwrap(world, loader, scenario.exe, {}).ok()) {
+      throw Error("container launch scenario: shrinkwrap failed for " +
+                  scenario.exe);
+    }
+    scenario.wrapped_image = std::make_shared<vfs::FileSystem>(
+        std::move(world));
+  }
+  return scenario;
 }
 
 StaleImageScenario make_stale_image_scenario(vfs::FileSystem& host) {

@@ -651,5 +651,156 @@ TEST(WhatIfTest, TreeDiffMarksChangedLines) {
   EXPECT_EQ(shrinkwrap::tree_diff("same\n", "same\n"), "  same\n");
 }
 
+// ------------------------------------------- dentry snapshot generations
+
+TEST(DentrySnapshotCap, CapShedsDeadGenerationsAndStaysTransparent) {
+  // The accumulating regime is a READ-MOSTLY view forked over and over
+  // (any mutation drops the snapshot wholesale): each generation probes a
+  // DISJOINT slice of the world, so the uncapped snapshot carries every
+  // dead generation forever while the capped one rebuilds age-based and
+  // stays bounded by one generation's working set.
+  vfs::FileSystem base;
+  for (int gen = 0; gen < 8; ++gen) {
+    for (int i = 0; i < 6; ++i) {
+      base.write_file("/base/g" + std::to_string(gen) + "f" +
+                          std::to_string(i),
+                      "x");
+    }
+  }
+  vfs::FileSystem uncapped(base);
+  vfs::FileSystem capped(base);
+  uncapped.set_dentry_snapshot_cap(0);
+  capped.set_dentry_snapshot_cap(8);
+  EXPECT_EQ(capped.dentry_snapshot_cap(), 8u);
+
+  const auto generation = [](vfs::FileSystem& fs, int gen) {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_TRUE(fs.stat("/base/g" + std::to_string(gen) + "f" +
+                          std::to_string(i))
+                      .has_value());
+    }
+    fs = fs.fork();  // the long fork chain idiom: the view rides its child
+  };
+  for (int gen = 0; gen < 8; ++gen) {
+    generation(uncapped, gen);
+    generation(capped, gen);
+    // Cap inherited across the fork-and-replace above.
+    EXPECT_EQ(capped.dentry_snapshot_cap(), 8u);
+    EXPECT_LE(capped.dentry_snapshot_entries(), 16u) << "gen " << gen;
+  }
+  // Uncapped: every generation's entries, still on board.
+  EXPECT_GT(uncapped.dentry_snapshot_entries(), 40u);
+  // Shed entries are simply re-walked: every old path still answers.
+  for (int gen = 0; gen < 8; ++gen) {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_TRUE(capped.exists("/base/g" + std::to_string(gen) + "f" +
+                                std::to_string(i)));
+    }
+  }
+}
+
+TEST(DentrySnapshotCap, PromotedSharedHitsSurviveARebuild) {
+  // A path served FROM the snapshot (never re-walked) counts as young:
+  // the promotion keeps it through a capped rebuild.
+  vfs::FileSystem fs;
+  fs.write_file("/hot/file", "x");
+  fs.write_file("/cold/file", "y");
+  EXPECT_TRUE(fs.stat("/hot/file").has_value());
+  EXPECT_TRUE(fs.stat("/cold/file").has_value());
+  fs = fs.fork();  // both paths now live in the shared snapshot
+  fs.set_dentry_snapshot_cap(3);
+  // This generation touches only the hot path — served from the snapshot.
+  EXPECT_TRUE(fs.stat("/hot/file").has_value());
+  fs = fs.fork();  // merged size would exceed 3: age-based rebuild
+  EXPECT_LE(fs.dentry_snapshot_entries(), 3u);
+  // Transparency: both paths still resolve identically.
+  EXPECT_TRUE(fs.exists("/hot/file"));
+  EXPECT_TRUE(fs.exists("/cold/file"));
+}
+
+TEST(DentrySnapshotCap, PropertyCappedRebuildMatchesUncapped) {
+  // Randomized mutate / probe / fork / launch traffic against two views of
+  // the same world — uncapped vs a tiny cap that rebuilds constantly. The
+  // cache is a memo: every answer, error, inode number, and syscall
+  // counter must stay byte-identical.
+  for (const std::uint64_t seed : {11ull, 4242ull, 0xabadull}) {
+    support::Rng rng(seed);
+    workload::PynamicConfig config;
+    config.num_modules = 18;
+    config.exe_extra_bytes = 1u << 16;
+    vfs::FileSystem plain;
+    const auto app = workload::generate_pynamic(plain, config);
+    vfs::FileSystem capped(plain);  // deep copy: identical inode numbering
+    plain.set_dentry_snapshot_cap(0);
+    capped.set_dentry_snapshot_cap(6);
+
+    std::vector<std::string> pool = app.module_paths;
+    pool.push_back(app.exe_path);
+    for (int step = 0; step < 80; ++step) {
+      switch (rng.below(5)) {
+        case 0: {  // mutate both sides identically
+          const std::string fresh =
+              "/scratch/d" + std::to_string(rng.below(4)) + "/f" +
+              std::to_string(rng.below(12));
+          plain.write_file(fresh, "s" + std::to_string(step));
+          capped.write_file(fresh, "s" + std::to_string(step));
+          pool.push_back(fresh);
+          break;
+        }
+        case 1: {  // probe storm: answers and counters must agree
+          for (int i = 0; i < 10; ++i) {
+            const std::string& path = pool[rng.below(pool.size())];
+            const auto a = plain.stat(path);
+            const auto b = capped.stat(path);
+            ASSERT_EQ(a.has_value(), b.has_value()) << path;
+            if (a) {
+              EXPECT_EQ(a->ino, b->ino) << path;
+              EXPECT_EQ(a->size, b->size) << path;
+            }
+          }
+          break;
+        }
+        case 2: {  // fork-and-replace: the snapshot boundary under test
+          plain = plain.fork();
+          capped = capped.fork();
+          // A capped snapshot only ever sheds relative to the uncapped one
+          // (identical traffic keeps the per-generation maps identical).
+          EXPECT_LE(capped.dentry_snapshot_entries(),
+                    plain.dentry_snapshot_entries());
+          break;
+        }
+        case 3: {  // launch traffic: the loader's candidate storm
+          loader::Loader la(plain);
+          loader::Loader lb(capped);
+          const auto ra =
+              launch::simulate_launch(plain, la, app.exe_path, {}, 64);
+          const auto rb =
+              launch::simulate_launch(capped, lb, app.exe_path, {}, 64);
+          EXPECT_EQ(ra.meta_ops_per_rank, rb.meta_ops_per_rank);
+          EXPECT_EQ(ra.bytes_per_rank, rb.bytes_per_rank);
+          EXPECT_EQ(ra.load_succeeded, rb.load_succeeded);
+          break;
+        }
+        default: {  // negative probes (never-existing paths)
+          const std::string ghost =
+              "/ghost/g" + std::to_string(rng.below(20));
+          EXPECT_FALSE(plain.stat(ghost).has_value());
+          EXPECT_FALSE(capped.stat(ghost).has_value());
+          break;
+        }
+      }
+    }
+    // Counters charged identically through both cache configurations.
+    EXPECT_EQ(plain.stats().stat_calls, capped.stats().stat_calls)
+        << "seed " << seed;
+    EXPECT_EQ(plain.stats().open_calls, capped.stats().open_calls)
+        << "seed " << seed;
+    EXPECT_EQ(plain.stats().failed_probes, capped.stats().failed_probes)
+        << "seed " << seed;
+    EXPECT_EQ(plain.stats().readlink_calls, capped.stats().readlink_calls)
+        << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace depchaos::core

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "depchaos/core/world.hpp"
+#include "depchaos/elf/patcher.hpp"
 #include "depchaos/launch/launch.hpp"
 #include "depchaos/shrinkwrap/shrinkwrap.hpp"
+#include "depchaos/support/rng.hpp"
 #include "depchaos/workload/pynamic.hpp"
+#include "depchaos/workload/scenarios.hpp"
 
 namespace depchaos::launch {
 namespace {
@@ -103,6 +109,259 @@ TEST_F(LaunchTest, SingleRankHasNoContentionPenalty) {
   const double raw_meta =
       static_cast<double>(result.meta_ops_per_rank) * config.meta_op_cost_s;
   EXPECT_NEAR(result.meta_time_s, raw_meta, 1e-9);
+}
+
+TEST_F(LaunchTest, SweepReusesOneMeasurementByteIdentically) {
+  // scaling_sweep measures the rank-1 op stream once and extrapolates;
+  // re-measuring per entry with a fresh loader must give bit-equal results
+  // (counters do not depend on cache warmth, the arithmetic is shared).
+  loader::Loader loader(fs_);
+  const std::vector<int> ranks = {64, 512, 1024, 2048};
+  const auto sweep = scaling_sweep(fs_, loader, app_.exe_path, {}, ranks);
+  ASSERT_EQ(sweep.size(), ranks.size());
+  loader::Loader fresh(fs_);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const auto single =
+        simulate_launch(fs_, fresh, app_.exe_path, {}, ranks[i]);
+    EXPECT_EQ(sweep[i].nprocs, single.nprocs);
+    EXPECT_EQ(sweep[i].load_succeeded, single.load_succeeded);
+    EXPECT_EQ(sweep[i].meta_ops_per_rank, single.meta_ops_per_rank);
+    EXPECT_EQ(sweep[i].bytes_per_rank, single.bytes_per_rank);
+    EXPECT_EQ(sweep[i].data_time_s, single.data_time_s);
+    EXPECT_EQ(sweep[i].meta_time_s, single.meta_time_s);
+    EXPECT_EQ(sweep[i].total_time_s, single.total_time_s);
+  }
+}
+
+// --------------------------------------------------- containerized launch
+
+workload::PynamicConfig small_pynamic() {
+  workload::PynamicConfig config;
+  config.num_modules = 60;
+  config.exe_extra_bytes = 1u << 20;
+  return config;
+}
+
+/// Shadow an existing module's soname in an EARLIER search directory of
+/// the sandbox — the loader then finds it in the per-rank overlay, which
+/// is exactly the rank-private metadata the breakdown must attribute.
+void shadow_module(core::Session& sandbox, std::size_t victim,
+                   std::size_t dir) {
+  const std::string soname =
+      "libpynamic_module_" + std::to_string(victim) + ".so";
+  elf::install_object(sandbox.fs(),
+                      "/apps/pynamic/m" + std::to_string(dir) + "/lib/" +
+                          soname,
+                      elf::make_library(soname));
+}
+
+TEST(FleetLaunch, SandboxImageEqualToHostViewIsByteIdenticalToBare) {
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(small_pynamic()).nfs().build();
+  const auto bare = session.launch(512);
+  ASSERT_TRUE(bare.load_succeeded);
+
+  // The image IS the host view: same tree, same inode numbering. Mounted
+  // as the sandbox rootfs behind a per-rank overlay, the measured op
+  // stream must not change by a single op or byte.
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+  const auto fleet = session.launch_fleet(spec, 512);
+  EXPECT_TRUE(fleet.load_succeeded);
+  EXPECT_TRUE(fleet.sandboxed);
+  EXPECT_EQ(fleet.ranks_measured, 1);  // homogeneity fast path
+  EXPECT_EQ(fleet.meta_ops_per_rank, bare.meta_ops_per_rank);
+  EXPECT_EQ(fleet.bytes_per_rank, bare.bytes_per_rank);
+  // The split tiles the total, and nothing diverged: all ops are shared.
+  EXPECT_EQ(fleet.shared_meta_ops_per_rank + fleet.overlay_meta_ops_per_rank,
+            fleet.meta_ops_per_rank);
+  EXPECT_EQ(fleet.overlay_meta_ops_per_rank, 0u);
+  EXPECT_EQ(fleet.overlay_bytes_per_rank, 0u);
+  EXPECT_EQ(fleet.shared_bytes_per_rank, fleet.bytes_per_rank);
+  EXPECT_EQ(fleet.fleet_meta_ops, fleet.meta_ops_per_rank * 512u);
+  EXPECT_EQ(fleet.fleet_bytes, fleet.bytes_per_rank * 512u);
+  // With every op shared and no mitigation, the fleet model must reduce
+  // to the bare one bit for bit — times included, so the two conversion
+  // paths can never drift apart.
+  EXPECT_EQ(fleet.data_time_s, bare.data_time_s);
+  EXPECT_EQ(fleet.meta_time_s, bare.meta_time_s);
+  EXPECT_EQ(fleet.total_time_s, bare.total_time_s);
+}
+
+TEST(FleetLaunch, RankSetupDivergenceLandsInOverlayOps) {
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(small_pynamic()).nfs().build();
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+
+  FleetConfig fleet;
+  fleet.cluster = session.config().cluster;
+  fleet.rank_setup = [](core::Session& sandbox, int /*rank*/) {
+    shadow_module(sandbox, 40, 0);
+  };
+  const auto result = session.launch_fleet(spec, "", 4, fleet);
+  ASSERT_TRUE(result.load_succeeded);
+  EXPECT_EQ(result.ranks_measured, 4);
+  EXPECT_GT(result.overlay_meta_ops_per_rank, 0u);
+  EXPECT_EQ(result.shared_meta_ops_per_rank + result.overlay_meta_ops_per_rank,
+            result.meta_ops_per_rank);
+  // Shadowing module 40 into an earlier dir SHORTENS the probe storm: the
+  // sandbox stream differs from the bare one in which ops exist, not just
+  // their attribution.
+  const auto bare = session.launch(4);
+  EXPECT_NE(result.meta_ops_per_rank, bare.meta_ops_per_rank);
+}
+
+TEST(FleetLaunch, SpindleBroadcastFlattensOnlySharedOps) {
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(small_pynamic()).nfs().build();
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+
+  FleetConfig fleet;
+  fleet.cluster = session.config().cluster;
+  fleet.cluster.spindle_broadcast = true;
+  fleet.rank_setup = [](core::Session& sandbox, int /*rank*/) {
+    shadow_module(sandbox, 40, 0);
+  };
+  const int nprocs = 4;
+  const auto result = session.launch_fleet(spec, "", nprocs, fleet);
+  ASSERT_TRUE(result.load_succeeded);
+  ASSERT_GT(result.overlay_meta_ops_per_rank, 0u);
+
+  // Broadcast absorbs the shared ops (one resolver + log-tree relay); the
+  // per-rank overlay ops still pay the full storm exponent.
+  const ClusterConfig& c = fleet.cluster;
+  const double p = nprocs;
+  const double expected =
+      static_cast<double>(result.shared_meta_ops_per_rank) *
+          c.meta_op_cost_s * (1.0 + std::log2(p) * 0.1) +
+      static_cast<double>(result.overlay_meta_ops_per_rank) *
+          c.meta_op_cost_s * std::pow(p, c.meta_exponent);
+  EXPECT_NEAR(result.meta_time_s, expected, 1e-12);
+
+  // Without divergence the whole stream broadcasts: flat in P.
+  FleetConfig homogeneous;
+  homogeneous.cluster = fleet.cluster;
+  const auto s512 = session.launch_fleet(spec, "", 512, homogeneous);
+  const auto s2048 = session.launch_fleet(spec, "", 2048, homogeneous);
+  EXPECT_LT(s2048.meta_time_s, s512.meta_time_s * 1.5);
+}
+
+TEST(FleetLaunch, PrestagedImageServesSharedPartLocally) {
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(small_pynamic()).nfs().build();
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+
+  FleetConfig cold;
+  cold.cluster = session.config().cluster;
+  FleetConfig staged = cold;
+  staged.prestaged_image = true;
+  const auto storm = session.launch_fleet(spec, "", 1024, cold);
+  const auto local = session.launch_fleet(spec, "", 1024, staged);
+  ASSERT_TRUE(storm.load_succeeded);
+  // All ops are shared here, so pre-staging removes the storm entirely.
+  EXPECT_NEAR(local.meta_time_s,
+              static_cast<double>(local.shared_meta_ops_per_rank) *
+                  cold.cluster.local_meta_op_cost_s,
+              1e-12);
+  EXPECT_LT(local.meta_time_s, storm.meta_time_s / 100.0);
+  EXPECT_LT(local.total_time_s, storm.total_time_s);
+}
+
+TEST(FleetLaunch, PropertyFleetEqualsIndependentSandboxLaunches) {
+  // N forked sandboxes measured in one fleet call == N separate launches,
+  // op for op and byte for byte — fork isolation means no rank can see
+  // another's divergence.
+  for (const std::uint64_t seed : {7ull, 1234ull}) {
+    core::WorldBuilder builder;
+    auto session = builder.pynamic(small_pynamic()).nfs().build();
+    core::SandboxSpec spec;
+    spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+    spec.image_mount = "/";
+    spec.writable_image_overlay = true;
+
+    const auto setup = [seed](core::Session& sandbox, int rank) {
+      support::Rng rng(seed * 1000 + static_cast<std::uint64_t>(rank));
+      const std::size_t shadows = 1 + rng.below(3);
+      for (std::size_t s = 0; s < shadows; ++s) {
+        const std::size_t victim = 1 + rng.below(59);
+        shadow_module(sandbox, victim, rng.below(victim));
+      }
+    };
+
+    const int nprocs = 5;
+    FleetConfig fleet;
+    fleet.cluster = session.config().cluster;
+    fleet.rank_setup = setup;
+    const auto combined = session.launch_fleet(spec, "", nprocs, fleet);
+    EXPECT_EQ(combined.ranks_measured, nprocs);
+    // Even with non-divisible heterogeneous sums, the reported per-rank
+    // split tiles the per-rank total by construction.
+    EXPECT_EQ(combined.shared_meta_ops_per_rank +
+                  combined.overlay_meta_ops_per_rank,
+              combined.meta_ops_per_rank);
+    EXPECT_EQ(combined.shared_bytes_per_rank + combined.overlay_bytes_per_rank,
+              combined.bytes_per_rank);
+
+    std::uint64_t meta = 0, bytes = 0, shared = 0, overlay = 0;
+    bool all_loaded = true;
+    for (int rank = 0; rank < nprocs; ++rank) {
+      FleetConfig one;
+      one.cluster = fleet.cluster;
+      one.rank_setup = [&setup, rank](core::Session& sandbox, int /*r*/) {
+        setup(sandbox, rank);
+      };
+      const auto single = session.launch_fleet(spec, "", 1, one);
+      meta += single.fleet_meta_ops;
+      bytes += single.fleet_bytes;
+      shared += single.fleet_shared_meta_ops;
+      overlay += single.fleet_overlay_meta_ops;
+      all_loaded = all_loaded && single.load_succeeded;
+    }
+    EXPECT_EQ(combined.load_succeeded, all_loaded) << "seed " << seed;
+    EXPECT_EQ(combined.fleet_meta_ops, meta) << "seed " << seed;
+    EXPECT_EQ(combined.fleet_bytes, bytes) << "seed " << seed;
+    EXPECT_EQ(combined.fleet_shared_meta_ops, shared) << "seed " << seed;
+    EXPECT_EQ(combined.fleet_overlay_meta_ops, overlay) << "seed " << seed;
+  }
+}
+
+TEST(FleetLaunch, WrappedImagePreservesShrinkwrapReduction) {
+  // The three-substrate story in miniature: shrinkwrap applied INSIDE the
+  // image shrinks the containerized storm like it shrinks the bare one.
+  const auto scenario =
+      workload::make_container_launch_scenario(small_pynamic());
+  core::WorldBuilder host;
+  auto session = host.nfs().build();
+
+  core::SandboxSpec bare;
+  bare.image = scenario.image;
+  bare.image_mount = scenario.image_mount;
+  bare.writable_image_overlay = true;
+  bare.exe = scenario.exe;
+  core::SandboxSpec wrapped = bare;
+  wrapped.image = scenario.wrapped_image;
+
+  const auto normal = session.launch_fleet(bare, 512);
+  const auto frozen = session.launch_fleet(wrapped, 512);
+  ASSERT_TRUE(normal.load_succeeded);
+  ASSERT_TRUE(frozen.load_succeeded);
+  EXPECT_GT(normal.meta_ops_per_rank, frozen.meta_ops_per_rank * 10);
+  // Same bytes staged modulo the slightly longer dynamic section.
+  const double ratio = static_cast<double>(frozen.bytes_per_rank) /
+                       static_cast<double>(normal.bytes_per_rank);
+  EXPECT_NEAR(ratio, 1.0, 0.01);
+  EXPECT_LT(frozen.total_time_s, normal.total_time_s);
 }
 
 }  // namespace

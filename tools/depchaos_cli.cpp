@@ -65,6 +65,13 @@ namespace {
       "  depchaos patchelf <world-file> <path> (--set-runpath|--set-rpath)"
       " A:B | --print\n"
       "  depchaos launch <world-file> <exe> [--ranks=N]\n"
+      "      [--sandbox=<image-world>] [--mount=/] [--overlay]\n"
+      "      [--mask=DIR:DIR...] [--spindle] [--prestaged]\n"
+      "      (--sandbox measures the rank op stream inside a per-rank\n"
+      "       container view — image mount + CoW overlay with --overlay,\n"
+      "       host dirs masked — and splits shared-image metadata,\n"
+      "       servable once fleet-wide, from per-rank overlay metadata;\n"
+      "       --prestaged serves the shared part at node-local rates)\n"
       "  depchaos sandbox <host-world> <image-world> <exe> [--mount=/app]\n"
       "      [--mask=DIR:DIR...] [--overlay] [--conf=DIR:DIR...]\n"
       "      [--env=DIR:DIR...] [--save-fleet=FILE]\n"
@@ -285,6 +292,15 @@ std::vector<std::string> split_flag(const std::vector<std::string>& args,
   return support::split_nonempty(flag_value(args, prefix, ""), ':');
 }
 
+/// Open a world file (v1 or v2; fleets contribute their first view) as a
+/// shared image for SandboxSpec::image.
+std::shared_ptr<vfs::FileSystem> load_image_world(const std::string& path) {
+  auto fleet = vfs::load_fleet(read_file(path));
+  return std::make_shared<vfs::FileSystem>(
+      fleet.views.empty() ? std::move(fleet.base)
+                          : std::move(fleet.views.front()));
+}
+
 int cmd_sandbox(const std::vector<std::string>& args) {
   if (args.size() < 3) usage();
   // The host session carries the container's ld.so.conf (--conf) and env.
@@ -295,12 +311,7 @@ int cmd_sandbox(const std::vector<std::string>& args) {
                                            std::move(config));
 
   core::Session::SandboxSpec spec;
-  {
-    auto image_fleet = vfs::load_fleet(read_file(args[1]));
-    spec.image = std::make_shared<vfs::FileSystem>(
-        image_fleet.views.empty() ? std::move(image_fleet.base)
-                                  : std::move(image_fleet.views.front()));
-  }
+  spec.image = load_image_world(args[1]);
   spec.image_mount = flag_value(args, "--mount=", "/app");
   spec.writable_image_overlay = has_flag(args, "--overlay");
   spec.mask = split_flag(args, "--mask=");
@@ -359,14 +370,56 @@ int cmd_launch(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
   core::SessionConfig config;
   config.latency = std::make_shared<vfs::NfsModel>();
+  config.cluster.spindle_broadcast = has_flag(args, "--spindle");
   auto session = open_session(args, std::move(config));
   const int ranks = static_cast<int>(
       std::strtol(flag_value(args, "--ranks=", "512").c_str(), nullptr, 10));
-  const auto result = session.launch(args[1], ranks);
+
+  const std::string image_path = flag_value(args, "--sandbox=", "");
+  core::Session::LaunchResult result;
+  if (image_path.empty()) {
+    // The sandbox-shaping flags would be silently meaningless on a bare
+    // launch; refuse instead of printing storm numbers as if they applied
+    // (--spindle is a cluster knob and works either way).
+    for (const char* flag : {"--prestaged", "--overlay"}) {
+      if (has_flag(args, flag)) {
+        std::fprintf(stderr, "depchaos: %s requires --sandbox=<image>\n",
+                     flag);
+        return 2;
+      }
+    }
+    for (const char* prefix : {"--mount=", "--mask="}) {
+      if (!flag_value(args, prefix, "").empty()) {
+        std::fprintf(stderr, "depchaos: %s requires --sandbox=<image>\n",
+                     prefix);
+        return 2;
+      }
+    }
+    result = session.launch(args[1], ranks);
+  } else {
+    // Containerized launch: measure the rank op stream inside a per-rank
+    // sandbox assembled from the image world.
+    core::SandboxSpec spec;
+    spec.image = load_image_world(image_path);
+    spec.image_mount = flag_value(args, "--mount=", "/");
+    spec.writable_image_overlay = has_flag(args, "--overlay");
+    spec.mask = split_flag(args, "--mask=");
+    spec.exe = args[1];
+    launch::FleetConfig fleet;
+    fleet.cluster = session.config().cluster;
+    fleet.prestaged_image = has_flag(args, "--prestaged");
+    result = session.launch_fleet(spec, args[1], ranks, fleet);
+  }
   std::printf("ranks=%d  meta_ops/rank=%llu  bytes/rank=%llu\n",
               result.nprocs,
               static_cast<unsigned long long>(result.meta_ops_per_rank),
               static_cast<unsigned long long>(result.bytes_per_rank));
+  if (result.sandboxed) {
+    std::printf(
+        "sandboxed: shared-image ops=%llu  per-rank overlay ops=%llu\n",
+        static_cast<unsigned long long>(result.shared_meta_ops_per_rank),
+        static_cast<unsigned long long>(result.overlay_meta_ops_per_rank));
+  }
   std::printf("time-to-launch: %.1f s (data %.1f + metadata %.1f)\n",
               result.total_time_s, result.data_time_s, result.meta_time_s);
   return result.load_succeeded ? 0 : 1;
