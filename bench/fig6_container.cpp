@@ -100,6 +100,32 @@ int print_report() {
     cont_wrapped.push_back(host.launch_fleet(spec_wrapped, r));
   }
 
+  // Queueing-engine series (src/mds): the same streams replayed through
+  // the discrete-event metadata-server simulator instead of the closed
+  // form. Event count is ops/rank * ranks, so the full 900-module app is
+  // simulated only at the smallest rank count; smoke mode covers the
+  // whole sweep (the two engines agree to rounding here — the drift is
+  // gated by bench_mds_storm).
+  const std::size_t sim_points = smoke_mode() ? ranks.size() : 1;
+  launch::FleetConfig fleet_queueing;
+  fleet_queueing.cluster = host.config().cluster;
+  std::vector<double> bare_sim, cont_sim;
+  {
+    auto probe = core::WorldBuilder().pynamic(config).nfs().build();
+    const std::vector<int> sim_ranks(ranks.begin(),
+                                     ranks.begin() + sim_points);
+    for (const auto& outcome : launch::scaling_sweep_queueing(
+             probe.fs(), probe.loader(), probe.default_exe(), probe.env(),
+             sim_ranks, probe.config().cluster)) {
+      bare_sim.push_back(outcome.launch.total_time_s);
+    }
+    for (const int r : sim_ranks) {
+      cont_sim.push_back(launch::simulate_fleet_launch_sim(
+                             host, spec_normal, "", r, fleet_queueing)
+                             .launch.total_time_s);
+    }
+  }
+
   heading("Fig 6 containerized — Pynamic in three substrates");
   row("modules / needed entries",
       std::to_string(scenario.app.module_paths.size()));
@@ -117,18 +143,31 @@ int print_report() {
       std::to_string(cont_normal[0].overlay_meta_ops_per_rank));
 
   std::printf(
-      "\n  %6s %12s %12s %14s %14s\n", "ranks", "bare (s)", "wrapped (s)",
-      "container (s)", "cont+wrap (s)");
+      "\n  %6s %12s %12s %14s %14s %12s %12s\n", "ranks", "bare (s)",
+      "wrapped (s)", "container (s)", "cont+wrap (s)", "bare sim(s)",
+      "cont sim(s)");
   for (std::size_t i = 0; i < ranks.size(); ++i) {
-    std::printf("  %6d %12.1f %12.1f %14.1f %14.1f\n", ranks[i],
+    const bool simmed = i < sim_points;
+    std::printf("  %6d %12.1f %12.1f %14.1f %14.1f", ranks[i],
                 bare_normal[i].total_time_s, bare_wrapped[i].total_time_s,
                 cont_normal[i].total_time_s, cont_wrapped[i].total_time_s);
+    if (simmed) {
+      std::printf(" %12.1f %12.1f\n", bare_sim[i], cont_sim[i]);
+    } else {
+      std::printf(" %12s %12s\n", "--", "--");
+    }
     depchaos::bench::capture(
-        "ranks=" + std::to_string(ranks[i]),
+        "ranks=" + std::to_string(ranks[i]) + " engine=analytic",
         fmt(bare_normal[i].total_time_s, 1) + "s bare / " +
             fmt(bare_wrapped[i].total_time_s, 1) + "s wrapped / " +
             fmt(cont_normal[i].total_time_s, 1) + "s container / " +
             fmt(cont_wrapped[i].total_time_s, 1) + "s container+wrap");
+    if (simmed) {
+      depchaos::bench::capture(
+          "ranks=" + std::to_string(ranks[i]) + " engine=queueing",
+          fmt(bare_sim[i], 1) + "s bare / " + fmt(cont_sim[i], 1) +
+              "s container");
+    }
   }
 
   // Spindle and pre-staging applied to the containerized UNWRAPPED app:

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "depchaos/core/session.hpp"
 #include "depchaos/launch/launch.hpp"
@@ -25,15 +26,24 @@ namespace depchaos::launch {
 
 namespace {
 
+void check_fleet_nprocs(int nprocs) {
+  if (nprocs < 1) throw std::invalid_argument("launch: nprocs must be >= 1");
+}
+
 /// Measure one sandboxed rank with shared/overlay attribution installed.
+/// `trace` (optional) additionally captures the full per-op stream — the
+/// queueing engine's input.
 RankMeasurement measure_sandboxed_rank(core::Session& rank_session,
-                                       const std::string& exe_path) {
+                                       const std::string& exe_path,
+                                       vfs::OpTrace* trace = nullptr) {
   vfs::FileSystem& fs = rank_session.fs();
   vfs::FileSystem::MetaBreakdown split;
   fs.set_meta_breakdown(&split);
+  if (trace != nullptr) fs.set_op_trace(trace);
   fs.clear_caches();
   const loader::LoadReport report = rank_session.load(exe_path);
   fs.set_meta_breakdown(nullptr);
+  if (trace != nullptr) fs.set_op_trace(nullptr);
 
   RankMeasurement rank;
   rank.load_succeeded = report.success;
@@ -84,12 +94,16 @@ void extrapolate_fleet(LaunchResult& result, double shared_ops,
       cluster.init_s + result.data_time_s + result.meta_time_s;
 }
 
-}  // namespace
-
-LaunchResult simulate_fleet_launch(core::Session& session,
-                                   const core::SandboxSpec& spec,
-                                   const std::string& exe_path, int nprocs,
-                                   const FleetConfig& config) {
+/// The shared measurement + analytic-extrapolation body. When `traces` is
+/// non-null (queueing engine) each measured rank's op stream is captured;
+/// with prestaged_image the image mount is then marked NodeLocal inside
+/// the rank sandbox BEFORE measurement, so the measured load itself
+/// charges node-local latency and flags node-local ops in the trace.
+LaunchResult measure_and_extrapolate(core::Session& session,
+                                     const core::SandboxSpec& spec,
+                                     const std::string& exe_path, int nprocs,
+                                     const FleetConfig& config,
+                                     std::vector<vfs::OpTrace>* traces) {
   LaunchResult result;
   result.nprocs = nprocs;
   result.sandboxed = true;
@@ -101,6 +115,7 @@ LaunchResult simulate_fleet_launch(core::Session& session,
   const bool homogeneous = !config.rank_setup;
   const int measured = homogeneous ? 1 : std::max(1, nprocs);
   result.ranks_measured = measured;
+  if (traces != nullptr) traces->resize(measured);
 
   RankMeasurement first;
   std::uint64_t total_meta = 0, total_bytes = 0;
@@ -109,7 +124,12 @@ LaunchResult simulate_fleet_launch(core::Session& session,
   for (int r = 0; r < measured; ++r) {
     core::Session rank_session = session.sandbox(spec);
     if (config.rank_setup) config.rank_setup(rank_session, r);
-    const RankMeasurement rank = measure_sandboxed_rank(rank_session, exe_path);
+    if (traces != nullptr && config.prestaged_image && spec.image) {
+      rank_session.fs().set_mount_latency(spec.image_mount,
+                                          vfs::MountLatency::NodeLocal);
+    }
+    const RankMeasurement rank = measure_sandboxed_rank(
+        rank_session, exe_path, traces ? &(*traces)[r] : nullptr);
     if (r == 0) first = rank;
     result.load_succeeded = result.load_succeeded && rank.load_succeeded;
     total_meta += rank.meta_ops;
@@ -160,6 +180,57 @@ LaunchResult simulate_fleet_launch(core::Session& session,
                       static_cast<double>(total_overlay_bytes) / n, config);
   }
   return result;
+}
+
+}  // namespace
+
+LaunchResult simulate_fleet_launch(core::Session& session,
+                                   const core::SandboxSpec& spec,
+                                   const std::string& exe_path, int nprocs,
+                                   const FleetConfig& config) {
+  validate(config);
+  check_fleet_nprocs(nprocs);
+  if (config.engine == Engine::Queueing) {
+    return simulate_fleet_launch_sim(session, spec, exe_path, nprocs, config)
+        .launch;
+  }
+  return measure_and_extrapolate(session, spec, exe_path, nprocs, config,
+                                 nullptr);
+}
+
+SimOutcome simulate_fleet_launch_sim(core::Session& session,
+                                     const core::SandboxSpec& spec,
+                                     const std::string& exe_path, int nprocs,
+                                     const FleetConfig& config) {
+  validate(config);
+  check_fleet_nprocs(nprocs);
+  SimOutcome out;
+  std::vector<vfs::OpTrace> traces;
+  out.launch = measure_and_extrapolate(session, spec, exe_path, nprocs,
+                                       config, &traces);
+  mds::MdsConfig sim_config = mds_config_for(
+      config.cluster, config.prestaged_image, config.service, config.cache);
+  sim_config.start_delays = config.start_delays;
+  mds::MdsSimulator sim(sim_config);
+  std::vector<const std::vector<vfs::OpRecord>*> streams;
+  streams.reserve(traces.size());
+  for (const vfs::OpTrace& t : traces) streams.push_back(&t.ops());
+  // Waves share ONE simulator: client caches warm across them, so wave 2+
+  // of a cache-enabled fleet is the repeat-launch scenario no closed-form
+  // storm formula expresses.
+  for (int wave = 0; wave < config.sim_waves; ++wave) {
+    // Homogeneity fast path: one measured stream, P simulated clients.
+    out.sim = streams.size() == 1 ? sim.run_homogeneous(*streams[0], nprocs)
+                                  : sim.run(streams);
+    out.wave_makespans.push_back(out.sim.makespan_s);
+  }
+  // The data phase stays analytic — bytes stream from the object servers,
+  // not the metadata queue; only the metadata storm is simulated. The
+  // launch headline is the cold first wave.
+  out.launch.meta_time_s = out.wave_makespans.front();
+  out.launch.total_time_s =
+      config.cluster.init_s + out.launch.data_time_s + out.launch.meta_time_s;
+  return out;
 }
 
 }  // namespace depchaos::launch

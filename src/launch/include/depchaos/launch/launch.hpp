@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "depchaos/loader/loader.hpp"
+#include "depchaos/mds/sim.hpp"
 #include "depchaos/vfs/vfs.hpp"
 
 namespace depchaos::core {
@@ -69,6 +70,20 @@ struct ClusterConfig {
   double local_meta_op_cost_s = 0.2e-6;
   double local_stage_bandwidth_bytes_s = 500.0e6;
 };
+
+/// Which engine converts a measured op stream into launch seconds.
+///  * Analytic — the closed-form power laws below (contention is an
+///    exponent).
+///  * Queueing — the depchaos::mds discrete-event simulator replays the
+///    measured stream against a modelled metadata server (contention is a
+///    mechanism: request batching, client caches, serving topologies).
+enum class Engine : std::uint8_t { Analytic, Queueing };
+
+/// Reject non-physical cluster parameters (negative or non-finite times
+/// and exponents, non-positive bandwidths and op costs) with
+/// std::invalid_argument instead of silently producing NaN/inf launch
+/// times. Called at every model entry point.
+void validate(const ClusterConfig& config);
 
 struct LaunchResult {
   int nprocs = 0;
@@ -120,10 +135,13 @@ struct RankMeasurement {
 };
 
 /// Replay one rank's load (cold client caches) against the filesystem and
-/// record its metadata op stream and staged bytes.
+/// record its metadata op stream and staged bytes. When `trace` is
+/// non-null the full per-op stream (vfs::OpTrace) is captured alongside
+/// the counters — the queueing engine's input.
 RankMeasurement measure_rank(vfs::FileSystem& fs, loader::Loader& loader,
                              const std::string& exe_path,
-                             const loader::Environment& env);
+                             const loader::Environment& env,
+                             vfs::OpTrace* trace = nullptr);
 
 /// The calibrated op/byte -> seconds conversions, shared by the bare
 /// (extrapolate) and containerized (simulate_fleet_launch) models so the
@@ -155,6 +173,63 @@ std::vector<LaunchResult> scaling_sweep(vfs::FileSystem& fs,
                                         const std::vector<int>& rank_counts,
                                         const ClusterConfig& config = {});
 
+/// A queueing-engine launch: the analytic-compatible LaunchResult (same
+/// counters and data phase; meta_time_s and total_time_s come from the
+/// simulated makespan) plus the full simulator output — queue depths,
+/// latency percentiles, cache and topology accounting the formula cannot
+/// express.
+struct SimOutcome {
+  /// Analytic counters/data phase with meta_time_s replaced by the
+  /// simulated FIRST-wave makespan (the cold launch Fig 6 measures).
+  LaunchResult launch;
+  /// Full simulator statistics for the LAST wave run (== the only wave
+  /// unless FleetConfig::sim_waves > 1, in which case it is the
+  /// cache-warm steady state).
+  mds::SimResult sim;
+  /// Makespan of every wave in order; size == sim_waves (1 for the bare
+  /// entry points, which always run a single wave).
+  std::vector<double> wave_makespans;
+};
+
+/// Engine glue: the MdsConfig the queueing engine runs for a cluster.
+/// The cluster ALWAYS overrides the service mean (meta_op_cost_s), the
+/// contention exponent (meta_exponent), the topology (prestaged >
+/// spindle_broadcast > direct, mirroring extrapolate_fleet), and the
+/// node-local op cost — so the two engines model the same cluster and can
+/// never drift. The ServiceModel's distribution/spread/alpha/seed and the
+/// CachePolicy are simulator-only degrees of freedom.
+mds::MdsConfig mds_config_for(const ClusterConfig& cluster, bool prestaged,
+                              const mds::ServiceModel& service = {},
+                              const mds::CachePolicy& cache = {});
+
+/// Queueing-engine counterpart of extrapolate: replay the measured bare
+/// stream through the simulator at P ranks. A bare fleet is homogeneous by
+/// construction, so every op is marked broadcast-amenable (a flat world
+/// has no fork boundary to classify against).
+SimOutcome extrapolate_queueing(const RankMeasurement& rank,
+                                const vfs::OpTrace& trace, int nprocs,
+                                const ClusterConfig& config,
+                                const mds::ServiceModel& service = {},
+                                const mds::CachePolicy& cache = {});
+
+/// Measure one rank (capturing its op stream) and run the queueing engine.
+SimOutcome simulate_launch_queueing(vfs::FileSystem& fs,
+                                    loader::Loader& loader,
+                                    const std::string& exe_path,
+                                    const loader::Environment& env,
+                                    int nprocs,
+                                    const ClusterConfig& config = {},
+                                    const mds::ServiceModel& service = {},
+                                    const mds::CachePolicy& cache = {});
+
+/// scaling_sweep's queueing column: one measured stream, one simulator run
+/// per rank count (cold caches per entry).
+std::vector<SimOutcome> scaling_sweep_queueing(
+    vfs::FileSystem& fs, loader::Loader& loader, const std::string& exe_path,
+    const loader::Environment& env, const std::vector<int>& rank_counts,
+    const ClusterConfig& config = {}, const mds::ServiceModel& service = {},
+    const mds::CachePolicy& cache = {});
+
 /// Knobs for a containerized fleet launch.
 struct FleetConfig {
   ClusterConfig cluster;
@@ -170,7 +245,27 @@ struct FleetConfig {
   /// traffic still hits the shared filesystem. (Takes precedence over
   /// spindle_broadcast for the shared part — local beats relayed.)
   bool prestaged_image = false;
+  /// Engine::Queueing routes the measured streams through the mds
+  /// simulator instead of the closed-form extrapolation (see
+  /// simulate_fleet_launch_sim for the full simulator output).
+  Engine engine = Engine::Analytic;
+  /// Simulator-only knobs (service distribution/seed, client caching);
+  /// the mean, exponent, and topology always come from `cluster` /
+  /// `prestaged_image` via mds_config_for. Ignored by the analytic engine.
+  mds::ServiceModel service;
+  mds::CachePolicy cache;
+  /// Straggler injection (queueing engine only): per-rank start offsets in
+  /// seconds; shorter than the fleet means the rest start at 0.
+  std::vector<double> start_delays;
+  /// Launch waves (queueing engine only): the fleet launches `sim_waves`
+  /// times against ONE simulator, so client caches carry across waves —
+  /// the repeat-launch scenario (SimOutcome::wave_makespans).
+  int sim_waves = 1;
 };
+
+/// Reject non-physical fleet parameters: the cluster checks plus the
+/// simulator knobs (distribution spread/shape, fanout, cache costs).
+void validate(const FleetConfig& config);
 
 /// Containerized Fig 6: assemble a per-rank sandbox from `spec` (image
 /// mount + per-rank CoW overlay + masks) over `session`'s world, measure
@@ -183,5 +278,18 @@ LaunchResult simulate_fleet_launch(core::Session& session,
                                    const core::SandboxSpec& spec,
                                    const std::string& exe_path, int nprocs,
                                    const FleetConfig& config = {});
+
+/// Queueing-engine fleet launch: the same per-rank sandboxed measurement,
+/// but each rank's full op stream is captured and replayed through the
+/// mds simulator (homogeneous fleets replicate ONE measured stream across
+/// P simulated clients — the measurement stays a single loader replay).
+/// With prestaged_image the image mount is marked MountLatency::NodeLocal
+/// inside each rank sandbox BEFORE measurement, so node-local costs are
+/// charged inside the measured load rather than patched in afterwards.
+/// The data phase stays analytic (bytes do not queue at the MDS).
+SimOutcome simulate_fleet_launch_sim(core::Session& session,
+                                     const core::SandboxSpec& spec,
+                                     const std::string& exe_path, int nprocs,
+                                     const FleetConfig& config = {});
 
 }  // namespace depchaos::launch

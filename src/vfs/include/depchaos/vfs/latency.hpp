@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace depchaos::vfs {
 
@@ -19,6 +21,48 @@ enum class OpKind : std::uint8_t {
   Open,      // openat of a candidate (or final) file
   Read,      // reading file contents after a successful open
   Readlink,  // symlink traversal
+};
+
+/// One recorded metadata operation (stat/open only — the storm traffic).
+/// `path` is a dense per-trace key assigned in first-appearance order, so
+/// a replayed trace is deterministic and a simulator can key client-side
+/// caches without carrying strings.
+struct OpRecord {
+  OpKind kind = OpKind::Stat;
+  bool hit = false;         // the path existed
+  bool shared = false;      // fleet-wide substrate (FileSystem::MetaBreakdown
+                            // rules: read-only mounts, below-fork content,
+                            // failed probes)
+  bool node_local = false;  // served by a MountLatency::NodeLocal mount
+                            // (pre-staged image on node-local storage)
+  std::uint32_t path = 0;   // dense path key, stable within one trace
+};
+
+/// Append-only sink for the measured metadata op stream of one load
+/// (install with FileSystem::set_op_trace). This is the per-rank stream a
+/// launch-storm simulator (depchaos::mds) replays against a modelled
+/// metadata server: the op sequence is MEASURED, only op -> seconds is
+/// simulated.
+class OpTrace {
+ public:
+  void record(OpKind kind, bool hit, bool shared, bool node_local,
+              const std::string& path) {
+    const auto [it, inserted] =
+        keys_.emplace(path, static_cast<std::uint32_t>(keys_.size()));
+    ops_.push_back({kind, hit, shared, node_local, it->second});
+  }
+
+  const std::vector<OpRecord>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  std::size_t distinct_paths() const { return keys_.size(); }
+  void clear() {
+    ops_.clear();
+    keys_.clear();
+  }
+
+ private:
+  std::vector<OpRecord> ops_;
+  std::unordered_map<std::string, std::uint32_t> keys_;
 };
 
 /// Cost model interface. Implementations may keep client-side cache state;

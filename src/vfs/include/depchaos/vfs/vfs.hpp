@@ -131,11 +131,22 @@ enum class MountKind : std::uint8_t {
 
 std::string_view mount_kind_name(MountKind kind);
 
+/// Latency class of a mount (set_mount_latency): which cost model — and,
+/// downstream, which simulated metadata server — serves operations that
+/// resolve inside it. `Shared` = the view's latency model (the shared
+/// parallel FS / NFS storm path). `NodeLocal` = the view's node-local
+/// model (a pre-staged image on node-local storage: cheap, no storm).
+/// Only the SHARED substrate of a mount is ever node-local: per-view
+/// overlay divergence always pays the shared-FS price (the PR-5 rule that
+/// broadcast/pre-staging cannot absorb rank-private state).
+enum class MountLatency : std::uint8_t { Shared, NodeLocal };
+
 /// One row of FileSystem::mounts() — the `mount(8)`-style listing.
 struct MountInfo {
   std::string point;  // canonical mountpoint
   MountKind kind = MountKind::Image;
   bool read_only = false;
+  MountLatency latency = MountLatency::Shared;
 };
 
 /// Lexical dirname/basename of a normalized absolute path.
@@ -208,6 +219,18 @@ class FileSystem {
   /// Peel off the topmost mount at `point`. Throws FsError when nothing is
   /// mounted there.
   void umount(std::string_view point);
+
+  /// Set the latency class of the topmost active mount at `point` (image
+  /// pre-staged to node-local storage). Throws FsError when nothing is
+  /// mounted there. Inherited by fork() and copies, like the rest of the
+  /// mount table.
+  void set_mount_latency(std::string_view point, MountLatency latency);
+
+  /// The cost model charged for NodeLocal-served operations (lazily a
+  /// default LocalDiskModel when unset). nullptr restores the default.
+  void set_local_latency_model(std::shared_ptr<LatencyModel> model) {
+    local_latency_ = std::move(model);
+  }
 
   /// Active mounts in mount order (the `mount(8)` listing).
   std::vector<MountInfo> mounts() const;
@@ -366,6 +389,13 @@ class FileSystem {
   /// Not inherited by fork() or copies; the caller owns the sink lifetime.
   void set_meta_breakdown(MetaBreakdown* sink) { breakdown_ = sink; }
 
+  /// Install (nullptr removes) an op-trace sink: every counted metadata op
+  /// (stat/open) is appended with its hit/shared/node-local attribution —
+  /// the measured per-rank stream the depchaos::mds queueing engine
+  /// replays. Purely additive, like set_meta_breakdown, and likewise never
+  /// inherited by fork() or copies.
+  void set_op_trace(OpTrace* sink) { trace_ = sink; }
+
   /// Uncounted one-path classification under the same rules: true =
   /// shared substrate, false = per-view divergence, nullopt = the path
   /// does not resolve.
@@ -383,9 +413,10 @@ class FileSystem {
   }
   LatencyModel* latency_model() const { return latency_.get(); }
 
-  /// Drop client caches in the latency model (cold start).
+  /// Drop client caches in the latency models (cold start).
   void clear_caches() {
     if (latency_) latency_->clear_client_cache();
+    if (local_latency_) local_latency_->clear_client_cache();
   }
 
   /// Disable/enable syscall accounting (counters AND latency). Used for
@@ -463,6 +494,7 @@ class FileSystem {
     MountKind kind = MountKind::Image;
     bool read_only = false;
     bool active = true;
+    MountLatency latency = MountLatency::Shared;
     std::shared_ptr<FileSystem> backing;
     std::shared_ptr<FileSystem> lower;  // overlays: the shared image below
     InodeNum source_root = 1;           // binds: entry inode inside backing
@@ -558,8 +590,17 @@ class FileSystem {
   /// store as `dir`); returns the tagged child.
   InodeNum create_child(InodeNum dir, std::string_view name, NodeType type);
   /// `ino` (the resolved composed inode, 0 on a miss) feeds the optional
-  /// fleet-launch attribution sink; counters and latency ignore it.
+  /// fleet-launch attribution sink and the node-local latency-class
+  /// routing; counters are unaffected by it.
   void charge(OpKind op, bool hit, const std::string& path, InodeNum ino = 0);
+  /// Was this operation served by a MountLatency::NodeLocal mount? Hits
+  /// route by the owning mount (shared substrate only — overlay-private
+  /// nodes always pay the shared-FS price); misses and reads attribute by
+  /// the longest active node-local mountpoint prefix (a failed probe of a
+  /// pre-staged image is a local negative).
+  bool op_is_node_local(InodeNum ino, bool hit, const std::string& path) const;
+  bool under_node_local_mount(const std::string& path) const;
+  bool has_node_local_mount() const;
   void remove_subtree(InodeNum ino);
 
   /// Attribution helpers (fleet-launch accounting): is local inode `ino`
@@ -582,6 +623,9 @@ class FileSystem {
   std::size_t live_inodes_ = 0;
   SyscallStats stats_;
   std::shared_ptr<LatencyModel> latency_;
+  // Cost model for NodeLocal-served ops (lazy LocalDiskModel when null at
+  // first use). Shared by copies, cloned by fork(), like latency_.
+  std::shared_ptr<LatencyModel> local_latency_;
   bool counting_ = true;
 
   // Interner shared by the whole fork family (deep copies join it too —
@@ -623,6 +667,8 @@ class FileSystem {
   std::size_t dentry_snapshot_cap_ = 1 << 16;
   // Fleet-launch attribution sink (set_meta_breakdown); never inherited.
   MetaBreakdown* breakdown_ = nullptr;
+  // Measured op-stream sink (set_op_trace); never inherited.
+  OpTrace* trace_ = nullptr;
 
   // The mount table (empty for ordinary worlds; every operation above is
   // zero-overhead then). `mount_at_` maps a canonical mountpoint PathId to

@@ -94,6 +94,7 @@ FileSystem::FileSystem(const FileSystem& other) {
   live_inodes_ = other.live_inodes_;
   stats_ = other.stats_;
   latency_ = other.latency_;
+  local_latency_ = other.local_latency_;
   counting_ = other.counting_;
   // The interner is world-independent, so the copy joins the family table;
   // the dentry cache is a per-view memo and starts cold.
@@ -149,6 +150,10 @@ FileSystem FileSystem::fork() {
   if (latency_) {
     auto clone = latency_->clone();
     child.latency_ = clone ? std::move(clone) : latency_;
+  }
+  if (local_latency_) {
+    auto clone = local_latency_->clone();
+    child.local_latency_ = clone ? std::move(clone) : local_latency_;
   }
   // Dentry warm start: freeze the memo into an immutable snapshot both
   // sides keep consulting (content is identical at the fork point, so
@@ -405,11 +410,20 @@ std::optional<bool> FileSystem::served_shared(std::string_view path) const {
 void FileSystem::charge(OpKind op, bool hit, const std::string& path,
                         InodeNum ino) {
   if (!counting_) return;
-  if (breakdown_ != nullptr && (op == OpKind::Stat || op == OpKind::Open)) {
+  // Latency-class routing: ops served by a pre-staged (NodeLocal) mount
+  // charge the node-local cost model and are flagged in the op trace, so
+  // a measured load INSIDE a pre-staged sandbox already carries node-local
+  // costs — pre-staging is no longer post-hoc extrapolation arithmetic.
+  const bool node_local =
+      has_node_local_mount() && op_is_node_local(ino, hit, path);
+  if (op == OpKind::Stat || op == OpKind::Open) {
     // Failed probes are shared — a negative answer (missing path OR
     // open of a non-regular node) is the same for every rank.
     const bool shared = !hit || op_is_shared(ino);
-    ++(shared ? breakdown_->shared_ops : breakdown_->private_ops);
+    if (breakdown_ != nullptr) {
+      ++(shared ? breakdown_->shared_ops : breakdown_->private_ops);
+    }
+    if (trace_ != nullptr) trace_->record(op, hit, shared, node_local, path);
   }
   switch (op) {
     case OpKind::Stat:
@@ -428,7 +442,14 @@ void FileSystem::charge(OpKind op, bool hit, const std::string& path,
   if (!hit && (op == OpKind::Stat || op == OpKind::Open)) {
     ++stats_.failed_probes;
   }
-  if (latency_) stats_.sim_time_s += latency_->cost(op, hit, path);
+  if (latency_) {
+    if (node_local) {
+      if (!local_latency_) local_latency_ = std::make_shared<LocalDiskModel>();
+      stats_.sim_time_s += local_latency_->cost(op, hit, path);
+    } else {
+      stats_.sim_time_s += latency_->cost(op, hit, path);
+    }
+  }
 }
 
 InodeNum FileSystem::resolve_id(PathId id, bool follow_final, int& hops,
@@ -769,9 +790,63 @@ std::vector<MountInfo> FileSystem::mounts() const {
   std::vector<MountInfo> out;
   for (const Mount& m : mounts_) {
     if (!m.active) continue;
-    out.push_back(MountInfo{paths_->str(m.point), m.kind, m.read_only});
+    out.push_back(
+        MountInfo{paths_->str(m.point), m.kind, m.read_only, m.latency});
   }
   return out;
+}
+
+void FileSystem::set_mount_latency(std::string_view point,
+                                   MountLatency latency) {
+  const std::string norm = normalize_path(point);
+  std::string canon_str;
+  if (resolve(norm, /*follow_final=*/true, &canon_str) == 0) {
+    throw FsError("set_mount_latency: no such path: " + norm);
+  }
+  const PathId canon = paths_->lookup(canon_str);
+  const auto it = canon != kNoPath ? mount_at_.find(canon) : mount_at_.end();
+  if (it == mount_at_.end() || it->second.empty()) {
+    throw FsError("set_mount_latency: not a mountpoint: " + norm);
+  }
+  mounts_[it->second.back()].latency = latency;
+}
+
+bool FileSystem::has_node_local_mount() const {
+  for (const Mount& m : mounts_) {
+    if (m.active && m.latency == MountLatency::NodeLocal) return true;
+  }
+  return false;
+}
+
+bool FileSystem::under_node_local_mount(const std::string& path) const {
+  for (const Mount& m : mounts_) {
+    if (!m.active || m.latency != MountLatency::NodeLocal) continue;
+    const std::string& point = paths_->str(m.point);
+    if (point == "/") return true;
+    if (path.size() > point.size() && path[point.size()] == '/' &&
+        path.compare(0, point.size(), point) == 0) {
+      return true;
+    }
+    if (path == point) return true;
+  }
+  return false;
+}
+
+bool FileSystem::op_is_node_local(InodeNum ino, bool hit,
+                                  const std::string& path) const {
+  if (hit && ino != 0) {
+    const std::uint16_t m = mount_index(ino);
+    if (m == 0) return false;
+    const Mount& mnt = mounts_[m - 1];
+    // Only the SHARED substrate of the mount is pre-staged: a node the
+    // view created or CoW-shadowed (overlay upper writes) diverges
+    // per-rank and always pays the shared-FS price.
+    return mnt.latency == MountLatency::NodeLocal && op_is_shared(ino);
+  }
+  // Miss (or unresolved read): a probe that dies inside a pre-staged
+  // image's namespace is answered locally — the local negative the PR-5
+  // follow-up asked for.
+  return under_node_local_mount(path);
 }
 
 // ----- setup ---------------------------------------------------------------

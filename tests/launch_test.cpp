@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
@@ -362,6 +364,209 @@ TEST(FleetLaunch, WrappedImagePreservesShrinkwrapReduction) {
                        static_cast<double>(normal.bytes_per_rank);
   EXPECT_NEAR(ratio, 1.0, 0.01);
   EXPECT_LT(frozen.total_time_s, normal.total_time_s);
+}
+
+// ------------------------------------------------ queueing-engine surface
+
+TEST(LaunchValidation, RejectsNonPhysicalClusterConfigs) {
+  const auto broken = [](auto&& mutate) {
+    ClusterConfig config;
+    mutate(config);
+    return config;
+  };
+  EXPECT_NO_THROW(validate(ClusterConfig{}));
+  EXPECT_THROW(validate(broken([](auto& c) { c.init_s = -1; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.init_s = 1.0 / 0.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      validate(broken([](auto& c) { c.stage_bandwidth_bytes_s = 0; })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      validate(broken([](auto& c) { c.local_stage_bandwidth_bytes_s = -5; })),
+      std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.data_exponent = 2.5; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.meta_exponent = -0.1; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.meta_op_cost_s = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.local_meta_op_cost_s = -1; })),
+               std::invalid_argument);
+  // The entry points validate too — a broken config cannot reach the
+  // arithmetic through any of them.
+  RankMeasurement rank;
+  rank.meta_ops = 10;
+  EXPECT_THROW(
+      extrapolate(rank, 8, broken([](auto& c) { c.meta_op_cost_s = -1; })),
+      std::invalid_argument);
+  EXPECT_THROW(extrapolate(rank, 0, ClusterConfig{}), std::invalid_argument);
+}
+
+TEST(LaunchValidation, RejectsNonPhysicalFleetConfigs) {
+  EXPECT_NO_THROW(validate(FleetConfig{}));
+  const auto broken = [](auto&& mutate) {
+    FleetConfig config;
+    mutate(config);
+    return config;
+  };
+  EXPECT_THROW(validate(broken([](auto& f) { f.cluster.meta_exponent = 3; })),
+               std::invalid_argument);
+  // Simulator knobs are validated whichever engine is selected.
+  EXPECT_THROW(
+      validate(broken([](auto& f) { f.service.pareto_alpha = 1.0; })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      validate(broken([](auto& f) { f.service.uniform_spread = 1.5; })),
+      std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& f) { f.cache.hit_cost_s = -1; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& f) { f.sim_waves = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& f) { f.start_delays = {0.0, -0.5}; })),
+               std::invalid_argument);
+}
+
+TEST_F(LaunchTest, QueueingEngineMatchesAnalyticOnFixedService) {
+  // Homogeneous fleet + fixed service + no cache: the batch-coalescing
+  // server reproduces the closed form exactly, so the two engines agree to
+  // rounding on bare launches — the bridge that anchors the simulator.
+  loader::Loader loader(fs_);
+  for (const int ranks : {1, 32, 256}) {
+    const auto analytic = simulate_launch(fs_, loader, app_.exe_path, {}, ranks);
+    const auto sim = simulate_launch_queueing(fs_, loader, app_.exe_path, {},
+                                              ranks);
+    ASSERT_TRUE(sim.launch.load_succeeded);
+    EXPECT_EQ(sim.launch.meta_ops_per_rank, analytic.meta_ops_per_rank);
+    EXPECT_EQ(sim.launch.data_time_s, analytic.data_time_s);
+    EXPECT_NEAR(sim.launch.meta_time_s, analytic.meta_time_s,
+                analytic.meta_time_s * 1e-9);
+    EXPECT_EQ(sim.sim.server_requests,
+              sim.launch.meta_ops_per_rank * static_cast<std::uint64_t>(ranks));
+    EXPECT_EQ(sim.wave_makespans.size(), 1u);
+  }
+}
+
+TEST_F(LaunchTest, SweepQueueingMatchesPerCallOutcomes) {
+  loader::Loader loader(fs_);
+  const std::vector<int> ranks = {16, 64, 256};
+  const auto sweep =
+      scaling_sweep_queueing(fs_, loader, app_.exe_path, {}, ranks);
+  ASSERT_EQ(sweep.size(), ranks.size());
+  loader::Loader fresh(fs_);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const auto single =
+        simulate_launch_queueing(fs_, fresh, app_.exe_path, {}, ranks[i]);
+    EXPECT_EQ(sweep[i].launch.meta_time_s, single.launch.meta_time_s);
+    EXPECT_EQ(sweep[i].sim.server_requests, single.sim.server_requests);
+    EXPECT_EQ(sweep[i].sim.batches, single.sim.batches);
+  }
+}
+
+TEST(FleetLaunch, QueueingEngineSelectableThroughFleetConfig) {
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(small_pynamic()).nfs().build();
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+
+  FleetConfig fleet;
+  fleet.cluster = session.config().cluster;
+  fleet.engine = Engine::Queueing;
+  const int nprocs = 128;
+  const auto via_config = session.launch_fleet(spec, "", nprocs, fleet);
+  const auto outcome = simulate_fleet_launch_sim(session, spec, "", nprocs,
+                                                 fleet);
+  // Engine::Queueing through the plain entry point IS the sim outcome's
+  // launch summary.
+  EXPECT_EQ(via_config.meta_time_s, outcome.launch.meta_time_s);
+  EXPECT_EQ(via_config.total_time_s, outcome.launch.total_time_s);
+  EXPECT_EQ(via_config.meta_ops_per_rank, outcome.launch.meta_ops_per_rank);
+
+  // All-shared homogeneous container + fixed service: sim == formula.
+  FleetConfig analytic_config = fleet;
+  analytic_config.engine = Engine::Analytic;
+  const auto analytic = session.launch_fleet(spec, "", nprocs, analytic_config);
+  EXPECT_NEAR(via_config.meta_time_s, analytic.meta_time_s,
+              analytic.meta_time_s * 1e-9);
+  EXPECT_EQ(outcome.sim.server_requests,
+            outcome.launch.meta_ops_per_rank *
+                static_cast<std::uint64_t>(nprocs));
+}
+
+TEST(FleetLaunch, PrestagedQueueingServesSharedOpsNodeLocally) {
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(small_pynamic()).nfs().build();
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+
+  FleetConfig staged;
+  staged.cluster = session.config().cluster;
+  staged.prestaged_image = true;
+  staged.engine = Engine::Queueing;
+  const int nprocs = 256;
+  const auto out = simulate_fleet_launch_sim(session, spec, "", nprocs, staged);
+  ASSERT_TRUE(out.launch.load_succeeded);
+  // Every shared op is absorbed node-locally; nothing queues at the MDS.
+  EXPECT_EQ(out.sim.server_requests, 0u);
+  EXPECT_EQ(out.sim.local_ops, out.launch.meta_ops_per_rank *
+                                   static_cast<std::uint64_t>(nprocs));
+  // Parallel node-local streams: the simulated makespan equals the
+  // analytic node-local cost of one rank's stream.
+  EXPECT_NEAR(out.launch.meta_time_s,
+              static_cast<double>(out.launch.shared_meta_ops_per_rank) *
+                  staged.cluster.local_meta_op_cost_s,
+              1e-12);
+}
+
+TEST(FleetLaunch, WarmWavesAndStragglersEscapeTheFormula) {
+  core::WorldBuilder builder;
+  auto session = builder.pynamic(small_pynamic()).nfs().build();
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(session.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+
+  // Cache-warm second wave: the analytic formula prices every wave the
+  // same; the simulator's warm negative cache collapses the repeat launch.
+  FleetConfig warm;
+  warm.cluster = session.config().cluster;
+  warm.engine = Engine::Queueing;
+  warm.cache.enabled = true;
+  warm.cache.negative_caching = true;
+  warm.sim_waves = 2;
+  const int nprocs = 128;
+  const auto waves = simulate_fleet_launch_sim(session, spec, "", nprocs, warm);
+  ASSERT_EQ(waves.wave_makespans.size(), 2u);
+  EXPECT_GT(waves.wave_makespans[0], 0.0);
+  EXPECT_LT(waves.wave_makespans[1], waves.wave_makespans[0] / 5.0);
+  // The launch headline is the cold wave; the sim stats are the warm one.
+  EXPECT_EQ(waves.launch.meta_time_s, waves.wave_makespans[0]);
+  EXPECT_EQ(waves.sim.makespan_s, waves.wave_makespans[1]);
+
+  // Straggler injection: one late rank stretches the makespan past the
+  // homogeneous answer by at least its delay.
+  FleetConfig late;
+  late.cluster = session.config().cluster;
+  late.engine = Engine::Queueing;
+  late.start_delays.assign(static_cast<std::size_t>(nprocs), 0.0);
+  late.start_delays[17] = 5.0;
+  const auto straggler =
+      simulate_fleet_launch_sim(session, spec, "", nprocs, late);
+  FleetConfig prompt = late;
+  prompt.start_delays.clear();
+  const auto tight = simulate_fleet_launch_sim(session, spec, "", nprocs,
+                                               prompt);
+  EXPECT_GT(straggler.sim.makespan_s, 5.0);
+  EXPECT_GT(straggler.sim.makespan_s, tight.sim.makespan_s);
+  ASSERT_EQ(straggler.sim.ranks.size(), static_cast<std::size_t>(nprocs));
+  const auto last = std::max_element(
+      straggler.sim.ranks.begin(), straggler.sim.ranks.end(),
+      [](const auto& a, const auto& b) { return a.finish_s < b.finish_s; });
+  EXPECT_EQ(last - straggler.sim.ranks.begin(), 17);
 }
 
 }  // namespace

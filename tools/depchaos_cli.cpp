@@ -49,9 +49,9 @@ using namespace depchaos;
 
 namespace {
 
-[[noreturn]] void usage() {
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage:\n"
       "  depchaos worldgen <scenario> <world-file> [--modules=N]\n"
       "      scenarios: pynamic emacs samba rocm paradox debian\n"
@@ -67,11 +67,24 @@ namespace {
       "  depchaos launch <world-file> <exe> [--ranks=N]\n"
       "      [--sandbox=<image-world>] [--mount=/] [--overlay]\n"
       "      [--mask=DIR:DIR...] [--spindle] [--prestaged]\n"
+      "      [--engine=analytic|sim] [--dist=fixed|uniform|pareto]\n"
+      "      [--seed=N] [--cache] [--negative-cache] [--waves=N]\n"
+      "      [--straggler=RANK[:SECONDS]]\n"
       "      (--sandbox measures the rank op stream inside a per-rank\n"
       "       container view — image mount + CoW overlay with --overlay,\n"
-      "       host dirs masked — and splits shared-image metadata,\n"
-      "       servable once fleet-wide, from per-rank overlay metadata;\n"
-      "       --prestaged serves the shared part at node-local rates)\n"
+      "       host dirs masked — and splits the stream into shared-image\n"
+      "       metadata ops [shared-image ops=], identical across ranks and\n"
+      "       servable once fleet-wide, vs per-rank overlay metadata ops\n"
+      "       [per-rank overlay ops=], CoW divergence only that rank can\n"
+      "       resolve; --prestaged serves the shared part at node-local\n"
+      "       rates. --engine=sim replays the stream through the\n"
+      "       discrete-event metadata-server simulator instead of the\n"
+      "       closed-form storm formula: --dist/--seed shape the service\n"
+      "       time, --cache enables client metadata caching (--waves=N\n"
+      "       relaunches the fleet N times against warm caches), and\n"
+      "       --straggler delays one rank's start [default 1s].\n"
+      "       --waves/--straggler/--cache need --engine=sim;\n"
+      "       --waves/--straggler also need --sandbox)\n"
       "  depchaos sandbox <host-world> <image-world> <exe> [--mount=/app]\n"
       "      [--mask=DIR:DIR...] [--overlay] [--conf=DIR:DIR...]\n"
       "      [--env=DIR:DIR...] [--save-fleet=FILE]\n"
@@ -82,6 +95,10 @@ namespace {
       "       absent from a read-only image root requires --overlay)\n"
       "  depchaos mount <world-file>\n"
       "      (mount table of a fleet image's first view)\n");
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -375,8 +392,77 @@ int cmd_launch(const std::vector<std::string>& args) {
   const int ranks = static_cast<int>(
       std::strtol(flag_value(args, "--ranks=", "512").c_str(), nullptr, 10));
 
+  const std::string engine = flag_value(args, "--engine=", "analytic");
+  if (engine != "analytic" && engine != "sim") {
+    std::fprintf(stderr,
+                 "depchaos: unknown --engine=%s (want analytic or sim)\n",
+                 engine.c_str());
+    return 2;
+  }
+  const bool sim_engine = engine == "sim";
+  if (!sim_engine) {
+    // The simulator knobs would silently do nothing under the analytic
+    // engine; refuse, mirroring the sandbox-flag checks below.
+    for (const char* flag : {"--cache", "--negative-cache"}) {
+      if (has_flag(args, flag)) {
+        std::fprintf(stderr, "depchaos: %s requires --engine=sim\n", flag);
+        return 2;
+      }
+    }
+    for (const char* prefix :
+         {"--dist=", "--seed=", "--waves=", "--straggler="}) {
+      if (!flag_value(args, prefix, "").empty()) {
+        std::fprintf(stderr, "depchaos: %s requires --engine=sim\n", prefix);
+        return 2;
+      }
+    }
+  }
+
+  mds::ServiceModel service;
+  const std::string dist = flag_value(args, "--dist=", "fixed");
+  if (dist == "fixed") {
+    service.dist = mds::Dist::Fixed;
+  } else if (dist == "uniform") {
+    service.dist = mds::Dist::Uniform;
+  } else if (dist == "pareto") {
+    service.dist = mds::Dist::Pareto;
+  } else {
+    std::fprintf(
+        stderr,
+        "depchaos: unknown --dist=%s (want fixed, uniform, or pareto)\n",
+        dist.c_str());
+    return 2;
+  }
+  service.seed =
+      std::strtoull(flag_value(args, "--seed=", "42").c_str(), nullptr, 10);
+  mds::CachePolicy cache;
+  cache.negative_caching = has_flag(args, "--negative-cache");
+  cache.enabled = cache.negative_caching || has_flag(args, "--cache");
+  const int waves = static_cast<int>(
+      std::strtol(flag_value(args, "--waves=", "1").c_str(), nullptr, 10));
+  const std::string straggler = flag_value(args, "--straggler=", "");
+  std::vector<double> start_delays;
+  if (!straggler.empty()) {
+    const std::size_t colon = straggler.find(':');
+    const int rank = static_cast<int>(
+        std::strtol(straggler.substr(0, colon).c_str(), nullptr, 10));
+    const double delay_s =
+        colon == std::string::npos
+            ? 1.0
+            : std::strtod(straggler.substr(colon + 1).c_str(), nullptr);
+    if (rank < 0 || rank >= ranks) {
+      std::fprintf(stderr, "depchaos: --straggler rank %d out of [0, %d)\n",
+                   rank, ranks);
+      return 2;
+    }
+    start_delays.assign(static_cast<std::size_t>(ranks), 0.0);
+    start_delays[static_cast<std::size_t>(rank)] = delay_s;
+  }
+
   const std::string image_path = flag_value(args, "--sandbox=", "");
   core::Session::LaunchResult result;
+  mds::SimResult sim;
+  std::vector<double> wave_makespans;
   if (image_path.empty()) {
     // The sandbox-shaping flags would be silently meaningless on a bare
     // launch; refuse instead of printing storm numbers as if they applied
@@ -388,14 +474,24 @@ int cmd_launch(const std::vector<std::string>& args) {
         return 2;
       }
     }
-    for (const char* prefix : {"--mount=", "--mask="}) {
+    for (const char* prefix :
+         {"--mount=", "--mask=", "--waves=", "--straggler="}) {
       if (!flag_value(args, prefix, "").empty()) {
         std::fprintf(stderr, "depchaos: %s requires --sandbox=<image>\n",
                      prefix);
         return 2;
       }
     }
-    result = session.launch(args[1], ranks);
+    if (sim_engine) {
+      launch::SimOutcome out = launch::simulate_launch_queueing(
+          session.fs(), session.loader(), args[1], session.env(), ranks,
+          session.config().cluster, service, cache);
+      result = out.launch;
+      sim = std::move(out.sim);
+      wave_makespans = std::move(out.wave_makespans);
+    } else {
+      result = session.launch(args[1], ranks);
+    }
   } else {
     // Containerized launch: measure the rank op stream inside a per-rank
     // sandbox assembled from the image world.
@@ -408,7 +504,20 @@ int cmd_launch(const std::vector<std::string>& args) {
     launch::FleetConfig fleet;
     fleet.cluster = session.config().cluster;
     fleet.prestaged_image = has_flag(args, "--prestaged");
-    result = session.launch_fleet(spec, args[1], ranks, fleet);
+    if (sim_engine) {
+      fleet.engine = launch::Engine::Queueing;
+      fleet.service = service;
+      fleet.cache = cache;
+      fleet.start_delays = std::move(start_delays);
+      fleet.sim_waves = std::max(1, waves);
+      launch::SimOutcome out = launch::simulate_fleet_launch_sim(
+          session, spec, args[1], ranks, fleet);
+      result = out.launch;
+      sim = std::move(out.sim);
+      wave_makespans = std::move(out.wave_makespans);
+    } else {
+      result = session.launch_fleet(spec, args[1], ranks, fleet);
+    }
   }
   std::printf("ranks=%d  meta_ops/rank=%llu  bytes/rank=%llu\n",
               result.nprocs,
@@ -419,6 +528,30 @@ int cmd_launch(const std::vector<std::string>& args) {
         "sandboxed: shared-image ops=%llu  per-rank overlay ops=%llu\n",
         static_cast<unsigned long long>(result.shared_meta_ops_per_rank),
         static_cast<unsigned long long>(result.overlay_meta_ops_per_rank));
+  }
+  if (sim_engine) {
+    std::printf("sim: server requests=%llu  batches=%llu  mean batch=%.1f  "
+                "peak queue=%llu\n",
+                static_cast<unsigned long long>(sim.server_requests),
+                static_cast<unsigned long long>(sim.batches), sim.mean_batch,
+                static_cast<unsigned long long>(sim.max_queue_depth));
+    std::printf("sim: request latency p50=%.1fus p99=%.1fus max=%.0fus\n",
+                sim.latency_p50_s * 1e6, sim.latency_p99_s * 1e6,
+                sim.latency_max_s * 1e6);
+    std::printf("sim: cache hits=%llu misses=%llu  node-local ops=%llu  "
+                "relayed ops=%llu\n",
+                static_cast<unsigned long long>(sim.cache_hits),
+                static_cast<unsigned long long>(sim.cache_misses),
+                static_cast<unsigned long long>(sim.local_ops),
+                static_cast<unsigned long long>(sim.relayed_ops));
+    if (wave_makespans.size() > 1) {
+      // The stats above are the last (cache-warm) wave; the time-to-launch
+      // line below is the cold first wave.
+      for (std::size_t w = 0; w < wave_makespans.size(); ++w) {
+        std::printf("sim: wave %zu metadata %.3f s%s\n", w + 1,
+                    wave_makespans[w], w == 0 ? " (cold)" : " (warm cache)");
+      }
+    }
   }
   std::printf("time-to-launch: %.1f s (data %.1f + metadata %.1f)\n",
               result.total_time_s, result.data_time_s, result.meta_time_s);
@@ -431,6 +564,13 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+  // `depchaos --help` and `depchaos <cmd> --help` both print the full
+  // usage (stdout, exit 0) — every subcommand's flags are documented there.
+  if (command == "--help" || command == "-h" || command == "help" ||
+      has_flag(args, "--help") || has_flag(args, "-h")) {
+    print_usage(stdout);
+    return 0;
+  }
   try {
     if (command == "worldgen") return cmd_worldgen(args);
     if (command == "libtree") return cmd_libtree(args);
@@ -443,6 +583,11 @@ int main(int argc, char** argv) {
     if (command == "sandbox") return cmd_sandbox(args);
     if (command == "mount") return cmd_mount(args);
   } catch (const Error& error) {
+    std::fprintf(stderr, "depchaos: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    // Config validation throws std::invalid_argument; print it like any
+    // other user error instead of terminating.
     std::fprintf(stderr, "depchaos: %s\n", error.what());
     return 1;
   }
