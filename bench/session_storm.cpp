@@ -1,0 +1,259 @@
+// Session-service storm: sustained closures/s through svc::SessionPool at
+// 1 / 64 / 1024 concurrent clients of one shared debian world.
+//
+// The workload is the paper's launch storm translated to the service shape:
+// every client issues the SAME list of R distinct load requests (a fleet of
+// identical ranks starting the same app mix). The single-client baseline
+// runs closed-loop — one request in flight, each paying a full submit ->
+// worker -> future round trip plus a real closure resolution. The fleet
+// runs open-loop: requests from all clients interleave through the sharded
+// admission queues, strands drain them in batches, and the pristine-fork
+// Load memo serves every repeated (exe, env) resolution from one execution
+// (the Spindle dedup insight — identical metadata requests from a fleet
+// are resolved once). The executed-vs-memoized split is printed so the
+// dedup share is explicit, not hidden in a throughput number.
+//
+// Gates (exit non-zero on failure; CI runs DEPCHAOS_SMOKE=1):
+//   * byte-identity — every concurrent 64-client report is byte-identical
+//     to the same request list run sequentially on a private fork of a
+//     twin world (the svc_test property, at bench scale).
+//   * throughput    — 64-client closures/s >= 8x the 1-client rate.
+// The third acceptance gate (single-client loader_hotpath within 5% of
+// its baseline) is enforced by bench/loader_hotpath.cpp itself, which CI
+// runs alongside this binary.
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "depchaos/core/world.hpp"
+#include "depchaos/svc/session_pool.hpp"
+
+namespace {
+
+using namespace depchaos;
+using Clock = std::chrono::steady_clock;
+
+bool smoke_mode() { return std::getenv("DEPCHAOS_SMOKE") != nullptr; }
+
+core::Session make_debian_session() {
+  workload::InstalledSystemConfig config;
+  if (smoke_mode()) {
+    config.num_binaries = 200;
+    config.num_shared_objects = 120;
+  }
+  return core::WorldBuilder().debian(config).build();
+}
+
+std::vector<std::string> request_list(std::size_t count) {
+  std::vector<std::string> exes;
+  exes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    exes.push_back("/usr/bin/bin" + std::to_string(i));
+  }
+  return exes;
+}
+
+// Everything a service consumer can observe about a load, flattened for
+// equality (mirrors tests/svc_test.cpp).
+std::string digest(const loader::LoadReport& r) {
+  std::ostringstream out;
+  out << r.success;
+  for (const auto& o : r.load_order) {
+    out << '|' << o.name << ',' << o.path << ',' << o.real_path << ','
+        << static_cast<int>(o.how) << ',' << o.depth;
+  }
+  out << '|' << r.requests.size() << ',' << r.missing.size() << ','
+      << r.stats.stat_calls << ',' << r.stats.open_calls << ','
+      << r.stats.read_calls << ',' << r.stats.readlink_calls << ','
+      << r.stats.failed_probes << ',' << r.stats.sim_time_s;
+  return out.str();
+}
+
+struct StormResult {
+  double closures_per_s = 0;
+  svc::PoolStats stats;
+  std::uint64_t base_owned_bytes = 0;
+  std::vector<std::string> digests;  // filled when `collect` is set
+};
+
+svc::PoolConfig storm_config() {
+  svc::PoolConfig config;
+  config.shards = 8;
+  config.queue_high_water = std::size_t{1} << 22;  // open-loop: never reject
+  return config;
+}
+
+/// Closed loop: the natural single-tenant rhythm — one request in flight.
+StormResult run_single(const std::vector<std::string>& exes) {
+  svc::SessionPool pool(make_debian_session(), storm_config());
+  StormResult result;
+  const auto start = Clock::now();
+  for (const auto& exe : exes) {
+    if (!pool.submit_load_shared(1, exe).get()->success) std::abort();
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  result.closures_per_s = static_cast<double>(exes.size()) / elapsed;
+  pool.drain();
+  result.stats = pool.stats();
+  result.base_owned_bytes = pool.base().fs().owned_bytes();
+  return result;
+}
+
+/// Open loop: `clients` clients each submit the whole request list; the
+/// clock covers submission through last result delivered.
+StormResult run_storm(std::size_t clients, const std::vector<std::string>& exes,
+                      bool collect) {
+  svc::SessionPool pool(make_debian_session(), storm_config());
+  StormResult result;
+  std::vector<std::future<std::shared_ptr<const loader::LoadReport>>> futures;
+  futures.reserve(clients * exes.size());
+  std::vector<std::shared_ptr<const loader::LoadReport>> reports;
+  reports.reserve(clients * exes.size());
+  // The timed window is submission through last result delivered; digest
+  // extraction (and report teardown) happen after the clock stops — they
+  // are measurement artifacts, not service work.
+  const auto start = Clock::now();
+  for (const auto& exe : exes) {
+    for (std::size_t c = 0; c < clients; ++c) {
+      futures.push_back(
+          pool.submit_load_shared(static_cast<svc::ClientId>(c + 1), exe));
+    }
+  }
+  // One quiescence wait instead of blocking on each future in turn: the
+  // collection loop below then never sleeps (every future is ready).
+  pool.drain();
+  for (auto& future : futures) reports.push_back(future.get());
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  result.closures_per_s = static_cast<double>(reports.size()) / elapsed;
+  if (collect) result.digests.reserve(reports.size());
+  for (const auto& report : reports) {
+    if (!report->success) std::abort();
+    if (collect) result.digests.push_back(digest(*report));
+  }
+  pool.drain();
+  result.stats = pool.stats();
+  result.base_owned_bytes = pool.base().fs().owned_bytes();
+  return result;
+}
+
+void report_storm(const char* label, std::size_t clients,
+                  const StormResult& result) {
+  using bench::fmt;
+  using bench::row;
+  const svc::PoolStats& stats = result.stats;
+  row(std::string(label) + " closures/s", fmt(result.closures_per_s, 0));
+  row(std::string(label) + " executed / memoized",
+      std::to_string(stats.executed - stats.memoized) + " / " +
+          std::to_string(stats.memoized));
+  const auto& load_latency =
+      stats.latency[static_cast<std::size_t>(svc::RequestKind::Load)];
+  row(std::string(label) + " load p50/p99 us",
+      fmt(load_latency.p50_us, 0) + " / " + fmt(load_latency.p99_us, 0));
+  // How much private divergence the whole fleet holds relative to one
+  // shared world: pristine CoW forks should make this ~0.
+  const double share =
+      result.base_owned_bytes == 0
+          ? 0.0
+          : static_cast<double>(stats.fork_owned_bytes) /
+                static_cast<double>(result.base_owned_bytes);
+  row(std::string(label) + " copied-bytes share",
+      fmt(100.0 * share, 3) + "% (" + std::to_string(clients) + " forks)");
+}
+
+int print_report() {
+  using bench::fmt;
+  using bench::heading;
+  using bench::row;
+  int failures = 0;
+
+  const std::size_t requests = smoke_mode() ? 32 : 128;
+  const auto exes = request_list(requests);
+
+  heading("Session storm: closures/s vs concurrent clients (debian world)");
+  row("requests per client", std::to_string(requests) + " distinct closures");
+
+  const StormResult single = run_single(exes);
+  report_storm("1 client (closed loop)", 1, single);
+
+  const StormResult fleet64 = run_storm(64, exes, /*collect=*/true);
+  report_storm("64 clients", 64, fleet64);
+
+  const std::size_t big_requests = smoke_mode() ? 4 : 16;
+  const StormResult fleet1024 =
+      run_storm(1024, request_list(big_requests), /*collect=*/false);
+  report_storm("1024 clients", 1024, fleet1024);
+
+  heading("Gates");
+
+  // Byte-identity: the 64-client concurrent reports vs the same request
+  // list run sequentially on a fork of a twin world. Every client issued
+  // the identical list, so one sequential pass is the reference for all.
+  core::Session twin = make_debian_session();
+  { core::Session prime = twin.fork(); }  // mirror the pool's priming fork
+  core::Session reference = twin.fork();
+  std::vector<std::string> expected;
+  expected.reserve(exes.size());
+  for (const auto& exe : exes) expected.push_back(digest(reference.load(exe)));
+  std::size_t mismatches = 0;
+  // run_storm submits request-major: digest index r*64 + c is request r.
+  for (std::size_t i = 0; i < fleet64.digests.size(); ++i) {
+    if (fleet64.digests[i] != expected[i / 64]) ++mismatches;
+  }
+  row("concurrent == sequential (64 clients)",
+      mismatches == 0 ? "yes"
+                      : "NO - " + std::to_string(mismatches) + " mismatches");
+  if (mismatches != 0) {
+    std::printf("  GATE FAILED: concurrent results diverge from sequential\n");
+    ++failures;
+  }
+
+  const double speedup = fleet64.closures_per_s / single.closures_per_s;
+  row("64-client speedup over 1 client (gate >= 8x)",
+      fmt(speedup, 1) + "x");
+  if (speedup < 8.0) {
+    std::printf("  GATE FAILED: 64-client throughput below 8x single client\n");
+    ++failures;
+  }
+  return failures;
+}
+
+void BM_PoolLoadClosedLoop(benchmark::State& state) {
+  auto session = make_debian_session();
+  svc::SessionPool pool(std::move(session), storm_config());
+  const std::string exe = "/usr/bin/bin0";
+  svc::ClientId client = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.submit_load(client, exe).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolLoadClosedLoop)->Unit(benchmark::kMicrosecond);
+
+void BM_PoolLoadStorm64(benchmark::State& state) {
+  auto session = make_debian_session();
+  svc::SessionPool pool(std::move(session), storm_config());
+  const std::string exe = "/usr/bin/bin0";
+  for (auto _ : state) {
+    std::vector<std::future<loader::LoadReport>> futures;
+    futures.reserve(64);
+    for (std::size_t c = 0; c < 64; ++c) {
+      futures.push_back(pool.submit_load(static_cast<svc::ClientId>(c + 1), exe));
+    }
+    for (auto& future : futures) benchmark::DoNotOptimize(future.get());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PoolLoadStorm64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int failures = print_report();
+  const int bench_rc = depchaos::bench::run_benchmarks(argc, argv);
+  return failures ? failures : bench_rc;
+}

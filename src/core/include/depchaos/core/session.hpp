@@ -126,7 +126,13 @@ class Session {
   vfs::FileSystem& fs() { return *fs_; }
   const vfs::FileSystem& fs() const { return *fs_; }
   loader::Loader& loader() { return *loader_; }
+  const loader::Loader& loader() const { return *loader_; }
   const loader::SearchPolicy& policy() const { return loader_->policy(); }
+  /// The fork-family shared path interner (svc::SessionPool reads it to
+  /// report interned-path counts across every client of a shared base).
+  /// Id-keyed reads are lock-free; inserts are internally synchronized —
+  /// safe to read while forks of this session resolve concurrently.
+  const support::PathTable& path_table() const { return fs_->paths(); }
   loader::Environment& env() { return config_.env; }
   const loader::Environment& env() const { return config_.env; }
   const SessionConfig& config() const { return config_; }

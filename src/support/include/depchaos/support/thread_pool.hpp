@@ -1,16 +1,32 @@
 // Fixed-size thread pool + parallel_for used by the corpus analyses (Fig 1,
-// Fig 4) and the multi-rank launch simulation (Fig 6). Deliberately simple:
-// a single mutex-protected deque is more than fast enough for coarse-grained
-// analysis tasks, and simplicity keeps the shutdown path obviously correct
-// (CppCoreGuidelines CP.*: RAII-owned threads, no detached threads).
+// Fig 4), the multi-rank launch simulation (Fig 6), and the svc::SessionPool
+// shard drains. Deliberately simple: a single mutex-protected deque is more
+// than fast enough for coarse-grained analysis tasks, and simplicity keeps
+// the shutdown path obviously correct (CppCoreGuidelines CP.*: RAII-owned
+// threads, no detached threads).
+//
+// Fault model: a task that throws does NOT terminate the process. The
+// exception is captured as a std::exception_ptr and retrievable via
+// take_errors(), so a long-lived service (svc::SessionPool) survives a bad
+// request and the owner decides whether to rethrow, log, or drop it.
+// parallel_for() rethrows the first exception its own chunks captured after
+// the batch joins.
+//
+// Observability: submit() optionally tags a task with a short label
+// ("svc/shard3", "load_many"); tag_stats() reports submitted / completed /
+// failed counts per tag, which is where PoolStats gets its worker-side view.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace depchaos::support {
@@ -26,28 +42,54 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Tasks must not throw (std::terminate otherwise).
+  /// Enqueue a task. A throwing task is captured (take_errors), not fatal.
   void submit(std::function<void()> task);
+
+  /// Enqueue a tagged task; the tag buckets it in tag_stats().
+  void submit(std::string tag, std::function<void()> task);
 
   /// Block until every submitted task has finished.
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Exceptions captured from tasks since the last take_errors(), in
+  /// completion order. Emptied by the call.
+  std::vector<std::exception_ptr> take_errors();
+  bool has_errors() const;
+
+  /// Per-tag task accounting (untagged tasks bucket under "").
+  struct TagCounts {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  // includes failed
+    std::uint64_t failed = 0;     // completed by throwing
+  };
+  std::unordered_map<std::string, TagCounts> tag_stats() const;
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::string tag;
+  };
+
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::vector<std::exception_ptr> errors_;
+  std::unordered_map<std::string, TagCounts> tags_;
   std::vector<std::thread> workers_;
 };
 
 /// Run fn(i) for i in [0, n) across the pool in contiguous chunks and wait.
-/// fn must be safe to call concurrently for distinct indices.
+/// fn must be safe to call concurrently for distinct indices. If any call
+/// throws, the batch still runs to completion (other indices are not
+/// skipped across chunks already queued) and the FIRST captured exception
+/// is rethrown after the join.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t min_chunk = 256);

@@ -1,6 +1,7 @@
 #include "depchaos/support/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace depchaos::support {
 
@@ -24,9 +25,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit(std::string{}, std::move(task));
+}
+
+void ThreadPool::submit(std::string tag, std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    ++tags_[tag].submitted;
+    queue_.push_back(Task{std::move(task), std::move(tag)});
   }
   cv_task_.notify_one();
 }
@@ -36,9 +42,25 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+std::vector<std::exception_ptr> ThreadPool::take_errors() {
+  std::lock_guard lock(mutex_);
+  return std::exchange(errors_, {});
+}
+
+bool ThreadPool::has_errors() const {
+  std::lock_guard lock(mutex_);
+  return !errors_.empty();
+}
+
+std::unordered_map<std::string, ThreadPool::TagCounts> ThreadPool::tag_stats()
+    const {
+  std::lock_guard lock(mutex_);
+  return tags_;
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -47,9 +69,22 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      // Capture instead of std::terminate: a long-lived service must
+      // survive one bad request. The owner drains via take_errors().
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      TagCounts& counts = tags_[task.tag];
+      ++counts.completed;
+      if (error) {
+        ++counts.failed;
+        errors_.push_back(std::move(error));
+      }
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -63,13 +98,24 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   const std::size_t workers = pool.size();
   const std::size_t chunk =
       std::max(min_chunk, (n + workers * 4 - 1) / (workers * 4));
+  // Capture the first chunk-level exception here (not in the pool's error
+  // list — the pool may be shared with unrelated tasks) and rethrow after
+  // the join so callers see fn's failure instead of a silent skip.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   for (std::size_t start = 0; start < n; start += chunk) {
     const std::size_t end = std::min(n, start + chunk);
-    pool.submit([&fn, start, end] {
-      for (std::size_t i = start; i < end; ++i) fn(i);
+    pool.submit([&fn, &error_mutex, &first_error, start, end] {
+      try {
+        for (std::size_t i = start; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
     });
   }
   pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace depchaos::support

@@ -1,0 +1,254 @@
+// svc::SessionPool — a multi-tenant session service over one shared world.
+//
+// The paper's storm problem is many clients hammering one shared metadata
+// world at once; the CoW-fork + shared-PathTable + shared dentry-snapshot
+// architecture (PRs 2-5) already gives every client an O(1) private view of
+// that world. SessionPool finishes the server: it owns one immutable base
+// core::Session and admits thousands of concurrent clients, each lazily
+// acquiring a copy-on-write fork of the base on first request. Requests are
+// typed commands (Load, LoadMany, Whatif, Shrinkwrap, LaunchFleet, Query)
+// pushed into a sharded admission queue — N shards hashed by client id —
+// and each shard is drained as a strand on one shared support::ThreadPool:
+// at most one drain task per shard is ever in flight, so every client's
+// commands execute in submission order on its own fork, with no lock held
+// during execution (the nebula threaded-command-buffer idiom: worker
+// threads draining typed command queues, batched per drain cycle).
+//
+// Concurrency contract (see the vfs.hpp "Thread safety" audit):
+//  * Every client executes exclusively on ITS fork — a vfs view is never
+//    shared between threads. Shard strand-exclusivity enforces this.
+//  * Fork acquisition from the base is serialized by a pool-wide mutex
+//    (Session::fork mutates the parent's view-local state).
+//  * The shared substrate read concurrently by every client — frozen CoW
+//    layers, read-only mount backings, the fork-family PathTable, the
+//    shared dentry snapshot — is immutable or internally synchronized.
+//
+// Shared-world request dedup: on a PRISTINE fork (no mutating request
+// executed yet) a Load's report is a pure function of (exe, environment) —
+// the PR-3 dentry cache and the parsed-object caches are counter-
+// transparent, so warmth never shows in a report. The pool therefore
+// memoizes Load reports across pristine clients (the Spindle insight:
+// identical metadata requests from a fleet are served once). Memoization
+// is automatically disabled when the base carries a latency model, whose
+// per-view warmth DOES show in sim_time_s.
+//
+// Backpressure: each shard's queue is bounded; past the high-water mark
+// submits fail fast with svc::Overloaded carrying a retry-after hint
+// derived from the shard's recent per-command service time. Release/reset
+// commands bypass the bound so an overloaded pool can still shed state.
+//
+// Fork lifecycle: forks are acquired on first request, reset() re-forks
+// from the base, release() drops the client. An idle sweep runs every
+// drain cycle: pristine forks idle past `idle_evict_cycles` are evicted
+// (re-acquired O(1) on the next request); mutated idle forks are instead
+// flattened once via FileSystem::collapse() — they stop pinning the fork
+// family's frozen generations and their lookups go flat — but keep their
+// divergence (a shrinkwrapped world must survive its owner's coffee
+// break).
+//
+//   svc::SessionPool pool(core::WorldBuilder().debian().build());
+//   auto f = pool.submit_load(client_id, "/usr/bin/bin7");
+//   loader::LoadReport r = f.get();          // throws what the verb threw
+//   svc::PoolStats s = pool.stats();         // depths, p50/p99, evictions
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "depchaos/core/session.hpp"
+#include "depchaos/support/error.hpp"
+#include "depchaos/support/thread_pool.hpp"
+
+namespace depchaos::svc {
+
+/// Caller-chosen client identity; requests with one id execute in
+/// submission order on that client's private fork.
+using ClientId = std::uint64_t;
+
+/// The typed command set a pool serves (indexes PoolStats::latency).
+enum class RequestKind : std::uint8_t {
+  Load,
+  LoadMany,
+  Whatif,
+  Shrinkwrap,
+  LaunchFleet,
+  Query,
+  Control,  // release / reset
+};
+inline constexpr std::size_t kRequestKinds = 7;
+std::string_view request_kind_name(RequestKind kind);
+
+/// Thrown synchronously by submit_* when the client's shard queue is past
+/// the high-water mark. `retry_after_s` estimates when the backlog will
+/// have drained (queue depth x recent per-command service time).
+class Overloaded : public Error {
+ public:
+  Overloaded(std::size_t shard, std::size_t queue_depth, double retry_after_s);
+  std::size_t shard() const { return shard_; }
+  std::size_t queue_depth() const { return queue_depth_; }
+  double retry_after_s() const { return retry_after_s_; }
+
+ private:
+  std::size_t shard_;
+  std::size_t queue_depth_;
+  double retry_after_s_;
+};
+
+struct PoolConfig {
+  /// Admission shards (hashed by client id). More shards = finer-grained
+  /// drains and less head-of-line blocking between client groups.
+  std::size_t shards = 4;
+  /// Shared worker pool size (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Per-shard pending-command bound; submits past it throw Overloaded.
+  std::size_t queue_high_water = 1024;
+  /// Idle sweep: a fork untouched for this many of its shard's drain
+  /// cycles is evicted (pristine) or collapsed (mutated). 0 = never.
+  std::uint64_t idle_evict_cycles = 1024;
+  /// Dedup identical Load requests across pristine forks (disabled
+  /// automatically when the base carries a latency model).
+  bool memoize_loads = true;
+  /// Tests and scripted drivers: no worker drains are scheduled; queues
+  /// advance only when pump() is called, making backpressure and idle
+  /// eviction deterministic.
+  bool manual_drain = false;
+};
+
+/// Answer to a Query request: facts about the client's view of the world.
+struct QueryResult {
+  std::size_t inode_count = 0;     // composed namespace size
+  std::size_t layer_depth = 0;     // CoW chain under the client's fork
+  std::uint64_t owned_bytes = 0;   // the fork's private divergence
+  std::size_t interned_paths = 0;  // fork-family shared PathTable size
+  std::size_t mount_count = 0;
+  std::string default_exe;
+  bool pristine = true;  // no mutating request executed on this fork
+};
+
+struct OpLatency {
+  std::uint64_t count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+/// One consistent snapshot of the pool's health (the service dashboard).
+struct PoolStats {
+  std::size_t shards = 0;
+  std::vector<std::size_t> queue_depths;  // pending commands, per shard
+  std::size_t clients_live = 0;           // clients holding a fork
+  std::uint64_t admitted = 0;             // commands accepted
+  std::uint64_t executed = 0;             // commands completed
+  std::uint64_t memoized = 0;             // Loads served from the dedup memo
+  std::uint64_t rejected = 0;             // Overloaded submits
+  std::uint64_t evicted = 0;              // idle pristine forks dropped
+  std::uint64_t collapsed = 0;            // idle mutated forks flattened
+  std::uint64_t drain_cycles = 0;
+  std::uint64_t worker_errors = 0;  // exceptions forwarded to futures
+  std::uint64_t fork_owned_bytes = 0;  // Σ owned_bytes over live forks
+  /// End-to-end (enqueue -> result ready) latency per request kind.
+  std::array<OpLatency, kRequestKinds> latency{};
+};
+
+class SessionPool {
+ public:
+  /// Take ownership of the base world. The base is frozen up front (one
+  /// priming fork) so every admission is O(1) and the base session is
+  /// never structurally mutated again.
+  explicit SessionPool(core::Session base, PoolConfig config = {});
+  ~SessionPool();
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  // ---- typed submission (thread-safe; throws Overloaded on backpressure) --
+  std::future<loader::LoadReport> submit_load(ClientId client,
+                                              std::string exe = {});
+  /// Zero-copy variant for storm fleets: when the Load memo serves N
+  /// clients the same (exe, env) resolution, they all receive ONE shared
+  /// immutable report instead of N deep copies (the pull-based broadcast
+  /// idea: identical responses to a fleet are one payload). Byte-identical
+  /// to submit_load in every field.
+  std::future<std::shared_ptr<const loader::LoadReport>> submit_load_shared(
+      ClientId client, std::string exe = {});
+  std::future<std::vector<loader::LoadReport>> submit_load_many(
+      ClientId client, std::vector<std::string> exes);
+  std::future<core::Session::WhatIfReport> submit_whatif(ClientId client,
+                                                         std::string exe = {});
+  std::future<shrinkwrap::WrapReport> submit_shrinkwrap(ClientId client,
+                                                        std::string exe = {});
+  std::future<launch::LaunchResult> submit_launch_fleet(ClientId client,
+                                                        core::SandboxSpec spec,
+                                                        std::string exe,
+                                                        int ranks);
+  std::future<QueryResult> submit_query(ClientId client);
+
+  // ---- fork lifecycle (bypass the high-water mark: they shed state) -------
+  /// Drop the client's fork and queue position; the next request re-admits.
+  std::future<void> release(ClientId client);
+  /// Replace the client's fork with a fresh pristine fork of the base.
+  std::future<void> reset(ClientId client);
+
+  // ---- control ------------------------------------------------------------
+  /// Block until every admitted command has completed (quiescence).
+  void drain();
+  /// Run one drain cycle per shard on the calling thread (the only way
+  /// queues advance under PoolConfig::manual_drain; safe — but rarely
+  /// useful — alongside worker drains otherwise). Returns commands run.
+  std::size_t pump();
+
+  PoolStats stats() const;
+  /// Which shard serves this client (submission-order domain).
+  std::size_t shard_of(ClientId client) const;
+  /// Whether Load dedup is active (config AND no latency model).
+  bool memoization_enabled() const { return memo_enabled_; }
+  /// The shared base. Const access is safe while the pool is quiescent
+  /// (ctor, or after drain() with no concurrent submits): admissions
+  /// serialize on an internal mutex but are not readers-safe against it.
+  const core::Session& base() const { return base_; }
+
+ private:
+  struct Shard;
+  struct ClientState;
+  struct Command;
+
+  Shard& shard_for(ClientId client);
+  void schedule_drain(Shard& shard);     // under shard.mutex
+  std::size_t drain_cycle(Shard& shard);  // strand body; returns commands run
+  void enqueue(ClientId client, RequestKind kind, Command command);
+  void execute(Shard& shard, Command& command);
+  void sweep_idle(Shard& shard);
+  void finish(Shard& shard, RequestKind kind, bool error, bool memo_hit,
+              double wait_s, double service_s);
+
+  PoolConfig config_;
+  core::Session base_;
+  bool memo_enabled_ = false;
+
+  std::mutex fork_mutex_;  // serializes Session::fork on the base
+
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const loader::LoadReport>>
+      memo_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::size_t> pending_{0};
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+
+  // Last member: destroyed (joined) first, so no drain task can touch the
+  // shards or the base during teardown.
+  std::unique_ptr<support::ThreadPool> pool_;
+};
+
+}  // namespace depchaos::svc

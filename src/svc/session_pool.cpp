@@ -1,0 +1,601 @@
+#include "depchaos/svc/session_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "depchaos/analysis/histogram.hpp"
+
+namespace depchaos::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// splitmix64 finalizer: client ids are often small consecutive integers,
+/// whose identity hash would land every client in shard 0.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Load:
+      return "load";
+    case RequestKind::LoadMany:
+      return "load_many";
+    case RequestKind::Whatif:
+      return "whatif";
+    case RequestKind::Shrinkwrap:
+      return "shrinkwrap";
+    case RequestKind::LaunchFleet:
+      return "launch_fleet";
+    case RequestKind::Query:
+      return "query";
+    case RequestKind::Control:
+      return "control";
+  }
+  return "?";
+}
+
+Overloaded::Overloaded(std::size_t shard, std::size_t queue_depth,
+                       double retry_after_s)
+    : Error("svc: shard " + std::to_string(shard) + " over high-water mark (" +
+            std::to_string(queue_depth) + " pending); retry in " +
+            std::to_string(retry_after_s) + "s"),
+      shard_(shard),
+      queue_depth_(queue_depth),
+      retry_after_s_(retry_after_s) {}
+
+// ---- internal command/state types -----------------------------------------
+
+struct LoadCmd {
+  std::string exe;
+  std::promise<loader::LoadReport> done;
+};
+struct SharedLoadCmd {
+  std::string exe;
+  std::promise<std::shared_ptr<const loader::LoadReport>> done;
+};
+struct LoadManyCmd {
+  std::vector<std::string> exes;
+  std::promise<std::vector<loader::LoadReport>> done;
+};
+struct WhatifCmd {
+  std::string exe;
+  std::promise<core::Session::WhatIfReport> done;
+};
+struct WrapCmd {
+  std::string exe;
+  std::promise<shrinkwrap::WrapReport> done;
+};
+struct FleetCmd {
+  core::SandboxSpec spec;
+  std::string exe;
+  int ranks = 0;
+  std::promise<launch::LaunchResult> done;
+};
+struct QueryCmd {
+  std::promise<QueryResult> done;
+};
+struct ControlCmd {
+  bool reset = false;  // false = release
+  std::promise<void> done;
+};
+
+struct SessionPool::Command {
+  ClientId client = 0;
+  RequestKind kind = RequestKind::Load;
+  Clock::time_point enqueued;
+  std::variant<LoadCmd, SharedLoadCmd, LoadManyCmd, WhatifCmd, WrapCmd,
+               FleetCmd, QueryCmd, ControlCmd>
+      op;
+};
+
+struct SessionPool::ClientState {
+  std::optional<core::Session> session;
+  bool pristine = true;        // no mutating request executed on this fork
+  bool collapsed_idle = false;  // the idle sweep flattened it already
+  std::uint64_t last_active = 0;  // shard drain-cycle stamp
+};
+
+struct SessionPool::Shard {
+  std::size_t index = 0;
+
+  /// Queue + counters + histograms. Never held while a command executes.
+  mutable std::mutex mutex;
+  std::deque<Command> queue;
+  bool draining = false;  // a strand task is queued or running
+  double service_ema_s = 100e-6;  // feeds the Overloaded retry-after hint
+  std::uint64_t executed = 0;
+  std::uint64_t memoized = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t collapsed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cycles = 0;
+  std::array<analysis::Histogram, kRequestKinds> latency;
+
+  /// Client map AND the sessions inside it. The strand holds it for the
+  /// duration of each command so stats() can read live-fork aggregates
+  /// without racing execution; submits never touch it.
+  mutable std::mutex client_mutex;
+  std::unordered_map<ClientId, ClientState> clients;
+};
+
+// ---- construction ---------------------------------------------------------
+
+SessionPool::SessionPool(core::Session base, PoolConfig config)
+    : config_(config), base_(std::move(base)) {
+  config_.shards = std::max<std::size_t>(1, config_.shards);
+  // Memoized Load reports must be warmth-independent; a latency model's
+  // per-view state (NfsModel's attribute cache) shows up in sim_time_s, so
+  // dedup is only sound on a model-free base. (Counters and load orders
+  // are warmth-transparent by the PR-3 dentry-cache contract.)
+  memo_enabled_ = config_.memoize_loads &&
+                  base_.fs().latency_model() == nullptr;
+  // Prime the fork family: freeze the base's overlay once so every
+  // admission fork is O(1) and never structurally mutates the base again.
+  { core::Session prime = base_.fork(); }
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = i;
+  }
+  pool_ = std::make_unique<support::ThreadPool>(config_.threads);
+}
+
+SessionPool::~SessionPool() {
+  drain();
+  // pool_ (last member) is destroyed first, joining every strand before
+  // the shards and base go away.
+}
+
+std::size_t SessionPool::shard_of(ClientId client) const {
+  return static_cast<std::size_t>(mix64(client) % shards_.size());
+}
+
+SessionPool::Shard& SessionPool::shard_for(ClientId client) {
+  return *shards_[shard_of(client)];
+}
+
+// ---- admission ------------------------------------------------------------
+
+void SessionPool::enqueue(ClientId client, RequestKind kind, Command command) {
+  Shard& shard = shard_for(client);
+  command.client = client;
+  command.kind = kind;
+  command.enqueued = Clock::now();
+  {
+    std::lock_guard lock(shard.mutex);
+    // Control commands (release/reset) shed state and bypass the bound —
+    // an overloaded pool must stay able to shrink itself.
+    if (kind != RequestKind::Control &&
+        shard.queue.size() >= config_.queue_high_water) {
+      ++shard.rejected;
+      throw Overloaded(shard.index, shard.queue.size(),
+                       shard.service_ema_s *
+                           static_cast<double>(shard.queue.size() + 1));
+    }
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    shard.queue.push_back(std::move(command));
+    if (!config_.manual_drain) schedule_drain(shard);
+  }
+}
+
+void SessionPool::schedule_drain(Shard& shard) {
+  // Caller holds shard.mutex. Strand invariant: at most one drain task per
+  // shard in flight, so commands for one client never execute concurrently
+  // or out of order.
+  if (shard.draining) return;
+  shard.draining = true;
+  pool_->submit("svc/shard" + std::to_string(shard.index), [this, &shard] {
+    while (drain_cycle(shard) != 0) {
+    }
+  });
+}
+
+std::size_t SessionPool::drain_cycle(Shard& shard) {
+  std::deque<Command> batch;
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.queue.empty()) {
+      shard.draining = false;
+      return 0;
+    }
+    batch.swap(shard.queue);
+    ++shard.cycles;
+  }
+  // Execute the whole batch outside the queue lock — submissions keep
+  // landing while the strand works, and they will be picked up by the
+  // next cycle of the same task (the while-loop in schedule_drain).
+  for (Command& command : batch) {
+    execute(shard, command);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(quiesce_mutex_);
+      quiesce_cv_.notify_all();
+    }
+  }
+  {
+    std::lock_guard lock(shard.client_mutex);
+    sweep_idle(shard);
+  }
+  return batch.size();
+}
+
+std::size_t SessionPool::pump() {
+  std::size_t ran = 0;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard lock(shard->mutex);
+      if (shard->draining) continue;  // a worker strand owns it right now
+      shard->draining = true;
+    }
+    ran += drain_cycle(*shard);
+    std::lock_guard lock(shard->mutex);
+    shard->draining = false;
+  }
+  return ran;
+}
+
+void SessionPool::drain() {
+  if (config_.manual_drain) {
+    while (pending_.load(std::memory_order_acquire) != 0) pump();
+    return;
+  }
+  std::unique_lock lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+// ---- execution ------------------------------------------------------------
+
+void SessionPool::finish(Shard& shard, RequestKind kind, bool error,
+                         bool memo_hit, double wait_s, double service_s) {
+  const double total_us = (wait_s + service_s) * 1e6;
+  std::lock_guard lock(shard.mutex);
+  ++shard.executed;
+  if (error) ++shard.errors;
+  if (memo_hit) ++shard.memoized;
+  shard.latency[static_cast<std::size_t>(kind)].add(
+      static_cast<std::uint64_t>(total_us));
+  shard.service_ema_s = 0.9 * shard.service_ema_s + 0.1 * service_s;
+}
+
+void SessionPool::execute(Shard& shard, Command& command) {
+  const Clock::time_point started = Clock::now();
+  const double wait_s = seconds_between(command.enqueued, started);
+  bool error = false;
+  bool memo_hit = false;
+
+  std::lock_guard clients_lock(shard.client_mutex);
+  ClientState& state = shard.clients[command.client];
+  state.last_active = shard.cycles;
+
+  // Lazily acquire the client's fork (Control and memo-served Loads may
+  // not need one; everything else does).
+  auto ensure_session = [&]() -> core::Session& {
+    if (!state.session) {
+      // Session::fork mutates the parent's view-local bookkeeping, so all
+      // admissions serialize on the base.
+      std::lock_guard fork_lock(fork_mutex_);
+      state.session.emplace(base_.fork());
+      state.pristine = true;
+      state.collapsed_idle = false;
+    }
+    return *state.session;
+  };
+
+  // One Load, through the shared-world memo when sound: on a pristine fork
+  // the report is a pure function of the exe (see header), so thousands of
+  // clients loading the same closure cost one resolution fleet-wide — and
+  // all receive the same immutable report object, no copies.
+  auto run_load =
+      [&](const std::string& exe) -> std::shared_ptr<const loader::LoadReport> {
+    const std::string key = exe.empty() ? base_.default_exe() : exe;
+    if (memo_enabled_ && state.pristine) {
+      {
+        std::lock_guard memo_lock(memo_mutex_);
+        if (auto it = memo_.find(key); it != memo_.end()) {
+          memo_hit = true;
+          return it->second;
+        }
+      }
+      auto report = std::make_shared<const loader::LoadReport>(
+          ensure_session().load(exe));
+      std::lock_guard memo_lock(memo_mutex_);
+      memo_.try_emplace(key, report);
+      return report;
+    }
+    return std::make_shared<const loader::LoadReport>(ensure_session().load(exe));
+  };
+
+  // Every verb's exception lands in the FUTURE, never in the worker: a bad
+  // request (missing exe, malformed image) is the client's problem, and
+  // the strand moves on to the next command.
+  auto deliver = [&](auto& cmd, auto&& produce) {
+    try {
+      if constexpr (std::is_void_v<decltype(produce())>) {
+        produce();
+        cmd.done.set_value();
+      } else {
+        cmd.done.set_value(produce());
+      }
+    } catch (...) {
+      error = true;
+      cmd.done.set_exception(std::current_exception());
+    }
+  };
+
+  switch (command.kind) {
+    case RequestKind::Load: {
+      if (auto* shared = std::get_if<SharedLoadCmd>(&command.op)) {
+        deliver(*shared, [&] { return run_load(shared->exe); });
+      } else {
+        auto& cmd = std::get<LoadCmd>(command.op);
+        deliver(cmd, [&] { return loader::LoadReport(*run_load(cmd.exe)); });
+      }
+      break;
+    }
+    case RequestKind::LoadMany: {
+      // Executed as a serial loop in the strand (not Session::load_many,
+      // which would nest a private thread pool per request): reports are
+      // byte-identical either way, and each entry still rides the memo.
+      auto& cmd = std::get<LoadManyCmd>(command.op);
+      deliver(cmd, [&] {
+        std::vector<loader::LoadReport> reports;
+        reports.reserve(cmd.exes.size());
+        for (const std::string& exe : cmd.exes) {
+          reports.push_back(loader::LoadReport(*run_load(exe)));
+        }
+        return reports;
+      });
+      break;
+    }
+    case RequestKind::Whatif: {
+      // whatif works inside a throwaway sub-fork: the client's world is
+      // observably unchanged, so the fork stays pristine.
+      auto& cmd = std::get<WhatifCmd>(command.op);
+      deliver(cmd, [&] { return ensure_session().whatif(cmd.exe); });
+      break;
+    }
+    case RequestKind::Shrinkwrap: {
+      auto& cmd = std::get<WrapCmd>(command.op);
+      deliver(cmd, [&] {
+        shrinkwrap::WrapReport report = ensure_session().shrinkwrap(cmd.exe);
+        state.pristine = false;  // the fork's world diverged from the base
+        return report;
+      });
+      break;
+    }
+    case RequestKind::LaunchFleet: {
+      auto& cmd = std::get<FleetCmd>(command.op);
+      deliver(cmd, [&] {
+        core::Session& session = ensure_session();
+        launch::FleetConfig fleet;
+        fleet.cluster = session.config().cluster;
+        return session.launch_fleet(cmd.spec, cmd.exe, cmd.ranks, fleet);
+      });
+      break;
+    }
+    case RequestKind::Query: {
+      auto& cmd = std::get<QueryCmd>(command.op);
+      deliver(cmd, [&] {
+        core::Session& session = ensure_session();
+        QueryResult result;
+        result.inode_count = session.fs().inode_count();
+        result.layer_depth = session.fs().layer_depth();
+        result.owned_bytes = session.fs().owned_bytes();
+        result.interned_paths = session.fs().paths().size();
+        result.mount_count = session.fs().mounts().size();
+        result.default_exe = session.default_exe();
+        result.pristine = state.pristine;
+        return result;
+      });
+      break;
+    }
+    case RequestKind::Control: {
+      auto& cmd = std::get<ControlCmd>(command.op);
+      deliver(cmd, [&] {
+        if (cmd.reset) {
+          // Lazy re-fork: drop the state; the next request re-admits.
+          state = ClientState{};
+          state.last_active = shard.cycles;
+        } else {
+          shard.clients.erase(command.client);
+        }
+      });
+      break;
+    }
+  }
+
+  const double service_s = seconds_between(started, Clock::now());
+  finish(shard, command.kind, error, memo_hit, wait_s, service_s);
+}
+
+void SessionPool::sweep_idle(Shard& shard) {
+  // Caller holds shard.client_mutex.
+  if (config_.idle_evict_cycles == 0) return;
+  std::uint64_t evicted = 0;
+  std::uint64_t collapsed = 0;
+  for (auto it = shard.clients.begin(); it != shard.clients.end();) {
+    ClientState& state = it->second;
+    const bool idle = state.session &&
+                      shard.cycles - state.last_active >=
+                          config_.idle_evict_cycles;
+    if (!idle) {
+      ++it;
+      continue;
+    }
+    if (state.pristine) {
+      // A pristine fork carries no divergence: drop it, re-fork O(1) on
+      // the next request.
+      it = shard.clients.erase(it);
+      ++evicted;
+      continue;
+    }
+    if (!state.collapsed_idle) {
+      // A mutated fork must keep its divergence, but flattening it stops
+      // it pinning the fork family's frozen generations and makes its
+      // lookups flat for whenever the owner returns.
+      state.session->fs().collapse();
+      state.collapsed_idle = true;
+      ++collapsed;
+    }
+    ++it;
+  }
+  if (evicted != 0 || collapsed != 0) {
+    std::lock_guard lock(shard.mutex);
+    shard.evicted += evicted;
+    shard.collapsed += collapsed;
+  }
+}
+
+// ---- typed submits --------------------------------------------------------
+
+std::future<loader::LoadReport> SessionPool::submit_load(ClientId client,
+                                                         std::string exe) {
+  LoadCmd cmd{std::move(exe), {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::Load, std::move(command));
+  return future;
+}
+
+std::future<std::shared_ptr<const loader::LoadReport>>
+SessionPool::submit_load_shared(ClientId client, std::string exe) {
+  SharedLoadCmd cmd{std::move(exe), {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::Load, std::move(command));
+  return future;
+}
+
+std::future<std::vector<loader::LoadReport>> SessionPool::submit_load_many(
+    ClientId client, std::vector<std::string> exes) {
+  LoadManyCmd cmd{std::move(exes), {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::LoadMany, std::move(command));
+  return future;
+}
+
+std::future<core::Session::WhatIfReport> SessionPool::submit_whatif(
+    ClientId client, std::string exe) {
+  WhatifCmd cmd{std::move(exe), {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::Whatif, std::move(command));
+  return future;
+}
+
+std::future<shrinkwrap::WrapReport> SessionPool::submit_shrinkwrap(
+    ClientId client, std::string exe) {
+  WrapCmd cmd{std::move(exe), {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::Shrinkwrap, std::move(command));
+  return future;
+}
+
+std::future<launch::LaunchResult> SessionPool::submit_launch_fleet(
+    ClientId client, core::SandboxSpec spec, std::string exe, int ranks) {
+  FleetCmd cmd{std::move(spec), std::move(exe), ranks, {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::LaunchFleet, std::move(command));
+  return future;
+}
+
+std::future<QueryResult> SessionPool::submit_query(ClientId client) {
+  QueryCmd cmd;
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::Query, std::move(command));
+  return future;
+}
+
+std::future<void> SessionPool::release(ClientId client) {
+  ControlCmd cmd{/*reset=*/false, {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::Control, std::move(command));
+  return future;
+}
+
+std::future<void> SessionPool::reset(ClientId client) {
+  ControlCmd cmd{/*reset=*/true, {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::Control, std::move(command));
+  return future;
+}
+
+// ---- observability --------------------------------------------------------
+
+PoolStats SessionPool::stats() const {
+  PoolStats stats;
+  stats.shards = shards_.size();
+  stats.queue_depths.reserve(shards_.size());
+  std::array<analysis::Histogram, kRequestKinds> merged;
+  for (const auto& shard : shards_) {
+    {
+      std::lock_guard lock(shard->mutex);
+      stats.queue_depths.push_back(shard->queue.size());
+      stats.executed += shard->executed;
+      stats.memoized += shard->memoized;
+      stats.rejected += shard->rejected;
+      stats.evicted += shard->evicted;
+      stats.collapsed += shard->collapsed;
+      stats.worker_errors += shard->errors;
+      stats.drain_cycles += shard->cycles;
+      for (std::size_t k = 0; k < kRequestKinds; ++k) {
+        for (const std::uint64_t sample : shard->latency[k].samples()) {
+          merged[k].add(sample);
+        }
+      }
+    }
+    std::lock_guard lock(shard->client_mutex);
+    for (const auto& [id, state] : shard->clients) {
+      if (!state.session) continue;
+      ++stats.clients_live;
+      stats.fork_owned_bytes += state.session->fs().owned_bytes();
+    }
+  }
+  stats.admitted = stats.executed + pending_.load(std::memory_order_acquire);
+  for (std::size_t k = 0; k < kRequestKinds; ++k) {
+    const analysis::Histogram& h = merged[k];
+    if (h.empty()) continue;
+    OpLatency& lat = stats.latency[k];
+    lat.count = h.size();
+    lat.p50_us = static_cast<double>(h.quantile(0.50));
+    lat.p99_us = static_cast<double>(h.quantile(0.99));
+    lat.max_us = static_cast<double>(h.max());
+  }
+  return stats;
+}
+
+}  // namespace depchaos::svc

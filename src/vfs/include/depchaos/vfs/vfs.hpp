@@ -55,6 +55,31 @@
 // sandbox fleets (core::Session::sandbox) O(delta) to create and — via
 // vfs::save_fleet — O(delta) to persist.
 //
+// Thread safety (audited for svc::SessionPool, which runs thousands of
+// client forks of one shared base concurrently):
+//  * A VIEW is single-threaded. Even const read paths touch per-view
+//    mutable state — the positive/negative dentry memo, the syscall
+//    counters, a local latency model's warmth — so one FileSystem view
+//    must never be shared between threads without external serialization.
+//    Give every thread its own fork; that is the whole design.
+//  * The SHARED substrate between sibling forks is safe for any number of
+//    concurrent reader views: frozen CoW base layers are immutable after
+//    freeze_top (no API mutates a frozen layer); the fork-family
+//    PathTable is append-only with lock-free id-keyed reads and
+//    internally synchronized inserts; the shared dentry SNAPSHOT taken at
+//    a fork boundary is immutable (sides drop their reference on first
+//    mutation, never edit it); read-only mount backings are only
+//    const-read at resolve time (node_local), never resolved or mutated
+//    post-mount.
+//  * fork() MUTATES the parent view (freezes its overlay, rotates its
+//    dentry memo into the snapshot) — concurrent forks of one parent must
+//    be serialized by the caller (svc::SessionPool holds a fork mutex).
+//  * collapse() rewrites the calling view's layer chain only; sibling
+//    views keep their own references to the frozen generations, so one
+//    client flattening its world never perturbs another. Mutating a
+//    WRITABLE mount backing behind a composed view remains forbidden
+//    (documented above) — that rule is what keeps sandbox fleets safe.
+//
 // Conventions:
 //  * Paths are absolute, '/'-separated; "." and ".." are normalized away.
 //  * Symlinks store a (possibly relative) target string, resolved lazily

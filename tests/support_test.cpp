@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -363,6 +364,58 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ThrowingTaskIsCapturedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.submit([] { throw std::runtime_error("bad request"); });
+  pool.submit([&] { after.fetch_add(1); });
+  pool.wait_idle();
+  // The pool survived the throw and kept serving.
+  EXPECT_EQ(after.load(), 1);
+  EXPECT_TRUE(pool.has_errors());
+  auto errors = pool.take_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_THROW(std::rethrow_exception(errors[0]), std::runtime_error);
+  // take_errors drains the list.
+  EXPECT_FALSE(pool.has_errors());
+  EXPECT_TRUE(pool.take_errors().empty());
+}
+
+TEST(ThreadPool, TagStatsCountSubmittedCompletedFailed) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 5; ++i) {
+    pool.submit("svc/shard0", [i] {
+      if (i % 2 == 0) throw std::runtime_error("boom");
+    });
+  }
+  pool.submit([] {});  // untagged buckets under ""
+  pool.wait_idle();
+  const auto stats = pool.tag_stats();
+  const auto& shard = stats.at("svc/shard0");
+  EXPECT_EQ(shard.submitted, 5u);
+  EXPECT_EQ(shard.completed, 5u);
+  EXPECT_EQ(shard.failed, 3u);
+  EXPECT_EQ(stats.at("").submitted, 1u);
+  EXPECT_EQ(pool.take_errors().size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstChunkError) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(parallel_for(
+                   pool, 1000,
+                   [&](std::size_t i) {
+                     visited.fetch_add(1);
+                     if (i == 500) throw std::runtime_error("mid-batch");
+                   },
+                   16),
+               std::runtime_error);
+  // Other chunks were not skipped, and the pool's shared error list was
+  // not polluted by parallel_for's private capture.
+  EXPECT_GT(visited.load(), 500);
+  EXPECT_FALSE(pool.has_errors());
 }
 
 }  // namespace

@@ -31,18 +31,23 @@
 // (load / libtree / shrinkwrap / verify / launch). No subcommand wires a
 // FileSystem or Loader by hand.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "depchaos/core/session.hpp"
 #include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
 #include "depchaos/support/strings.hpp"
+#include "depchaos/svc/session_pool.hpp"
 #include "depchaos/vfs/snapshot.hpp"
 
 using namespace depchaos;
@@ -94,7 +99,20 @@ void print_usage(std::FILE* out) {
       "       mountpoint dir to exist or be creatable — masking a dir\n"
       "       absent from a read-only image root requires --overlay)\n"
       "  depchaos mount <world-file>\n"
-      "      (mount table of a fleet image's first view)\n");
+      "      (mount table of a fleet image's first view)\n"
+      "  depchaos serve <world-file> --exe=PATH [--clients=N]\n"
+      "      [--requests=N] [--shards=N] [--threads=N] [--mix=load|mixed]\n"
+      "      [--seed=N] [--high-water=N] [--no-memo]\n"
+      "      (multi-tenant session service demo: a svc::SessionPool over\n"
+      "       the world plus an in-process scripted driver — N client\n"
+      "       threads each firing a request script at the pool's sharded\n"
+      "       admission queues; every client works on its own O(1) CoW\n"
+      "       fork. --mix=mixed adds whatif/query/shrinkwrap traffic to\n"
+      "       the load storm; past --high-water pending requests per\n"
+      "       shard, submits are rejected with a retry-after hint and the\n"
+      "       driver backs off and retries. Prints the PoolStats\n"
+      "       dashboard: per-shard depths, executed/memoized/rejected,\n"
+      "       per-op p50/p99 latency)\n");
 }
 
 [[noreturn]] void usage() {
@@ -383,6 +401,127 @@ int cmd_mount(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `depchaos serve` — the session service demo. There is no network layer in
+// a simulator, so the "clients" are in-process driver threads; everything
+// else is the production path: typed submits into the sharded admission
+// queues, strand drains on the shared worker pool, Overloaded backpressure
+// with driver-side retry, per-client CoW forks of the one loaded world.
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  auto number = [&](std::string_view prefix, long fallback) {
+    return std::strtol(
+        flag_value(args, prefix, std::to_string(fallback)).c_str(), nullptr,
+        10);
+  };
+  const std::size_t clients = static_cast<std::size_t>(number("--clients=", 64));
+  const std::size_t requests =
+      static_cast<std::size_t>(number("--requests=", 32));
+  const std::string mix = flag_value(args, "--mix=", "load");
+  if (mix != "load" && mix != "mixed") usage();
+  const std::uint64_t seed = static_cast<std::uint64_t>(number("--seed=", 1));
+
+  svc::PoolConfig config;
+  config.shards = static_cast<std::size_t>(number("--shards=", 8));
+  config.threads = static_cast<std::size_t>(number("--threads=", 0));
+  config.queue_high_water =
+      static_cast<std::size_t>(number("--high-water=", 1024));
+  config.memoize_loads = !has_flag(args, "--no-memo");
+
+  core::Session base = open_session(args);
+  // Saved snapshots carry no default target; `--exe=` names the app the
+  // driver storms (falls back to a world-carried default when present).
+  const std::string exe = flag_value(args, "--exe=", base.default_exe());
+  if (exe.empty()) {
+    std::fprintf(stderr,
+                 "depchaos: serve needs --exe=PATH (world carries no default "
+                 "target)\n");
+    return 1;
+  }
+  svc::SessionPool pool(std::move(base), config);
+  std::printf("serving %s: %zu clients x %zu requests (%s mix, %zu shards, "
+              "memo %s)\n",
+              exe.c_str(), clients, requests, mix.c_str(), config.shards,
+              pool.memoization_enabled() ? "on" : "off");
+
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> request_errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    drivers.emplace_back([&, c] {
+      const svc::ClientId id = static_cast<svc::ClientId>(c + 1);
+      std::mt19937_64 rng(seed * 1000003 + c);
+      std::uniform_int_distribution<int> op(0, 9);
+      for (std::size_t r = 0; r < requests; ++r) {
+        // 0-6 load, 7 query, 8 whatif, 9 shrinkwrap (mixed mode only).
+        const int pick = mix == "mixed" ? op(rng) : 0;
+        for (;;) {  // back off and retry on admission rejection
+          try {
+            if (pick >= 9) {
+              pool.submit_shrinkwrap(id, exe).get();
+            } else if (pick == 8) {
+              pool.submit_whatif(id, exe).get();
+            } else if (pick == 7) {
+              pool.submit_query(id).get();
+            } else {
+              pool.submit_load_shared(id, exe).get();
+            }
+            break;
+          } catch (const svc::Overloaded& overloaded) {
+            retries.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                overloaded.retry_after_s()));
+          } catch (const std::exception&) {
+            // A failed request (bad exe, wrap error) came back through the
+            // future; the pool already counted it. Keep driving.
+            request_errors.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  pool.drain();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  const svc::PoolStats stats = pool.stats();
+  std::printf("\n%llu requests in %.3fs (%.0f req/s), %llu driver retries, "
+              "%llu request errors\n",
+              static_cast<unsigned long long>(stats.executed), elapsed,
+              static_cast<double>(stats.executed) / elapsed,
+              static_cast<unsigned long long>(retries.load()),
+              static_cast<unsigned long long>(request_errors.load()));
+  std::printf("clients live        %zu (sum private divergence %llu bytes)\n",
+              stats.clients_live,
+              static_cast<unsigned long long>(stats.fork_owned_bytes));
+  std::printf("executed / memoized %llu / %llu\n",
+              static_cast<unsigned long long>(stats.executed - stats.memoized),
+              static_cast<unsigned long long>(stats.memoized));
+  std::printf("rejected / evicted / collapsed / errors  %llu / %llu / %llu "
+              "/ %llu\n",
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.evicted),
+              static_cast<unsigned long long>(stats.collapsed),
+              static_cast<unsigned long long>(stats.worker_errors));
+  std::printf("drain cycles        %llu over %zu shards\n",
+              static_cast<unsigned long long>(stats.drain_cycles),
+              stats.shards);
+  for (std::size_t k = 0; k < svc::kRequestKinds; ++k) {
+    const svc::OpLatency& lat = stats.latency[k];
+    if (lat.count == 0) continue;
+    std::printf("%-12s n=%-8llu p50=%.0fus p99=%.0fus max=%.0fus\n",
+                std::string(svc::request_kind_name(
+                    static_cast<svc::RequestKind>(k))).c_str(),
+                static_cast<unsigned long long>(lat.count), lat.p50_us,
+                lat.p99_us, lat.max_us);
+  }
+  return 0;
+}
+
 int cmd_launch(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
   core::SessionConfig config;
@@ -582,6 +721,7 @@ int main(int argc, char** argv) {
     if (command == "launch") return cmd_launch(args);
     if (command == "sandbox") return cmd_sandbox(args);
     if (command == "mount") return cmd_mount(args);
+    if (command == "serve") return cmd_serve(args);
   } catch (const Error& error) {
     std::fprintf(stderr, "depchaos: %s\n", error.what());
     return 1;
