@@ -19,7 +19,10 @@
 //    measure-once extrapolation equals per-rank re-measurement bit for
 //    bit (the cross-branch identity is diffed via BENCH_*.json);
 //  * the shared/overlay split tiles the measured total, with zero
-//    overlay ops for homogeneous ranks.
+//    overlay ops for homogeneous ranks;
+//  * measurement is O(#classes), not O(#ranks): homogeneous containerized
+//    fleets replay the loader exactly once, and a mixed MPMD fleet is
+//    measured once per program class.
 //
 // DEPCHAOS_SMOKE=1 shrinks the app (the sweep stays at 512..2048 ranks).
 
@@ -226,6 +229,33 @@ int print_report() {
   row("shared/overlay split tiles the measured total",
       gate_split ? "PASS" : "FAIL");
 
+  // Measurement economy: homogeneous containerized ranks collapse into
+  // ONE equivalence class (one loader replay per sweep point), and a
+  // mixed MPMD fleet is measured once per program class — never per rank.
+  bool gate_classes = true;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    gate_classes = gate_classes && cont_normal[i].ranks_measured == 1 &&
+                   cont_normal[i].classes_measured == 1 &&
+                   cont_wrapped[i].ranks_measured == 1 &&
+                   cont_wrapped[i].classes_measured == 1;
+  }
+  {
+    const int classes = 4;
+    launch::FleetConfig mixed;
+    mixed.cluster = host.config().cluster;
+    mixed.rank_setup = [&scenario, classes](core::Session& s, int r) {
+      workload::apply_mpmd_rank(s.fs(), s.env(), scenario.app, r, classes);
+    };
+    const auto m = host.launch_fleet(spec_normal, "", 64, mixed);
+    gate_classes = gate_classes && m.load_succeeded &&
+                   m.classes_measured == classes &&
+                   m.ranks_measured == classes;
+    row("mixed 4-class fleet @64 loader replays",
+        std::to_string(m.ranks_measured));
+  }
+  row("measured loader replays == rank classes",
+      gate_classes ? "PASS" : "FAIL");
+
   bool loads_ok = true;
   for (std::size_t i = 0; i < ranks.size(); ++i) {
     loads_ok = loads_ok && bare_normal[i].load_succeeded &&
@@ -238,7 +268,7 @@ int print_report() {
       loads_ok ? "PASS" : "FAIL");
 
   return (gate_ratio && gate_fork && sweep_identical && gate_split &&
-          loads_ok)
+          gate_classes && loads_ok)
              ? 0
              : 1;
 }

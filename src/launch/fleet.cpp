@@ -11,13 +11,19 @@
 //
 // Sandbox setup is O(1) per rank: Session::sandbox forks the host world
 // copy-on-write and mounts the shared image without copying a byte of it
-// (gated by bench/fig6_container.cpp). When ranks are homogeneous (no
-// rank_setup hook) ONE sandboxed rank is measured and replicated — the
-// fast path that keeps a 2048-rank sweep at a single loader replay.
+// (gated by bench/fig6_container.cpp). Measurement cost scales with the
+// number of DISTINCT rank configurations, not the rank count: ranks are
+// clustered into equivalence classes by (sandbox overlay fingerprint,
+// loader environment) after rank_setup runs in every sandbox, and one
+// representative per class is measured (gated by bench/hetero_fleet.cpp).
+// Homogeneous fleets (no rank_setup hook) are the 1-class special case —
+// a 2048-rank sweep stays a single loader replay.
 
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "depchaos/core/session.hpp"
 #include "depchaos/launch/launch.hpp"
@@ -94,8 +100,39 @@ void extrapolate_fleet(LaunchResult& result, double shared_ops,
       cluster.init_s + result.data_time_s + result.meta_time_s;
 }
 
+/// Loader-environment half of the equivalence-class key. '\0'-terminated
+/// entries with a section marker keep the serialization injective.
+std::string env_class_key(const loader::Environment& env) {
+  std::string key;
+  for (const std::string& dir : env.ld_library_path) {
+    key += dir;
+    key += '\0';
+  }
+  key += '\1';
+  for (const std::string& preload : env.ld_preload) {
+    key += preload;
+    key += '\0';
+  }
+  return key;
+}
+
+bool env_equal(const loader::Environment& a, const loader::Environment& b) {
+  return a.ld_library_path == b.ld_library_path && a.ld_preload == b.ld_preload;
+}
+
+/// One rank equivalence class: the representative's sandbox is kept alive
+/// so later ranks can be structurally compared against it
+/// (overlay_delta_equal — the hash-collision paranoia check).
+struct RankClass {
+  core::Session sandbox;
+  RankMeasurement m;
+  int size = 0;
+};
+
 /// The shared measurement + analytic-extrapolation body. When `traces` is
-/// non-null (queueing engine) each measured rank's op stream is captured;
+/// non-null (queueing engine) each measured CLASS's op stream is captured
+/// and `rank_class` receives the per-rank class index (empty for the
+/// homogeneous fast path, where one stream stands in for every rank);
 /// with prestaged_image the image mount is then marked NodeLocal inside
 /// the rank sandbox BEFORE measurement, so the measured load itself
 /// charges node-local latency and flags node-local ops in the trace.
@@ -103,7 +140,8 @@ LaunchResult measure_and_extrapolate(core::Session& session,
                                      const core::SandboxSpec& spec,
                                      const std::string& exe_path, int nprocs,
                                      const FleetConfig& config,
-                                     std::vector<vfs::OpTrace>* traces) {
+                                     std::vector<vfs::OpTrace>* traces,
+                                     std::vector<int>* rank_class = nullptr) {
   LaunchResult result;
   result.nprocs = nprocs;
   result.sandboxed = true;
@@ -111,33 +149,109 @@ LaunchResult measure_and_extrapolate(core::Session& session,
 
   // Homogeneity fast path: identical ranks issue identical op streams, so
   // one sandboxed rank stands in for the fleet. A rank_setup hook means
-  // per-rank divergence — every rank gets its own sandbox and measurement.
+  // per-rank divergence — every rank gets its own sandbox, and (unless
+  // cluster_ranks is off) ranks collapse into fingerprint equivalence
+  // classes measured once each.
   const bool homogeneous = !config.rank_setup;
-  const int measured = homogeneous ? 1 : std::max(1, nprocs);
-  result.ranks_measured = measured;
-  if (traces != nullptr) traces->resize(measured);
 
   RankMeasurement first;
   std::uint64_t total_meta = 0, total_bytes = 0;
   std::uint64_t total_shared_meta = 0, total_overlay_meta = 0;
   std::uint64_t total_shared_bytes = 0, total_overlay_bytes = 0;
-  for (int r = 0; r < measured; ++r) {
+
+  auto prepare_rank = [&](int r) {
     core::Session rank_session = session.sandbox(spec);
     if (config.rank_setup) config.rank_setup(rank_session, r);
     if (traces != nullptr && config.prestaged_image && spec.image) {
       rank_session.fs().set_mount_latency(spec.image_mount,
                                           vfs::MountLatency::NodeLocal);
     }
-    const RankMeasurement rank = measure_sandboxed_rank(
-        rank_session, exe_path, traces ? &(*traces)[r] : nullptr);
-    if (r == 0) first = rank;
+    return rank_session;
+  };
+  auto accumulate = [&](const RankMeasurement& rank, std::uint64_t count) {
     result.load_succeeded = result.load_succeeded && rank.load_succeeded;
-    total_meta += rank.meta_ops;
-    total_bytes += rank.bytes;
-    total_shared_meta += rank.shared_meta_ops;
-    total_overlay_meta += rank.overlay_meta_ops;
-    total_shared_bytes += rank.shared_bytes;
-    total_overlay_bytes += rank.overlay_bytes;
+    total_meta += rank.meta_ops * count;
+    total_bytes += rank.bytes * count;
+    total_shared_meta += rank.shared_meta_ops * count;
+    total_overlay_meta += rank.overlay_meta_ops * count;
+    total_shared_bytes += rank.shared_bytes * count;
+    total_overlay_bytes += rank.overlay_bytes * count;
+  };
+
+  if (homogeneous) {
+    if (traces != nullptr) traces->resize(1);
+    core::Session rank_session = prepare_rank(0);
+    first = measure_sandboxed_rank(rank_session, exe_path,
+                                   traces ? &(*traces)[0] : nullptr);
+    accumulate(first, 1);
+    result.ranks_measured = 1;
+    result.classes_measured = 1;
+    result.class_sizes = {nprocs};
+  } else if (config.cluster_ranks) {
+    // Equivalence-class measurement: run the (cheap) rank_setup hook in
+    // every rank's sandbox, key each sandbox by its overlay-delta
+    // fingerprint plus the loader environment, and replay the loader once
+    // per DISTINCT key. The fingerprint is O(delta) (cached at the vfs
+    // mutation choke point) and hash-equal candidates are confirmed
+    // structurally before joining a class, so a sha256 collision can only
+    // split a class (extra measurement), never merge two (wrong numbers).
+    std::vector<RankClass> classes;
+    std::unordered_map<std::string, std::vector<std::size_t>> by_key;
+    if (rank_class != nullptr) rank_class->assign(nprocs, 0);
+    for (int r = 0; r < nprocs; ++r) {
+      core::Session rank_session = prepare_rank(r);
+      std::string key = rank_session.fs().overlay_fingerprint();
+      key += '\0';
+      key += env_class_key(rank_session.env());
+      std::vector<std::size_t>& bucket = by_key[key];
+      std::size_t cls = classes.size();
+      for (const std::size_t candidate : bucket) {
+        if (classes[candidate].sandbox.fs().overlay_delta_equal(
+                rank_session.fs()) &&
+            env_equal(classes[candidate].sandbox.env(), rank_session.env())) {
+          cls = candidate;
+          break;
+        }
+      }
+      if (cls == classes.size()) {
+        bucket.push_back(cls);
+        classes.push_back(RankClass{std::move(rank_session), {}, 0});
+        vfs::OpTrace* trace = nullptr;
+        if (traces != nullptr) {
+          traces->emplace_back();
+          trace = &traces->back();
+        }
+        classes.back().m =
+            measure_sandboxed_rank(classes.back().sandbox, exe_path, trace);
+      }
+      ++classes[cls].size;
+      if (rank_class != nullptr) (*rank_class)[r] = static_cast<int>(cls);
+    }
+    result.ranks_measured = static_cast<int>(classes.size());
+    result.classes_measured = static_cast<int>(classes.size());
+    result.class_sizes.reserve(classes.size());
+    for (const RankClass& cls : classes) {
+      accumulate(cls.m, static_cast<std::uint64_t>(cls.size));
+      result.class_sizes.push_back(cls.size);
+    }
+  } else {
+    // Clustering disabled: the pre-equivalence-class behavior — every
+    // rank measured independently (the byte-identity baseline and the
+    // bench speedup denominator).
+    const int measured = std::max(1, nprocs);
+    result.ranks_measured = measured;
+    if (traces != nullptr) traces->resize(measured);
+    if (rank_class != nullptr) {
+      rank_class->resize(measured);
+      for (int r = 0; r < measured; ++r) (*rank_class)[r] = r;
+    }
+    for (int r = 0; r < measured; ++r) {
+      core::Session rank_session = prepare_rank(r);
+      const RankMeasurement rank = measure_sandboxed_rank(
+          rank_session, exe_path, traces ? &(*traces)[r] : nullptr);
+      if (r == 0) first = rank;
+      accumulate(rank, 1);
+    }
   }
 
   const std::uint64_t ranks = static_cast<std::uint64_t>(std::max(1, nprocs));
@@ -206,15 +320,24 @@ SimOutcome simulate_fleet_launch_sim(core::Session& session,
   check_fleet_nprocs(nprocs);
   SimOutcome out;
   std::vector<vfs::OpTrace> traces;
+  std::vector<int> rank_class;
   out.launch = measure_and_extrapolate(session, spec, exe_path, nprocs,
-                                       config, &traces);
+                                       config, &traces, &rank_class);
   mds::MdsConfig sim_config = mds_config_for(
       config.cluster, config.prestaged_image, config.service, config.cache);
   sim_config.start_delays = config.start_delays;
   mds::MdsSimulator sim(sim_config);
+  // One captured stream per measured CLASS; rank r replays its class's
+  // stream (pointer replication — no copies), so per-rank alignment with
+  // start_delays and SimResult::ranks is preserved exactly as if every
+  // rank had been measured.
   std::vector<const std::vector<vfs::OpRecord>*> streams;
-  streams.reserve(traces.size());
-  for (const vfs::OpTrace& t : traces) streams.push_back(&t.ops());
+  if (rank_class.empty()) {
+    for (const vfs::OpTrace& t : traces) streams.push_back(&t.ops());
+  } else {
+    streams.reserve(rank_class.size());
+    for (const int cls : rank_class) streams.push_back(&traces[cls].ops());
+  }
   // Waves share ONE simulator: client caches warm across them, so wave 2+
   // of a cache-enabled fleet is the repeat-launch scenario no closed-form
   // storm formula expresses.

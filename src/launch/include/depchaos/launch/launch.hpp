@@ -114,8 +114,17 @@ struct LaunchResult {
   std::uint64_t fleet_shared_meta_ops = 0;
   std::uint64_t fleet_overlay_meta_ops = 0;
   /// Ranks actually measured: 1 for bare launches and under the fleet
-  /// homogeneity fast path, nprocs with a rank_setup hook.
+  /// homogeneity fast path; with a rank_setup hook, the number of rank
+  /// equivalence classes (== classes_measured; nprocs only with
+  /// FleetConfig::cluster_ranks disabled).
   int ranks_measured = 0;
+  /// Rank equivalence classes (image, overlay fingerprint, env): one
+  /// loader replay each. 1 for bare/homogeneous launches; 0 when
+  /// clustering is disabled (every rank measured independently).
+  int classes_measured = 0;
+  /// Ranks per class, in first-appearance (rank) order; sums to nprocs.
+  /// Empty when clustering is disabled.
+  std::vector<int> class_sizes;
   bool sandboxed = false;
 };
 
@@ -236,9 +245,20 @@ struct FleetConfig {
   /// Per-rank divergence hook, applied to rank r's sandbox before its
   /// measurement (rank-private config writes, shadowing libraries, ...).
   /// Null = ranks are homogeneous: the fast path measures ONE sandboxed
-  /// rank and replicates it; non-null = every rank gets its own sandbox
-  /// and its own measured load (O(nprocs) loader replays).
+  /// rank and replicates it; non-null = every rank gets its own sandbox,
+  /// and ranks are clustered into equivalence classes by (image, overlay
+  /// fingerprint, env) with ONE measured load per class (see
+  /// cluster_ranks).
   std::function<void(core::Session&, int rank)> rank_setup;
+  /// Equivalence-class measurement for heterogeneous fleets (default on):
+  /// after rank_setup runs in every rank's sandbox, ranks whose sandbox
+  /// divergence (vfs::FileSystem::overlay_fingerprint, confirmed by
+  /// overlay_delta_equal) and loader environment are identical share one
+  /// representative measurement — O(#classes) loader replays instead of
+  /// O(nprocs), byte-identical totals. false = measure every rank
+  /// independently (the pre-clustering behavior; kept for byte-identity
+  /// baselines and bench/hetero_fleet.cpp's speedup gate).
+  bool cluster_ranks = true;
   /// The image was broadcast/staged to node-local storage before launch:
   /// shared-substrate metadata and bytes are served at the cluster's
   /// node-local rates with no storm contention; only per-rank overlay

@@ -117,6 +117,13 @@ struct PoolConfig {
   /// Dedup identical Load requests across pristine forks (disabled
   /// automatically when the base carries a latency model).
   bool memoize_loads = true;
+  /// Per-client fairness: at most this many commands per client per drain
+  /// cycle (deficit round-robin over the swapped batch); a chatty client's
+  /// surplus is requeued at the FRONT of the shard queue — still ahead of
+  /// newer arrivals, still FIFO within the client — so one client can no
+  /// longer monopolize a whole cycle and quiet tenants' tail latency is
+  /// bounded by (budget x clients) commands. 0 = unlimited (plain FIFO).
+  std::size_t client_budget_per_cycle = 0;
   /// Tests and scripted drivers: no worker drains are scheduled; queues
   /// advance only when pump() is called, making backpressure and idle
   /// eviction deterministic.
@@ -153,6 +160,11 @@ struct PoolStats {
   std::uint64_t evicted = 0;              // idle pristine forks dropped
   std::uint64_t collapsed = 0;            // idle mutated forks flattened
   std::uint64_t drain_cycles = 0;
+  /// Most distinct clients ever served within one drain cycle (any shard):
+  /// the fairness dashboard number — under a per-client budget it grows
+  /// with the number of interleaved tenants instead of pinning at 1 while
+  /// one chatty client monopolizes a cycle.
+  std::size_t max_clients_per_cycle = 0;
   std::uint64_t worker_errors = 0;  // exceptions forwarded to futures
   std::uint64_t fork_owned_bytes = 0;  // Σ owned_bytes over live forks
   /// End-to-end (enqueue -> result ready) latency per request kind.
@@ -190,6 +202,15 @@ class SessionPool {
                                                         core::SandboxSpec spec,
                                                         std::string exe,
                                                         int ranks);
+  /// Heterogeneous-fleet variant: the FleetConfig (rank_setup hook,
+  /// cluster_ranks, engine/prestage knobs) rides along with the command,
+  /// so pooled tenants get the same O(#classes) fingerprint-clustered
+  /// measurement as direct Session::launch_fleet callers. The hook runs on
+  /// the client's strand inside per-rank sandbox forks of the client's own
+  /// view — never on a shared structure.
+  std::future<launch::LaunchResult> submit_launch_fleet(
+      ClientId client, core::SandboxSpec spec, std::string exe, int ranks,
+      launch::FleetConfig fleet);
   std::future<QueryResult> submit_query(ClientId client);
 
   // ---- fork lifecycle (bypass the high-water mark: they shed state) -------

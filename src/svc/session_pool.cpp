@@ -86,6 +86,10 @@ struct FleetCmd {
   core::SandboxSpec spec;
   std::string exe;
   int ranks = 0;
+  /// Null = default config built from the client session's cluster model;
+  /// set = the caller's full FleetConfig (rank_setup hook, cluster_ranks,
+  /// engine/prestage knobs) rides along with the command.
+  std::optional<launch::FleetConfig> fleet;
   std::promise<launch::LaunchResult> done;
 };
 struct QueryCmd {
@@ -127,6 +131,7 @@ struct SessionPool::Shard {
   std::uint64_t collapsed = 0;
   std::uint64_t errors = 0;
   std::uint64_t cycles = 0;
+  std::size_t max_clients_per_cycle = 0;  // fairness dashboard high-water
   std::array<analysis::Histogram, kRequestKinds> latency;
 
   /// Client map AND the sessions inside it. The strand holds it for the
@@ -219,6 +224,34 @@ std::size_t SessionPool::drain_cycle(Shard& shard) {
     batch.swap(shard.queue);
     ++shard.cycles;
   }
+  // Deficit round-robin over the swapped batch: under a per-client budget
+  // each client runs at most `budget` commands this cycle; the surplus is
+  // requeued (below) at the FRONT of the shard queue — ahead of anything
+  // submitted since the swap — so per-client FIFO order and old-before-new
+  // precedence both survive, but one chatty client can no longer pin the
+  // strand for a whole cycle while quiet tenants wait. pending_ is NOT
+  // decremented for deferred commands (they have not run), so drain()
+  // still quiesces correctly.
+  std::deque<Command> deferred;
+  std::size_t clients_served = 0;
+  {
+    std::unordered_map<ClientId, std::size_t> per_client;
+    if (config_.client_budget_per_cycle != 0) {
+      std::deque<Command> admitted;
+      for (Command& command : batch) {
+        if (per_client[command.client]++ < config_.client_budget_per_cycle) {
+          admitted.push_back(std::move(command));
+        } else {
+          deferred.push_back(std::move(command));
+        }
+      }
+      batch.swap(admitted);
+    } else {
+      for (const Command& command : batch) per_client[command.client] = 0;
+    }
+    // budget >= 1, so every client in the batch ran at least one command.
+    clients_served = per_client.size();
+  }
   // Execute the whole batch outside the queue lock — submissions keep
   // landing while the strand works, and they will be picked up by the
   // next cycle of the same task (the while-loop in schedule_drain).
@@ -232,6 +265,15 @@ std::size_t SessionPool::drain_cycle(Shard& shard) {
   {
     std::lock_guard lock(shard.client_mutex);
     sweep_idle(shard);
+  }
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.max_clients_per_cycle =
+        std::max(shard.max_clients_per_cycle, clients_served);
+    while (!deferred.empty()) {
+      shard.queue.push_front(std::move(deferred.back()));
+      deferred.pop_back();
+    }
   }
   return batch.size();
 }
@@ -386,6 +428,13 @@ void SessionPool::execute(Shard& shard, Command& command) {
       auto& cmd = std::get<FleetCmd>(command.op);
       deliver(cmd, [&] {
         core::Session& session = ensure_session();
+        if (cmd.fleet) {
+          // The caller's config (rank_setup, cluster_ranks, engine) rides
+          // along: pooled tenants get the same fingerprint-clustered
+          // O(#classes) measurement as direct launch_fleet callers.
+          return session.launch_fleet(cmd.spec, cmd.exe, cmd.ranks,
+                                      *cmd.fleet);
+        }
         launch::FleetConfig fleet;
         fleet.cluster = session.config().cluster;
         return session.launch_fleet(cmd.spec, cmd.exe, cmd.ranks, fleet);
@@ -519,7 +568,18 @@ std::future<shrinkwrap::WrapReport> SessionPool::submit_shrinkwrap(
 
 std::future<launch::LaunchResult> SessionPool::submit_launch_fleet(
     ClientId client, core::SandboxSpec spec, std::string exe, int ranks) {
-  FleetCmd cmd{std::move(spec), std::move(exe), ranks, {}};
+  FleetCmd cmd{std::move(spec), std::move(exe), ranks, std::nullopt, {}};
+  auto future = cmd.done.get_future();
+  Command command;
+  command.op = std::move(cmd);
+  enqueue(client, RequestKind::LaunchFleet, std::move(command));
+  return future;
+}
+
+std::future<launch::LaunchResult> SessionPool::submit_launch_fleet(
+    ClientId client, core::SandboxSpec spec, std::string exe, int ranks,
+    launch::FleetConfig fleet) {
+  FleetCmd cmd{std::move(spec), std::move(exe), ranks, std::move(fleet), {}};
   auto future = cmd.done.get_future();
   Command command;
   command.op = std::move(cmd);
@@ -572,6 +632,8 @@ PoolStats SessionPool::stats() const {
       stats.collapsed += shard->collapsed;
       stats.worker_errors += shard->errors;
       stats.drain_cycles += shard->cycles;
+      stats.max_clients_per_cycle =
+          std::max(stats.max_clients_per_cycle, shard->max_clients_per_cycle);
       for (std::size_t k = 0; k < kRequestKinds; ++k) {
         for (const std::uint64_t sample : shard->latency[k].samples()) {
           merged[k].add(sample);

@@ -426,6 +426,24 @@ class FileSystem {
   /// does not resolve.
   std::optional<bool> served_shared(std::string_view path) const;
 
+  /// Content fingerprint of this view's post-fork private delta: a sha256
+  /// over the overlay nodes (inode, kind, children, bytes, link target),
+  /// the CoW-shadow set, and the mount-table shape, recursing into
+  /// writable mount backings. Two sibling sandboxes forked from the same
+  /// base compare equal iff their divergence since the fork is identical —
+  /// the launch layer clusters fleet ranks into equivalence classes by
+  /// this key and measures one representative per class. Cached; cost is
+  /// O(delta) after any structural mutation (the cache is dropped at the
+  /// mutable_node choke point, at mount surgery, and at fork/collapse
+  /// boundaries). Equal fingerprints should be confirmed with
+  /// overlay_delta_equal before acting on them (collision paranoia).
+  const std::string& overlay_fingerprint() const;
+
+  /// Structural comparison of the same inputs overlay_fingerprint hashes:
+  /// true iff both views carry an identical private delta over equivalent
+  /// substrate. O(delta); hash-collision-proof fallback for clustering.
+  bool overlay_delta_equal(const FileSystem& other) const;
+
   // ----- accounting ---------------------------------------------------------
 
   SyscallStats& stats() { return stats_; }
@@ -686,10 +704,16 @@ class FileSystem {
     dentry_.clear();
     dentry_shared_.reset();
     dentry_dup_ = 0;
+    fingerprint_.reset();
   }
   bool dentry_enabled_ = true;
   std::size_t auto_collapse_ = 64;
   std::size_t dentry_snapshot_cap_ = 1 << 16;
+  // Memoized overlay_fingerprint (mutable: computed inside const reads).
+  // Reset wherever the delta can change: invalidate_dentries covers every
+  // structural mutation and mount surgery; fork()/freeze_top()/collapse()
+  // reset it explicitly because they move the fork boundary itself.
+  mutable std::optional<std::string> fingerprint_;
   // Fleet-launch attribution sink (set_meta_breakdown); never inherited.
   MetaBreakdown* breakdown_ = nullptr;
   // Measured op-stream sink (set_op_trace); never inherited.

@@ -156,6 +156,27 @@ struct ContainerLaunchScenario {
 ContainerLaunchScenario make_container_launch_scenario(
     const PynamicConfig& config = {});
 
+/// Mixed-Pynamic MPMD fleet (heterogeneous launch measurement): rank r
+/// runs program class `r % classes` of the containerized app. Class 0 is
+/// the app as shipped (a pristine sandbox); class c > 0 shadows c of the
+/// app's modules into its FIRST search directory inside the rank's private
+/// overlay (the loader then binds the overlay copies — rank-private
+/// metadata) and prepends c class-unique library directories to the loader
+/// environment (extra probes on the shared substrate). Every class
+/// therefore has a distinct (overlay fingerprint, environment) key AND a
+/// distinct measured op stream, while two ranks of one class produce
+/// byte-identical sandboxes — exactly what fingerprint-clustered fleet
+/// measurement (launch::FleetConfig::cluster_ranks) keys on.
+///
+/// Deterministic and core-free by design: callers wrap it into a
+/// rank_setup hook as
+///   fleet.rank_setup = [&](core::Session& s, int r) {
+///     workload::apply_mpmd_rank(s.fs(), s.env(), app, r, classes);
+///   };
+int mpmd_class_of(int rank, int classes);
+void apply_mpmd_rank(vfs::FileSystem& fs, loader::Environment& env,
+                     const PynamicApp& app, int rank, int classes);
+
 /// Stale squashfs image shadowing an updated host library: the host's
 /// /usr/lib copy of the bundled library has been patched, but the app
 /// image still carries (and its RUNPATH prefers) the old one. Remounting

@@ -276,6 +276,44 @@ ContainerLaunchScenario make_container_launch_scenario(
   return scenario;
 }
 
+int mpmd_class_of(int rank, int classes) {
+  if (classes < 1) return 0;
+  return rank % classes;
+}
+
+void apply_mpmd_rank(vfs::FileSystem& fs, loader::Environment& env,
+                     const PynamicApp& app, int rank, int classes) {
+  const int cls = mpmd_class_of(rank, classes);
+  if (cls == 0 || app.module_paths.size() < 2 || app.search_dirs.empty()) {
+    return;  // class 0: the app exactly as shipped
+  }
+  // Shadow `cls` distinct modules into the app's FIRST search directory:
+  // the loader binds the overlay copy — a rank-private hit plus shortened
+  // probe chains, so each class's measured stream genuinely differs.
+  // Victims stride through the module list so classes never pick the same
+  // set (module 0 is skipped: its own dir IS the first search dir).
+  const std::size_t candidates = app.module_paths.size() - 1;
+  for (int i = 0; i < cls; ++i) {
+    const std::size_t victim =
+        1 + (static_cast<std::size_t>(cls) * 13 +
+             static_cast<std::size_t>(i) * 7) %
+                candidates;
+    const std::string soname = vfs::basename(app.module_paths[victim]);
+    elf::install_object(fs, app.search_dirs.front() + "/" + soname,
+                        elf::make_library(soname));
+  }
+  // Plus `cls` class-unique (empty, but real) library directories at the
+  // head of the search environment: every unresolved probe walks them
+  // first, so the environment half of the equivalence key carries weight
+  // of its own.
+  for (int i = cls - 1; i >= 0; --i) {
+    const std::string dir = "/opt/mpmd/class" + std::to_string(cls) +
+                            "/extra" + std::to_string(i);
+    fs.mkdir_p(dir);
+    env.ld_library_path.insert(env.ld_library_path.begin(), dir);
+  }
+}
+
 StaleImageScenario make_stale_image_scenario(vfs::FileSystem& host) {
   StaleImageScenario scenario;
   scenario.image_mount = "/app";

@@ -17,7 +17,9 @@
 
 #include "depchaos/core/world.hpp"
 #include "depchaos/elf/patcher.hpp"
+#include "depchaos/launch/launch.hpp"
 #include "depchaos/svc/session_pool.hpp"
+#include "depchaos/workload/pynamic.hpp"
 
 namespace depchaos::svc {
 namespace {
@@ -252,6 +254,120 @@ TEST(SessionPool, BackpressureRejectsPastHighWaterWithRetryHint) {
   auto reopened = pool.submit_load(1, "/apps/a0/bin/app");
   pool.drain();
   EXPECT_TRUE(reopened.get().success);
+}
+
+// --------------------------------------------------- per-client fairness
+
+TEST(SessionPool, FairnessBudgetInterleavesClientsAcrossCycles) {
+  PoolConfig config;
+  config.shards = 1;
+  config.manual_drain = true;
+  config.client_budget_per_cycle = 1;
+  SessionPool pool(make_world(2), config);
+
+  // Client 1 floods; client 2 submits one request behind the flood.
+  std::vector<std::future<loader::LoadReport>> chatty;
+  for (int i = 0; i < 4; ++i) {
+    chatty.push_back(pool.submit_load(1, "/apps/a0/bin/app"));
+  }
+  auto quiet = pool.submit_load(2, "/apps/a1/bin/app");
+
+  // Cycle 1: one command per client — the quiet tenant is served ahead of
+  // the flood's tail instead of waiting out all four commands.
+  EXPECT_EQ(pool.pump(), 2u);
+  EXPECT_TRUE(quiet.get().success);
+  EXPECT_EQ(pool.stats().queue_depths.at(0), 3u);
+  EXPECT_EQ(pool.stats().max_clients_per_cycle, 2u);
+
+  // The surplus drains one per cycle, FIFO within the client.
+  EXPECT_EQ(pool.pump(), 1u);
+  EXPECT_EQ(pool.pump(), 1u);
+  EXPECT_EQ(pool.pump(), 1u);
+  for (auto& future : chatty) EXPECT_TRUE(future.get().success);
+  EXPECT_EQ(pool.stats().executed, 5u);
+  EXPECT_EQ(pool.stats().queue_depths.at(0), 0u);
+}
+
+TEST(SessionPool, FairnessRequeuePreservesPerClientFifoByteIdentity) {
+  PoolConfig config;
+  config.shards = 1;
+  config.manual_drain = true;
+  config.client_budget_per_cycle = 1;
+  SessionPool pool(make_world(2), config);
+  const std::string exe = "/apps/a0/bin/app";
+
+  // Client 1's wrap precedes its loads; the budget defers the loads across
+  // cycles but must NOT reorder them past the wrap.
+  auto wrap = pool.submit_shrinkwrap(1, exe);
+  auto first_load = pool.submit_load(1, exe);
+  auto second_load = pool.submit_load(1, exe);
+  auto other = pool.submit_load(2, "/apps/a1/bin/app");
+  pool.drain();
+
+  EXPECT_TRUE(wrap.get().changed);
+  EXPECT_TRUE(other.get().success);
+  Session reference = make_world(2);
+  reference.shrinkwrap(exe);
+  const std::string wrapped = digest(reference.load(exe));
+  EXPECT_EQ(digest(first_load.get()), wrapped);
+  EXPECT_EQ(digest(second_load.get()), wrapped);
+  EXPECT_GE(pool.stats().drain_cycles, 3u);  // the surplus took extra cycles
+}
+
+TEST(SessionPool, UnlimitedBudgetKeepsPlainFifoSemantics) {
+  PoolConfig config;
+  config.shards = 1;
+  config.manual_drain = true;  // default client_budget_per_cycle = 0
+  SessionPool pool(make_world(2), config);
+  for (int i = 0; i < 3; ++i) pool.submit_load(1, "/apps/a0/bin/app");
+  auto quiet = pool.submit_load(2, "/apps/a1/bin/app");
+  // One cycle swallows the whole backlog; the stat still counts tenants.
+  EXPECT_EQ(pool.pump(), 4u);
+  EXPECT_TRUE(quiet.get().success);
+  EXPECT_EQ(pool.stats().max_clients_per_cycle, 2u);
+}
+
+// --------------------------------------------- heterogeneous fleet verbs
+
+TEST(SessionPool, LaunchFleetConfigRidesAlongWithClustering) {
+  workload::PynamicConfig app;
+  app.num_modules = 48;
+  app.exe_extra_bytes = 1u << 20;
+  WorldBuilder twin_a;
+  Session direct = twin_a.pynamic(app).nfs().build();
+  WorldBuilder twin_b;
+  SessionPool pool(twin_b.pynamic(app).nfs().build());
+
+  core::SandboxSpec spec;
+  spec.image = std::make_shared<vfs::FileSystem>(direct.fs());
+  spec.image_mount = "/";
+  spec.writable_image_overlay = true;
+  launch::FleetConfig fleet;
+  fleet.cluster = direct.config().cluster;
+  fleet.rank_setup = [](Session& sandbox, int rank) {
+    if (rank % 2 == 1) {
+      sandbox.env().ld_library_path.insert(
+          sandbox.env().ld_library_path.begin(), "/opt/mixed/lib");
+    }
+  };
+
+  const auto want = direct.launch_fleet(spec, "", 8, fleet);
+  const auto got = pool.submit_launch_fleet(5, spec, "", 8, fleet).get();
+  ASSERT_TRUE(got.load_succeeded);
+  // The config rode along: two environment classes, each measured once,
+  // byte-identical to the direct-session path.
+  EXPECT_EQ(got.classes_measured, 2);
+  EXPECT_EQ(got.ranks_measured, want.ranks_measured);
+  EXPECT_EQ(got.class_sizes, want.class_sizes);
+  EXPECT_EQ(got.meta_ops_per_rank, want.meta_ops_per_rank);
+  EXPECT_EQ(got.fleet_meta_ops, want.fleet_meta_ops);
+  EXPECT_EQ(got.fleet_overlay_meta_ops, want.fleet_overlay_meta_ops);
+  EXPECT_EQ(got.total_time_s, want.total_time_s);
+
+  // The legacy overload still runs the session-default config.
+  const auto legacy = pool.submit_launch_fleet(6, spec, "", 4).get();
+  EXPECT_TRUE(legacy.load_succeeded);
+  EXPECT_EQ(legacy.classes_measured, 1);
 }
 
 // ------------------------------------------------- idle fork housekeeping

@@ -49,6 +49,7 @@
 #include "depchaos/support/strings.hpp"
 #include "depchaos/svc/session_pool.hpp"
 #include "depchaos/vfs/snapshot.hpp"
+#include "depchaos/workload/scenarios.hpp"
 
 using namespace depchaos;
 
@@ -74,7 +75,7 @@ void print_usage(std::FILE* out) {
       "      [--mask=DIR:DIR...] [--spindle] [--prestaged]\n"
       "      [--engine=analytic|sim] [--dist=fixed|uniform|pareto]\n"
       "      [--seed=N] [--cache] [--negative-cache] [--waves=N]\n"
-      "      [--straggler=RANK[:SECONDS]]\n"
+      "      [--straggler=RANK[:SECONDS]] [--ranks-mix=K]\n"
       "      (--sandbox measures the rank op stream inside a per-rank\n"
       "       container view — image mount + CoW overlay with --overlay,\n"
       "       host dirs masked — and splits the stream into shared-image\n"
@@ -89,7 +90,12 @@ void print_usage(std::FILE* out) {
       "       relaunches the fleet N times against warm caches), and\n"
       "       --straggler delays one rank's start [default 1s].\n"
       "       --waves/--straggler/--cache need --engine=sim;\n"
-      "       --waves/--straggler also need --sandbox)\n"
+      "       --waves/--straggler also need --sandbox.\n"
+      "       --ranks-mix=K runs a mixed-Pynamic MPMD fleet — rank r is\n"
+      "       program class r%%K, each class shadowing modules into its\n"
+      "       private overlay — and the launcher measures ONE loader\n"
+      "       replay per class instead of per rank [rank classes=];\n"
+      "       needs --sandbox over a pynamic image plus --overlay)\n"
       "  depchaos sandbox <host-world> <image-world> <exe> [--mount=/app]\n"
       "      [--mask=DIR:DIR...] [--overlay] [--conf=DIR:DIR...]\n"
       "      [--env=DIR:DIR...] [--save-fleet=FILE]\n"
@@ -522,6 +528,25 @@ int cmd_serve(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Rediscover the Pynamic app baked into an image world (worldgen writes it
+/// under the default root): module i lives at
+/// <root>/m<i>/lib/libpynamic_module_<i>.so, so probe upward until the
+/// first miss. Returns false when the image carries no such app.
+bool discover_pynamic_app(const vfs::FileSystem& fs,
+                          workload::PynamicApp& app) {
+  const std::string root = "/apps/pynamic";
+  for (int i = 0;; ++i) {
+    const std::string dir = root + "/m" + std::to_string(i) + "/lib";
+    const std::string path =
+        dir + "/libpynamic_module_" + std::to_string(i) + ".so";
+    if (fs.peek(path) == nullptr) break;
+    app.search_dirs.push_back(dir);
+    app.module_paths.push_back(path);
+  }
+  app.exe_path = root + "/bigexe";
+  return !app.module_paths.empty() && fs.peek(app.exe_path) != nullptr;
+}
+
 int cmd_launch(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
   core::SessionConfig config;
@@ -614,7 +639,7 @@ int cmd_launch(const std::vector<std::string>& args) {
       }
     }
     for (const char* prefix :
-         {"--mount=", "--mask=", "--waves=", "--straggler="}) {
+         {"--mount=", "--mask=", "--waves=", "--straggler=", "--ranks-mix="}) {
       if (!flag_value(args, prefix, "").empty()) {
         std::fprintf(stderr, "depchaos: %s requires --sandbox=<image>\n",
                      prefix);
@@ -643,6 +668,34 @@ int cmd_launch(const std::vector<std::string>& args) {
     launch::FleetConfig fleet;
     fleet.cluster = session.config().cluster;
     fleet.prestaged_image = has_flag(args, "--prestaged");
+    const std::string ranks_mix = flag_value(args, "--ranks-mix=", "");
+    workload::PynamicApp mix_app;
+    if (!ranks_mix.empty()) {
+      if (!spec.writable_image_overlay) {
+        // The class divergence lives in each rank's private overlay; there
+        // is nowhere to put it on a read-only sandbox.
+        std::fprintf(stderr, "depchaos: --ranks-mix requires --overlay\n");
+        return 2;
+      }
+      const int classes =
+          static_cast<int>(std::strtol(ranks_mix.c_str(), nullptr, 10));
+      if (classes < 1) {
+        std::fprintf(stderr,
+                     "depchaos: --ranks-mix=%s wants a class count >= 1\n",
+                     ranks_mix.c_str());
+        return 2;
+      }
+      if (!discover_pynamic_app(*spec.image, mix_app)) {
+        std::fprintf(stderr,
+                     "depchaos: --ranks-mix needs a Pynamic app image "
+                     "(no /apps/pynamic tree in %s)\n",
+                     image_path.c_str());
+        return 2;
+      }
+      fleet.rank_setup = [&mix_app, classes](core::Session& s, int r) {
+        workload::apply_mpmd_rank(s.fs(), s.env(), mix_app, r, classes);
+      };
+    }
     if (sim_engine) {
       fleet.engine = launch::Engine::Queueing;
       fleet.service = service;
@@ -667,6 +720,10 @@ int cmd_launch(const std::vector<std::string>& args) {
         "sandboxed: shared-image ops=%llu  per-rank overlay ops=%llu\n",
         static_cast<unsigned long long>(result.shared_meta_ops_per_rank),
         static_cast<unsigned long long>(result.overlay_meta_ops_per_rank));
+    if (result.classes_measured > 0) {
+      std::printf("sandboxed: rank classes=%d  loader replays=%d\n",
+                  result.classes_measured, result.ranks_measured);
+    }
   }
   if (sim_engine) {
     std::printf("sim: server requests=%llu  batches=%llu  mean batch=%.1f  "
