@@ -111,6 +111,21 @@ class Session {
   /// isolation in load_many.
   Session fork();
 
+  /// Perform fork()'s parent-side mutations once (vfs::FileSystem::seal):
+  /// freeze the overlay, rotate the dentry memo into the shared snapshot,
+  /// seal writable mount backings. Until the next mutation of this world,
+  /// fork_sealed() is then a const, lock-free stamp — any number of
+  /// threads may fork one sealed session concurrently (the
+  /// svc::SessionPool admission path). Idempotent.
+  void seal() { fs_->seal(); }
+  bool sealed() const { return fs_->sealed(); }
+
+  /// Lock-free fork of a seal()ed session: byte-identical to fork() —
+  /// same world view, config, caches adopted, fresh counters — but const
+  /// on the parent, so concurrent callers need no serialization. Throws
+  /// when the session is not sealed (vfs::FsError).
+  Session fork_sealed() const;
+
   /// Compatibility spelling for the namespace-scope SandboxSpec above.
   using SandboxSpec = core::SandboxSpec;
 

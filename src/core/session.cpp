@@ -67,6 +67,18 @@ Session Session::sandbox(const SandboxSpec& spec) {
 
 Session Session::fork() { return fork_internal(/*adopt_caches=*/true); }
 
+Session Session::fork_sealed() const {
+  SessionConfig config = config_;
+  // Same rule as fork_internal: the stamped filesystem carries its own
+  // cloned latency model; a non-null config.latency would overwrite it.
+  config.latency.reset();
+  Session child(fs_->fork_sealed(), std::move(config), default_exe_);
+  // Adoption reads the sealed parent's caches const-ly (plain map copies
+  // of immutable parsed objects) — safe under concurrent fork_sealed().
+  child.loader_->adopt_caches(*loader_);
+  return child;
+}
+
 Session Session::fork_internal(bool adopt_caches) {
   SessionConfig config = config_;
   // The forked filesystem carries its own per-view latency model (cloned

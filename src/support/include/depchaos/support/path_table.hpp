@@ -16,8 +16,12 @@
 // fleet interns each path once, fleet-wide. The table only ever grows:
 // ids are never invalidated, entry storage is chunked so append never
 // moves published entries, and id-indexed reads (str/name/parent/depth)
-// are lock-free. String-keyed lookups take a shared lock; only a
-// first-ever interning of a new path takes the exclusive lock.
+// are lock-free. The child index is sharded by (parent, name) hash:
+// string-keyed lookups take that shard's shared lock, a first-ever
+// interning takes the shard's exclusive lock, and only id allocation +
+// entry publication serialize on a separate (short) allocation mutex —
+// so concurrent cold-path interns of unrelated paths no longer queue on
+// one table-wide write lock.
 //
 // Growth bound: adversarial workloads (randomized probe storms) intern
 // every miss, so the table supports an optional byte budget
@@ -31,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -170,9 +175,9 @@ class PathTable {
         std::memory_order_acquire)[id & (kChunkSize - 1)];
   }
 
-  // Find (dir, name) in the index, or kNone. Shared lock only.
+  // Find (dir, name) in its index shard, or kNone. Shared lock only.
   PathId find_child(PathId dir, std::string_view name) const;
-  // Find-or-append under the exclusive lock.
+  // Find-or-append: shard exclusive lock, then alloc_mutex_ for the id.
   PathId intern_child(PathId dir, std::string_view name);
 
   std::unique_ptr<std::atomic<Entry*>[]> chunks_;
@@ -180,8 +185,25 @@ class PathTable {
   std::atomic<std::size_t> bytes_{0};
   std::atomic<std::size_t> budget_{0};
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<ChildKey, PathId, ChildHash, ChildEq> index_;
+  // Child index, sharded by ChildHash::mix(parent, name). Lock order is
+  // always shard -> alloc_mutex_; no path holds two shard locks at once,
+  // so the sharding cannot deadlock.
+  static constexpr std::size_t kIndexShards = 16;
+  struct IndexShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<ChildKey, PathId, ChildHash, ChildEq> index;
+  };
+  static std::size_t shard_index(PathId dir, std::string_view name) {
+    // Use the upper bits: the map consumes the lower bits of the same
+    // hash for its buckets, so this keeps shard choice decorrelated.
+    return (ChildHash::mix(dir, name) >> 24) % kIndexShards;
+  }
+  mutable std::array<IndexShard, kIndexShards> index_shards_;
+
+  // Guards id allocation, chunk creation, entry publication, and the
+  // byte-budget accounting. Held briefly (the full-path string is built
+  // before acquiring it).
+  std::mutex alloc_mutex_;
 };
 
 }  // namespace depchaos::support

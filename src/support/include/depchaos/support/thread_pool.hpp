@@ -1,9 +1,14 @@
 // Fixed-size thread pool + parallel_for used by the corpus analyses (Fig 1,
 // Fig 4), the multi-rank launch simulation (Fig 6), and the svc::SessionPool
-// shard drains. Deliberately simple: a single mutex-protected deque is more
-// than fast enough for coarse-grained analysis tasks, and simplicity keeps
-// the shutdown path obviously correct (CppCoreGuidelines CP.*: RAII-owned
-// threads, no detached threads).
+// shard drains.
+//
+// Queueing model: one lane (mutex + deque) per worker. submit() distributes
+// tasks round-robin across lanes; a worker pops from its own lane first and
+// steals from siblings when empty, so a burst of submissions no longer
+// serializes every push/pop on one pool-wide mutex. steal_count() exposes the
+// number of cross-lane pops — a cheap load-imbalance signal surfaced by
+// svc::PoolStats. A pool-wide mutex remains, but it guards only the
+// condition variables (sleep/wake), never the queues.
 //
 // Fault model: a task that throws does NOT terminate the process. The
 // exception is captured as a std::exception_ptr and retrievable via
@@ -15,14 +20,18 @@
 // Observability: submit() optionally tags a task with a short label
 // ("svc/shard3", "load_many"); tag_stats() reports submitted / completed /
 // failed counts per tag, which is where PoolStats gets its worker-side view.
+// Counts are striped across lanes (submit bills the lane it enqueued to,
+// completion bills the worker's own lane) and merged on read.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -66,22 +75,49 @@ class ThreadPool {
   };
   std::unordered_map<std::string, TagCounts> tag_stats() const;
 
+  /// Cross-lane pops since construction. A high rate relative to completed
+  /// tasks means submissions are landing unevenly across lanes.
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Task {
     std::function<void()> fn;
     std::string tag;
   };
 
-  void worker_loop();
+  // One per worker. Tag counts are striped here too so the hot submit /
+  // complete paths never touch a pool-wide map lock.
+  struct Lane {
+    mutable std::mutex mutex;
+    std::deque<Task> queue;
+    std::unordered_map<std::string, TagCounts> tags;
+  };
 
-  mutable std::mutex mutex_;
+  void worker_loop(std::size_t self);
+  bool next_task(std::size_t self, Task& out);
+  bool try_pop(std::size_t lane_index, Task& out);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> next_lane_{0};
+  // queued_ counts tasks sitting in lanes (the cv_task_ predicate);
+  // unfinished_ additionally counts tasks currently executing (the
+  // cv_idle_ predicate). Both change outside wake_mutex_; the publishing
+  // side bumps the counter first and then passes through wake_mutex_
+  // before notifying, which is what makes the sleep/wake race-free.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> unfinished_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex wake_mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<Task> queue_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+
+  mutable std::mutex error_mutex_;
   std::vector<std::exception_ptr> errors_;
-  std::unordered_map<std::string, TagCounts> tags_;
+
   std::vector<std::thread> workers_;
 };
 

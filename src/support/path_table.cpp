@@ -33,45 +33,59 @@ PathTable::~PathTable() {
 }
 
 PathId PathTable::find_child(PathId dir, std::string_view name) const {
-  std::shared_lock lock(mutex_);
-  const auto it = index_.find(ChildKeyView{dir, name});
-  return it == index_.end() ? kNone : it->second;
+  const IndexShard& shard = index_shards_[shard_index(dir, name)];
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.index.find(ChildKeyView{dir, name});
+  return it == shard.index.end() ? kNone : it->second;
 }
 
 PathId PathTable::intern_child(PathId dir, std::string_view name) {
-  std::unique_lock lock(mutex_);
-  const auto it = index_.find(ChildKeyView{dir, name});
-  if (it != index_.end()) return it->second;
+  IndexShard& shard = index_shards_[shard_index(dir, name)];
+  std::unique_lock lock(shard.mutex);
+  const auto it = shard.index.find(ChildKeyView{dir, name});
+  if (it != shard.index.end()) return it->second;
 
-  const std::uint32_t id = count_.load(std::memory_order_relaxed);
-  if (id >= kMaxChunks * kChunkSize) {
-    throw std::length_error("PathTable full");
-  }
+  // The shard's exclusive lock makes this thread the sole possible
+  // inserter of (dir, name); build the full-path string before touching
+  // alloc_mutex_ so the table-wide critical section stays tiny.
   const Entry& parent_entry = entry(dir);
   const std::size_t cost =
       entry_cost(parent_entry.full.size() + 1 + name.size(), name.size());
-  if (const std::size_t budget = budget_.load(std::memory_order_relaxed);
-      budget != 0 && bytes_.load(std::memory_order_relaxed) + cost > budget) {
-    return kNone;  // budget exhausted: caller falls back to string walks
+  std::string full;
+  full.reserve(parent_entry.full.size() + 1 + name.size());
+  if (dir != kRoot) full = parent_entry.full;
+  full += '/';
+  full += name;
+
+  std::uint32_t id;
+  {
+    std::lock_guard alloc(alloc_mutex_);
+    id = count_.load(std::memory_order_relaxed);
+    if (id >= kMaxChunks * kChunkSize) {
+      throw std::length_error("PathTable full");
+    }
+    if (const std::size_t budget = budget_.load(std::memory_order_relaxed);
+        budget != 0 &&
+        bytes_.load(std::memory_order_relaxed) + cost > budget) {
+      return kNone;  // budget exhausted: caller falls back to string walks
+    }
+    const std::size_t chunk_index = id >> kChunkBits;
+    Entry* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Entry[kChunkSize];
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    Entry& e = chunk[id & (kChunkSize - 1)];
+    e.parent = dir;
+    e.depth = parent_entry.depth + 1;
+    e.name_len = static_cast<std::uint32_t>(name.size());
+    e.full = std::move(full);
+    // Publish the entry before the id becomes reachable via size() or
+    // the shard index.
+    count_.store(id + 1, std::memory_order_release);
+    bytes_.fetch_add(cost, std::memory_order_relaxed);
   }
-  const std::size_t chunk_index = id >> kChunkBits;
-  Entry* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
-  if (chunk == nullptr) {
-    chunk = new Entry[kChunkSize];
-    chunks_[chunk_index].store(chunk, std::memory_order_release);
-  }
-  Entry& e = chunk[id & (kChunkSize - 1)];
-  e.parent = dir;
-  e.depth = parent_entry.depth + 1;
-  e.name_len = static_cast<std::uint32_t>(name.size());
-  e.full.reserve(parent_entry.full.size() + 1 + name.size());
-  if (dir != kRoot) e.full = parent_entry.full;
-  e.full += '/';
-  e.full += name;
-  // Publish the entry before the id becomes reachable via size()/index_.
-  count_.store(id + 1, std::memory_order_release);
-  index_.emplace(ChildKey{dir, std::string(name)}, id);
-  bytes_.fetch_add(cost, std::memory_order_relaxed);
+  shard.index.emplace(ChildKey{dir, std::string(name)}, id);
   return id;
 }
 

@@ -17,8 +17,14 @@
 // Concurrency contract (see the vfs.hpp "Thread safety" audit):
 //  * Every client executes exclusively on ITS fork — a vfs view is never
 //    shared between threads. Shard strand-exclusivity enforces this.
-//  * Fork acquisition from the base is serialized by a pool-wide mutex
-//    (Session::fork mutates the parent's view-local state).
+//  * Fork acquisition from the base is WAIT-FREE: the constructor seal()s
+//    the base (freeze the overlay, rotate the dentry snapshot, seal
+//    writable mount backings — exactly the old priming fork's side
+//    effects, done once), after which Session::fork_sealed() is a const
+//    stamp any number of strands may run concurrently with no lock. A
+//    pool-wide fork mutex survives only as the fallback for the
+//    never-expected case of an unsealed base; PoolStats counts how many
+//    admissions took each path.
 //  * The shared substrate read concurrently by every client — frozen CoW
 //    layers, read-only mount backings, the fork-family PathTable, the
 //    shared dentry snapshot — is immutable or internally synchronized.
@@ -28,9 +34,22 @@
 // the PR-3 dentry cache and the parsed-object caches are counter-
 // transparent, so warmth never shows in a report. The pool therefore
 // memoizes Load reports across pristine clients (the Spindle insight:
-// identical metadata requests from a fleet are served once). Memoization
-// is automatically disabled when the base carries a latency model, whose
-// per-view warmth DOES show in sim_time_s.
+// identical metadata requests from a fleet are served once). The memo is
+// bucket-sharded by key hash and its hit path is a shared-mutex read, so
+// under fleet traffic (hits are the common case) thousands of concurrent
+// Loads no longer serialize on one mutex.
+//
+// Memoization under latency models: per-view cache warmth (NfsModel's
+// attribute cache) shows up in sim_time_s, so a memoized report cannot be
+// handed out verbatim when the base carries a LatencyModel. Instead of
+// disabling the memo (the old behaviour), the miss run records the exact
+// charge log — (op, hit, shared-vs-node-local route, path) for every
+// latency-charged operation — alongside the warmth-INDEPENDENT report
+// fields. A memo hit then replays that log through the hitting client's
+// own latency models: sim_time_s comes out exactly as if the client had
+// executed the load (including warming its attribute cache for subsequent
+// requests), while the resolution work is still done once fleet-wide.
+// Model-free pools keep the zero-copy shared-report fast path.
 //
 // Backpressure: each shard's queue is bounded; past the high-water mark
 // submits fail fast with svc::Overloaded carrying a retry-after hint
@@ -114,8 +133,9 @@ struct PoolConfig {
   /// Idle sweep: a fork untouched for this many of its shard's drain
   /// cycles is evicted (pristine) or collapsed (mutated). 0 = never.
   std::uint64_t idle_evict_cycles = 1024;
-  /// Dedup identical Load requests across pristine forks (disabled
-  /// automatically when the base carries a latency model).
+  /// Dedup identical Load requests across pristine forks. Stays on when
+  /// the base carries a latency model: hits re-price sim_time_s through
+  /// the client's own models (see the header comment).
   bool memoize_loads = true;
   /// Per-client fairness: at most this many commands per client per drain
   /// cycle (deficit round-robin over the swapped batch); a chatty client's
@@ -169,13 +189,39 @@ struct PoolStats {
   std::uint64_t fork_owned_bytes = 0;  // Σ owned_bytes over live forks
   /// End-to-end (enqueue -> result ready) latency per request kind.
   std::array<OpLatency, kRequestKinds> latency{};
+
+  // ---- contention observability -------------------------------------------
+  /// Fork admission paths: wait-free = Session::fork_sealed with no lock
+  /// (the expected path — the base is sealed at construction); locked =
+  /// the fork-mutex fallback. locked > 0 means the base lost its seal.
+  std::uint64_t forks_wait_free = 0;
+  std::uint64_t forks_locked = 0;
+  /// Load-memo traffic per memo shard (hit path is a shared-lock read).
+  /// memo_hits == `memoized`'s memo-served count; misses ran a resolution.
+  std::vector<std::uint64_t> memo_shard_hits;
+  std::vector<std::uint64_t> memo_shard_misses;
+  std::uint64_t memo_hits = 0;    // Σ memo_shard_hits
+  std::uint64_t memo_misses = 0;  // Σ memo_shard_misses
+  /// Commands per drain-cycle batch (how much batching the strands get).
+  struct BatchStats {
+    std::uint64_t cycles = 0;  // batches recorded
+    double p50 = 0;
+    double p99 = 0;
+    std::uint64_t max = 0;
+  };
+  BatchStats drain_batch;
+  /// Worker pool: size and cross-lane steals (support::ThreadPool) — a
+  /// high steal rate means drain tasks land unevenly across worker lanes.
+  std::size_t pool_threads = 0;
+  std::uint64_t pool_steals = 0;
 };
 
 class SessionPool {
  public:
-  /// Take ownership of the base world. The base is frozen up front (one
-  /// priming fork) so every admission is O(1) and the base session is
-  /// never structurally mutated again.
+  /// Take ownership of the base world. The base is seal()ed up front
+  /// (observably identical to the old priming fork) so every admission is
+  /// an O(1) LOCK-FREE fork_sealed() stamp and the base session is never
+  /// structurally mutated again.
   explicit SessionPool(core::Session base, PoolConfig config = {});
   ~SessionPool();
 
@@ -230,8 +276,12 @@ class SessionPool {
   PoolStats stats() const;
   /// Which shard serves this client (submission-order domain).
   std::size_t shard_of(ClientId client) const;
-  /// Whether Load dedup is active (config AND no latency model).
+  /// Whether Load dedup is active. Under a latency model the memo stays
+  /// on and hits re-price sim_time_s per client (repricing_active()).
   bool memoization_enabled() const { return memo_enabled_; }
+  /// True when memo hits replay the recorded charge log through the
+  /// client's own latency models (base carries a LatencyModel).
+  bool repricing_active() const { return reprice_; }
   /// The shared base. Const access is safe while the pool is quiescent
   /// (ctor, or after drain() with no concurrent submits): admissions
   /// serialize on an internal mutex but are not readers-safe against it.
@@ -241,8 +291,10 @@ class SessionPool {
   struct Shard;
   struct ClientState;
   struct Command;
+  struct MemoShard;
 
   Shard& shard_for(ClientId client);
+  MemoShard& memo_shard_for(const std::string& key);
   void schedule_drain(Shard& shard);     // under shard.mutex
   std::size_t drain_cycle(Shard& shard);  // strand body; returns commands run
   void enqueue(ClientId client, RequestKind kind, Command command);
@@ -254,12 +306,18 @@ class SessionPool {
   PoolConfig config_;
   core::Session base_;
   bool memo_enabled_ = false;
+  bool reprice_ = false;  // base carries a latency model: re-price hits
 
-  std::mutex fork_mutex_;  // serializes Session::fork on the base
+  /// Fallback only: admissions are lock-free via fork_sealed() while the
+  /// base stays sealed (always, absent outside mutation of base()).
+  std::mutex fork_mutex_;
+  std::atomic<std::uint64_t> forks_wait_free_{0};
+  std::atomic<std::uint64_t> forks_locked_{0};
 
-  std::mutex memo_mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const loader::LoadReport>>
-      memo_;
+  /// Load memo, bucket-sharded by key hash; hit path takes the shard's
+  /// shared lock only.
+  static constexpr std::size_t kMemoShards = 16;
+  std::vector<std::unique_ptr<MemoShard>> memo_shards_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

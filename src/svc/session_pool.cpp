@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <type_traits>
 #include <utility>
 #include <variant>
@@ -27,6 +28,69 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+/// One latency-charged operation from a memo-miss run, exactly as
+/// FileSystem::charge routed it: `local` = the node-local model was
+/// charged (pre-staged mount), else the shared model. Replaying the log
+/// through another client's models re-prices sim_time_s for THAT client's
+/// cache warmth — and warms its caches the way executing the load would.
+struct ChargeRec {
+  vfs::OpKind op = vfs::OpKind::Stat;
+  bool hit = false;
+  bool local = false;
+  std::string path;
+};
+
+/// Decorator installed around the executing client's latency models for
+/// the duration of a memo-miss load: forwards every cost() to the wrapped
+/// model (charges and warmth are untouched) while appending the charge
+/// log the memo stores. clone() is disabled on purpose — run_load drives
+/// single-view Session::load only, and a silent un-recorded clone would
+/// corrupt the log.
+class RecordingModel final : public vfs::LatencyModel {
+ public:
+  RecordingModel(std::shared_ptr<vfs::LatencyModel> inner, bool local,
+                 std::vector<ChargeRec>* log)
+      : inner_(std::move(inner)), local_(local), log_(log) {}
+
+  double cost(vfs::OpKind op, bool hit, const std::string& path) override {
+    log_->push_back(ChargeRec{op, hit, local_, path});
+    return inner_ ? inner_->cost(op, hit, path) : 0.0;
+  }
+  void clear_client_cache() override {
+    if (inner_) inner_->clear_client_cache();
+  }
+  std::shared_ptr<vfs::LatencyModel> clone() const override { return nullptr; }
+  std::string name() const override {
+    return inner_ ? inner_->name() : "recording";
+  }
+
+ private:
+  std::shared_ptr<vfs::LatencyModel> inner_;
+  bool local_;
+  std::vector<ChargeRec>* log_;
+};
+
+/// Replay a recorded charge log against `fs`'s installed models,
+/// mirroring FileSystem::charge's routing: node-local records price
+/// through the local model (lazily a default LocalDiskModel, exactly like
+/// charge), everything else through the shared model. Returns the total
+/// simulated seconds — the hit's re-priced sim_time_s.
+double replay_charges(vfs::FileSystem& fs,
+                      const std::vector<ChargeRec>& log) {
+  double total = 0;
+  for (const ChargeRec& rec : log) {
+    if (rec.local) {
+      if (!fs.local_latency_model_ptr()) {
+        fs.set_local_latency_model(std::make_shared<vfs::LocalDiskModel>());
+      }
+      total += fs.local_latency_model_ptr()->cost(rec.op, rec.hit, rec.path);
+    } else if (vfs::LatencyModel* model = fs.latency_model()) {
+      total += model->cost(rec.op, rec.hit, rec.path);
+    }
+  }
+  return total;
 }
 
 }  // namespace
@@ -139,6 +203,27 @@ struct SessionPool::Shard {
   /// without racing execution; submits never touch it.
   mutable std::mutex client_mutex;
   std::unordered_map<ClientId, ClientState> clients;
+
+  /// Commands executed per drain-cycle batch (PoolStats::drain_batch).
+  analysis::Histogram batch_sizes;
+};
+
+/// One bucket of the load memo. The hit path — the common case under
+/// fleet traffic — takes only the shared lock; a miss inserts under the
+/// exclusive lock after resolving OUTSIDE any memo lock.
+struct SessionPool::MemoShard {
+  struct Entry {
+    /// The resolved report. Model-free pools hand this exact object to
+    /// every hit (zero copies); re-pricing pools copy it and patch
+    /// stats.sim_time_s per client.
+    std::shared_ptr<const loader::LoadReport> report;
+    /// The miss run's latency charge log (null on model-free pools).
+    std::shared_ptr<const std::vector<ChargeRec>> charges;
+  };
+  mutable std::shared_mutex mutex;
+  std::unordered_map<std::string, Entry> map;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
 };
 
 // ---- construction ---------------------------------------------------------
@@ -146,15 +231,24 @@ struct SessionPool::Shard {
 SessionPool::SessionPool(core::Session base, PoolConfig config)
     : config_(config), base_(std::move(base)) {
   config_.shards = std::max<std::size_t>(1, config_.shards);
-  // Memoized Load reports must be warmth-independent; a latency model's
-  // per-view state (NfsModel's attribute cache) shows up in sim_time_s, so
-  // dedup is only sound on a model-free base. (Counters and load orders
-  // are warmth-transparent by the PR-3 dentry-cache contract.)
-  memo_enabled_ = config_.memoize_loads &&
-                  base_.fs().latency_model() == nullptr;
-  // Prime the fork family: freeze the base's overlay once so every
-  // admission fork is O(1) and never structurally mutates the base again.
-  { core::Session prime = base_.fork(); }
+  memo_enabled_ = config_.memoize_loads;
+  // A latency model's per-view state (NfsModel's attribute cache) shows up
+  // in sim_time_s, so memo hits cannot reuse the stored report verbatim:
+  // misses record their charge log and hits replay it through the client's
+  // own models. (Counters and load orders are warmth-transparent by the
+  // PR-3 dentry-cache contract, so everything else memoizes as-is.
+  // charge() only prices ops when the shared model is installed, which is
+  // why reprice_ keys on latency_model() alone.)
+  reprice_ = base_.fs().latency_model() != nullptr;
+  // Seal the fork family: freeze the base's overlay and dentry snapshot
+  // once (observably what the old priming fork did) so every admission is
+  // a lock-free O(1) fork_sealed() stamp and the base session is never
+  // structurally mutated again.
+  base_.seal();
+  memo_shards_.reserve(kMemoShards);
+  for (std::size_t i = 0; i < kMemoShards; ++i) {
+    memo_shards_.push_back(std::make_unique<MemoShard>());
+  }
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -175,6 +269,10 @@ std::size_t SessionPool::shard_of(ClientId client) const {
 
 SessionPool::Shard& SessionPool::shard_for(ClientId client) {
   return *shards_[shard_of(client)];
+}
+
+SessionPool::MemoShard& SessionPool::memo_shard_for(const std::string& key) {
+  return *memo_shards_[std::hash<std::string>{}(key) % memo_shards_.size()];
 }
 
 // ---- admission ------------------------------------------------------------
@@ -270,6 +368,7 @@ std::size_t SessionPool::drain_cycle(Shard& shard) {
     std::lock_guard lock(shard.mutex);
     shard.max_clients_per_cycle =
         std::max(shard.max_clients_per_cycle, clients_served);
+    shard.batch_sizes.add(batch.size());
     while (!deferred.empty()) {
       shard.queue.push_front(std::move(deferred.back()));
       deferred.pop_back();
@@ -329,13 +428,20 @@ void SessionPool::execute(Shard& shard, Command& command) {
   state.last_active = shard.cycles;
 
   // Lazily acquire the client's fork (Control and memo-served Loads may
-  // not need one; everything else does).
+  // not need one; everything else does). The base is sealed at pool
+  // construction, so the expected path is a lock-free fork_sealed stamp;
+  // the fork mutex survives only as the unsealed-base fallback.
   auto ensure_session = [&]() -> core::Session& {
     if (!state.session) {
-      // Session::fork mutates the parent's view-local bookkeeping, so all
-      // admissions serialize on the base.
-      std::lock_guard fork_lock(fork_mutex_);
-      state.session.emplace(base_.fork());
+      if (base_.sealed()) {
+        state.session.emplace(base_.fork_sealed());
+        forks_wait_free_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::lock_guard fork_lock(fork_mutex_);
+        state.session.emplace(base_.sealed() ? base_.fork_sealed()
+                                             : base_.fork());
+        forks_locked_.fetch_add(1, std::memory_order_relaxed);
+      }
       state.pristine = true;
       state.collapsed_idle = false;
     }
@@ -344,24 +450,74 @@ void SessionPool::execute(Shard& shard, Command& command) {
 
   // One Load, through the shared-world memo when sound: on a pristine fork
   // the report is a pure function of the exe (see header), so thousands of
-  // clients loading the same closure cost one resolution fleet-wide — and
-  // all receive the same immutable report object, no copies.
+  // clients loading the same closure cost one resolution fleet-wide. On a
+  // model-free pool every hit receives the same immutable report object
+  // (no copies); under a latency model a hit replays the stored charge log
+  // through the client's own models, so sim_time_s (and the client's cache
+  // warmth afterwards) is exactly what executing the load would produce.
   auto run_load =
       [&](const std::string& exe) -> std::shared_ptr<const loader::LoadReport> {
     const std::string key = exe.empty() ? base_.default_exe() : exe;
     if (memo_enabled_ && state.pristine) {
+      MemoShard& memo = memo_shard_for(key);
       {
-        std::lock_guard memo_lock(memo_mutex_);
-        if (auto it = memo_.find(key); it != memo_.end()) {
+        std::shared_lock memo_lock(memo.mutex);
+        if (auto it = memo.map.find(key); it != memo.map.end()) {
+          MemoShard::Entry entry = it->second;  // shared_ptr copies
+          memo_lock.unlock();
           memo_hit = true;
-          return it->second;
+          memo.hits.fetch_add(1, std::memory_order_relaxed);
+          if (!entry.charges) return entry.report;
+          auto priced = std::make_shared<loader::LoadReport>(*entry.report);
+          priced->stats.sim_time_s =
+              replay_charges(ensure_session().fs(), *entry.charges);
+          return priced;
         }
       }
-      auto report = std::make_shared<const loader::LoadReport>(
-          ensure_session().load(exe));
-      std::lock_guard memo_lock(memo_mutex_);
-      memo_.try_emplace(key, report);
-      return report;
+      memo.misses.fetch_add(1, std::memory_order_relaxed);
+      core::Session& session = ensure_session();
+      MemoShard::Entry entry;
+      if (reprice_) {
+        // Record the charge log while executing: wrap both installed
+        // models in forwarding recorders (costs and warmth unchanged),
+        // restore the originals afterwards. The local slot mirrors
+        // charge()'s lazy default when empty.
+        auto log = std::make_shared<std::vector<ChargeRec>>();
+        vfs::FileSystem& fs = session.fs();
+        std::shared_ptr<vfs::LatencyModel> orig = fs.latency_model_ptr();
+        std::shared_ptr<vfs::LatencyModel> orig_local =
+            fs.local_latency_model_ptr();
+        fs.set_latency_model(
+            std::make_shared<RecordingModel>(orig, /*local=*/false,
+                                             log.get()));
+        fs.set_local_latency_model(std::make_shared<RecordingModel>(
+            orig_local ? orig_local
+                       : std::make_shared<vfs::LocalDiskModel>(),
+            /*local=*/true, log.get()));
+        loader::LoadReport report;
+        try {
+          report = session.load(exe);
+        } catch (...) {
+          fs.set_latency_model(std::move(orig));
+          fs.set_local_latency_model(std::move(orig_local));
+          throw;
+        }
+        fs.set_latency_model(std::move(orig));
+        fs.set_local_latency_model(std::move(orig_local));
+        entry.report =
+            std::make_shared<const loader::LoadReport>(std::move(report));
+        entry.charges = std::move(log);
+      } else {
+        entry.report =
+            std::make_shared<const loader::LoadReport>(session.load(exe));
+      }
+      {
+        std::unique_lock memo_lock(memo.mutex);
+        memo.map.try_emplace(key, entry);
+      }
+      // This client's own run is returned even if a racing strand
+      // inserted first — both are correct for their clients.
+      return entry.report;
     }
     return std::make_shared<const loader::LoadReport>(ensure_session().load(exe));
   };
@@ -621,6 +777,7 @@ PoolStats SessionPool::stats() const {
   stats.shards = shards_.size();
   stats.queue_depths.reserve(shards_.size());
   std::array<analysis::Histogram, kRequestKinds> merged;
+  analysis::Histogram batches;
   for (const auto& shard : shards_) {
     {
       std::lock_guard lock(shard->mutex);
@@ -639,6 +796,9 @@ PoolStats SessionPool::stats() const {
           merged[k].add(sample);
         }
       }
+      for (const std::uint64_t sample : shard->batch_sizes.samples()) {
+        batches.add(sample);
+      }
     }
     std::lock_guard lock(shard->client_mutex);
     for (const auto& [id, state] : shard->clients) {
@@ -648,6 +808,26 @@ PoolStats SessionPool::stats() const {
     }
   }
   stats.admitted = stats.executed + pending_.load(std::memory_order_acquire);
+  stats.forks_wait_free = forks_wait_free_.load(std::memory_order_relaxed);
+  stats.forks_locked = forks_locked_.load(std::memory_order_relaxed);
+  stats.memo_shard_hits.reserve(memo_shards_.size());
+  stats.memo_shard_misses.reserve(memo_shards_.size());
+  for (const auto& memo : memo_shards_) {
+    const std::uint64_t hits = memo->hits.load(std::memory_order_relaxed);
+    const std::uint64_t misses = memo->misses.load(std::memory_order_relaxed);
+    stats.memo_shard_hits.push_back(hits);
+    stats.memo_shard_misses.push_back(misses);
+    stats.memo_hits += hits;
+    stats.memo_misses += misses;
+  }
+  if (!batches.empty()) {
+    stats.drain_batch.cycles = batches.size();
+    stats.drain_batch.p50 = static_cast<double>(batches.quantile(0.50));
+    stats.drain_batch.p99 = static_cast<double>(batches.quantile(0.99));
+    stats.drain_batch.max = batches.max();
+  }
+  stats.pool_threads = pool_->size();
+  stats.pool_steals = pool_->steal_count();
   for (std::size_t k = 0; k < kRequestKinds; ++k) {
     const analysis::Histogram& h = merged[k];
     if (h.empty()) continue;

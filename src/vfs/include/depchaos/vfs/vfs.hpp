@@ -73,7 +73,22 @@
 //    post-mount.
 //  * fork() MUTATES the parent view (freezes its overlay, rotates its
 //    dentry memo into the snapshot) — concurrent forks of one parent must
-//    be serialized by the caller (svc::SessionPool holds a fork mutex).
+//    be serialized by the caller.
+//  * SEALED FORK CONTRACT: seal() performs fork()'s parent-side mutations
+//    once and for all — freeze the overlay into the immutable chain,
+//    rotate the dentry memo into the shared snapshot, recursively seal
+//    writable mount backings — leaving the view in exactly the state a
+//    priming fork() would. From then until the next mutation,
+//    fork_sealed() is a *const* stamp over the immutable substrate: any
+//    number of threads may call it concurrently on one sealed view with
+//    no external lock (svc::SessionPool's wait-free admission path), and
+//    each child is byte-identical to what legacy fork() would return.
+//    Only fork_sealed() has this guarantee — other const reads on the
+//    sealed view (resolution, fingerprinting) still touch per-view
+//    mutable memo state and stay single-threaded. ANY mutation (node
+//    write, mount surgery, collapse) clears the seal; fork_sealed() then
+//    throws until seal() runs again, so a stale seal can never hand out
+//    a child that misses unfrozen state.
 //  * collapse() rewrites the calling view's layer chain only; sibling
 //    views keep their own references to the frozen generations, so one
 //    client flattening its world never perturbs another. Mutating a
@@ -202,6 +217,24 @@ class FileSystem {
   /// needing thread isolation with an uncloneable model must not fork
   /// across threads — core::Session::load_many guards this).
   FileSystem fork();
+
+  /// Perform fork()'s parent-side mutations once: freeze the overlay,
+  /// rotate the dentry memo into the shared snapshot, seal writable mount
+  /// backings recursively, and pre-warm the fingerprint memo. Afterwards —
+  /// until the next mutation — fork_sealed() needs no lock. Idempotent;
+  /// observably identical to a discarded priming fork().
+  void seal();
+
+  /// Lock-free fork fast path over a seal()ed view: stamps a new sibling
+  /// view (same inode numbering, zeroed counters, cloned latency models,
+  /// shared dentry snapshot — byte-identical to what fork() would return)
+  /// without touching the parent. Safe to call concurrently from many
+  /// threads on one sealed view. Throws FsError when the view is not
+  /// currently sealed.
+  FileSystem fork_sealed() const;
+
+  /// True between seal() and the next mutation.
+  bool sealed() const { return sealed_; }
 
   // ----- mount table (uncounted namespace surgery) -------------------------
   //
@@ -455,6 +488,14 @@ class FileSystem {
     latency_ = std::move(model);
   }
   LatencyModel* latency_model() const { return latency_.get(); }
+  /// Owning handles to the installed models (svc's memo re-pricing swaps
+  /// in recording decorators and must restore the originals afterwards).
+  const std::shared_ptr<LatencyModel>& latency_model_ptr() const {
+    return latency_;
+  }
+  const std::shared_ptr<LatencyModel>& local_latency_model_ptr() const {
+    return local_latency_;
+  }
 
   /// Drop client caches in the latency models (cold start).
   void clear_caches() {
@@ -705,8 +746,14 @@ class FileSystem {
     dentry_shared_.reset();
     dentry_dup_ = 0;
     fingerprint_.reset();
+    sealed_ = false;  // any invalidation means the substrate may change
   }
   bool dentry_enabled_ = true;
+  // True between seal() and the next mutation: the overlay is frozen, the
+  // dentry memo rotated, writable backings sealed — fork_sealed() may run
+  // concurrently. Cleared at the invalidate_dentries choke point, at node
+  // allocation, and at collapse().
+  bool sealed_ = false;
   std::size_t auto_collapse_ = 64;
   std::size_t dentry_snapshot_cap_ = 1 << 16;
   // Memoized overlay_fingerprint (mutable: computed inside const reads).

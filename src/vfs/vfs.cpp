@@ -141,7 +141,57 @@ void FileSystem::freeze_top() {
 }
 
 FileSystem FileSystem::fork() {
+  // fork() IS seal-then-stamp: the parent-side mutations (freeze, dentry
+  // rotation, backing seals) happen in seal(), the child is a pure const
+  // stamp over the frozen state. Splitting it this way makes the sealed
+  // fast path byte-identical to a legacy fork by construction — they are
+  // the same code.
+  seal();
+  return fork_sealed();
+}
+
+void FileSystem::seal() {
   freeze_top();
+  // Dentry warm start: freeze the memo into an immutable snapshot every
+  // future child keeps consulting (content is identical at the seal point,
+  // so every entry stays valid until a side mutates — which drops only
+  // that side's snapshot reference). The private map restarts empty so
+  // concurrent forked workers never write a shared structure.
+  if (dentry_enabled_ && !dentry_.empty()) {
+    // Snapshot generations: merging every generation forever lets a long
+    // fork chain carry dead entries. Past the cap, rebuild age-based —
+    // only this generation's entries (fresh walks plus promoted shared
+    // hits, i.e. everything actually touched since the last fork)
+    // survive; untouched carry-overs are shed and simply re-walked on
+    // demand.
+    // Keys living in BOTH maps (promoted hits, re-walked negatives)
+    // are subtracted so the merged size is the exact union and a
+    // working set under the cap never rebuilds.
+    const std::size_t carried = dentry_shared_ ? dentry_shared_->size() : 0;
+    const std::size_t merged = dentry_.size() + carried - dentry_dup_;
+    if (carried != 0 &&
+        (dentry_snapshot_cap_ == 0 || merged <= dentry_snapshot_cap_)) {
+      dentry_.insert(dentry_shared_->begin(), dentry_shared_->end());
+    }
+    dentry_shared_ = std::make_shared<const DentryMap>(std::move(dentry_));
+    dentry_ = DentryMap{};
+    dentry_dup_ = 0;
+  }
+  // Writable mount backings are part of the forkable state: seal them too
+  // so fork_sealed() can stamp their children without mutating them.
+  for (Mount& m : mounts_) {
+    if (m.active && !m.read_only && m.backing) m.backing->seal();
+  }
+  // Pre-warm the fingerprint memo (a mutable cache): concurrent
+  // fork_sealed() callers must never be the first to compute it.
+  overlay_fingerprint();
+  sealed_ = true;
+}
+
+FileSystem FileSystem::fork_sealed() const {
+  if (!sealed_) {
+    throw FsError("fork_sealed: view is not sealed (call seal() first)");
+  }
   FileSystem child{ForkTag{}};
   child.base_ = base_;
   child.top_start_ = top_start_;
@@ -159,43 +209,18 @@ FileSystem FileSystem::fork() {
     auto clone = local_latency_->clone();
     child.local_latency_ = clone ? std::move(clone) : local_latency_;
   }
-  // Dentry warm start: freeze the memo into an immutable snapshot both
-  // sides keep consulting (content is identical at the fork point, so
-  // every entry stays valid until a side mutates — which drops only that
-  // side's snapshot reference). Each side's private map restarts empty so
-  // concurrent forked workers never write a shared structure.
   if (dentry_enabled_) {
-    if (!dentry_.empty()) {
-      // Snapshot generations: merging every generation forever lets a long
-      // fork chain carry dead entries. Past the cap, rebuild age-based —
-      // only this generation's entries (fresh walks plus promoted shared
-      // hits, i.e. everything actually touched since the last fork)
-      // survive; untouched carry-overs are shed and simply re-walked on
-      // demand.
-      // Keys living in BOTH maps (promoted hits, re-walked negatives)
-      // are subtracted so the merged size is the exact union and a
-      // working set under the cap never rebuilds.
-      const std::size_t carried =
-          dentry_shared_ ? dentry_shared_->size() : 0;
-      const std::size_t merged = dentry_.size() + carried - dentry_dup_;
-      if (carried != 0 &&
-          (dentry_snapshot_cap_ == 0 || merged <= dentry_snapshot_cap_)) {
-        dentry_.insert(dentry_shared_->begin(), dentry_shared_->end());
-      }
-      dentry_shared_ = std::make_shared<const DentryMap>(std::move(dentry_));
-      dentry_ = DentryMap{};
-      dentry_dup_ = 0;
-    }
     child.dentry_shared_ = dentry_shared_;
   }
-  // Mount table: share read-only backings, CoW-fork writable ones so
-  // per-view divergence stays in the view. Mount indices — baked into
-  // tagged inode numbers, including the warm dentries — are preserved.
+  // Mount table: share read-only backings, stamp sealed children of
+  // writable ones so per-view divergence stays in the view. Mount indices
+  // — baked into tagged inode numbers, including the warm dentries — are
+  // preserved.
   child.mounts_.reserve(mounts_.size());
-  for (Mount& m : mounts_) {
+  for (const Mount& m : mounts_) {
     Mount copy = m;
     if (m.active && !m.read_only && m.backing) {
-      copy.backing = std::make_shared<FileSystem>(m.backing->fork());
+      copy.backing = std::make_shared<FileSystem>(m.backing->fork_sealed());
     }
     child.mounts_.push_back(std::move(copy));
   }
@@ -222,6 +247,7 @@ void FileSystem::collapse() {
   // Cached dentries survive: inode numbers and content are unchanged. The
   // overlay fingerprint does NOT: the whole world is the private delta now.
   fingerprint_.reset();
+  sealed_ = false;  // the overlay is the whole (unfrozen) world again
 }
 
 const FileSystem::Node& FileSystem::node(InodeNum ino) const {
@@ -367,6 +393,7 @@ std::uint64_t FileSystem::owned_bytes() const {
 }
 
 InodeNum FileSystem::new_node_local(NodeType type) {
+  sealed_ = false;  // the overlay is no longer empty, so no longer frozen
   top_nodes_.emplace_back();
   top_nodes_.back().type = type;
   ++live_inodes_;

@@ -243,6 +243,95 @@ TEST(FsForkTest, PropertyForkedMutationsMatchDeepCopiedMutations) {
   }
 }
 
+// ------------------------------------------- sealed forks == legacy forks
+
+TEST(FsForkTest, PropertySealedForkMatchesLegacyForkByteForByte) {
+  // fork() is seal() + fork_sealed() by construction; this pins the
+  // contract observably: children stamped from a sealed view are
+  // byte-identical to legacy forks — inode numbers, readdir order, file
+  // bytes, link targets, AND syscall counters under identical traffic.
+  for (const std::uint64_t seed : {5ull, 99ull, 0xfeedull}) {
+    support::Rng rng(seed);
+    FileSystem world;
+    std::vector<std::string> pool;
+    for (int i = 0; i < 40; ++i) {
+      const std::string file = "/d" + std::to_string(rng.below(6)) + "/f" +
+                               std::to_string(rng.below(25));
+      world.write_file(file, "seed" + std::to_string(i));
+      pool.push_back(file);
+    }
+    for (int i = 0; i < 8; ++i) {
+      try {
+        const std::string link = "/links/l" + std::to_string(i);
+        world.symlink(pool[rng.below(pool.size())], link);
+        pool.push_back(link);
+      } catch (const FsError&) {
+      }
+    }
+    // Warm the dentry memo so the seal's rotation moves real state.
+    for (int i = 0; i < 100; ++i) {
+      (void)world.exists(pool[rng.below(pool.size())]);
+    }
+
+    FileSystem twin(world);  // deep copy: identical inode numbering
+    FileSystem legacy = world.fork();
+    EXPECT_FALSE(twin.sealed());
+    twin.seal();
+    ASSERT_TRUE(twin.sealed());
+    const FileSystem& sealed_view = twin;  // const stamp, no parent mutation
+    FileSystem stamped = sealed_view.fork_sealed();
+    EXPECT_TRUE(twin.sealed());  // still sealed after any number of stamps
+    FileSystem sibling = sealed_view.fork_sealed();
+
+    EXPECT_EQ(fingerprint(legacy), fingerprint(stamped)) << "seed " << seed;
+    EXPECT_EQ(fingerprint(stamped), fingerprint(sibling)) << "seed " << seed;
+    EXPECT_EQ(fingerprint(world), fingerprint(twin)) << "seed " << seed;
+
+    // Identical probe traffic charges identical fresh counters.
+    legacy.reset_stats();
+    stamped.reset_stats();
+    support::Rng probes_a(seed ^ 0x1234);
+    support::Rng probes_b(seed ^ 0x1234);
+    const auto storm = [&pool](FileSystem& fs, support::Rng& r) {
+      for (int i = 0; i < 200; ++i) {
+        const std::string& path = pool[r.below(pool.size())];
+        switch (r.below(3)) {
+          case 0:
+            (void)fs.stat(path);
+            break;
+          case 1:
+            (void)fs.exists(path);
+            break;
+          default:
+            (void)fs.realpath(path);
+            break;
+        }
+      }
+    };
+    storm(legacy, probes_a);
+    storm(stamped, probes_b);
+    EXPECT_EQ(legacy.stats().stat_calls, stamped.stats().stat_calls);
+    EXPECT_EQ(legacy.stats().failed_probes, stamped.stats().failed_probes);
+    EXPECT_EQ(legacy.stats().readlink_calls, stamped.stats().readlink_calls);
+
+    // Divergence after the stamp behaves exactly like a legacy fork's.
+    apply_both(legacy, stamped,
+               [&](FileSystem& fs) { fs.write_file("/div/new", "x"); });
+    apply_both(legacy, stamped,
+               [&](FileSystem& fs) { fs.remove(pool.front()); });
+    EXPECT_EQ(fingerprint(legacy), fingerprint(stamped)) << "seed " << seed;
+    EXPECT_EQ(fingerprint(world), fingerprint(twin)) << "seed " << seed;
+
+    // Any mutation clears the seal; fork_sealed refuses until resealed.
+    twin.write_file("/unsealing/write", "x");
+    EXPECT_FALSE(twin.sealed());
+    EXPECT_THROW(twin.fork_sealed(), FsError);
+    twin.seal();
+    FileSystem resealed = twin.fork_sealed();
+    EXPECT_TRUE(resealed.exists("/unsealing/write"));
+  }
+}
+
 // ------------------------------------------------------ layer compaction
 
 TEST(FsForkTest, CollapseFlattensPreservingObservables) {

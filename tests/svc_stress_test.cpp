@@ -1,0 +1,216 @@
+// Thread-sanitizer stress for the multi-core session service. These tests
+// exist to give TSan (and the hardened CI legs) real contention to chew
+// on: many raw threads stamping fork_sealed() children off one sealed
+// base while the siblings resolve concurrently, and a SessionPool fed
+// from competing submitter threads so the work-stealing pool, sharded
+// memo, and sharded PathTable index all run hot. Assertions are
+// byte-identity checks — any synchronization bug shows up either as a
+// TSan report or as a divergent report digest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "depchaos/core/world.hpp"
+#include "depchaos/elf/patcher.hpp"
+#include "depchaos/support/thread_pool.hpp"
+#include "depchaos/svc/session_pool.hpp"
+
+namespace depchaos::svc {
+namespace {
+
+using core::Session;
+using core::WorldBuilder;
+using elf::make_executable;
+using elf::make_library;
+
+std::vector<std::string> install_fleet(WorldBuilder& builder,
+                                       std::size_t count) {
+  builder.install("/usr/lib/libcommon.so", make_library("libcommon.so"));
+  std::vector<std::string> exes;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string n = std::to_string(i);
+    builder.install("/apps/a" + n + "/lib/libpriv" + n + ".so",
+                    make_library("libpriv" + n + ".so", {"libcommon.so"}));
+    builder.install(
+        "/apps/a" + n + "/bin/app",
+        make_executable({"libpriv" + n + ".so"}, {"/apps/a" + n + "/lib"}));
+    exes.push_back("/apps/a" + n + "/bin/app");
+  }
+  return exes;
+}
+
+std::string digest(const loader::LoadReport& r) {
+  std::ostringstream out;
+  out << "ok=" << r.success << '\n';
+  for (const auto& o : r.load_order) {
+    out << o.name << '|' << o.path << '|' << o.real_path << '|' << o.depth
+        << '\n';
+  }
+  out << "stat=" << r.stats.stat_calls << " open=" << r.stats.open_calls
+      << " failed=" << r.stats.failed_probes << '\n';
+  return out.str();
+}
+
+// Raw-thread admission storm: every thread stamps its own fork_sealed()
+// child off ONE sealed base — no locks anywhere on the fork path — and
+// immediately resolves against it while its siblings do the same. The
+// interleaved resolutions intern paths into the family-shared PathTable
+// concurrently, which is exactly the sharded-index write path.
+TEST(SvcStress, ConcurrentSealedForksResolveByteIdentically) {
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 4;
+
+  WorldBuilder builder;
+  const auto exes = install_fleet(builder, kThreads);
+  Session base = builder.build();
+  base.seal();
+  ASSERT_TRUE(base.sealed());
+
+  // Reference digests from a single sequential child.
+  std::vector<std::string> want;
+  {
+    Session reference = base.fork_sealed();
+    for (const auto& exe : exes) want.push_back(digest(reference.load(exe)));
+  }
+
+  std::vector<std::vector<std::string>> got(kThreads);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          for (int round = 0; round < kRounds; ++round) {
+            Session child = base.fork_sealed();
+            // Each round resolves every app, rotated so threads collide
+            // on different closures at different times.
+            for (std::size_t i = 0; i < exes.size(); ++i) {
+              const std::size_t pick = (t + i + round) % exes.size();
+              const std::string d = digest(child.load(exes[pick]));
+              if (round == 0 && i == 0) got[t].push_back(d);
+              if (d != want[pick]) failures.fetch_add(1);
+            }
+          }
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(base.sealed());  // const stamps never cleared the seal
+}
+
+// The pool under competing submitters: several threads blast loads for
+// overlapping clients/exes at a multi-worker pool. Work stealing, the
+// sharded memo (hit and miss paths racing on cold keys), and strand
+// batching all interleave; every single report must still match the
+// sequential reference.
+TEST(SvcStress, PoolUnderCompetingSubmittersStaysByteIdentical) {
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kClientsPer = 8;
+  constexpr int kLoadsPerClient = 3;
+
+  WorldBuilder twin_a;
+  const auto exes = install_fleet(twin_a, 6);
+  WorldBuilder twin_b;
+  install_fleet(twin_b, 6);
+
+  Session reference = twin_a.build();
+  reference.seal();
+  std::vector<std::string> want;
+  {
+    Session child = reference.fork_sealed();
+    for (const auto& exe : exes) want.push_back(digest(child.load(exe)));
+  }
+
+  PoolConfig config;
+  config.shards = 4;
+  config.threads = 4;
+  SessionPool pool(twin_b.build(), config);
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&, s] {
+        std::vector<std::pair<std::size_t, std::future<loader::LoadReport>>>
+            inflight;
+        for (std::size_t c = 0; c < kClientsPer; ++c) {
+          const ClientId client =
+              static_cast<ClientId>(s * kClientsPer + c + 1);
+          for (int i = 0; i < kLoadsPerClient; ++i) {
+            const std::size_t pick = (s + c + static_cast<std::size_t>(i)) %
+                                     exes.size();
+            inflight.emplace_back(pick,
+                                  pool.submit_load(client, exes[pick]));
+          }
+        }
+        for (auto& [pick, future] : inflight) {
+          try {
+            if (digest(future.get()) != want[pick]) failures.fetch_add(1);
+          } catch (...) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& submitter : submitters) submitter.join();
+  }
+  pool.drain();
+  EXPECT_EQ(failures.load(), 0);
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.executed, kSubmitters * kClientsPer * kLoadsPerClient);
+  EXPECT_EQ(stats.worker_errors, 0u);
+  EXPECT_EQ(stats.forks_locked, 0u);  // sealed stamps only, never the mutex
+  EXPECT_GT(stats.memo_hits, 0u);
+}
+
+// Work-stealing pool in isolation: imbalanced task sizes from several
+// submitter threads, tags and errors striped across lanes. TSan checks
+// the lane handoffs; the assertions check the bookkeeping survived them.
+TEST(SvcStress, ThreadPoolStealsKeepTagAndErrorBookkeeping) {
+  support::ThreadPool pool(4);
+  constexpr int kTasks = 400;
+  std::atomic<int> ran{0};
+  {
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 3; ++s) {
+      submitters.emplace_back([&, s] {
+        for (int i = 0; i < kTasks; ++i) {
+          pool.submit("stress/tag" + std::to_string(s), [&, i] {
+            // Tail of heavy tasks so some lanes drain early and steal.
+            volatile std::uint64_t sink = 0;
+            const int spin = (i % 16 == 0) ? 20000 : 50;
+            for (int k = 0; k < spin; ++k) {
+              sink = sink + static_cast<std::uint64_t>(k);
+            }
+            ran.fetch_add(1);
+            if (i % 97 == 0) throw std::runtime_error("expected");
+          });
+        }
+      });
+    }
+    for (auto& submitter : submitters) submitter.join();
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 3 * kTasks);
+  const auto errors = pool.take_errors();
+  EXPECT_EQ(errors.size(), 3u * ((kTasks + 96) / 97));
+  const auto tags = pool.tag_stats();
+  std::uint64_t tagged = 0;
+  for (const auto& [tag, counts] : tags) tagged += counts.completed;
+  EXPECT_EQ(tagged, 3u * kTasks);
+}
+
+}  // namespace
+}  // namespace depchaos::svc

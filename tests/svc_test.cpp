@@ -139,16 +139,60 @@ TEST(SessionPool, SharedLoadsAliasOneReportAndMatchCopyingApi) {
   EXPECT_EQ(digest(*a), copied);
 }
 
-TEST(SessionPool, MemoizationDisabledUnderLatencyModel) {
-  Session base = make_world();
+// Everything in a LoadReport except sim_time_s is warmth-transparent and
+// must match bit-for-bit; sim_time_s is compared separately (1e-9) since
+// re-pricing replays floating-point charge sums.
+std::string digest_sans_time(loader::LoadReport r) {
+  r.stats.sim_time_s = 0;
+  return digest(r);
+}
+
+TEST(SessionPool, MemoizationStaysOnUnderLatencyModelWithRepricing) {
+  WorldBuilder twin_a;
+  install_fleet(twin_a, 3);
+  WorldBuilder twin_b;
+  install_fleet(twin_b, 3);
+
+  Session base = twin_b.build();
   base.fs().set_latency_model(std::make_shared<vfs::NfsModel>());
   SessionPool pool(std::move(base));
-  // sim_time_s depends on per-view model warmth, so dedup would lie.
-  EXPECT_FALSE(pool.memoization_enabled());
-  pool.submit_load(1, "/apps/a0/bin/app").get();
-  pool.submit_load(2, "/apps/a0/bin/app").get();
+  // A stateful model no longer disables the memo: hits replay the miss
+  // run's charge log through the hitting client's OWN cloned models.
+  EXPECT_TRUE(pool.memoization_enabled());
+  EXPECT_TRUE(pool.repricing_active());
+
+  const std::string exe = "/apps/a0/bin/app";
+  // Client 1 loads twice (cold attr cache, then warm); client 2 loads
+  // once on its own cold fork. Loads 2 and 3 are memo hits, yet each must
+  // be priced for ITS client's warmth, not the miss run's.
+  const auto cold = pool.submit_load(1, exe).get();
+  const auto warm = pool.submit_load(1, exe).get();
+  const auto other = pool.submit_load(2, exe).get();
   pool.drain();  // counters update after promises are fulfilled
-  EXPECT_EQ(pool.stats().memoized, 0u);
+
+  Session reference = twin_a.build();
+  reference.fs().set_latency_model(std::make_shared<vfs::NfsModel>());
+  reference.seal();  // mirror the pool's ctor seal
+  Session ref1 = reference.fork_sealed();
+  const auto ref_cold = ref1.load(exe);
+  const auto ref_warm = ref1.load(exe);
+  Session ref2 = reference.fork_sealed();
+  const auto ref_other = ref2.load(exe);
+
+  EXPECT_EQ(digest_sans_time(cold), digest_sans_time(ref_cold));
+  EXPECT_EQ(digest_sans_time(warm), digest_sans_time(ref_warm));
+  EXPECT_EQ(digest_sans_time(other), digest_sans_time(ref_other));
+  EXPECT_NEAR(cold.stats.sim_time_s, ref_cold.stats.sim_time_s, 1e-9);
+  EXPECT_NEAR(warm.stats.sim_time_s, ref_warm.stats.sim_time_s, 1e-9);
+  EXPECT_NEAR(other.stats.sim_time_s, ref_other.stats.sim_time_s, 1e-9);
+  // The re-pricing is doing real work: warm NFS caches are cheaper than
+  // cold ones, so the two hits of the same memo entry price differently.
+  EXPECT_LT(warm.stats.sim_time_s, cold.stats.sim_time_s);
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.memoized, 2u);  // warm + other were memo-served
+  EXPECT_EQ(stats.memo_hits, 2u);
+  EXPECT_GE(stats.memo_misses, 1u);
 }
 
 TEST(SessionPool, ShrinkwrapIsolatedPerClientAndFifoOrdered) {
@@ -487,7 +531,7 @@ TEST(SessionPoolProperty, RandomConcurrentClientsMatchSequentialRuns) {
   // Sequential reference: each client's script on a private fork of a
   // byte-identical twin world, one after another on this thread.
   Session base = twin_a.build();
-  { Session prime = base.fork(); }  // mirror the pool's priming fork
+  base.seal();  // mirror the pool's ctor seal (what the priming fork did)
   for (std::size_t c = 0; c < kClients; ++c) {
     Session session = base.fork();
     std::size_t step_index = 0;
@@ -516,6 +560,70 @@ TEST(SessionPoolProperty, RandomConcurrentClientsMatchSequentialRuns) {
   const PoolStats stats = pool.stats();
   EXPECT_EQ(stats.executed, kClients * kSteps);
   EXPECT_EQ(stats.worker_errors, 0u);
+}
+
+// Same property under a STATEFUL latency model: random load scripts from
+// concurrent clients, memoization active, every sim_time_s within 1e-9 of
+// the sequential per-client fork reference (all other fields exact).
+TEST(SessionPoolProperty, RandomizedMemoRepricingMatchesSequentialForks) {
+  constexpr std::size_t kApps = 4;
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kSteps = 4;
+
+  WorldBuilder twin_a;
+  const auto exes = install_fleet(twin_a, kApps);
+  WorldBuilder twin_b;
+  install_fleet(twin_b, kApps);
+
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<std::size_t> exe_dist(0, kApps - 1);
+  std::vector<std::vector<std::string>> scripts(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t s = 0; s < kSteps; ++s) {
+      scripts[c].push_back(exes[exe_dist(rng)]);
+    }
+  }
+
+  Session base = twin_b.build();
+  base.fs().set_latency_model(std::make_shared<vfs::NfsModel>());
+  PoolConfig config;
+  config.shards = 4;
+  config.threads = 4;
+  SessionPool pool(std::move(base), config);
+  ASSERT_TRUE(pool.memoization_enabled());
+  ASSERT_TRUE(pool.repricing_active());
+  std::vector<std::vector<std::future<loader::LoadReport>>> futures(kClients);
+  for (std::size_t s = 0; s < kSteps; ++s) {
+    for (std::size_t c = 0; c < kClients; ++c) {
+      futures[c].push_back(
+          pool.submit_load(static_cast<ClientId>(c + 1), scripts[c][s]));
+    }
+  }
+
+  Session reference = twin_a.build();
+  reference.fs().set_latency_model(std::make_shared<vfs::NfsModel>());
+  reference.seal();  // mirror the pool's ctor seal
+  for (std::size_t c = 0; c < kClients; ++c) {
+    Session session = reference.fork_sealed();
+    for (std::size_t s = 0; s < kSteps; ++s) {
+      const loader::LoadReport got = futures[c][s].get();
+      const loader::LoadReport want = session.load(scripts[c][s]);
+      EXPECT_EQ(digest_sans_time(got), digest_sans_time(want))
+          << "client " << c << " step " << s << " exe " << scripts[c][s];
+      EXPECT_NEAR(got.stats.sim_time_s, want.stats.sim_time_s, 1e-9)
+          << "client " << c << " step " << s << " exe " << scripts[c][s];
+    }
+  }
+
+  pool.drain();  // counters update after promises are fulfilled
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.executed, kClients * kSteps);
+  EXPECT_EQ(stats.worker_errors, 0u);
+  // 32 loads over 4 distinct closures: the memo carried most of them.
+  // (>= kApps misses, not ==: two strands may race the same cold key.)
+  EXPECT_GT(stats.memo_hits, 0u);
+  EXPECT_GE(stats.memo_misses, kApps);
+  EXPECT_EQ(stats.forks_locked, 0u);  // every admission was the sealed stamp
 }
 
 }  // namespace

@@ -516,6 +516,30 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::printf("drain cycles        %llu over %zu shards\n",
               static_cast<unsigned long long>(stats.drain_cycles),
               stats.shards);
+  // Contention dashboard: whether the multi-core fast paths actually ran
+  // hot — every admission a wait-free sealed stamp, memo probes spread
+  // across shards, strands batching well, lanes balanced.
+  std::printf("forks wait-free / locked  %llu / %llu\n",
+              static_cast<unsigned long long>(stats.forks_wait_free),
+              static_cast<unsigned long long>(stats.forks_locked));
+  std::uint64_t busiest_shard = 0;
+  for (const std::uint64_t hits : stats.memo_shard_hits) {
+    busiest_shard = std::max(busiest_shard, hits);
+  }
+  std::printf("memo hits / misses  %llu / %llu across %zu shards "
+              "(busiest shard %llu hits)\n",
+              static_cast<unsigned long long>(stats.memo_hits),
+              static_cast<unsigned long long>(stats.memo_misses),
+              stats.memo_shard_hits.size(),
+              static_cast<unsigned long long>(busiest_shard));
+  std::printf("drain batch size    p50=%.0f p99=%.0f max=%llu over %llu "
+              "cycles\n",
+              stats.drain_batch.p50, stats.drain_batch.p99,
+              static_cast<unsigned long long>(stats.drain_batch.max),
+              static_cast<unsigned long long>(stats.drain_batch.cycles));
+  std::printf("pool workers        %zu (%llu cross-lane steals)\n",
+              stats.pool_threads,
+              static_cast<unsigned long long>(stats.pool_steals));
   for (std::size_t k = 0; k < svc::kRequestKinds; ++k) {
     const svc::OpLatency& lat = stats.latency[k];
     if (lat.count == 0) continue;
