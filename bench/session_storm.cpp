@@ -30,7 +30,9 @@
 // its baseline) is enforced by bench/loader_hotpath.cpp itself, which CI
 // runs alongside this binary.
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <future>
@@ -42,6 +44,7 @@
 #include "bench_util.hpp"
 #include "depchaos/core/world.hpp"
 #include "depchaos/svc/session_pool.hpp"
+#include "depchaos/svc/wire.hpp"
 #include "depchaos/vfs/latency.hpp"
 
 namespace {
@@ -173,6 +176,95 @@ StormResult run_storm(std::size_t clients, const std::vector<std::string>& exes,
   return result;
 }
 
+// ---- loopback-socket rows --------------------------------------------------
+
+struct WireRowResult {
+  double closed_per_s = 0;  // one connection, one request in flight
+  double storm_per_s = 0;   // C connections, full list pipelined per conn
+  std::size_t payload_mismatches = 0;
+  svc::WireStats wire;
+};
+
+/// The same storm through the wire: a WireServer over one pool on
+/// loopback TCP, so the BENCH json tracks what framing + socket round
+/// trips cost relative to in-process submits. Every response payload is
+/// checked byte-for-byte against encoding the in-process result from a
+/// twin pool — the wire must be invisible, not just fast.
+WireRowResult run_wire_loopback(const std::vector<std::string>& exes,
+                                std::size_t storm_clients) {
+  svc::SessionPool oracle(make_debian_session(), storm_config());
+  svc::SessionPool served(make_debian_session(), storm_config());
+  svc::WireServer server(served);
+  WireRowResult result;
+
+  // Expected payload per exe: on pristine forks the report is a pure
+  // function of the exe (the memo property the 64-client gate already
+  // leans on), so one in-process pass is the oracle for every client.
+  std::vector<std::string> expected;
+  expected.reserve(exes.size());
+  for (const auto& exe : exes) {
+    expected.push_back(
+        svc::encode_load_report(*oracle.submit_load_shared(1, exe).get()));
+  }
+
+  // Closed loop: the single-tenant rhythm, now paying encode + two socket
+  // hops + decode per request. Payloads are kept and compared after the
+  // clock stops.
+  {
+    svc::WireClient client("127.0.0.1", server.port());
+    std::vector<std::string> payloads;
+    payloads.reserve(exes.size());
+    const auto start = Clock::now();
+    for (const auto& exe : exes) {
+      svc::WireResponse response =
+          client.call(svc::WireKind::Load, 1, exe);
+      if (response.status != svc::WireStatus::Ok) std::abort();
+      payloads.push_back(std::move(response.payload));
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.closed_per_s = static_cast<double>(exes.size()) / elapsed;
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      if (payloads[i] != expected[i]) ++result.payload_mismatches;
+    }
+  }
+
+  // Storm: C connections, each pipelining the whole list (send all, then
+  // collect out-of-order-tolerant by sequence number).
+  {
+    std::vector<std::thread> drivers;
+    std::atomic<std::size_t> mismatches{0};
+    drivers.reserve(storm_clients);
+    const auto start = Clock::now();
+    for (std::size_t c = 0; c < storm_clients; ++c) {
+      drivers.emplace_back([&, c] {
+        svc::WireClient client("127.0.0.1", server.port());
+        const auto id = static_cast<svc::ClientId>(c + 2);  // 1 = closed loop
+        std::vector<std::uint64_t> seqs;
+        seqs.reserve(exes.size());
+        for (const auto& exe : exes) {
+          seqs.push_back(client.send(svc::WireKind::Load, id, exe));
+        }
+        for (std::size_t i = 0; i < seqs.size(); ++i) {
+          svc::WireResponse response = client.recv_for(seqs[i]);
+          if (response.status != svc::WireStatus::Ok) std::abort();
+          if (response.payload != expected[i]) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& driver : drivers) driver.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.storm_per_s =
+        static_cast<double>(storm_clients * exes.size()) / elapsed;
+    result.payload_mismatches += mismatches.load();
+  }
+
+  result.wire = server.stats();
+  server.stop();
+  return result;
+}
+
 // ---- multi-core rows -------------------------------------------------------
 
 struct MultiCoreResult {
@@ -300,7 +392,41 @@ int print_report() {
       run_storm(1024, request_list(big_requests), /*collect=*/false);
   report_storm("1024 clients", 1024, fleet1024);
 
+  // ---- loopback socket: the same service behind the wire protocol ---------
+  heading("Loopback socket: wire protocol overhead vs in-process submits");
+  const std::size_t wire_clients = smoke_mode() ? 8 : 32;
+  const WireRowResult wire = run_wire_loopback(exes, wire_clients);
+  row("wire closed-loop closures/s", fmt(wire.closed_per_s, 0));
+  row("wire closed-loop vs in-process",
+      fmt(100.0 * wire.closed_per_s / single.closures_per_s, 1) +
+          "% of in-process rate");
+  row("wire " + std::to_string(wire_clients) + "-conn storm closures/s",
+      fmt(wire.storm_per_s, 0));
+  row("wire frames in / out",
+      std::to_string(wire.wire.frames_in) + " / " +
+          std::to_string(wire.wire.frames_out));
+  row("wire decode errors / timeouts",
+      std::to_string(wire.wire.decode_errors) + " / " +
+          std::to_string(wire.wire.timeouts));
+
   heading("Gates");
+
+  // Wire byte-identity: every loopback payload must equal the canonical
+  // encoding of the in-process result from a twin pool.
+  row("wire payloads == in-process encodings",
+      wire.payload_mismatches == 0
+          ? "yes"
+          : "NO - " + std::to_string(wire.payload_mismatches) + " mismatches");
+  if (wire.payload_mismatches != 0) {
+    std::printf("  GATE FAILED: wire payloads diverge from in-process "
+                "results\n");
+    ++failures;
+  }
+  if (wire.wire.decode_errors != 0) {
+    std::printf("  GATE FAILED: loopback run produced %llu decode errors\n",
+                static_cast<unsigned long long>(wire.wire.decode_errors));
+    ++failures;
+  }
 
   // Byte-identity: the 64-client concurrent reports vs the same request
   // list run sequentially on a fork of a twin world. Every client issued

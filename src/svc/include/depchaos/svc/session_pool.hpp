@@ -75,6 +75,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -148,6 +149,12 @@ struct PoolConfig {
   /// advance only when pump() is called, making backpressure and idle
   /// eviction deterministic.
   bool manual_drain = false;
+  /// Test-only fault injection: invoked right before each worker-pool
+  /// drain submission; throwing simulates a submit failure (pool shutting
+  /// down). Admission must stay exception-safe: the command is rejected,
+  /// pending_ is given back, and drain() still quiesces — the regression
+  /// gate for the pending_-leak bug.
+  std::function<void()> drain_submit_fault;
 };
 
 /// Answer to a Query request: facts about the client's view of the world.

@@ -295,7 +295,25 @@ void SessionPool::enqueue(ClientId client, RequestKind kind, Command command) {
     }
     pending_.fetch_add(1, std::memory_order_acq_rel);
     shard.queue.push_back(std::move(command));
-    if (!config_.manual_drain) schedule_drain(shard);
+    if (!config_.manual_drain) {
+      try {
+        schedule_drain(shard);
+      } catch (...) {
+        // The worker-pool submit failed (e.g. pool shutting down): nothing
+        // will ever run this command, so undo the admission completely —
+        // our command is still at the back (mutex held), pending_ must be
+        // given back (waking a blocked drain() if we were the last), and
+        // the submitter gets the exception instead of a forever-pending
+        // future. Without this the counter leaked and drain() hung.
+        shard.queue.pop_back();
+        ++shard.rejected;
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard quiesce_lock(quiesce_mutex_);
+          quiesce_cv_.notify_all();
+        }
+        throw;
+      }
+    }
   }
 }
 
@@ -305,10 +323,19 @@ void SessionPool::schedule_drain(Shard& shard) {
   // or out of order.
   if (shard.draining) return;
   shard.draining = true;
-  pool_->submit("svc/shard" + std::to_string(shard.index), [this, &shard] {
-    while (drain_cycle(shard) != 0) {
-    }
-  });
+  try {
+    if (config_.drain_submit_fault) config_.drain_submit_fault();
+    pool_->submit("svc/shard" + std::to_string(shard.index), [this, &shard] {
+      while (drain_cycle(shard) != 0) {
+      }
+    });
+  } catch (...) {
+    // A failed submit must not wedge the strand: leaving `draining` set
+    // with no task in flight would silence every future schedule_drain
+    // for this shard.
+    shard.draining = false;
+    throw;
+  }
 }
 
 std::size_t SessionPool::drain_cycle(Shard& shard) {

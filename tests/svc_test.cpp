@@ -626,5 +626,39 @@ TEST(SessionPoolProperty, RandomizedMemoRepricingMatchesSequentialForks) {
   EXPECT_EQ(stats.forks_locked, 0u);  // every admission was the sealed stamp
 }
 
+// ------------------------------------------------------- admission safety
+
+// Regression: enqueue incremented pending_ before scheduling the drain
+// task; when the worker-pool submit threw (pool shutting down), the
+// counter was never given back, drain() blocked forever, and the shard's
+// `draining` flag stayed set — wedging the strand for every later submit.
+// The fault hook forces exactly that failure.
+TEST(SessionPool, FailedDrainSchedulingDoesNotLeakPendingOrWedgeTheShard) {
+  std::atomic<int> faults{1};
+  PoolConfig config;
+  config.drain_submit_fault = [&faults] {
+    if (faults.fetch_sub(1) > 0) {
+      throw std::runtime_error("worker pool rejected the drain task");
+    }
+  };
+  SessionPool pool(make_world(), config);
+  const std::string exe = "/apps/a0/bin/app";
+
+  // The submit surfaces the failure instead of returning a future that
+  // can never complete.
+  EXPECT_THROW(pool.submit_load(1, exe), std::runtime_error);
+
+  // Before the fix this hung forever on the leaked pending_ count.
+  pool.drain();
+
+  // And the shard is not wedged: the next submit schedules a fresh drain
+  // task and completes normally.
+  EXPECT_TRUE(pool.submit_load(1, exe).get().success);
+  pool.drain();
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.rejected, 1u);  // the failed admission was counted
+}
+
 }  // namespace
 }  // namespace depchaos::svc

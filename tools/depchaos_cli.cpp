@@ -32,7 +32,9 @@
 // FileSystem or Loader by hand.
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +50,7 @@
 #include "depchaos/elf/patcher.hpp"
 #include "depchaos/support/strings.hpp"
 #include "depchaos/svc/session_pool.hpp"
+#include "depchaos/svc/wire.hpp"
 #include "depchaos/vfs/snapshot.hpp"
 #include "depchaos/workload/scenarios.hpp"
 
@@ -108,7 +111,7 @@ void print_usage(std::FILE* out) {
       "      (mount table of a fleet image's first view)\n"
       "  depchaos serve <world-file> --exe=PATH [--clients=N]\n"
       "      [--requests=N] [--shards=N] [--threads=N] [--mix=load|mixed]\n"
-      "      [--seed=N] [--high-water=N] [--no-memo]\n"
+      "      [--seed=N] [--high-water=N] [--no-memo] [--listen=PORT]\n"
       "      (multi-tenant session service demo: a svc::SessionPool over\n"
       "       the world plus an in-process scripted driver — N client\n"
       "       threads each firing a request script at the pool's sharded\n"
@@ -118,7 +121,21 @@ void print_usage(std::FILE* out) {
       "       shard, submits are rejected with a retry-after hint and the\n"
       "       driver backs off and retries. Prints the PoolStats\n"
       "       dashboard: per-shard depths, executed/memoized/rejected,\n"
-      "       per-op p50/p99 latency)\n");
+      "       per-op p50/p99 latency.\n"
+      "       --listen=PORT hosts the pool behind the length-prefixed\n"
+      "       wire protocol instead of running the in-process driver\n"
+      "       [0 = ephemeral; the bound port is printed], serving until a\n"
+      "       remote `connect ... --shutdown`; the WireStats counters\n"
+      "       join the dashboard)\n"
+      "  depchaos connect HOST:PORT [--clients=N] [--requests=N]\n"
+      "      [--mix=load|mixed] [--seed=N] [--exe=PATH] [--shutdown]\n"
+      "      (remote driver for `serve --listen`: the same scripted\n"
+      "       client mix over sockets, one connection per client thread;\n"
+      "       Overloaded responses carry the pool's shard/depth/retry-\n"
+      "       after and the driver backs off exactly like an in-process\n"
+      "       submitter. --exe defaults to the server world's default\n"
+      "       target; --shutdown asks the server to drain and exit after\n"
+      "       the run)\n");
 }
 
 [[noreturn]] void usage() {
@@ -163,6 +180,58 @@ std::string flag_value(const std::vector<std::string>& args,
   return fallback;
 }
 
+// Checked numeric parsing. The old pattern — `std::strtol(text, nullptr,
+// 10)` — ignored endptr and errno, so `--clients=abc` silently ran 0
+// clients, `--ranks=1e3` parsed as 1 (strtol stops at the 'e'), and
+// `--clients=-1` wrapped to ~1.8e19 once cast to size_t. Every numeric
+// flag now goes through these: garbage, trailing junk, overflow, and
+// out-of-range values all fail loudly with a usage-style exit code.
+
+long long parse_long_text(std::string_view flag, const std::string& text,
+                          long long min, long long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "depchaos: %.*s wants an integer, got \"%s\"\n",
+                 static_cast<int>(flag.size()), flag.data(), text.c_str());
+    std::exit(2);
+  }
+  if (value < min || value > max) {
+    std::fprintf(stderr,
+                 "depchaos: %.*s%lld out of range [%lld, %lld]\n",
+                 static_cast<int>(flag.size()), flag.data(), value, min, max);
+    std::exit(2);
+  }
+  return value;
+}
+
+long long parse_long(const std::vector<std::string>& args,
+                     std::string_view prefix, long long fallback,
+                     long long min, long long max) {
+  return parse_long_text(prefix, flag_value(args, prefix,
+                                            std::to_string(fallback)),
+                         min, max);
+}
+
+double parse_double_text(std::string_view flag, const std::string& text,
+                         double min, double max) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "depchaos: %.*s wants a number, got \"%s\"\n",
+                 static_cast<int>(flag.size()), flag.data(), text.c_str());
+    std::exit(2);
+  }
+  if (!(value >= min && value <= max)) {  // NaN fails too
+    std::fprintf(stderr, "depchaos: %.*s%g out of range [%g, %g]\n",
+                 static_cast<int>(flag.size()), flag.data(), value, min, max);
+    std::exit(2);
+  }
+  return value;
+}
+
 loader::Environment env_from_args(const std::vector<std::string>& args) {
   loader::Environment env;
   const std::string dirs = flag_value(args, "--env=", "");
@@ -187,8 +256,7 @@ int cmd_worldgen(const std::vector<std::string>& args) {
   if (scenario == "pynamic") {
     workload::PynamicConfig config;
     config.num_modules = static_cast<std::size_t>(
-        std::strtoul(flag_value(args, "--modules=", "120").c_str(), nullptr,
-                     10));
+        parse_long(args, "--modules=", 120, 1, 1'000'000));
     config.exe_extra_bytes = 4u << 20;
     builder.pynamic(config);
   } else {
@@ -407,30 +475,102 @@ int cmd_mount(const std::vector<std::string>& args) {
   return 0;
 }
 
-// `depchaos serve` — the session service demo. There is no network layer in
-// a simulator, so the "clients" are in-process driver threads; everything
-// else is the production path: typed submits into the sharded admission
+/// The PoolStats dashboard, shared by both `serve` modes (in-process driver
+/// and `--listen` wire host).
+void print_pool_dashboard(const svc::PoolStats& stats) {
+  std::printf("clients live        %zu (sum private divergence %llu bytes)\n",
+              stats.clients_live,
+              static_cast<unsigned long long>(stats.fork_owned_bytes));
+  std::printf("executed / memoized %llu / %llu\n",
+              static_cast<unsigned long long>(stats.executed - stats.memoized),
+              static_cast<unsigned long long>(stats.memoized));
+  std::printf("rejected / evicted / collapsed / errors  %llu / %llu / %llu "
+              "/ %llu\n",
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.evicted),
+              static_cast<unsigned long long>(stats.collapsed),
+              static_cast<unsigned long long>(stats.worker_errors));
+  std::printf("drain cycles        %llu over %zu shards\n",
+              static_cast<unsigned long long>(stats.drain_cycles),
+              stats.shards);
+  // Contention dashboard: whether the multi-core fast paths actually ran
+  // hot — every admission a wait-free sealed stamp, memo probes spread
+  // across shards, strands batching well, lanes balanced.
+  std::printf("forks wait-free / locked  %llu / %llu\n",
+              static_cast<unsigned long long>(stats.forks_wait_free),
+              static_cast<unsigned long long>(stats.forks_locked));
+  std::uint64_t busiest_shard = 0;
+  for (const std::uint64_t hits : stats.memo_shard_hits) {
+    busiest_shard = std::max(busiest_shard, hits);
+  }
+  std::printf("memo hits / misses  %llu / %llu across %zu shards "
+              "(busiest shard %llu hits)\n",
+              static_cast<unsigned long long>(stats.memo_hits),
+              static_cast<unsigned long long>(stats.memo_misses),
+              stats.memo_shard_hits.size(),
+              static_cast<unsigned long long>(busiest_shard));
+  std::printf("drain batch size    p50=%.0f p99=%.0f max=%llu over %llu "
+              "cycles\n",
+              stats.drain_batch.p50, stats.drain_batch.p99,
+              static_cast<unsigned long long>(stats.drain_batch.max),
+              static_cast<unsigned long long>(stats.drain_batch.cycles));
+  std::printf("pool workers        %zu (%llu cross-lane steals)\n",
+              stats.pool_threads,
+              static_cast<unsigned long long>(stats.pool_steals));
+  for (std::size_t k = 0; k < svc::kRequestKinds; ++k) {
+    const svc::OpLatency& lat = stats.latency[k];
+    if (lat.count == 0) continue;
+    std::printf("%-12s n=%-8llu p50=%.0fus p99=%.0fus max=%.0fus\n",
+                std::string(svc::request_kind_name(
+                    static_cast<svc::RequestKind>(k))).c_str(),
+                static_cast<unsigned long long>(lat.count), lat.p50_us,
+                lat.p99_us, lat.max_us);
+  }
+}
+
+/// The WireStats counters, printed above the pool dashboard when `serve`
+/// ran as a socket host.
+void print_wire_stats(const svc::WireStats& wire) {
+  std::printf("wire connections    %llu accepted, %llu still open\n",
+              static_cast<unsigned long long>(wire.accepted),
+              static_cast<unsigned long long>(wire.active));
+  std::printf("wire frames in/out  %llu / %llu (%llu / %llu bytes)\n",
+              static_cast<unsigned long long>(wire.frames_in),
+              static_cast<unsigned long long>(wire.frames_out),
+              static_cast<unsigned long long>(wire.bytes_in),
+              static_cast<unsigned long long>(wire.bytes_out));
+  std::printf("wire decode errors / timeouts / overloaded  %llu / %llu / "
+              "%llu\n",
+              static_cast<unsigned long long>(wire.decode_errors),
+              static_cast<unsigned long long>(wire.timeouts),
+              static_cast<unsigned long long>(wire.overloaded));
+}
+
+// `depchaos serve` — the session service. Two modes share one pool setup:
+// the default in-process demo (the "clients" are driver threads; everything
+// else is the production path — typed submits into the sharded admission
 // queues, strand drains on the shared worker pool, Overloaded backpressure
-// with driver-side retry, per-client CoW forks of the one loaded world.
+// with driver-side retry, per-client CoW forks of the one loaded world),
+// and `--listen=PORT`, which hosts the same pool behind the wire protocol
+// until a remote client sends Shutdown (`depchaos connect ... --shutdown`).
 int cmd_serve(const std::vector<std::string>& args) {
   if (args.empty()) usage();
-  auto number = [&](std::string_view prefix, long fallback) {
-    return std::strtol(
-        flag_value(args, prefix, std::to_string(fallback)).c_str(), nullptr,
-        10);
-  };
-  const std::size_t clients = static_cast<std::size_t>(number("--clients=", 64));
-  const std::size_t requests =
-      static_cast<std::size_t>(number("--requests=", 32));
+  const std::size_t clients =
+      static_cast<std::size_t>(parse_long(args, "--clients=", 64, 0, 100'000));
+  const std::size_t requests = static_cast<std::size_t>(
+      parse_long(args, "--requests=", 32, 0, 1'000'000'000));
   const std::string mix = flag_value(args, "--mix=", "load");
   if (mix != "load" && mix != "mixed") usage();
-  const std::uint64_t seed = static_cast<std::uint64_t>(number("--seed=", 1));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(parse_long(args, "--seed=", 1, 0, LLONG_MAX));
 
   svc::PoolConfig config;
-  config.shards = static_cast<std::size_t>(number("--shards=", 8));
-  config.threads = static_cast<std::size_t>(number("--threads=", 0));
-  config.queue_high_water =
-      static_cast<std::size_t>(number("--high-water=", 1024));
+  config.shards =
+      static_cast<std::size_t>(parse_long(args, "--shards=", 8, 1, 4096));
+  config.threads =
+      static_cast<std::size_t>(parse_long(args, "--threads=", 0, 0, 4096));
+  config.queue_high_water = static_cast<std::size_t>(
+      parse_long(args, "--high-water=", 1024, 1, 1'000'000'000));
   config.memoize_loads = !has_flag(args, "--no-memo");
 
   core::Session base = open_session(args);
@@ -443,7 +583,28 @@ int cmd_serve(const std::vector<std::string>& args) {
                  "target)\n");
     return 1;
   }
+  // Remote clients may send empty Load payloads meaning "the default
+  // target"; make `--exe=` that default so both modes storm the same app.
+  base.set_default_exe(exe);
   svc::SessionPool pool(std::move(base), config);
+
+  const std::string listen = flag_value(args, "--listen=", "");
+  if (!listen.empty()) {
+    svc::WireConfig wire_config;
+    wire_config.port = static_cast<std::uint16_t>(
+        parse_long_text("--listen=", listen, 0, 65535));
+    svc::WireServer server(pool, wire_config);
+    // The exact line the CI loopback smoke greps for the ephemeral port.
+    std::printf("listening on %s:%u (%s, %zu shards, memo %s)\n",
+                wire_config.host.c_str(), server.port(), exe.c_str(),
+                config.shards, pool.memoization_enabled() ? "on" : "off");
+    std::fflush(stdout);
+    server.wait();  // until a remote Shutdown frame
+    print_wire_stats(server.stats());
+    print_pool_dashboard(pool.stats());
+    return 0;
+  }
+
   std::printf("serving %s: %zu clients x %zu requests (%s mix, %zu shards, "
               "memo %s)\n",
               exe.c_str(), clients, requests, mix.c_str(), config.shards,
@@ -501,55 +662,106 @@ int cmd_serve(const std::vector<std::string>& args) {
               static_cast<double>(stats.executed) / elapsed,
               static_cast<unsigned long long>(retries.load()),
               static_cast<unsigned long long>(request_errors.load()));
-  std::printf("clients live        %zu (sum private divergence %llu bytes)\n",
-              stats.clients_live,
-              static_cast<unsigned long long>(stats.fork_owned_bytes));
-  std::printf("executed / memoized %llu / %llu\n",
-              static_cast<unsigned long long>(stats.executed - stats.memoized),
-              static_cast<unsigned long long>(stats.memoized));
-  std::printf("rejected / evicted / collapsed / errors  %llu / %llu / %llu "
-              "/ %llu\n",
-              static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.evicted),
-              static_cast<unsigned long long>(stats.collapsed),
-              static_cast<unsigned long long>(stats.worker_errors));
-  std::printf("drain cycles        %llu over %zu shards\n",
-              static_cast<unsigned long long>(stats.drain_cycles),
-              stats.shards);
-  // Contention dashboard: whether the multi-core fast paths actually ran
-  // hot — every admission a wait-free sealed stamp, memo probes spread
-  // across shards, strands batching well, lanes balanced.
-  std::printf("forks wait-free / locked  %llu / %llu\n",
-              static_cast<unsigned long long>(stats.forks_wait_free),
-              static_cast<unsigned long long>(stats.forks_locked));
-  std::uint64_t busiest_shard = 0;
-  for (const std::uint64_t hits : stats.memo_shard_hits) {
-    busiest_shard = std::max(busiest_shard, hits);
-  }
-  std::printf("memo hits / misses  %llu / %llu across %zu shards "
-              "(busiest shard %llu hits)\n",
-              static_cast<unsigned long long>(stats.memo_hits),
-              static_cast<unsigned long long>(stats.memo_misses),
-              stats.memo_shard_hits.size(),
-              static_cast<unsigned long long>(busiest_shard));
-  std::printf("drain batch size    p50=%.0f p99=%.0f max=%llu over %llu "
-              "cycles\n",
-              stats.drain_batch.p50, stats.drain_batch.p99,
-              static_cast<unsigned long long>(stats.drain_batch.max),
-              static_cast<unsigned long long>(stats.drain_batch.cycles));
-  std::printf("pool workers        %zu (%llu cross-lane steals)\n",
-              stats.pool_threads,
-              static_cast<unsigned long long>(stats.pool_steals));
-  for (std::size_t k = 0; k < svc::kRequestKinds; ++k) {
-    const svc::OpLatency& lat = stats.latency[k];
-    if (lat.count == 0) continue;
-    std::printf("%-12s n=%-8llu p50=%.0fus p99=%.0fus max=%.0fus\n",
-                std::string(svc::request_kind_name(
-                    static_cast<svc::RequestKind>(k))).c_str(),
-                static_cast<unsigned long long>(lat.count), lat.p50_us,
-                lat.p99_us, lat.max_us);
-  }
+  print_pool_dashboard(stats);
   return 0;
+}
+
+// `depchaos connect` — the remote half of `serve --listen`: the same
+// scripted client mix the in-process demo drives, but over sockets. Each
+// driver thread owns one connection; Overloaded responses reconstruct the
+// pool's backpressure (shard, depth, retry-after) and the driver backs off
+// exactly like an in-process submitter.
+int cmd_connect(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const std::string& target = args[0];
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    std::fprintf(stderr, "depchaos: connect wants HOST:PORT, got \"%s\"\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      parse_long_text("connect port ", target.substr(colon + 1), 1, 65535));
+  const std::size_t clients =
+      static_cast<std::size_t>(parse_long(args, "--clients=", 8, 0, 10'000));
+  const std::size_t requests = static_cast<std::size_t>(
+      parse_long(args, "--requests=", 32, 0, 1'000'000'000));
+  const std::string mix = flag_value(args, "--mix=", "load");
+  if (mix != "load" && mix != "mixed") usage();
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(parse_long(args, "--seed=", 1, 0, LLONG_MAX));
+  // Empty = the server world's default exe (an empty Load payload).
+  const std::string exe = flag_value(args, "--exe=", "");
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> request_errors{0};
+  std::atomic<std::uint64_t> transport_errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    drivers.emplace_back([&, c] {
+      try {
+        svc::WireClient client(host, port);
+        const svc::ClientId id = static_cast<svc::ClientId>(c + 1);
+        std::mt19937_64 rng(seed * 1000003 + c);
+        std::uniform_int_distribution<int> op(0, 9);
+        for (std::size_t r = 0; r < requests; ++r) {
+          const int pick = mix == "mixed" ? op(rng) : 0;
+          for (;;) {
+            try {
+              if (pick >= 9) {
+                client.shrinkwrap(id, exe);
+              } else if (pick == 8) {
+                client.whatif(id, exe);
+              } else if (pick == 7) {
+                client.query(id);
+              } else {
+                client.load(id, exe);
+              }
+              completed.fetch_add(1);
+              break;
+            } catch (const svc::Overloaded& overloaded) {
+              retries.fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::duration<double>(
+                  overloaded.retry_after_s()));
+            } catch (const svc::WireError&) {
+              // Server-reported request failure (bad exe, wrap error):
+              // count it and keep driving, like the in-process demo.
+              request_errors.fetch_add(1);
+              break;
+            }
+          }
+        }
+      } catch (const std::exception& error) {
+        // Connect failure or mid-run transport loss kills this driver
+        // only; the run reports it rather than crashing.
+        transport_errors.fetch_add(1);
+        std::fprintf(stderr, "depchaos: client %zu: %s\n", c + 1,
+                     error.what());
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  std::printf("%llu requests in %.3fs (%.0f req/s), %llu retries, "
+              "%llu request errors, %llu transport errors\n",
+              static_cast<unsigned long long>(completed.load()), elapsed,
+              static_cast<double>(completed.load()) / elapsed,
+              static_cast<unsigned long long>(retries.load()),
+              static_cast<unsigned long long>(request_errors.load()),
+              static_cast<unsigned long long>(transport_errors.load()));
+
+  if (has_flag(args, "--shutdown")) {
+    svc::WireClient admin(host, port);
+    admin.shutdown();
+    std::printf("server shutdown acknowledged\n");
+  }
+  return transport_errors.load() == 0 ? 0 : 1;
 }
 
 /// Rediscover the Pynamic app baked into an image world (worldgen writes it
@@ -577,8 +789,8 @@ int cmd_launch(const std::vector<std::string>& args) {
   config.latency = std::make_shared<vfs::NfsModel>();
   config.cluster.spindle_broadcast = has_flag(args, "--spindle");
   auto session = open_session(args, std::move(config));
-  const int ranks = static_cast<int>(
-      std::strtol(flag_value(args, "--ranks=", "512").c_str(), nullptr, 10));
+  const int ranks =
+      static_cast<int>(parse_long(args, "--ranks=", 512, 1, 10'000'000));
 
   const std::string engine = flag_value(args, "--engine=", "analytic");
   if (engine != "analytic" && engine != "sim") {
@@ -621,23 +833,24 @@ int cmd_launch(const std::vector<std::string>& args) {
         dist.c_str());
     return 2;
   }
-  service.seed =
-      std::strtoull(flag_value(args, "--seed=", "42").c_str(), nullptr, 10);
+  service.seed = static_cast<std::uint64_t>(
+      parse_long(args, "--seed=", 42, 0, LLONG_MAX));
   mds::CachePolicy cache;
   cache.negative_caching = has_flag(args, "--negative-cache");
   cache.enabled = cache.negative_caching || has_flag(args, "--cache");
-  const int waves = static_cast<int>(
-      std::strtol(flag_value(args, "--waves=", "1").c_str(), nullptr, 10));
+  const int waves =
+      static_cast<int>(parse_long(args, "--waves=", 1, 1, 10'000));
   const std::string straggler = flag_value(args, "--straggler=", "");
   std::vector<double> start_delays;
   if (!straggler.empty()) {
     const std::size_t colon = straggler.find(':');
-    const int rank = static_cast<int>(
-        std::strtol(straggler.substr(0, colon).c_str(), nullptr, 10));
+    const int rank = static_cast<int>(parse_long_text(
+        "--straggler=", straggler.substr(0, colon), 0, INT_MAX));
     const double delay_s =
         colon == std::string::npos
             ? 1.0
-            : std::strtod(straggler.substr(colon + 1).c_str(), nullptr);
+            : parse_double_text("--straggler=", straggler.substr(colon + 1),
+                                0.0, 1e9);
     if (rank < 0 || rank >= ranks) {
       std::fprintf(stderr, "depchaos: --straggler rank %d out of [0, %d)\n",
                    rank, ranks);
@@ -701,14 +914,8 @@ int cmd_launch(const std::vector<std::string>& args) {
         std::fprintf(stderr, "depchaos: --ranks-mix requires --overlay\n");
         return 2;
       }
-      const int classes =
-          static_cast<int>(std::strtol(ranks_mix.c_str(), nullptr, 10));
-      if (classes < 1) {
-        std::fprintf(stderr,
-                     "depchaos: --ranks-mix=%s wants a class count >= 1\n",
-                     ranks_mix.c_str());
-        return 2;
-      }
+      const int classes = static_cast<int>(
+          parse_long_text("--ranks-mix=", ranks_mix, 1, INT_MAX));
       if (!discover_pynamic_app(*spec.image, mix_app)) {
         std::fprintf(stderr,
                      "depchaos: --ranks-mix needs a Pynamic app image "
@@ -803,6 +1010,7 @@ int main(int argc, char** argv) {
     if (command == "sandbox") return cmd_sandbox(args);
     if (command == "mount") return cmd_mount(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "connect") return cmd_connect(args);
   } catch (const Error& error) {
     std::fprintf(stderr, "depchaos: %s\n", error.what());
     return 1;
